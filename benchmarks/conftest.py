@@ -1,0 +1,44 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark both *times* its experiment (via pytest-benchmark) and
+*prints/saves* the regenerated series, so ``pytest benchmarks/
+--benchmark-only`` leaves the same rows the paper plots in
+``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def save_report(results_dir):
+    """Write a rendered experiment report to results/<name>.txt."""
+
+    def _save(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        # Also emit to stdout so `pytest -s` shows the tables inline.
+        print(f"\n===== {name} =====\n{text}")
+
+    return _save
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under the benchmark timer.
+
+    Experiment harnesses are deterministic and seconds-long; one round
+    gives a faithful wall-clock figure without multiplying CI time.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              iterations=1, rounds=1)

@@ -1,0 +1,49 @@
+"""Objective bench: the discrete Theorem-1 objectives per mapping.
+
+The `obj_arrangement` experiment of DESIGN.md: evaluate every mapping's
+order against the arrangement objectives the paper's optimality argument
+concerns (2-sum = the discretized Theorem-1 objective, plus 1-sum,
+bandwidth, cutwidth), on the 4-connectivity graph of a 16x16 grid.
+"""
+
+from repro.core import SpectralLPM
+from repro.experiments.runner import ExperimentResult
+from repro.experiments.tables import render_table
+from repro.geometry import Grid
+from repro.graph import grid_graph
+from repro.mapping import paper_mappings
+from repro.metrics import arrangement_costs
+
+GRID = Grid((16, 16))
+
+
+def test_arrangement_objectives(benchmark, save_report):
+    graph = grid_graph(GRID)
+    mappings = paper_mappings()
+    rows = {}
+
+    def run_all():
+        for mapping in mappings:
+            costs = arrangement_costs(graph,
+                                      mapping.order_for_grid(GRID))
+            rows[mapping.name] = [costs.two_sum, costs.one_sum,
+                                  costs.bandwidth, costs.cutwidth]
+        return rows
+
+    benchmark.pedantic(run_all, iterations=1, rounds=1)
+
+    result = ExperimentResult(
+        exp_id="obj_arrangement",
+        title="Arrangement objectives on the 16x16 4-connectivity graph",
+        xlabel="objective",
+        ylabel="lower is better",
+        x=["two_sum", "one_sum", "bandwidth", "cutwidth"],
+    )
+    for name, values in rows.items():
+        result.add_series(name, values)
+    save_report("obj_arrangement", render_table(result))
+
+    # Spectral minimizes the quadratic objective among the five mappings
+    # — this is the discrete shadow of the paper's Theorems 1-3.
+    two_sums = {name: values[0] for name, values in rows.items()}
+    assert two_sums["spectral"] == min(two_sums.values())

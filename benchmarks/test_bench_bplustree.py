@@ -1,0 +1,64 @@
+"""Application bench: B+-tree range scans over each mapping's keys.
+
+The end-to-end database story: cells keyed by mapping rank in a B+-tree,
+range queries answered by one descent plus a leaf-chain walk from the
+query's min key to its max key.  Leaf accesses track the paper's span
+metric (Figure 6) through an actual index structure.
+"""
+
+from repro.experiments.runner import ExperimentResult
+from repro.experiments.tables import render_table
+from repro.geometry import Grid
+from repro.index import BPlusTree
+from repro.mapping import paper_mappings
+from repro.query import random_boxes
+
+GRID = Grid((32, 32))
+QUERIES = random_boxes(GRID, (6, 6), count=80, seed=31)
+ORDER = 16
+
+
+def scan_accesses(mapping):
+    ranks = mapping.ranks_for_grid(GRID)
+    keys = list(range(GRID.size))
+    values = list(range(GRID.size))
+    tree = BPlusTree.bulk_load(keys, values, order=ORDER)
+    total_accesses = 0
+    total_results = 0
+    for box in QUERIES:
+        cell_ranks = ranks[box.cell_indices(GRID)]
+        found, accesses = tree.range_search(int(cell_ranks.min()),
+                                            int(cell_ranks.max()))
+        total_accesses += accesses
+        total_results += len(found)
+    return total_accesses, total_results
+
+
+def test_bplustree_scans(benchmark, save_report):
+    mappings = paper_mappings()
+    rows = {}
+
+    def run_all():
+        for mapping in mappings:
+            rows[mapping.name] = scan_accesses(mapping)
+        return rows
+
+    benchmark.pedantic(run_all, iterations=1, rounds=1)
+
+    result = ExperimentResult(
+        exp_id="app_bplustree",
+        title="B+-tree span scans, 80 random 6x6 queries on 32x32 "
+              f"(order {ORDER})",
+        xlabel="metric",
+        ylabel="total over workload",
+        x=["node accesses", "rows scanned"],
+    )
+    for name, (accesses, results) in rows.items():
+        result.add_series(name, [accesses, results])
+    save_report("app_bplustree", render_table(result))
+
+    # Every mapping scans at least the true result rows (36 per query);
+    # mappings with smaller spans scan fewer extraneous rows.
+    for name, (accesses, results) in rows.items():
+        assert results >= 80 * 36
+    assert rows["hilbert"][0] < rows["gray"][0]

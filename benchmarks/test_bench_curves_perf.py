@@ -1,0 +1,43 @@
+"""Perf bench: index<->point throughput for every curve.
+
+Not a paper figure — an engineering baseline showing the relative cost
+of each mapping's key computation (spectral's cost is the eigensolve,
+measured in test_bench_eigensolver).
+"""
+
+import pytest
+
+from repro.curves import CURVE_NAMES, SpaceFillingCurve, make_curve
+
+
+@pytest.mark.parametrize("name", CURVE_NAMES)
+def test_point_to_key_throughput(benchmark, name):
+    curve = make_curve(name, ndim=3, bits=4)  # 16^3 domain, 1024 sampled
+    cells = [(x, y, z)
+             for x in range(16) for y in range(16) for z in range(4)]
+
+    def encode_all():
+        total = 0
+        for point in cells:
+            total += curve.point_to_key(point)
+        return total
+
+    checksum = benchmark(encode_all)
+    assert checksum > 0
+
+
+@pytest.mark.parametrize("name", [n for n in CURVE_NAMES
+                                  if n.startswith(("hilbert", "peano",
+                                                   "gray", "snake",
+                                                   "sweep"))])
+def test_index_to_point_throughput(benchmark, name):
+    curve = make_curve(name, ndim=3, bits=3)
+    assert isinstance(curve, SpaceFillingCurve)
+
+    def decode_all():
+        seen = 0
+        for index in range(curve.size):
+            seen += curve.index_to_point(index)[0]
+        return seen
+
+    benchmark(decode_all)

@@ -1,0 +1,52 @@
+"""Application bench: declustering response time per mapping.
+
+The `app_decluster` experiment of DESIGN.md: round-robin the pages of
+each order across M disks and measure the mean response time (max pages
+per disk) of a range-query workload.
+"""
+
+from repro.experiments.runner import ExperimentResult
+from repro.experiments.tables import render_table
+from repro.geometry import Grid
+from repro.mapping import paper_mappings
+from repro.query import random_boxes
+from repro.storage import PageLayout, workload_response_stats
+
+GRID = Grid((32, 32))
+QUERIES = [box.cell_indices(GRID)
+           for box in random_boxes(GRID, (8, 8), count=80, seed=23)]
+DISK_COUNTS = (2, 4, 8)
+
+
+def test_declustering(benchmark, save_report):
+    mappings = paper_mappings()
+    rows = {}
+
+    def run_all():
+        for mapping in mappings:
+            layout = PageLayout(mapping.order_for_grid(GRID),
+                                page_size=16)
+            rows[mapping.name] = [
+                workload_response_stats(layout, QUERIES, m)[1]
+                for m in DISK_COUNTS
+            ]
+        return rows
+
+    benchmark.pedantic(run_all, iterations=1, rounds=1)
+
+    result = ExperimentResult(
+        exp_id="app_decluster",
+        title="Mean declustering slowdown (response / optimal), "
+              "80 random 8x8 queries",
+        xlabel="disks",
+        ylabel="mean slowdown (1.0 = perfectly striped)",
+        x=list(DISK_COUNTS),
+    )
+    for name, slowdowns in rows.items():
+        result.add_series(name, slowdowns)
+    save_report("app_decluster", render_table(result, precision=3))
+
+    for name, slowdowns in rows.items():
+        assert all(s >= 1.0 for s in slowdowns)
+    # Locality-preserving mappings stripe better than plain sweep.
+    assert sum(rows["hilbert"]) <= sum(rows["sweep"])

@@ -1,0 +1,44 @@
+"""Ablation bench: eigensolver backends (dense vs lanczos vs scipy).
+
+Times the Fiedler computation per backend on growing grids and asserts
+the backends agree on the resulting spectral order — the determinism
+guarantee DESIGN.md promises.
+"""
+
+import pytest
+
+from repro.core import SpectralLPM
+from repro.geometry import Grid
+from repro.linalg import scipy_available
+
+BACKENDS = ["dense", "lanczos"] + (["scipy"] if scipy_available() else [])
+GRIDS = {"16x16": Grid((16, 16)), "24x24": Grid((24, 24))}
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("grid_name", list(GRIDS))
+def test_fiedler_backend(benchmark, backend, grid_name):
+    grid = GRIDS[grid_name]
+    algorithm = SpectralLPM(backend=backend)
+
+    order = benchmark.pedantic(
+        lambda: algorithm.order_grid(grid), iterations=1, rounds=3)
+    assert sorted(order.permutation) == list(range(grid.size))
+
+
+def test_backends_agree_on_order(benchmark, save_report):
+    lines = []
+
+    def run_all():
+        for grid_name, grid in GRIDS.items():
+            orders = {b: SpectralLPM(backend=b).order_grid(grid)
+                      for b in BACKENDS}
+            reference = orders[BACKENDS[0]]
+            agree = all(order == reference for order in orders.values())
+            lines.append(f"{grid_name}: backends {BACKENDS} identical: "
+                         f"{agree}")
+            assert agree
+        return lines
+
+    benchmark.pedantic(run_all, iterations=1, rounds=1)
+    save_report("eigensolver_agreement", "\n".join(lines))

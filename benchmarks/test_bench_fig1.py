@@ -1,0 +1,23 @@
+"""Figure 1 bench: the boundary effect on a 4x4 grid.
+
+Regenerates the boundary-gap table plus the order pictures, and asserts
+that every fractal pays a mid-boundary gap that sweep/snake/spectral do
+not.
+"""
+
+from conftest import once
+
+from repro.experiments import render_fig1_orders, run_fig1
+from repro.experiments.tables import render_table
+
+
+def test_fig1(benchmark, save_report):
+    result = once(benchmark, run_fig1, side=4, backend="auto")
+    art = render_fig1_orders(side=4, backend="auto")
+    save_report("fig1", render_table(result) + "\n\n" + art)
+
+    worst = {s.name: s.y[result.x.index("any-adjacent-max")]
+             for s in result.series}
+    for fractal in ("peano", "gray", "hilbert"):
+        assert worst[fractal] > worst["sweep"]
+        assert worst[fractal] > worst["spectral"]

@@ -1,0 +1,20 @@
+"""Figure 3 bench: the 3x3 worked example.
+
+Times the full pipeline on the paper's own example and asserts every
+checkable fact: lambda_2 = 1, eigenspace dimension 2, and a discrete
+objective at least as good as the published order's.
+"""
+
+from conftest import once
+
+from repro.experiments import render_fig3, run_fig3
+
+
+def test_fig3(benchmark, save_report):
+    outcome = once(benchmark, run_fig3, backend="auto")
+    save_report("fig3", render_fig3(backend="auto"))
+
+    assert outcome.matches_paper_lambda2
+    assert outcome.fiedler_multiplicity == 2
+    assert outcome.at_least_as_good_as_paper
+    assert outcome.paper_two_sum == 62.0

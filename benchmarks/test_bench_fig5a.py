@@ -1,0 +1,29 @@
+"""Figure 5a bench: NN worst case on a 4^5 grid (paper Section 5).
+
+Regenerates the paper's Figure-5a series (max 1-D distance vs pair
+Manhattan distance, one curve per mapping) and asserts the published
+story: Spectral lowest everywhere, fractals worst.
+"""
+
+from conftest import once
+
+from repro.experiments import paper_fig5a, run_fig5a
+from repro.experiments.runner import ranking_agreement, winner_per_x
+from repro.experiments.tables import render_report
+
+
+def test_fig5a(benchmark, save_report):
+    result = once(benchmark, run_fig5a, side=4, ndim=5, backend="auto")
+    reference = paper_fig5a()
+    save_report("fig5a", render_report(result, reference))
+
+    spectral = result.series_by_name("spectral").y
+    sweep = result.series_by_name("sweep").y
+    for fractal in ("peano", "gray", "hilbert"):
+        curve = result.series_by_name(fractal).y
+        # The paper's core claims: non-fractals beat fractals at small
+        # distances, and spectral is the best mapping at every x.
+        assert spectral[0] < curve[0]
+        assert sweep[0] < curve[0]
+    assert all(name == "spectral" for name in winner_per_x(result))
+    assert ranking_agreement(result, reference) >= 0.6

@@ -1,0 +1,26 @@
+"""Figure 5b bench: per-axis fairness on a 16x16 grid.
+
+Regenerates the Sweep-X/Sweep-Y/Spectral-X/Spectral-Y series and asserts
+the paper's claim: Sweep's two axes diverge wildly, Spectral's coincide.
+"""
+
+from conftest import once
+
+from repro.experiments import paper_fig5b, run_fig5b
+from repro.experiments.tables import render_report
+
+
+def test_fig5b(benchmark, save_report):
+    result = once(benchmark, run_fig5b, side=16, backend="auto")
+    save_report("fig5b", render_report(result, paper_fig5b()))
+
+    sweep_x = result.series_by_name("sweep-X").y
+    sweep_y = result.series_by_name("sweep-Y").y
+    spectral_x = result.series_by_name("spectral-X").y
+    spectral_y = result.series_by_name("spectral-Y").y
+    for k in range(len(result.x)):
+        # Sweep is unfair by about the row length.
+        assert sweep_x[k] >= 4 * sweep_y[k]
+        # Spectral treats the axes alike (within tie-break noise).
+        assert abs(spectral_x[k] - spectral_y[k]) <= max(
+            3.0, 0.05 * max(spectral_x[k], spectral_y[k]))

@@ -1,0 +1,25 @@
+"""Figure 6a bench: range-query worst-case span on a 6^4 grid.
+
+Regenerates the max-span series.  Our reproduction confirms the paper's
+anti-fractal claim (spectral far below every fractal) while measuring —
+honestly — that plain Sweep's hyper-cubic spans are structurally minimal
+(see EXPERIMENTS.md for the analysis of this divergence).
+"""
+
+from conftest import once
+
+from repro.experiments import paper_fig6a, run_fig6a
+from repro.experiments.tables import render_report
+
+
+def test_fig6a(benchmark, save_report):
+    result = once(benchmark, run_fig6a, side=6, ndim=4, backend="auto")
+    save_report("fig6a", render_report(result, paper_fig6a()))
+
+    spectral = result.series_by_name("spectral").y
+    for fractal in ("peano", "gray", "hilbert"):
+        curve = result.series_by_name(fractal).y
+        assert all(s <= c + 1e-9 for s, c in zip(spectral, curve))
+    # Monotone in query size for every mapping (sanity of the harness).
+    for series in result.series:
+        assert list(series.y) == sorted(series.y)

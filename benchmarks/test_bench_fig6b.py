@@ -1,0 +1,23 @@
+"""Figure 6b bench: span fairness over all partial range queries, 6^4.
+
+Regenerates the stdev-of-span series and asserts the paper's claim:
+Spectral is by far the fairest mapping at every query size.
+"""
+
+from conftest import once
+
+from repro.experiments import paper_fig6b, run_fig6b
+from repro.experiments.runner import winner_per_x
+from repro.experiments.tables import render_report
+
+
+def test_fig6b(benchmark, save_report):
+    result = once(benchmark, run_fig6b, side=6, ndim=4, backend="auto")
+    save_report("fig6b", render_report(result, paper_fig6b()))
+
+    assert all(name == "spectral" for name in winner_per_x(result))
+    spectral = result.series_by_name("spectral").y
+    for other in ("sweep", "peano", "gray", "hilbert"):
+        curve = result.series_by_name(other).y
+        # Not merely lowest: lower by a wide margin, as in the paper.
+        assert all(s < 0.8 * c for s, c in zip(spectral, curve))

@@ -1,0 +1,49 @@
+"""Application bench: k-NN window recall per mapping.
+
+The `app_nn` experiment of DESIGN.md (the similarity-search claim):
+answer k-NN queries by scanning a rank window around the query and
+measure recall against true Manhattan k-NN.
+"""
+
+from repro.experiments.runner import ExperimentResult
+from repro.experiments.tables import render_table
+from repro.geometry import Grid
+from repro.mapping import paper_mappings
+from repro.query import knn_window_recall
+
+GRID = Grid((16, 16))
+WINDOWS = (4, 8, 16, 32)
+K = 8
+
+
+def test_nn_recall(benchmark, save_report):
+    mappings = paper_mappings()
+    rows = {}
+
+    def run_all():
+        for mapping in mappings:
+            ranks = mapping.ranks_for_grid(GRID)
+            rows[mapping.name] = [
+                knn_window_recall(GRID, ranks, k=K, window=w,
+                                  seed=7, sample=64).mean_recall
+                for w in WINDOWS
+            ]
+        return rows
+
+    benchmark.pedantic(run_all, iterations=1, rounds=1)
+
+    result = ExperimentResult(
+        exp_id="app_nn",
+        title=f"{K}-NN window recall on 16x16 (64 query points)",
+        xlabel="rank window",
+        ylabel="mean recall",
+        x=list(WINDOWS),
+    )
+    for name, recalls in rows.items():
+        result.add_series(name, recalls)
+    save_report("app_nn", render_table(result, precision=3))
+
+    for name, recalls in rows.items():
+        # Recall grows with the window and is eventually substantial.
+        assert recalls == sorted(recalls)
+        assert recalls[-1] >= 0.5

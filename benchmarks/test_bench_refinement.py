@@ -1,0 +1,63 @@
+"""Ablation bench: local-search refinement of spectral and curve orders.
+
+How close is each mapping's order to a local optimum of the discrete
+Theorem-1 objective?  Refinement quantifies the gap: spectral should be
+nearly a fixed point (its vector optimizes the relaxation), fractals
+should improve substantially.
+"""
+
+from repro.core import SpectralLPM, refine_order
+from repro.experiments.runner import ExperimentResult
+from repro.experiments.tables import render_table
+from repro.geometry import Grid
+from repro.graph import grid_graph
+from repro.mapping import paper_mappings
+
+GRID = Grid((12, 12))
+
+
+def test_refinement_ablation(benchmark, save_report):
+    graph = grid_graph(GRID)
+    mappings = paper_mappings()
+    rows = {}
+
+    def run_all():
+        for mapping in mappings:
+            result = refine_order(graph, mapping.order_for_grid(GRID),
+                                  max_passes=50)
+            rows[mapping.name] = [
+                result.initial_cost,
+                result.final_cost,
+                100.0 * result.improvement,
+                result.swaps,
+            ]
+        return rows
+
+    benchmark.pedantic(run_all, iterations=1, rounds=1)
+
+    result = ExperimentResult(
+        exp_id="ablate_refinement",
+        title="Greedy 2-sum refinement on 12x12 "
+              "(how far from a local optimum is each order?)",
+        xlabel="quantity",
+        ylabel="per mapping",
+        x=["two_sum before", "two_sum after", "improvement %", "swaps"],
+    )
+    for name, values in rows.items():
+        result.add_series(name, values)
+    save_report("ablate_refinement", render_table(result, precision=1))
+
+    # Spectral is already near-locally-optimal: smallest improvement and
+    # by far the fewest swaps.  (Measured: ~3% / ~100 swaps vs 62-82% /
+    # 1000-2100 swaps for the fractals, whose refined costs then land in
+    # the same league as spectral's — local search can repair a fractal
+    # order, but only because it effectively rebuilds it.)
+    assert rows["spectral"][2] <= 10.0
+    for name in ("peano", "gray", "hilbert"):
+        assert rows[name][2] > rows["spectral"][2]
+        assert rows[name][3] > 3 * rows["spectral"][3]
+    # Refinement never hurts anyone, and spectral's raw order is already
+    # better than every *unrefined* fractal order.
+    for name, values in rows.items():
+        assert values[1] <= values[0]
+        assert rows["spectral"][0] <= values[0]

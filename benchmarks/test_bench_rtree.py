@@ -1,0 +1,63 @@
+"""Application bench: R-tree packing quality per order.
+
+The `app_rtree` experiment of DESIGN.md: bulk-load an R-tree by each
+mapping's rank over a clustered dataset and compare leaf geometry and
+window-query node accesses.  Spectral is packed both ways: full-grid
+ranks and the data-adaptive induced-subgraph order.
+"""
+
+import numpy as np
+
+from repro.core import SpectralLPM
+from repro.datasets import gaussian_cluster_cells
+from repro.experiments.runner import ExperimentResult
+from repro.experiments.tables import render_table
+from repro.geometry import Grid
+from repro.index import PackedRTree
+from repro.mapping import CurveMapping
+from repro.query import random_boxes
+
+GRID = Grid((32, 32))
+CELLS = gaussian_cluster_cells(GRID, count=300, clusters=5, seed=42)
+QUERIES = random_boxes(GRID, (6, 6), count=60, seed=3)
+
+
+def tree_stats(tree):
+    stats = tree.leaf_stats()
+    visits = float(np.mean([tree.window_query(box)[1]
+                            for box in QUERIES]))
+    return [stats.total_volume, stats.total_overlap, visits]
+
+
+def test_rtree_packing(benchmark, save_report):
+    rows = {}
+
+    def run_all():
+        for name in ("sweep", "peano", "gray", "hilbert"):
+            ranks = CurveMapping(name).ranks_for_grid(GRID)
+            rows[name] = tree_stats(
+                PackedRTree.pack(GRID, CELLS, ranks, 8, 8))
+        order, cells = SpectralLPM().order_points(GRID, CELLS)
+        rows["spectral-points"] = tree_stats(
+            PackedRTree.pack(GRID, cells, order.ranks, 8, 8))
+        return rows
+
+    benchmark.pedantic(run_all, iterations=1, rounds=1)
+
+    result = ExperimentResult(
+        exp_id="app_rtree",
+        title="Packed R-tree quality, 300 clustered points, "
+              "leaf capacity 8",
+        xlabel="metric",
+        ylabel="lower is better",
+        x=["leaf volume", "leaf overlap", "nodes/query"],
+    )
+    for name, values in rows.items():
+        result.add_series(name, values)
+    save_report("app_rtree", render_table(result))
+
+    # Hilbert packing is the industry standard for a reason; any packed
+    # tree must answer queries with far fewer node visits than leaves.
+    leaves = 300 / 8
+    for name, (volume, overlap, visits) in rows.items():
+        assert visits < 2 * leaves

@@ -1,0 +1,25 @@
+"""Extension bench: boundary effect vs dimensionality.
+
+Sweeps d = 2..5 at comparable cell counts and asserts that the fractal
+boundary effect worsens (or stays near the ceiling) with dimension while
+spectral stays far below it.
+"""
+
+from conftest import once
+
+from repro.experiments.scaling import run_scaling
+from repro.experiments.tables import render_table
+
+
+def test_scaling(benchmark, save_report):
+    result = once(benchmark, run_scaling, backend="auto")
+    save_report("scaling", render_table(result, precision=3))
+
+    spectral = result.series_by_name("spectral").y
+    for fractal in ("gray", "hilbert"):
+        curve = result.series_by_name(fractal).y
+        # At every dimension the fractal's normalized boundary gap is at
+        # least twice spectral's.
+        assert all(c >= 2 * s for s, c in zip(spectral, curve))
+    # Fractal gaps approach the ceiling (gap ~ n) in high dimension.
+    assert result.series_by_name("hilbert").y[-1] > 0.5

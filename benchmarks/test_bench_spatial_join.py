@@ -1,0 +1,51 @@
+"""Application bench: window spatial join per mapping.
+
+The `app_join` experiment of DESIGN.md: join two clustered point sets on
+Manhattan proximity through each mapping's 1-D order, and report recall
+and candidate ratio at a fixed rank window.
+"""
+
+from repro.datasets import gaussian_cluster_cells
+from repro.experiments.runner import ExperimentResult
+from repro.experiments.tables import render_table
+from repro.geometry import Grid
+from repro.mapping import paper_mappings
+from repro.query import window_join_report
+
+GRID = Grid((16, 16))
+SET_A = gaussian_cluster_cells(GRID, 48, clusters=3, seed=5)
+SET_B = gaussian_cluster_cells(GRID, 48, clusters=3, seed=6)
+EPSILON = 2
+WINDOW = 24
+
+
+def test_spatial_join(benchmark, save_report):
+    mappings = paper_mappings()
+    rows = {}
+
+    def run_all():
+        for mapping in mappings:
+            report = window_join_report(
+                GRID, mapping.ranks_for_grid(GRID), SET_A, SET_B,
+                epsilon=EPSILON, window=WINDOW,
+            )
+            rows[mapping.name] = [report.recall, report.candidate_ratio]
+        return rows
+
+    benchmark.pedantic(run_all, iterations=1, rounds=1)
+
+    result = ExperimentResult(
+        exp_id="app_join",
+        title=f"Window spatial join (eps={EPSILON}, window={WINDOW}, "
+              "48x48 clustered points)",
+        xlabel="metric",
+        ylabel="recall up, candidate ratio down",
+        x=["recall", "candidate_ratio"],
+    )
+    for name, values in rows.items():
+        result.add_series(name, values)
+    save_report("app_join", render_table(result, precision=3))
+
+    for name, (recall, ratio) in rows.items():
+        assert 0.3 <= recall <= 1.0
+        assert ratio >= 0.0

@@ -1,0 +1,70 @@
+"""Storage application: blocking an order into pages and measuring I/O.
+
+Run with::
+
+    python examples/disk_layout.py
+
+The paper's motivation is disk placement: store cells in mapping order,
+cut the order into pages, and watch how many pages/seeks a range-query
+workload costs under each mapping - plus the LRU hit rate and the
+declustered (multi-disk) response time, covering three applications the
+paper names in one script.
+"""
+
+from repro import Grid, paper_mappings
+from repro.query import random_boxes
+from repro.storage import (
+    DiskCostModel,
+    LRUBufferPool,
+    PageLayout,
+    query_io,
+    query_response_time,
+)
+
+
+def main() -> None:
+    grid = Grid((32, 32))
+    page_size = 16          # cells per disk page
+    num_disks = 4
+    model = DiskCostModel(seek_cost=5.0, transfer_cost=0.1)
+    queries = random_boxes(grid, extent=(8, 8), count=100, seed=11)
+
+    print(f"domain {grid.shape}, page size {page_size}, "
+          f"{len(queries)} random 8x8 range queries")
+    print()
+    header = (f"{'mapping':9s} {'pages':>6s} {'seeks':>6s} "
+              f"{'cost':>8s} {'LRU hit%':>9s} {'resp(4 disks)':>13s}")
+    print(header)
+    print("-" * len(header))
+
+    for mapping in paper_mappings():
+        order = mapping.order_for_grid(grid)
+        layout = PageLayout(order, page_size)
+        buffer_pool = LRUBufferPool(capacity=16)
+        total_pages = 0
+        total_seeks = 0
+        total_cost = 0.0
+        total_response = 0
+        for box in queries:
+            items = box.cell_indices(grid)
+            io = query_io(layout, items, model)
+            total_pages += io.pages
+            total_seeks += io.runs
+            total_cost += io.cost
+            buffer_pool.access_many(int(p) for p in
+                                    layout.pages_for_items(items))
+            total_response += query_response_time(
+                layout, items, num_disks).response_time
+        stats = buffer_pool.stats()
+        print(f"{mapping.name:9s} {total_pages:6d} {total_seeks:6d} "
+              f"{total_cost:8.1f} {100 * stats.hit_rate:8.1f}% "
+              f"{total_response / len(queries):13.2f}")
+
+    print()
+    print("Fewer seeks and a flatter multi-disk response mean the "
+          "mapping kept each\nquery's cells on few contiguous pages - "
+          "the whole point of locality preservation.")
+
+
+if __name__ == "__main__":
+    main()

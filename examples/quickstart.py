@@ -1,0 +1,46 @@
+"""Quickstart: order a grid with Spectral LPM and compare with Hilbert.
+
+Run with::
+
+    python examples/quickstart.py
+
+Covers the core public API in ~40 lines: build a grid, compute the
+spectral order (the paper's Figure-2 algorithm), compute a fractal
+baseline, and compare their locality with the adjacent-gap statistic
+that drives the paper's Figure 1.
+"""
+
+from repro import Grid, mapping_by_name, spectral_order
+from repro.metrics import adjacent_gap_stats, boundary_gap
+from repro.viz import render_order_path, render_ranks
+
+
+def main() -> None:
+    grid = Grid((8, 8))
+
+    # The paper's algorithm: graph -> Laplacian -> Fiedler vector -> sort.
+    order = spectral_order(grid)
+    print("Spectral order of an 8x8 grid (rank of every cell):")
+    print(render_ranks(grid, order.ranks))
+    print()
+    print("...as a path (arrows = unit steps, * = jumps):")
+    print(render_order_path(grid, order.ranks))
+    print()
+
+    # Any baseline drops in through the same mapping interface.
+    for name in ("sweep", "peano", "gray", "hilbert", "spectral"):
+        mapping = mapping_by_name(name)
+        ranks = mapping.ranks_for_grid(grid)
+        worst, mean = adjacent_gap_stats(grid, ranks)
+        cross = boundary_gap(grid, ranks, axis=0)
+        print(f"{name:9s}  worst adjacent gap = {worst:3d}   "
+              f"mean = {mean:5.2f}   across the mid-boundary = {cross:3d}")
+
+    print()
+    print("The fractal curves (peano/gray/hilbert) pay a large gap "
+          "exactly at the\nquadrant boundary - the paper's 'boundary "
+          "effect'.  Spectral LPM does not.")
+
+
+if __name__ == "__main__":
+    main()

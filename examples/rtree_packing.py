@@ -1,0 +1,77 @@
+"""R-tree packing application: bulk-loading by mapping rank.
+
+Run with::
+
+    python examples/rtree_packing.py
+
+Packs R-trees over a clustered point dataset by sorting on each mapping's
+rank (the Kamel-Faloutsos recipe with the mapping swapped out), then
+compares leaf quality and window-query node accesses.  Spectral LPM is
+run two ways: with full-grid ranks, and with a *sparse* order computed on
+the induced subgraph of the data itself (``order_points``) - the latter is
+the fair way to use a data-adaptive mapping, and the difference is visible.
+"""
+
+import numpy as np
+
+from repro import Box, Grid, SpectralLPM, mapping_by_name
+from repro.datasets import gaussian_cluster_cells
+from repro.index import PackedRTree
+from repro.query import random_boxes
+
+
+def query_cost(tree: PackedRTree, grid: Grid, count: int = 60,
+               seed: int = 3) -> float:
+    """Mean node accesses over random 6x6 window queries."""
+    boxes = random_boxes(grid, extent=(6, 6), count=count, seed=seed)
+    visits = [tree.window_query(box)[1] for box in boxes]
+    return float(np.mean(visits))
+
+
+def main() -> None:
+    grid = Grid((32, 32))
+    cells = gaussian_cluster_cells(grid, count=300, clusters=5, seed=42)
+    print(f"{len(cells)} clustered points on {grid.shape}; "
+          "leaf capacity 8, fanout 8")
+    print()
+    header = (f"{'packing order':18s} {'leaf vol':>9s} {'overlap':>9s} "
+              f"{'margin':>8s} {'nodes/query':>12s}")
+    print(header)
+    print("-" * len(header))
+
+    for name in ("sweep", "peano", "gray", "hilbert"):
+        mapping = mapping_by_name(name)
+        tree = PackedRTree.pack(grid, cells, mapping.ranks_for_grid(grid),
+                                leaf_capacity=8, fanout=8)
+        stats = tree.leaf_stats()
+        print(f"{name:18s} {stats.total_volume:9.0f} "
+              f"{stats.total_overlap:9.0f} {stats.total_margin:8.0f} "
+              f"{query_cost(tree, grid):12.1f}")
+
+    # Spectral, the naive way: full-grid ranks.
+    mapping = mapping_by_name("spectral")
+    tree = PackedRTree.pack(grid, cells, mapping.ranks_for_grid(grid),
+                            leaf_capacity=8, fanout=8)
+    stats = tree.leaf_stats()
+    print(f"{'spectral (grid)':18s} {stats.total_volume:9.0f} "
+          f"{stats.total_overlap:9.0f} {stats.total_margin:8.0f} "
+          f"{query_cost(tree, grid):12.1f}")
+
+    # Spectral, the data-adaptive way: order the induced point graph.
+    algorithm = SpectralLPM()
+    sparse_order, ordered_cells = algorithm.order_points(grid, cells)
+    tree = PackedRTree.pack(grid, ordered_cells, sparse_order.ranks,
+                            leaf_capacity=8, fanout=8)
+    stats = tree.leaf_stats()
+    print(f"{'spectral (points)':18s} {stats.total_volume:9.0f} "
+          f"{stats.total_overlap:9.0f} {stats.total_margin:8.0f} "
+          f"{query_cost(tree, grid):12.1f}")
+
+    print()
+    print("Lower leaf volume/overlap means tighter bounding boxes and "
+          "fewer multi-path\ndescents; node accesses per window query "
+          "is the end-to-end consequence.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""A complete spatial store: mapping + B+-tree + pages + buffer.
+
+Run with::
+
+    python examples/spatial_store.py
+
+Assembles the whole paper pipeline into the system its introduction
+describes: records keyed by a locality-preserving mapping inside a
+B+-tree, laid out on disk pages, queried with the two classic plans —
+the span scan (read from the query's min key to its max key, filtering)
+and the page fetch (read exactly the touched pages).  One table per
+mapping shows where each plan's costs come from.
+"""
+
+from repro import Box, Grid, mapping_by_name
+from repro.query import LinearStore, random_boxes
+from repro.storage import DiskCostModel
+
+MAPPINGS = ("sweep", "peano", "gray", "hilbert", "spectral",
+            "spectral-rb")
+
+
+def main() -> None:
+    grid = Grid((32, 32))
+    queries = random_boxes(grid, extent=(6, 6), count=100, seed=17)
+    model = DiskCostModel(seek_cost=5.0, transfer_cost=0.1)
+
+    print(f"domain {grid.shape}, {len(queries)} random 6x6 queries, "
+          "8-cell pages, 64-page LRU buffer")
+    print()
+    header = (f"{'mapping':12s} {'plan':10s} {'idx nodes':>9s} "
+              f"{'pages':>6s} {'seeks':>6s} {'buf hits':>8s} "
+              f"{'cost':>8s}")
+    print(header)
+    print("-" * len(header))
+
+    for name in MAPPINGS:
+        mapping = mapping_by_name(name)
+        for plan in ("span-scan", "page-fetch"):
+            store = LinearStore(grid, mapping, page_size=8,
+                                tree_order=16, buffer_capacity=64,
+                                cost_model=model)
+            report = store.execute_workload(queries, plan=plan)
+            print(f"{name:12s} {plan:10s} "
+                  f"{report.index_node_accesses:9d} "
+                  f"{report.pages_fetched:6d} {report.seeks:6d} "
+                  f"{report.buffer_hits:8d} {report.cost:8.1f}")
+        print()
+
+    print("span-scan cost follows the paper's Figure-6 span metric; "
+          "page-fetch cost\nfollows pages+seeks (Figure 5's locality).  "
+          "A good mapping wins on both.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+All metadata lives in ``pyproject.toml``.  This file exists so that
+``pip install -e .`` works in offline environments whose setuptools
+predates PEP 660 editable wheels (pip then falls back to the legacy
+``setup.py develop`` code path, which needs this shim).
+"""
+
+from setuptools import setup
+
+setup()

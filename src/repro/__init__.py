@@ -1,0 +1,88 @@
+"""repro — Spectral LPM, reproduced.
+
+A from-scratch implementation of *"Spectral LPM: An Optimal
+Locality-Preserving Mapping using the Spectral (not Fractal) Order"*
+(Mokbel, Aref & Grama, ICDE 2003): the spectral ordering algorithm, every
+fractal and non-fractal baseline it compares against, the locality metrics
+and query/storage substrates of its evaluation, and harnesses that
+regenerate every figure.
+
+Quick start::
+
+    from repro import Grid, spectral_order, mapping_by_name
+
+    grid = Grid((8, 8))
+    order = spectral_order(grid)            # the paper's algorithm
+    hilbert = mapping_by_name("hilbert")    # a fractal baseline
+    ranks = hilbert.ranks_for_grid(grid)
+
+See the ``examples/`` directory and README for more.
+"""
+
+from repro._version import __version__
+from repro.core import (
+    FiedlerResult,
+    LinearOrder,
+    SpectralConfig,
+    SpectralLPM,
+    add_access_pattern,
+    correlated_pairs_from_trace,
+    fiedler_value,
+    fiedler_vector,
+    order_by_values,
+    spectral_order,
+    weighted_radius_model,
+)
+from repro.errors import (
+    BackendUnavailableError,
+    ConvergenceError,
+    DimensionError,
+    DomainError,
+    GraphStructureError,
+    InvalidParameterError,
+    ReproError,
+)
+from repro.geometry import Box, Grid
+from repro.graph import Graph, grid_graph
+from repro.mapping import (
+    MAPPING_NAMES,
+    PAPER_MAPPING_NAMES,
+    CurveMapping,
+    LocalityMapping,
+    SpectralMapping,
+    mapping_by_name,
+    paper_mappings,
+)
+
+__all__ = [
+    "BackendUnavailableError",
+    "Box",
+    "ConvergenceError",
+    "CurveMapping",
+    "DimensionError",
+    "DomainError",
+    "FiedlerResult",
+    "Graph",
+    "GraphStructureError",
+    "Grid",
+    "InvalidParameterError",
+    "LinearOrder",
+    "LocalityMapping",
+    "MAPPING_NAMES",
+    "PAPER_MAPPING_NAMES",
+    "ReproError",
+    "SpectralConfig",
+    "SpectralLPM",
+    "SpectralMapping",
+    "__version__",
+    "add_access_pattern",
+    "correlated_pairs_from_trace",
+    "fiedler_value",
+    "fiedler_vector",
+    "grid_graph",
+    "mapping_by_name",
+    "order_by_values",
+    "paper_mappings",
+    "spectral_order",
+    "weighted_radius_model",
+]

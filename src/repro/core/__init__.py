@@ -1,0 +1,60 @@
+"""The paper's contribution: the Spectral LPM algorithm and its pieces."""
+
+from repro.core.bisection import spectral_bisection_order
+from repro.core.components import COMPONENT_ARRANGEMENTS, order_components
+from repro.core.extensions import (
+    access_pattern_weights,
+    add_access_pattern,
+    correlated_pairs_from_trace,
+    weighted_radius_model,
+)
+from repro.core.fiedler import FiedlerResult, fiedler_value, fiedler_vector
+from repro.core.multilevel import (
+    MultilevelResult,
+    multilevel_fiedler,
+    multilevel_order,
+)
+from repro.core.ordering import LinearOrder, order_by_values
+from repro.core.refinement import (
+    OBJECTIVES,
+    RefinementResult,
+    refine_order,
+)
+from repro.core.spectral import (
+    DISCONNECTED_POLICIES,
+    SpectralConfig,
+    SpectralLPM,
+    snap_ties,
+    spectral_order,
+    symmetric_grid_probe,
+)
+from repro.core.tie_breaking import TIE_BREAK_STRATEGIES, tie_break_keys
+
+__all__ = [
+    "COMPONENT_ARRANGEMENTS",
+    "DISCONNECTED_POLICIES",
+    "FiedlerResult",
+    "LinearOrder",
+    "MultilevelResult",
+    "OBJECTIVES",
+    "RefinementResult",
+    "multilevel_fiedler",
+    "multilevel_order",
+    "refine_order",
+    "SpectralConfig",
+    "SpectralLPM",
+    "TIE_BREAK_STRATEGIES",
+    "access_pattern_weights",
+    "add_access_pattern",
+    "correlated_pairs_from_trace",
+    "fiedler_value",
+    "fiedler_vector",
+    "order_by_values",
+    "order_components",
+    "snap_ties",
+    "spectral_bisection_order",
+    "spectral_order",
+    "symmetric_grid_probe",
+    "tie_break_keys",
+    "weighted_radius_model",
+]

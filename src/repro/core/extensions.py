@@ -1,0 +1,115 @@
+"""Section-4 extensibility features.
+
+The paper highlights two ways to steer Spectral LPM beyond plain grid
+adjacency:
+
+* **Access-pattern edges** — "whenever point ``p`` is accessed, point
+  ``q`` will be accessed soon afterwards": add edge ``(p, q)`` so the
+  mapping treats them as if their Manhattan distance were 1.  With a
+  weighted graph the edge weight expresses how strongly they should be
+  co-located.
+* **Alternative graph models** — 8-connectivity (Figure 4) or the
+  weighted-radius model of the footnote
+  (``w_ij = 1 / manhattan(p_i, p_j)`` for pairs within a radius).
+
+This module provides those constructions plus a small trace-mining helper
+that derives access-pattern pairs from an observed access sequence —
+the "(from experience)" part of the paper's scenario.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.geometry.grid import Grid
+from repro.graph.adjacency import Graph
+from repro.graph.builders import grid_graph
+
+
+def add_access_pattern(graph: Graph,
+                       pairs: Iterable[Tuple[int, int]],
+                       weight: float = 1.0) -> Graph:
+    """A new graph with correlated-access edges layered in.
+
+    Each pair ``(p, q)`` becomes an edge of the given weight; existing
+    edges keep the larger of their old and new weights.
+    """
+    if weight <= 0:
+        raise InvalidParameterError(
+            f"access-pattern weight must be positive, got {weight}"
+        )
+    pair_list = [(int(p), int(q)) for p, q in pairs]
+    if not pair_list:
+        return graph
+    weights = [weight] * len(pair_list)
+    return graph.with_edges_added(pair_list, weights,
+                                  duplicate_policy="max")
+
+
+def weighted_radius_model(grid: Grid, radius: int = 2) -> Graph:
+    """The footnote's weighted grid model.
+
+    Edges join every pair of cells with Manhattan distance ``<= radius``;
+    the weight of an edge at distance ``d`` is ``1/d``, so the Theorem-1
+    objective becomes ``sum (x_i - x_j)^2 / dist(p_i, p_j)``.
+    """
+    if radius < 1:
+        raise InvalidParameterError(f"radius must be >= 1, got {radius}")
+    return grid_graph(grid, connectivity="orthogonal", radius=radius,
+                      weight="inverse_manhattan")
+
+
+def correlated_pairs_from_trace(trace: Sequence[int],
+                                window: int = 1,
+                                min_support: int = 2,
+                                top_k: int | None = None
+                                ) -> List[Tuple[int, int, int]]:
+    """Mine access-pattern pairs from an access trace.
+
+    Counts unordered co-occurrences of distinct items within ``window``
+    positions of each other in ``trace`` and returns pairs seen at least
+    ``min_support`` times as ``(p, q, support)`` triples, sorted by
+    descending support (ties by pair id for determinism).  Feed the pairs
+    to :func:`add_access_pattern`, optionally weighting by support.
+    """
+    if window < 1:
+        raise InvalidParameterError(f"window must be >= 1, got {window}")
+    if min_support < 1:
+        raise InvalidParameterError(
+            f"min_support must be >= 1, got {min_support}"
+        )
+    counts: Counter = Counter()
+    trace = [int(v) for v in trace]
+    for i, p in enumerate(trace):
+        for j in range(i + 1, min(i + window + 1, len(trace))):
+            q = trace[j]
+            if q != p:
+                counts[(min(p, q), max(p, q))] += 1
+    ranked = sorted(
+        ((pair[0], pair[1], support)
+         for pair, support in counts.items() if support >= min_support),
+        key=lambda t: (-t[2], t[0], t[1]),
+    )
+    if top_k is not None:
+        ranked = ranked[:top_k]
+    return ranked
+
+
+def access_pattern_weights(pairs: Sequence[Tuple[int, int, int]],
+                           base_weight: float = 1.0) -> Tuple[
+                               List[Tuple[int, int]], np.ndarray]:
+    """Convert mined ``(p, q, support)`` triples into edges + weights.
+
+    Weights scale linearly with support, normalized so the most frequent
+    pair gets ``base_weight``.
+    """
+    if not pairs:
+        return [], np.empty(0)
+    supports = np.array([s for _, _, s in pairs], dtype=np.float64)
+    weights = base_weight * supports / supports.max()
+    edges = [(p, q) for p, q, _ in pairs]
+    return edges, weights

@@ -1,0 +1,131 @@
+"""Multilevel spectral ordering.
+
+The scalability extension of Spectral LPM: instead of solving the
+Fiedler problem on the full graph, coarsen it by heavy-edge matching
+(:mod:`repro.graph.coarsening`), solve exactly on the coarsest level
+with the dense eigensolver, prolong the vector back level by level
+(piecewise-constant interpolation), and smooth at each level with a few
+deflated power-iteration steps on the shifted Laplacian.
+
+The result approximates the true Fiedler vector — the smoothed Rayleigh
+quotient typically lands within a few percent of ``lambda_2`` — and the
+induced order is competitive with exact Spectral LPM at a fraction of the
+eigensolver cost, making million-cell grids practical without scipy.
+This is Barnard & Simon's multilevel spectral bisection recipe, applied
+to ordering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.fiedler import fiedler_vector
+from repro.core.ordering import LinearOrder, order_by_values
+from repro.core.spectral import snap_ties
+from repro.core.tie_breaking import tie_break_keys
+from repro.errors import GraphStructureError, InvalidParameterError
+from repro.graph.adjacency import Graph
+from repro.graph.coarsening import coarsen_hierarchy
+from repro.graph.laplacian import laplacian, rayleigh_quotient
+from repro.graph.traversal import is_connected
+
+
+@dataclass(frozen=True)
+class MultilevelResult:
+    """The multilevel approximation and its quality diagnostics."""
+
+    order: LinearOrder
+    vector: np.ndarray
+    rayleigh: float         # quotient of the smoothed vector
+    levels: int             # coarsening levels used
+    coarsest_size: int
+
+
+def _smooth(graph: Graph, vector: np.ndarray,
+            iterations: int) -> np.ndarray:
+    """Deflated shifted power-iteration smoothing toward the Fiedler
+    vector (monotonically improves the Rayleigh quotient)."""
+    n = graph.num_vertices
+    lap = laplacian(graph)
+    bound = lap.gershgorin_upper_bound()
+    if bound <= 0:
+        return vector
+    ones = np.ones(n) / np.sqrt(n)
+    x = vector - (ones @ vector) * ones
+    norm = np.linalg.norm(x)
+    if norm < 1e-12:
+        return vector
+    x /= norm
+    for _ in range(iterations):
+        x = bound * x - lap.matvec(x)
+        x -= (ones @ x) * ones
+        norm = np.linalg.norm(x)
+        if norm < 1e-300:
+            break
+        x /= norm
+    return x
+
+
+def multilevel_fiedler(graph: Graph, min_size: int = 64,
+                       smoothing_steps: int = 40,
+                       backend: str = "dense") -> MultilevelResult:
+    """Approximate Fiedler vector and order via coarsen-solve-refine.
+
+    Parameters
+    ----------
+    graph:
+        A connected graph with at least 2 vertices.
+    min_size:
+        Coarsening stops at this many vertices; the coarsest problem is
+        solved exactly.
+    smoothing_steps:
+        Power-iteration steps applied after each prolongation.
+    backend:
+        Eigensolver backend for the coarsest solve.
+    """
+    n = graph.num_vertices
+    if n < 2:
+        raise InvalidParameterError(
+            f"multilevel ordering needs at least 2 vertices, got {n}"
+        )
+    if not is_connected(graph):
+        raise GraphStructureError(
+            "multilevel Fiedler requires a connected graph; order "
+            "components separately"
+        )
+    if smoothing_steps < 0:
+        raise InvalidParameterError(
+            f"smoothing_steps must be >= 0, got {smoothing_steps}"
+        )
+    levels = coarsen_hierarchy(graph, min_size=min_size)
+    coarsest = levels[-1].graph if levels else graph
+    if coarsest.num_vertices >= 2:
+        vector = fiedler_vector(coarsest, backend=backend).vector
+    else:  # a graph this small cannot arise while connected, but be safe
+        vector = np.zeros(coarsest.num_vertices)
+    # Prolong back up, smoothing at every level (including the finest).
+    graphs = [graph] + [level.graph for level in levels]
+    for depth in range(len(levels) - 1, -1, -1):
+        fine_graph = graphs[depth]
+        vector = vector[levels[depth].fine_to_coarse]
+        vector = _smooth(fine_graph, vector, smoothing_steps)
+    if not levels:
+        vector = _smooth(graph, vector, smoothing_steps)
+    quotient = rayleigh_quotient(graph, vector)
+    snapped = snap_ties(vector)
+    keys = tie_break_keys("index", n)
+    order = order_by_values(snapped, tie_break=keys)
+    return MultilevelResult(
+        order=order,
+        vector=vector,
+        rayleigh=float(quotient),
+        levels=len(levels),
+        coarsest_size=coarsest.num_vertices,
+    )
+
+
+def multilevel_order(graph: Graph, **kwargs) -> LinearOrder:
+    """Just the order from :func:`multilevel_fiedler`."""
+    return multilevel_fiedler(graph, **kwargs).order

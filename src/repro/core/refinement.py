@@ -1,0 +1,136 @@
+"""Local-search refinement of linear orders.
+
+The Fiedler vector optimizes the *continuous relaxation* of the paper's
+Theorem-1 objective; the discrete order obtained by sorting it is a
+heuristic whose integer objective can usually still be improved by local
+moves.  This module implements deterministic greedy refinement by
+adjacent transpositions: repeatedly swap rank-neighbouring items whenever
+that strictly lowers the objective, sweeping until a fixed point (or a
+pass budget).
+
+This is the natural "future work" extension of the paper — it composes
+spectral *global* structure with *local* integer optimization — and the
+`ablate_refinement` benchmark quantifies what it buys on the paper's own
+metrics.
+
+Supported objectives: ``"two_sum"`` (the discretized Theorem-1 quadratic)
+and ``"one_sum"`` (minimum linear arrangement).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.ordering import LinearOrder
+from repro.errors import InvalidParameterError
+from repro.graph.adjacency import Graph
+
+OBJECTIVES = ("two_sum", "one_sum")
+
+
+@dataclass(frozen=True)
+class RefinementResult:
+    """The refined order plus bookkeeping."""
+
+    order: LinearOrder
+    initial_cost: float
+    final_cost: float
+    passes: int
+    swaps: int
+
+    @property
+    def improvement(self) -> float:
+        """Relative cost reduction in [0, 1)."""
+        if self.initial_cost == 0:
+            return 0.0
+        return 1.0 - self.final_cost / self.initial_cost
+
+
+def _order_cost(graph: Graph, ranks: np.ndarray, objective: str) -> float:
+    u, v, w = graph.edge_arrays()
+    if len(u) == 0:
+        return 0.0
+    diffs = np.abs(ranks[u] - ranks[v]).astype(np.float64)
+    if objective == "two_sum":
+        return float((w * diffs * diffs).sum())
+    return float((w * diffs).sum())
+
+
+def _swap_delta(graph: Graph, ranks: np.ndarray, a: int, b: int,
+                objective: str) -> float:
+    """Cost change from swapping the (rank-adjacent) items ``a``, ``b``."""
+    ra, rb = int(ranks[a]), int(ranks[b])
+    delta = 0.0
+    for item, old, new in ((a, ra, rb), (b, rb, ra)):
+        neighbors = graph.neighbors(item)
+        weights = graph.neighbor_weights(item)
+        for u, w in zip(neighbors, weights):
+            if u == a or u == b:
+                continue  # the (a, b) edge itself never changes length
+            ru = int(ranks[u])
+            if objective == "two_sum":
+                delta += w * ((new - ru) ** 2 - (old - ru) ** 2)
+            else:
+                delta += w * (abs(new - ru) - abs(old - ru))
+    return float(delta)
+
+
+def refine_order(graph: Graph, order: LinearOrder,
+                 objective: str = "two_sum",
+                 max_passes: int = 20) -> RefinementResult:
+    """Greedy adjacent-transposition descent from ``order``.
+
+    Deterministic: each pass scans ranks left to right and applies every
+    strictly improving swap immediately.  Stops at a fixed point or after
+    ``max_passes`` sweeps.  The returned cost never exceeds the input's.
+    """
+    if objective not in OBJECTIVES:
+        raise InvalidParameterError(
+            f"unknown objective {objective!r}; expected one of "
+            f"{OBJECTIVES}"
+        )
+    if order.n != graph.num_vertices:
+        raise InvalidParameterError(
+            f"order covers {order.n} items, graph has "
+            f"{graph.num_vertices} vertices"
+        )
+    if max_passes < 0:
+        raise InvalidParameterError(
+            f"max_passes must be >= 0, got {max_passes}"
+        )
+    perm = order.permutation.copy()
+    ranks = order.ranks.copy()
+    initial_cost = _order_cost(graph, ranks, objective)
+    cost = initial_cost
+    total_swaps = 0
+    passes = 0
+    # Strictly-negative threshold with a tiny epsilon so float noise
+    # cannot cycle the search.
+    epsilon = 1e-9 * max(initial_cost, 1.0)
+    for _ in range(max_passes):
+        passes += 1
+        improved = False
+        for position in range(len(perm) - 1):
+            a = int(perm[position])
+            b = int(perm[position + 1])
+            delta = _swap_delta(graph, ranks, a, b, objective)
+            if delta < -epsilon:
+                perm[position], perm[position + 1] = b, a
+                ranks[a], ranks[b] = ranks[b], ranks[a]
+                cost += delta
+                total_swaps += 1
+                improved = True
+        if not improved:
+            break
+    final_order = LinearOrder(perm)
+    # Recompute exactly to shed accumulated float error.
+    final_cost = _order_cost(graph, final_order.ranks, objective)
+    return RefinementResult(
+        order=final_order,
+        initial_cost=initial_cost,
+        final_cost=final_cost,
+        passes=passes,
+        swaps=total_swaps,
+    )

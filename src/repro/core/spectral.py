@@ -1,0 +1,299 @@
+"""Spectral LPM — the paper's algorithm (Figure 2).
+
+Given a set of multi-dimensional points:
+
+1. model the points as a graph ``G`` (an edge wherever the Manhattan
+   distance is 1 — or any of the Section-4 variants);
+2. form the Laplacian ``L = D - A``;
+3. compute the second-smallest eigenvalue ``lambda_2`` and its
+   eigenvector ``x_2`` (the Fiedler vector);
+4. assign ``x_2[i]`` to point ``p_i``;
+5. the linear order is the sorted order of those values.
+
+:class:`SpectralLPM` packages the pipeline with all the determinism
+machinery this library adds (canonical degenerate-eigenspace vectors,
+explicit tie-breaks, per-component handling), and exposes entry points for
+full grids, sparse point subsets, and arbitrary user graphs — the last
+being exactly the Section-4 claim that the mapping "is optimal for the
+chosen graph type".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.core.components import COMPONENT_ARRANGEMENTS, order_components
+from repro.core.fiedler import FiedlerResult, fiedler_vector
+from repro.core.ordering import LinearOrder, order_by_values
+from repro.core.tie_breaking import TIE_BREAK_STRATEGIES, tie_break_keys
+from repro.errors import GraphStructureError, InvalidParameterError
+from repro.geometry.grid import Grid
+from repro.graph.adjacency import Graph
+from repro.graph.builders import grid_graph, induced_grid_graph
+
+DISCONNECTED_POLICIES = ("per-component", "error")
+
+
+def snap_ties(values: np.ndarray, tol: float = 1e-9) -> np.ndarray:
+    """Collapse floating-point noise into exact ties before sorting.
+
+    Symmetric graphs produce Fiedler vectors with *exactly* tied entries
+    in exact arithmetic; in floats the ties reappear as gaps of ~1e-15
+    whose sign depends on the eigensolver backend.  Sorting raw values
+    would let that noise, not the configured tie-break rule, decide the
+    order.  This maps values to integer group ids, where consecutive
+    sorted values closer than ``tol`` share a group — far above solver
+    noise (~1e-13 across backends) and far below genuine eigenvector
+    gaps on any grid this library targets.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    order = np.argsort(values, kind="stable")
+    group_of_sorted = np.zeros(len(values), dtype=np.int64)
+    if len(values) > 1:
+        gaps = np.diff(values[order])
+        group_of_sorted[1:] = np.cumsum(gaps > tol)
+    groups = np.empty(len(values), dtype=np.int64)
+    groups[order] = group_of_sorted
+    return groups
+
+
+def symmetric_grid_probe(grid: Grid) -> np.ndarray:
+    """The default canonicalization probe for grid domains.
+
+    On a hyper-cubic grid, ``lambda_2``'s eigenspace is spanned by one
+    cosine mode per axis, and the probe decides which combination becomes
+    the canonical Fiedler vector.  This probe — the mean-centered sum of
+    normalized coordinates — is invariant under axis permutation, so its
+    projection weighs every axis mode *equally*: the resulting order
+    treats all dimensions alike, which is the fairness property the
+    paper's Figure 5b claims (and which the paper's own Figure-3 vector,
+    an equal-magnitude diagonal mix, exhibits).
+    """
+    coords = grid.coordinates().astype(np.float64)
+    scale = np.array([max(s - 1, 1) for s in grid.shape], dtype=np.float64)
+    probe = (coords / scale).sum(axis=1)
+    probe -= probe.mean()
+    norm = np.linalg.norm(probe)
+    if norm > 0:
+        probe /= norm
+    return probe
+
+
+@dataclass(frozen=True)
+class SpectralConfig:
+    """Configuration of a :class:`SpectralLPM` instance (all defaults match
+    the paper's base algorithm)."""
+
+    connectivity: str = "orthogonal"
+    radius: int = 1
+    weight: str = "unit"
+    backend: str = "auto"
+    tie_break: str = "index"
+    on_disconnected: str = "per-component"
+    component_arrangement: str = "by_min_vertex"
+
+
+class SpectralLPM:
+    """The Spectral Locality-Preserving Mapping algorithm.
+
+    Parameters
+    ----------
+    connectivity:
+        Grid graph model: ``"orthogonal"`` (the paper's default,
+        Manhattan-distance-1 edges) or ``"moore"`` (Figure 4's
+        8-connectivity, generalized).
+    radius:
+        Neighbourhood radius of the grid graph (Section-4 weighted model
+        uses ``radius > 1``).
+    weight:
+        Edge-weight model name or callable (see
+        :mod:`repro.graph.weights`); the Section-4 footnote model is
+        ``"inverse_manhattan"``.
+    backend:
+        Eigensolver backend (``"auto"``, ``"dense"``, ``"lanczos"``,
+        ``"scipy"``).
+    tie_break:
+        How equal Fiedler entries are ordered (``"index"`` or ``"bfs"``).
+    probe:
+        Optional canonicalization probe for degenerate eigenspaces; see
+        :func:`repro.core.fiedler.fiedler_vector`.
+    on_disconnected:
+        ``"per-component"`` orders each component separately (default);
+        ``"error"`` raises :class:`~repro.errors.GraphStructureError`.
+    component_arrangement:
+        Component concatenation policy (see
+        :mod:`repro.core.components`).
+    snap_tol:
+        Fiedler entries closer than this are treated as exact ties (see
+        :func:`snap_ties`); 0 disables snapping.
+
+    Examples
+    --------
+    >>> from repro.geometry import Grid
+    >>> order = SpectralLPM().order_grid(Grid((3, 3)))
+    >>> sorted(order.permutation) == list(range(9))
+    True
+    """
+
+    def __init__(self, connectivity="orthogonal", radius: int = 1,
+                 weight="unit", backend: str = "auto",
+                 tie_break: str = "index",
+                 probe: np.ndarray | None = None,
+                 on_disconnected: str = "per-component",
+                 component_arrangement: str = "by_min_vertex",
+                 snap_tol: float = 1e-9):
+        if tie_break not in TIE_BREAK_STRATEGIES:
+            raise InvalidParameterError(
+                f"unknown tie_break {tie_break!r}; "
+                f"expected one of {TIE_BREAK_STRATEGIES}"
+            )
+        if on_disconnected not in DISCONNECTED_POLICIES:
+            raise InvalidParameterError(
+                f"unknown on_disconnected {on_disconnected!r}; "
+                f"expected one of {DISCONNECTED_POLICIES}"
+            )
+        if component_arrangement not in COMPONENT_ARRANGEMENTS:
+            raise InvalidParameterError(
+                f"unknown component_arrangement {component_arrangement!r}; "
+                f"expected one of {COMPONENT_ARRANGEMENTS}"
+            )
+        self._connectivity = connectivity
+        self._radius = int(radius)
+        self._weight = weight
+        self._backend = backend
+        self._tie_break = tie_break
+        self._probe = probe
+        self._on_disconnected = on_disconnected
+        self._component_arrangement = component_arrangement
+        if snap_tol < 0:
+            raise InvalidParameterError(
+                f"snap_tol must be >= 0, got {snap_tol}"
+            )
+        self._snap_tol = float(snap_tol)
+
+    # ------------------------------------------------------------------
+    @property
+    def config(self) -> SpectralConfig:
+        """The (hashable) configuration, for caching and reporting."""
+        weight = (self._weight if isinstance(self._weight, str)
+                  else getattr(self._weight, "__name__", "custom"))
+        return SpectralConfig(
+            connectivity=str(self._connectivity),
+            radius=self._radius,
+            weight=weight,
+            backend=self._backend,
+            tie_break=self._tie_break,
+            on_disconnected=self._on_disconnected,
+            component_arrangement=self._component_arrangement,
+        )
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+    def order_graph(self, graph: Graph,
+                    probe: np.ndarray | None = None) -> LinearOrder:
+        """Steps 2-5 on an arbitrary prebuilt graph (Section 4).
+
+        ``probe`` optionally overrides the degenerate-eigenspace
+        canonicalization direction for this call (an explicit probe given
+        at construction time still wins).
+        """
+        n = graph.num_vertices
+        if n == 0:
+            return LinearOrder(np.empty(0, dtype=np.int64))
+        if n == 1:
+            return LinearOrder(np.zeros(1, dtype=np.int64))
+        effective = self._probe if self._probe is not None else probe
+
+        def order_connected(component: Graph) -> LinearOrder:
+            # Per-component calls cannot reuse a whole-graph probe (the
+            # vertex count differs), so they fall back to the default.
+            sub_probe = (effective
+                         if component.num_vertices == n else None)
+            return self._order_connected(component, sub_probe)
+
+        try:
+            return order_connected(graph)
+        except GraphStructureError:
+            if self._on_disconnected == "error":
+                raise
+            return order_components(
+                graph, order_connected,
+                arrangement=self._component_arrangement,
+            )
+
+    def order_grid(self, grid: Grid) -> LinearOrder:
+        """The full pipeline on a complete grid domain.
+
+        The returned order is over row-major flat cell indices.  Unless
+        an explicit probe was configured, the axis-symmetric grid probe
+        (:func:`symmetric_grid_probe`) canonicalizes degenerate
+        eigenspaces so that all dimensions are treated alike.
+        """
+        graph = self.build_grid_graph(grid)
+        return self.order_graph(graph, probe=symmetric_grid_probe(grid))
+
+    def order_points(self, grid: Grid,
+                     cell_indices: Sequence[int]
+                     ) -> Tuple[LinearOrder, np.ndarray]:
+        """The pipeline on a sparse subset of grid cells.
+
+        Returns ``(order, cells)``: ``cells`` is the ascending array of
+        distinct flat cell indices actually ordered, and ``order`` is over
+        positions in that array.  Subsets frequently produce disconnected
+        graphs; the ``on_disconnected`` policy applies.
+        """
+        graph, cells = induced_grid_graph(
+            grid, cell_indices, connectivity=self._connectivity,
+            radius=self._radius, weight=self._weight,
+        )
+        return self.order_graph(graph), cells
+
+    def fiedler(self, graph: Graph) -> FiedlerResult:
+        """Expose the Fiedler pair for a connected graph (diagnostics)."""
+        return fiedler_vector(graph, backend=self._backend,
+                              probe=self._probe)
+
+    def build_grid_graph(self, grid: Grid) -> Graph:
+        """Step 1: the configured graph model of a grid domain."""
+        return grid_graph(grid, connectivity=self._connectivity,
+                          radius=self._radius, weight=self._weight)
+
+    # ------------------------------------------------------------------
+    def _order_connected(self, graph: Graph,
+                         probe: np.ndarray | None = None) -> LinearOrder:
+        n = graph.num_vertices
+        if n == 1:
+            return LinearOrder(np.zeros(1, dtype=np.int64))
+        if n == 2:
+            # lambda_2 = 2w with vector (+, -)/sqrt(2); with only two
+            # items the stable order is by vertex id.
+            return LinearOrder(np.array([0, 1]))
+        result = fiedler_vector(graph, backend=self._backend, probe=probe)
+        snapped = snap_ties(result.vector, tol=self._snap_tol)
+        keys = tie_break_keys(self._tie_break, n, values=result.vector,
+                              graph=graph)
+        return order_by_values(snapped, tie_break=keys)
+
+    def __repr__(self) -> str:
+        return f"SpectralLPM({self.config})"
+
+
+def spectral_order(domain, **kwargs) -> LinearOrder:
+    """Convenience one-call API.
+
+    ``domain`` may be a :class:`~repro.geometry.Grid` (orders every cell)
+    or a :class:`~repro.graph.Graph` (orders its vertices).  Keyword
+    arguments configure :class:`SpectralLPM`.
+    """
+    algorithm = SpectralLPM(**kwargs)
+    if isinstance(domain, Grid):
+        return algorithm.order_grid(domain)
+    if isinstance(domain, Graph):
+        return algorithm.order_graph(domain)
+    raise InvalidParameterError(
+        f"domain must be a Grid or Graph, got {type(domain).__name__}"
+    )

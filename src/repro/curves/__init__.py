@@ -1,0 +1,56 @@
+"""Space-filling curves: the fractal baselines and non-fractal sweeps."""
+
+from repro.curves.base import KeyedOrder, SpaceFillingCurve, enclosing_bits
+from repro.curves.diagonal import DiagonalOrder
+from repro.curves.gray import GrayCurve, gray_decode, gray_encode
+from repro.curves.hilbert import (
+    HilbertCurve,
+    hilbert2d_index,
+    hilbert2d_point,
+)
+from repro.curves.registry import (
+    CURVE_NAMES,
+    PAPER_BASELINES,
+    make_curve,
+)
+from repro.curves.sweep import SnakeCurve, SweepCurve
+from repro.curves.vectorized import (
+    batch_encoder,
+    gray_keys,
+    hilbert_keys,
+    morton_keys,
+    snake_keys,
+    sweep_keys,
+)
+from repro.curves.zorder import (
+    ZOrderCurve,
+    deinterleave_bits,
+    interleave_bits,
+)
+
+__all__ = [
+    "CURVE_NAMES",
+    "DiagonalOrder",
+    "GrayCurve",
+    "HilbertCurve",
+    "KeyedOrder",
+    "PAPER_BASELINES",
+    "SnakeCurve",
+    "SpaceFillingCurve",
+    "SweepCurve",
+    "ZOrderCurve",
+    "batch_encoder",
+    "deinterleave_bits",
+    "enclosing_bits",
+    "gray_decode",
+    "gray_encode",
+    "gray_keys",
+    "hilbert2d_index",
+    "hilbert2d_point",
+    "hilbert_keys",
+    "interleave_bits",
+    "make_curve",
+    "morton_keys",
+    "snake_keys",
+    "sweep_keys",
+]

@@ -1,0 +1,132 @@
+"""Curve abstractions.
+
+Two levels of contract:
+
+:class:`KeyedOrder`
+    Assigns every cell of a domain a *sortable integer key*.  Keys must be
+    distinct but need not be dense — the mapping layer densifies them into
+    ranks.  This is enough to define a linear order (e.g. the diagonal
+    order, whose dense index has awkward closed forms in high dimension).
+
+:class:`SpaceFillingCurve`
+    A keyed order that is additionally a *bijection* onto
+    ``[0, size)`` with an inverse (``index_to_point``).  All the classic
+    curves (Sweep, Snake, Z-order/Peano, Gray, Hilbert) satisfy this.
+
+Bit-interleaved curves (Z-order, Gray, Hilbert) are defined on power-of-two
+hyper-cubes; :func:`enclosing_bits` computes the embedding cube for an
+arbitrary grid, and the mapping layer compacts the resulting sparse keys.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterator, Sequence, Tuple
+
+from repro.errors import DimensionError, DomainError, InvalidParameterError
+
+
+def enclosing_bits(side: int) -> int:
+    """Bits per coordinate of the smallest power-of-two cube >= ``side``."""
+    if side < 1:
+        raise InvalidParameterError(f"side must be >= 1, got {side}")
+    bits = 1
+    while (1 << bits) < side:
+        bits += 1
+    return bits
+
+
+class KeyedOrder(ABC):
+    """Assigns distinct integer sort keys to the cells of a cube domain."""
+
+    def __init__(self, ndim: int, bits: int):
+        if ndim < 1:
+            raise InvalidParameterError(f"ndim must be >= 1, got {ndim}")
+        if bits < 1:
+            raise InvalidParameterError(f"bits must be >= 1, got {bits}")
+        self._ndim = ndim
+        self._bits = bits
+
+    @property
+    def ndim(self) -> int:
+        """Number of dimensions."""
+        return self._ndim
+
+    @property
+    def bits(self) -> int:
+        """Bits per coordinate; the domain side is ``2**bits``."""
+        return self._bits
+
+    @property
+    def side(self) -> int:
+        """Side length of the cube domain."""
+        return 1 << self._bits
+
+    @property
+    def size(self) -> int:
+        """Number of cells in the cube domain."""
+        return 1 << (self._bits * self._ndim)
+
+    @property
+    def name(self) -> str:
+        """Registry name; subclasses override."""
+        return type(self).__name__
+
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def point_to_key(self, point: Sequence[int]) -> int:
+        """Sort key of a cell (distinct per cell, not necessarily dense)."""
+
+    def _check_point(self, point: Sequence[int]) -> Tuple[int, ...]:
+        pt = tuple(int(c) for c in point)
+        if len(pt) != self._ndim:
+            raise DimensionError(
+                f"point has {len(pt)} coordinates, curve has {self._ndim}"
+            )
+        side = self.side
+        if any(not 0 <= c < side for c in pt):
+            raise DomainError(
+                f"point {pt} outside the curve domain [0, {side})^{self._ndim}"
+            )
+        return pt
+
+
+class SpaceFillingCurve(KeyedOrder):
+    """A bijection between the cube domain and ``[0, size)``."""
+
+    @abstractmethod
+    def point_to_index(self, point: Sequence[int]) -> int:
+        """Dense curve index of a cell, in ``[0, size)``."""
+
+    @abstractmethod
+    def index_to_point(self, index: int) -> Tuple[int, ...]:
+        """Cell at a given curve position (inverse of point_to_index)."""
+
+    def point_to_key(self, point: Sequence[int]) -> int:
+        return self.point_to_index(point)
+
+    def _check_index(self, index: int) -> int:
+        index = int(index)
+        if not 0 <= index < self.size:
+            raise DomainError(
+                f"index {index} outside [0, {self.size})"
+            )
+        return index
+
+    def points_in_order(self) -> Iterator[Tuple[int, ...]]:
+        """All cells, visited in curve order."""
+        for index in range(self.size):
+            yield self.index_to_point(index)
+
+    def step_sizes(self) -> Iterator[int]:
+        """Manhattan distance between successive cells on the curve.
+
+        A curve with all steps equal to 1 is *continuous* (Hilbert is;
+        Z-order and Gray are not) — the property behind the boundary
+        effect the paper analyzes.
+        """
+        previous = None
+        for point in self.points_in_order():
+            if previous is not None:
+                yield sum(abs(a - b) for a, b in zip(point, previous))
+            previous = point

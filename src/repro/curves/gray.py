@@ -1,0 +1,54 @@
+"""The Gray-code curve.
+
+Faloutsos' variant of bit interleaving: positions along the curve are
+ordered so that *consecutive Morton codes differ in exactly one bit* — the
+interleaved coordinates are read as a reflected binary Gray code.  The
+point at curve position ``i`` is the one whose Morton code is
+``gray(i) = i ^ (i >> 1)``.
+
+Like Z-order, the Gray curve is a fractal in the paper's sense (it recurses
+quadrant by quadrant) and suffers the same boundary effect.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.curves.base import SpaceFillingCurve
+from repro.curves.zorder import deinterleave_bits, interleave_bits
+
+
+def gray_encode(value: int) -> int:
+    """The reflected binary Gray code of ``value``."""
+    if value < 0:
+        raise ValueError(f"value must be non-negative, got {value}")
+    return value ^ (value >> 1)
+
+
+def gray_decode(code: int) -> int:
+    """Inverse of :func:`gray_encode`."""
+    if code < 0:
+        raise ValueError(f"code must be non-negative, got {code}")
+    value = 0
+    while code:
+        value ^= code
+        code >>= 1
+    return value
+
+
+class GrayCurve(SpaceFillingCurve):
+    """Gray-code curve on a ``(2**bits)^ndim`` cube."""
+
+    @property
+    def name(self) -> str:
+        return "gray"
+
+    def point_to_index(self, point: Sequence[int]) -> int:
+        pt = self._check_point(point)
+        morton = interleave_bits(pt, self._bits)
+        return gray_decode(morton)
+
+    def index_to_point(self, index: int) -> Tuple[int, ...]:
+        index = self._check_index(index)
+        morton = gray_encode(index)
+        return tuple(deinterleave_bits(morton, self._bits, self._ndim))

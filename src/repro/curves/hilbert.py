@@ -1,0 +1,166 @@
+"""The Hilbert curve in arbitrary dimension.
+
+Implementation of John Skilling's transpose-based algorithm ("Programming
+the Hilbert curve", AIP Conf. Proc. 707, 2004), which converts between
+coordinates and Hilbert index with O(bits * ndim) bit operations and no
+lookup tables, in any dimension.
+
+The *transpose* format views the Hilbert index as ``ndim`` words of
+``bits`` bits each, with index bits distributed round-robin across words
+(MSB first, coordinate 0 first) — exactly the Morton packing from
+:mod:`repro.curves.zorder`, which we reuse.
+
+A classic 2-D implementation (the quadrant-rotation formulation popularized
+by Wikipedia's ``xy2d``) ships alongside as an independent oracle: both
+must produce unit-step bijections, and the test suite checks they agree on
+locality statistics even where their orientations differ.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.curves.base import SpaceFillingCurve
+from repro.curves.zorder import deinterleave_bits, interleave_bits
+from repro.errors import DomainError, InvalidParameterError
+
+
+# ----------------------------------------------------------------------
+# Skilling's transforms (in place on a list of coordinate words)
+# ----------------------------------------------------------------------
+def _axes_to_transpose(coords: List[int], bits: int) -> List[int]:
+    """Convert spatial coordinates into Hilbert-transpose form."""
+    x = list(coords)
+    n = len(x)
+    m = 1 << (bits - 1)
+    # Inverse undo of the "excess work" (see Skilling 2004).
+    q = m
+    while q > 1:
+        p = q - 1
+        for i in range(n):
+            if x[i] & q:
+                x[0] ^= p
+            else:
+                t = (x[0] ^ x[i]) & p
+                x[0] ^= t
+                x[i] ^= t
+        q >>= 1
+    # Gray encode.
+    for i in range(1, n):
+        x[i] ^= x[i - 1]
+    t = 0
+    q = m
+    while q > 1:
+        if x[n - 1] & q:
+            t ^= q - 1
+        q >>= 1
+    for i in range(n):
+        x[i] ^= t
+    return x
+
+
+def _transpose_to_axes(transpose: List[int], bits: int) -> List[int]:
+    """Convert Hilbert-transpose form back into spatial coordinates."""
+    x = list(transpose)
+    n = len(x)
+    m = 2 << (bits - 1)
+    # Gray decode by H ^ (H/2).
+    t = x[n - 1] >> 1
+    for i in range(n - 1, 0, -1):
+        x[i] ^= x[i - 1]
+    x[0] ^= t
+    # Undo excess work.
+    q = 2
+    while q != m:
+        p = q - 1
+        for i in range(n - 1, -1, -1):
+            if x[i] & q:
+                x[0] ^= p
+            else:
+                t = (x[0] ^ x[i]) & p
+                x[0] ^= t
+                x[i] ^= t
+        q <<= 1
+    return x
+
+
+class HilbertCurve(SpaceFillingCurve):
+    """d-dimensional Hilbert curve on a ``(2**bits)^ndim`` cube.
+
+    Every step along the curve moves to a cell at Manhattan distance
+    exactly 1 — the continuity property fractal analyses (Moon et al. 2001)
+    rely on and the property the test suite verifies.
+    """
+
+    @property
+    def name(self) -> str:
+        return "hilbert"
+
+    def point_to_index(self, point: Sequence[int]) -> int:
+        pt = self._check_point(point)
+        transpose = _axes_to_transpose(list(pt), self._bits)
+        return interleave_bits(transpose, self._bits)
+
+    def index_to_point(self, index: int) -> Tuple[int, ...]:
+        index = self._check_index(index)
+        transpose = deinterleave_bits(index, self._bits, self._ndim)
+        return tuple(_transpose_to_axes(transpose, self._bits))
+
+
+# ----------------------------------------------------------------------
+# Independent 2-D oracle
+# ----------------------------------------------------------------------
+def hilbert2d_index(side: int, x: int, y: int) -> int:
+    """Hilbert index of ``(x, y)`` on a ``side x side`` grid.
+
+    ``side`` must be a power of two.  Classic quadrant-rotation
+    formulation; used in tests as an oracle independent of the Skilling
+    transform.
+    """
+    _check_2d(side, x, y)
+    index = 0
+    s = side // 2
+    while s > 0:
+        rx = 1 if (x & s) > 0 else 0
+        ry = 1 if (y & s) > 0 else 0
+        index += s * s * ((3 * rx) ^ ry)
+        # Rotate the quadrant.
+        if ry == 0:
+            if rx == 1:
+                x = s - 1 - x
+                y = s - 1 - y
+            x, y = y, x
+        s //= 2
+    return index
+
+
+def hilbert2d_point(side: int, index: int) -> Tuple[int, int]:
+    """Inverse of :func:`hilbert2d_index`."""
+    if side < 1 or side & (side - 1):
+        raise InvalidParameterError(f"side must be a power of two, got {side}")
+    if not 0 <= index < side * side:
+        raise DomainError(f"index {index} outside [0, {side * side})")
+    x = y = 0
+    t = index
+    s = 1
+    while s < side:
+        rx = 1 & (t // 2)
+        ry = 1 & (t ^ rx)
+        # Rotate back.
+        if ry == 0:
+            if rx == 1:
+                x = s - 1 - x
+                y = s - 1 - y
+            x, y = y, x
+        x += s * rx
+        y += s * ry
+        t //= 4
+        s *= 2
+    return x, y
+
+
+def _check_2d(side: int, x: int, y: int) -> None:
+    if side < 1 or side & (side - 1):
+        raise InvalidParameterError(f"side must be a power of two, got {side}")
+    if not (0 <= x < side and 0 <= y < side):
+        raise DomainError(f"point ({x}, {y}) outside [0, {side})^2")

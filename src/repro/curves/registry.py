@@ -1,0 +1,52 @@
+"""Name registry for curve orders.
+
+Central construction point so experiments, benchmarks, and the CLI can
+refer to curves by the paper's names.  ``"peano"`` is the Z-order/Morton
+curve (the spatial-database literature's name for it, used by the paper);
+``"zorder"`` and ``"morton"`` are aliases.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.curves.base import KeyedOrder
+from repro.curves.diagonal import DiagonalOrder
+from repro.curves.gray import GrayCurve
+from repro.curves.hilbert import HilbertCurve
+from repro.curves.sweep import SnakeCurve, SweepCurve
+from repro.curves.zorder import ZOrderCurve
+from repro.errors import InvalidParameterError
+
+CurveFactory = Callable[[int, int], KeyedOrder]
+
+_FACTORIES: Dict[str, CurveFactory] = {
+    "sweep": SweepCurve,
+    "snake": SnakeCurve,
+    "peano": ZOrderCurve,
+    "zorder": ZOrderCurve,
+    "morton": ZOrderCurve,
+    "gray": GrayCurve,
+    "hilbert": HilbertCurve,
+    "diagonal": DiagonalOrder,
+    "diagonal-zigzag": lambda ndim, bits: DiagonalOrder(ndim, bits,
+                                                        zigzag=True),
+}
+
+#: Canonical curve names (aliases excluded).
+CURVE_NAMES = ("sweep", "snake", "peano", "gray", "hilbert",
+               "diagonal", "diagonal-zigzag")
+
+#: The four linear orders the paper's Section 5 compares against Spectral.
+PAPER_BASELINES = ("sweep", "peano", "gray", "hilbert")
+
+
+def make_curve(name: str, ndim: int, bits: int) -> KeyedOrder:
+    """Instantiate the named curve on a ``(2**bits)^ndim`` cube."""
+    try:
+        factory = _FACTORIES[name.lower()]
+    except KeyError:
+        raise InvalidParameterError(
+            f"unknown curve {name!r}; expected one of {CURVE_NAMES}"
+        ) from None
+    return factory(ndim, bits)

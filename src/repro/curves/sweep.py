@@ -1,0 +1,132 @@
+"""Sweep (row-major) and Snake (boustrophedon) orders.
+
+The paper's non-fractal baseline is the *Sweep* mapping: plain row-major
+order.  Sweep is trivially computable for any grid shape and is extremely
+asymmetric — along the fastest-varying axis neighbours are adjacent in the
+order, along the slowest axis they are a full stride apart.  Figure 5b
+builds its fairness argument on exactly this asymmetry (Sweep-X vs
+Sweep-Y).
+
+Snake is the boustrophedon refinement (reverse every other row) included
+as an extra non-fractal baseline: it is continuous (unit steps) yet still
+unfair across axes.
+
+Both orders are defined on arbitrary box shapes, not just power-of-two
+cubes; for uniformity with the bit curves they are instantiated on cube
+domains here and evaluated on sub-grids by the mapping layer.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.curves.base import SpaceFillingCurve
+from repro.errors import InvalidParameterError
+
+
+class SweepCurve(SpaceFillingCurve):
+    """Row-major order; ``axis_order`` selects which axis varies slowest.
+
+    ``axis_order`` is a permutation of ``range(ndim)`` listing axes from
+    slowest- to fastest-varying.  The default ``(0, 1, ..., d-1)`` matches
+    the row-major flat index of :class:`repro.geometry.Grid`.
+    """
+
+    def __init__(self, ndim: int, bits: int,
+                 axis_order: Sequence[int] | None = None):
+        super().__init__(ndim, bits)
+        if axis_order is None:
+            axis_order = tuple(range(ndim))
+        else:
+            axis_order = tuple(int(a) for a in axis_order)
+            if sorted(axis_order) != list(range(ndim)):
+                raise InvalidParameterError(
+                    f"axis_order must be a permutation of range({ndim}), "
+                    f"got {axis_order}"
+                )
+        self._axis_order = axis_order
+
+    @property
+    def name(self) -> str:
+        return "sweep"
+
+    @property
+    def axis_order(self) -> Tuple[int, ...]:
+        return self._axis_order
+
+    def point_to_index(self, point: Sequence[int]) -> int:
+        pt = self._check_point(point)
+        index = 0
+        for axis in self._axis_order:
+            index = (index << self._bits) | pt[axis]
+        return index
+
+    def index_to_point(self, index: int) -> Tuple[int, ...]:
+        index = self._check_index(index)
+        mask = self.side - 1
+        coords = [0] * self._ndim
+        for axis in reversed(self._axis_order):
+            coords[axis] = index & mask
+            index >>= self._bits
+        return tuple(coords)
+
+
+class SnakeCurve(SpaceFillingCurve):
+    """Boustrophedon order: row-major with alternate rows reversed.
+
+    The direction of travel along each axis flips whenever the sum of the
+    *digits already fixed* (more significant axes' coordinates) changes
+    parity, which makes every step a unit step.
+    """
+
+    def __init__(self, ndim: int, bits: int,
+                 axis_order: Sequence[int] | None = None):
+        super().__init__(ndim, bits)
+        if axis_order is None:
+            axis_order = tuple(range(ndim))
+        else:
+            axis_order = tuple(int(a) for a in axis_order)
+            if sorted(axis_order) != list(range(ndim)):
+                raise InvalidParameterError(
+                    f"axis_order must be a permutation of range({ndim}), "
+                    f"got {axis_order}"
+                )
+        self._axis_order = axis_order
+
+    @property
+    def name(self) -> str:
+        return "snake"
+
+    def point_to_index(self, point: Sequence[int]) -> int:
+        pt = self._check_point(point)
+        side = self.side
+        index = 0
+        parity = 0
+        for axis in self._axis_order:
+            coord = pt[axis]
+            digit = side - 1 - coord if parity & 1 else coord
+            index = index * side + digit
+            # An axis travels backwards exactly when the sum of the more
+            # significant *coordinates* is odd; accumulating coordinate
+            # (not digit) parity is what keeps every step a unit step
+            # across multi-digit rollovers.
+            parity += coord
+        return index
+
+    def index_to_point(self, index: int) -> Tuple[int, ...]:
+        index = self._check_index(index)
+        side = self.side
+        # Extract digits slowest-axis first.
+        digits = []
+        remaining = index
+        for _ in range(self._ndim):
+            digits.append(remaining % side)
+            remaining //= side
+        digits.reverse()
+        coords = [0] * self._ndim
+        parity = 0
+        for axis, digit in zip(self._axis_order, digits):
+            coord = side - 1 - digit if parity & 1 else digit
+            coords[axis] = coord
+            parity += coord
+        return tuple(coords)

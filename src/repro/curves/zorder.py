@@ -1,0 +1,54 @@
+"""The Z-order (Morton) curve — the paper's "Peano" baseline.
+
+The multi-dimensional database literature of the paper's era (Orenstein,
+Mokbel/Aref) calls the bit-interleaving curve the *Peano* curve; it is also
+known as Morton order, Z-order, or N-order.  The curve index of a point is
+obtained by interleaving the bits of its coordinates, most significant bits
+first.
+
+Bit packing convention (shared with the Gray and Hilbert code): the index
+is read MSB-first as ``bits`` groups of ``ndim`` bits; within each group,
+coordinate 0 contributes the most significant bit.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.curves.base import SpaceFillingCurve
+
+
+def interleave_bits(coords: Sequence[int], bits: int) -> int:
+    """Pack coordinate bits into a Morton code, MSB-first."""
+    code = 0
+    for b in range(bits - 1, -1, -1):
+        for c in coords:
+            code = (code << 1) | ((int(c) >> b) & 1)
+    return code
+
+
+def deinterleave_bits(code: int, bits: int, ndim: int) -> List[int]:
+    """Unpack a Morton code into its coordinates (inverse of interleave)."""
+    coords = [0] * ndim
+    position = bits * ndim - 1
+    for b in range(bits - 1, -1, -1):
+        for i in range(ndim):
+            coords[i] |= ((code >> position) & 1) << b
+            position -= 1
+    return coords
+
+
+class ZOrderCurve(SpaceFillingCurve):
+    """Morton / Z-order curve on a ``(2**bits)^ndim`` cube."""
+
+    @property
+    def name(self) -> str:
+        return "peano"
+
+    def point_to_index(self, point: Sequence[int]) -> int:
+        pt = self._check_point(point)
+        return interleave_bits(pt, self._bits)
+
+    def index_to_point(self, index: int) -> Tuple[int, ...]:
+        index = self._check_index(index)
+        return tuple(deinterleave_bits(index, self._bits, self._ndim))

@@ -1,0 +1,17 @@
+"""Seeded synthetic datasets over grid domains."""
+
+from repro.datasets.synthetic import (
+    DATASET_NAMES,
+    dataset_by_name,
+    gaussian_cluster_cells,
+    uniform_cells,
+    zipf_cells,
+)
+
+__all__ = [
+    "DATASET_NAMES",
+    "dataset_by_name",
+    "gaussian_cluster_cells",
+    "uniform_cells",
+    "zipf_cells",
+]

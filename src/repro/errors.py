@@ -1,0 +1,50 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch one type to handle any library failure.  More specific
+subclasses are raised where the distinction is actionable.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """A function argument is outside its documented domain."""
+
+
+class DimensionError(InvalidParameterError):
+    """Operands have incompatible dimensionality."""
+
+
+class DomainError(ReproError, ValueError):
+    """A point, index, or box lies outside the grid domain."""
+
+
+class GraphStructureError(ReproError):
+    """A graph does not satisfy a structural precondition.
+
+    Raised, for example, when an algorithm that requires a connected graph
+    receives a disconnected one and no fallback policy is selected.
+    """
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative numerical method failed to converge.
+
+    Carries the number of iterations performed and the residual achieved
+    when available, to aid diagnosis.
+    """
+
+    def __init__(self, message: str, iterations: int | None = None,
+                 residual: float | None = None):
+        super().__init__(message)
+        self.iterations = iterations
+        self.residual = residual
+
+
+class BackendUnavailableError(ReproError, ImportError):
+    """A requested optional backend (e.g. scipy) cannot be imported."""

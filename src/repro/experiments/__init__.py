@@ -1,0 +1,78 @@
+"""Experiment harnesses that regenerate every figure of the paper."""
+
+from repro.experiments.fig1_boundary import (
+    FIG1_MAPPINGS,
+    render_fig1_orders,
+    run_fig1,
+)
+from repro.experiments.fig3_example import Fig3Outcome, render_fig3, run_fig3
+from repro.experiments.fig4_connectivity import (
+    FIG4_MODELS,
+    Fig4Outcome,
+    fig4_metrics_table,
+    render_fig4,
+    run_fig4,
+)
+from repro.experiments.fig5_nn import run_fig5a, run_fig5b
+from repro.experiments.fig6_range import (
+    partial_match_spans,
+    run_fig6a,
+    run_fig6b,
+)
+from repro.experiments.paper_data import (
+    NN_PERCENTS,
+    PAPER_FIG1_GAPS,
+    PAPER_FIG3_LAMBDA2,
+    PAPER_FIG3_ORDER,
+    RANGE_PERCENTS,
+    paper_fig5a,
+    paper_fig5b,
+    paper_fig6a,
+    paper_fig6b,
+)
+from repro.experiments.runner import (
+    ExperimentResult,
+    Series,
+    ranking_agreement,
+    ranking_at,
+    winner_per_x,
+)
+from repro.experiments.summary import SUMMARY_METRICS, run_summary
+from repro.experiments.tables import render_report, render_table
+
+__all__ = [
+    "ExperimentResult",
+    "FIG1_MAPPINGS",
+    "FIG4_MODELS",
+    "Fig3Outcome",
+    "Fig4Outcome",
+    "NN_PERCENTS",
+    "PAPER_FIG1_GAPS",
+    "PAPER_FIG3_LAMBDA2",
+    "PAPER_FIG3_ORDER",
+    "RANGE_PERCENTS",
+    "SUMMARY_METRICS",
+    "Series",
+    "fig4_metrics_table",
+    "paper_fig5a",
+    "paper_fig5b",
+    "paper_fig6a",
+    "paper_fig6b",
+    "partial_match_spans",
+    "ranking_agreement",
+    "ranking_at",
+    "render_fig1_orders",
+    "render_fig3",
+    "render_fig4",
+    "render_report",
+    "render_table",
+    "run_fig1",
+    "run_fig3",
+    "run_fig4",
+    "run_fig5a",
+    "run_fig5b",
+    "run_fig6a",
+    "run_fig6b",
+    "run_summary",
+    "winner_per_x",
+]

@@ -1,0 +1,101 @@
+"""Command-line entry point: regenerate any of the paper's figures.
+
+Usage::
+
+    python -m repro.experiments fig5a
+    python -m repro.experiments fig6b --backend dense --side 5
+    python -m repro.experiments all
+    repro-experiments fig1          # console-script alias
+
+Each figure prints the same rows/series the paper plots, plus a shape
+comparison against the digitized published curves where available.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments.fig1_boundary import render_fig1_orders, run_fig1
+from repro.experiments.fig3_example import render_fig3
+from repro.experiments.fig4_connectivity import (
+    fig4_metrics_table,
+    render_fig4,
+)
+from repro.experiments.fig5_nn import run_fig5a, run_fig5b
+from repro.experiments.fig6_range import run_fig6a, run_fig6b
+from repro.experiments.paper_data import (
+    paper_fig5a,
+    paper_fig5b,
+    paper_fig6a,
+    paper_fig6b,
+)
+from repro.experiments.summary import run_summary
+from repro.experiments.tables import render_report, render_table
+
+FIGURES = ("fig1", "fig3", "fig4", "fig5a", "fig5b", "fig6a", "fig6b",
+           "summary")
+
+
+def _run_one(figure: str, backend: str, side: Optional[int]) -> str:
+    if figure == "fig1":
+        table = render_table(run_fig1(side=side or 4, backend=backend))
+        art = render_fig1_orders(side=side or 4, backend=backend)
+        return f"{table}\n\n{art}"
+    if figure == "fig3":
+        return render_fig3(backend=backend)
+    if figure == "fig4":
+        table = render_table(fig4_metrics_table(side=side or 4,
+                                                backend=backend))
+        art = render_fig4(side=side or 4, backend=backend)
+        return f"{table}\n\n{art}"
+    if figure == "fig5a":
+        measured = run_fig5a(side=side or 4, backend=backend)
+        return render_report(measured, paper_fig5a())
+    if figure == "fig5b":
+        measured = run_fig5b(side=side or 16, backend=backend)
+        return render_report(measured, paper_fig5b())
+    if figure == "fig6a":
+        measured = run_fig6a(side=side or 6, backend=backend)
+        return render_report(measured, paper_fig6a())
+    if figure == "fig6b":
+        measured = run_fig6b(side=side or 6, backend=backend)
+        return render_report(measured, paper_fig6b())
+    if figure == "summary":
+        return render_table(run_summary(side=side or 16,
+                                        backend=backend), precision=2)
+    raise ValueError(f"unknown figure {figure!r}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the figures of the Spectral LPM paper.",
+    )
+    parser.add_argument(
+        "figure", choices=FIGURES + ("all",),
+        help="which figure to regenerate",
+    )
+    parser.add_argument(
+        "--backend", default="auto",
+        choices=("auto", "dense", "lanczos", "scipy"),
+        help="eigensolver backend for the spectral mapping",
+    )
+    parser.add_argument(
+        "--side", type=int, default=None,
+        help="override the grid side length (figure-specific default "
+             "otherwise)",
+    )
+    args = parser.parse_args(argv)
+    figures = FIGURES if args.figure == "all" else (args.figure,)
+    outputs = []
+    for figure in figures:
+        outputs.append("=" * 72)
+        outputs.append(_run_one(figure, args.backend, args.side))
+    print("\n".join(outputs))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,103 @@
+"""Figure 5 — nearest-neighbour locality experiments.
+
+Figure 5a (worst case): over all pairs of 5-D grid cells at a given
+Manhattan distance (x-axis, percent of the maximum), the maximum 1-D rank
+distance (y-axis, percent of n), per mapping.
+
+Figure 5b (fairness): on a 2-D grid, pairs separated along exactly one
+axis; the maximum rank distance per axis, for Sweep and Spectral.  A fair
+mapping's X and Y curves coincide.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.paper_data import NN_PERCENTS
+from repro.experiments.runner import ExperimentResult
+from repro.geometry.grid import Grid
+from repro.mapping.interface import (
+    PAPER_MAPPING_NAMES,
+    mapping_by_name,
+)
+from repro.metrics.fairness import axis_rank_distance
+from repro.metrics.pairwise import (
+    distances_for_percentages,
+    rank_distance_profile,
+)
+
+
+def run_fig5a(side: int = 4, ndim: int = 5,
+              percents: Sequence[int] = NN_PERCENTS,
+              mapping_names: Sequence[str] = PAPER_MAPPING_NAMES,
+              backend: str = "auto") -> ExperimentResult:
+    """Reproduce Figure 5a.
+
+    Defaults: a 4^5 grid (1024 cells), the paper's five mappings, and the
+    paper's x-axis of 10..50% of the maximum Manhattan distance.
+    """
+    grid = Grid.cube(side, ndim)
+    distances = distances_for_percentages(grid, percents)
+    result = ExperimentResult(
+        exp_id="fig5a",
+        title=f"NN worst case on a {side}^{ndim} grid (n={grid.size})",
+        xlabel="Manhattan distance (%)",
+        ylabel="max 1-D distance (% of n)",
+        x=tuple(percents),
+        params={"side": side, "ndim": ndim, "backend": backend,
+                "distances": [int(d) for d in distances]},
+        notes=(
+            "Each column: max |rank_i - rank_j| over all cell pairs at "
+            "that Manhattan distance, as a percent of n-1."
+        ),
+    )
+    scale = 100.0 / (grid.size - 1)
+    for name in mapping_names:
+        mapping = (mapping_by_name(name, backend=backend)
+                   if name == "spectral" else mapping_by_name(name))
+        profile = rank_distance_profile(grid, mapping.ranks_for_grid(grid))
+        result.add_series(
+            name,
+            [profile.at(int(d))[0] * scale for d in distances],
+        )
+    return result
+
+
+def run_fig5b(side: int = 16,
+              percents: Sequence[int] = NN_PERCENTS,
+              backend: str = "auto",
+              include_hilbert: bool = False) -> ExperimentResult:
+    """Reproduce Figure 5b.
+
+    Pairs separated by ``delta`` cells along exactly one axis of a 2-D
+    ``side x side`` grid; ``delta`` is the given percent of ``side - 1``.
+    Series come in X/Y pairs; a fair mapping's pair coincides.
+    ``include_hilbert`` adds Hilbert-X/Y as an extension (the paper plots
+    only Sweep and Spectral).
+    """
+    grid = Grid((side, side))
+    deltas = [max(1, round(p / 100.0 * (side - 1))) for p in percents]
+    result = ExperimentResult(
+        exp_id="fig5b",
+        title=f"NN fairness on a {side}x{side} grid",
+        xlabel="Manhattan distance (%)",
+        ylabel="max 1-D distance",
+        x=tuple(percents),
+        params={"side": side, "backend": backend, "deltas": deltas},
+        notes=(
+            "Sweep-X vs Sweep-Y diverge by ~the row length; "
+            "Spectral-X and Spectral-Y nearly coincide (fair mapping)."
+        ),
+    )
+    names = ["sweep", "spectral"] + (
+        ["hilbert"] if include_hilbert else [])
+    for name in names:
+        mapping = (mapping_by_name(name, backend=backend)
+                   if name == "spectral" else mapping_by_name(name))
+        ranks = mapping.ranks_for_grid(grid)
+        for axis, label in ((0, "X"), (1, "Y")):
+            result.add_series(
+                f"{name}-{label}",
+                [axis_rank_distance(grid, ranks, axis, d) for d in deltas],
+            )
+    return result

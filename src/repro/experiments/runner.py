@@ -1,0 +1,120 @@
+"""Experiment result containers and shape checks.
+
+Each figure harness produces an :class:`ExperimentResult`: a shared x-axis
+plus one y-series per mapping, with enough metadata to print the same
+rows/series the paper plots.  Because our substrate is not the authors'
+1993-era testbed, absolute values are not expected to match; the *shape*
+checks in :func:`ranking_agreement` compare who-beats-whom at each x
+against the digitized paper curves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+
+
+@dataclass(frozen=True)
+class Series:
+    """One named curve: y values aligned with the experiment's x axis."""
+
+    name: str
+    y: tuple
+
+    def __post_init__(self):
+        object.__setattr__(self, "y", tuple(float(v) for v in self.y))
+
+
+@dataclass
+class ExperimentResult:
+    """A full experiment: axes, series, parameters, and free-form notes."""
+
+    exp_id: str
+    title: str
+    xlabel: str
+    ylabel: str
+    x: Sequence
+    series: List[Series] = field(default_factory=list)
+    params: Dict = field(default_factory=dict)
+    notes: str = ""
+
+    def add_series(self, name: str, y: Sequence[float]) -> None:
+        if len(y) != len(self.x):
+            raise InvalidParameterError(
+                f"series {name!r} has {len(y)} points, x-axis has "
+                f"{len(self.x)}"
+            )
+        self.series.append(Series(name=name, y=tuple(y)))
+
+    def series_by_name(self, name: str) -> Series:
+        for s in self.series:
+            if s.name == name:
+                return s
+        raise InvalidParameterError(
+            f"no series named {name!r}; have "
+            f"{[s.name for s in self.series]}"
+        )
+
+    @property
+    def series_names(self) -> List[str]:
+        return [s.name for s in self.series]
+
+
+def ranking_at(result: ExperimentResult, x_index: int) -> List[str]:
+    """Series names at one x position, best (lowest y) first.
+
+    Every Section-5 metric is lower-is-better, so "ranking" means
+    ascending y.  Ties keep series order (stable sort).
+    """
+    if not 0 <= x_index < len(result.x):
+        raise InvalidParameterError(
+            f"x_index {x_index} out of range [0, {len(result.x)})"
+        )
+    pairs = [(s.y[x_index], i, s.name) for i, s in enumerate(result.series)]
+    pairs.sort(key=lambda t: (t[0], t[1]))
+    return [name for _, _, name in pairs]
+
+
+def ranking_agreement(measured: ExperimentResult,
+                      reference: ExperimentResult) -> float:
+    """Mean pairwise order agreement between two results' rankings.
+
+    For every x position and every pair of series present in both
+    results, score 1 when the two results order the pair the same way
+    (ties in either count as agreement), 0 otherwise; return the mean.
+    1.0 means the measured figure tells exactly the paper's story.
+    """
+    common = [n for n in measured.series_names
+              if n in reference.series_names]
+    if len(common) < 2:
+        raise InvalidParameterError(
+            "need at least two common series to compare rankings"
+        )
+    if len(measured.x) != len(reference.x):
+        raise InvalidParameterError(
+            "results have different x-axes; re-run with matching params"
+        )
+    scores = []
+    for k in range(len(measured.x)):
+        for i in range(len(common)):
+            for j in range(i + 1, len(common)):
+                a_m = measured.series_by_name(common[i]).y[k]
+                b_m = measured.series_by_name(common[j]).y[k]
+                a_r = reference.series_by_name(common[i]).y[k]
+                b_r = reference.series_by_name(common[j]).y[k]
+                diff_m = np.sign(a_m - b_m)
+                diff_r = np.sign(a_r - b_r)
+                scores.append(
+                    1.0 if (diff_m == diff_r or diff_m == 0 or diff_r == 0)
+                    else 0.0
+                )
+    return float(np.mean(scores))
+
+
+def winner_per_x(result: ExperimentResult) -> List[str]:
+    """The best (lowest) series name at every x position."""
+    return [ranking_at(result, k)[0] for k in range(len(result.x))]

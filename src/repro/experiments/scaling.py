@@ -1,0 +1,52 @@
+"""Dimensionality-scaling study.
+
+The paper's pitch is *multi-dimensional* databases; its experiments fix
+d=2, 4, 5 per figure.  This extension sweeps the dimension at (roughly)
+constant point count and tracks the boundary-effect statistic — the max
+adjacent rank gap as a fraction of n — per mapping.  Fractal fragment
+boundaries pass through ever more cell pairs as d grows, so their curves
+should stay near 1; spectral's should stay far below.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.runner import ExperimentResult
+from repro.geometry.grid import Grid
+from repro.mapping.interface import PAPER_MAPPING_NAMES, mapping_by_name
+from repro.metrics.pairwise import adjacent_gap_stats
+
+#: (ndim, side) pairs with comparable cell counts (256..1024).
+DEFAULT_DOMAINS = ((2, 16), (3, 8), (4, 6), (5, 4))
+
+
+def run_scaling(domains: Sequence[tuple] = DEFAULT_DOMAINS,
+                mapping_names: Sequence[str] = PAPER_MAPPING_NAMES,
+                backend: str = "auto") -> ExperimentResult:
+    """Max adjacent rank gap (fraction of n) vs dimensionality."""
+    grids = [Grid.cube(side, ndim) for ndim, side in domains]
+    result = ExperimentResult(
+        exp_id="scaling",
+        title="Boundary effect vs dimensionality "
+              f"(domains {[g.shape for g in grids]})",
+        xlabel="dimension",
+        ylabel="max adjacent gap / n",
+        x=[ndim for ndim, _ in domains],
+        params={"domains": list(domains), "backend": backend},
+        notes=(
+            "Each cell: max |rank difference| over Manhattan-distance-1 "
+            "pairs, normalized by the cell count of that domain."
+        ),
+    )
+    for name in mapping_names:
+        mapping = (mapping_by_name(name, backend=backend)
+                   if name.startswith("spectral")
+                   else mapping_by_name(name))
+        ys = []
+        for grid in grids:
+            worst, _ = adjacent_gap_stats(grid,
+                                          mapping.ranks_for_grid(grid))
+            ys.append(worst / grid.size)
+        result.add_series(name, ys)
+    return result

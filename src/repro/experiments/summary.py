@@ -1,0 +1,74 @@
+"""Cross-metric summary: every mapping against every locality metric.
+
+Not a figure from the paper — the table the paper makes you wish for.
+One row per metric (all lower-is-better except recall, which is negated
+into "miss rate" so the table reads uniformly), one column per mapping,
+on a single 2-D grid.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import ExperimentResult
+from repro.geometry.boxes import extent_for_volume_fraction
+from repro.geometry.grid import Grid
+from repro.graph.builders import grid_graph
+from repro.mapping.interface import paper_mappings
+from repro.metrics.arrangement import arrangement_costs
+from repro.metrics.clustering import cluster_stats
+from repro.metrics.pairwise import adjacent_gap_stats
+from repro.metrics.range_span import span_stats
+from repro.query.nn import knn_window_recall
+
+SUMMARY_METRICS = (
+    "adjacent-max",
+    "adjacent-mean",
+    "span-max",
+    "span-std",
+    "clusters-mean",
+    "two-sum",
+    "bandwidth",
+    "nn-miss-rate",
+)
+
+
+def run_summary(side: int = 16, backend: str = "auto",
+                query_fraction: float = 0.0625,
+                nn_k: int = 8, nn_window: int = 16) -> ExperimentResult:
+    """The full metric matrix on a ``side x side`` grid.
+
+    ``query_fraction`` sizes the range-query family for the span/cluster
+    rows; ``nn_k``/``nn_window`` parameterize the similarity-search row.
+    """
+    grid = Grid((side, side))
+    graph = grid_graph(grid)
+    extent = extent_for_volume_fraction(grid, query_fraction)
+    result = ExperimentResult(
+        exp_id="summary",
+        title=f"All mappings x all metrics on {side}x{side} "
+              f"(queries {extent}, {nn_k}-NN window {nn_window})",
+        xlabel="metric",
+        ylabel="lower is better (recall negated into miss rate)",
+        x=list(SUMMARY_METRICS),
+        params={"side": side, "backend": backend,
+                "query_fraction": query_fraction},
+    )
+    for mapping in paper_mappings(backend=backend):
+        order = mapping.order_for_grid(grid)
+        ranks = order.ranks
+        worst_gap, mean_gap = adjacent_gap_stats(grid, ranks)
+        spans = span_stats(grid, ranks, extent)
+        clusters = cluster_stats(grid, ranks, extent)
+        costs = arrangement_costs(graph, order)
+        recall = knn_window_recall(grid, ranks, k=nn_k, window=nn_window,
+                                   seed=29, sample=48).mean_recall
+        result.add_series(mapping.name, [
+            worst_gap,
+            mean_gap,
+            spans.max,
+            spans.std,
+            clusters.mean,
+            costs.two_sum,
+            costs.bandwidth,
+            1.0 - recall,
+        ])
+    return result

@@ -1,0 +1,66 @@
+"""Text rendering of experiment results.
+
+Prints the same rows/series the paper's figures plot, as aligned text
+tables — the harness's primary output format (no plotting dependencies in
+an offline reproduction).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.experiments.runner import (
+    ExperimentResult,
+    ranking_agreement,
+    winner_per_x,
+)
+
+
+def render_table(result: ExperimentResult, precision: int = 1) -> str:
+    """One aligned table: x column plus one column per series."""
+    headers = [result.xlabel] + result.series_names
+    rows = []
+    for k, x in enumerate(result.x):
+        row = [str(x)]
+        for s in result.series:
+            value = s.y[k]
+            if float(value).is_integer() and abs(value) < 1e15:
+                row.append(str(int(value)))
+            else:
+                row.append(f"{value:.{precision}f}")
+        rows.append(row)
+    widths = [
+        max(len(headers[c]), *(len(r[c]) for r in rows))
+        for c in range(len(headers))
+    ]
+    lines = [
+        f"{result.exp_id}: {result.title}",
+        f"(y = {result.ylabel})",
+        "  ".join(h.rjust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append("  ".join(v.rjust(w) for v, w in zip(row, widths)))
+    if result.notes:
+        lines.append("")
+        lines.append(result.notes)
+    return "\n".join(lines)
+
+
+def render_report(measured: ExperimentResult,
+                  reference: Optional[ExperimentResult] = None,
+                  precision: int = 1) -> str:
+    """Measured table plus a shape comparison against the paper's curves."""
+    parts = [render_table(measured, precision=precision)]
+    parts.append("")
+    parts.append("winner per x: " + ", ".join(
+        f"{x}->{name}" for x, name in zip(measured.x,
+                                          winner_per_x(measured))
+    ))
+    if reference is not None:
+        agreement = ranking_agreement(measured, reference)
+        parts.append(
+            f"pairwise ranking agreement with the paper's digitized "
+            f"curves: {agreement:.2f}"
+        )
+    return "\n".join(parts)

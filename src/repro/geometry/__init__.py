@@ -1,0 +1,21 @@
+"""Discrete geometry substrate: grid domains, boxes, and metrics."""
+
+from repro.geometry.boxes import (
+    Box,
+    boxes_with_extent,
+    count_boxes_with_extent,
+    extent_for_volume_fraction,
+    partial_match_boxes,
+)
+from repro.geometry.grid import CONNECTIVITIES, Grid, pairs_along_axis
+
+__all__ = [
+    "Box",
+    "CONNECTIVITIES",
+    "Grid",
+    "boxes_with_extent",
+    "count_boxes_with_extent",
+    "extent_for_volume_fraction",
+    "pairs_along_axis",
+    "partial_match_boxes",
+]

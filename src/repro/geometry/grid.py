@@ -1,0 +1,293 @@
+"""Finite d-dimensional grid domains.
+
+A :class:`Grid` is the discrete domain every mapping in this library is
+defined over: the set of integer lattice points
+``[0, shape[0]) x ... x [0, shape[d-1])``.  Cells are identified either by
+their coordinate tuple or by their *row-major flat index* (C order: the
+last axis varies fastest), matching numpy's ``ravel``/``unravel`` layout.
+
+The paper maps "a set of multi-dimensional points" — in its experiments the
+point set is always a full grid, so the grid is the canonical domain here.
+Sparse point sets are handled by the graph builders
+(:mod:`repro.graph.builders`), which accept arbitrary coordinate arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import DimensionError, DomainError, InvalidParameterError
+
+Point = Tuple[int, ...]
+
+#: Neighborhood styles accepted by :meth:`Grid.neighbors`.
+#: ``"orthogonal"`` is the d-dimensional generalization of 4-connectivity
+#: (2d neighbours at Manhattan distance 1); ``"moore"`` generalizes
+#: 8-connectivity (the 3^d - 1 cells at Chebyshev distance 1).
+CONNECTIVITIES = ("orthogonal", "moore")
+
+
+def _normalize_connectivity(connectivity) -> str:
+    """Map user-facing connectivity spellings onto canonical names.
+
+    The integers 4 and 8 are accepted for 2-D familiarity and mean
+    "orthogonal" and "moore" in any dimension.
+    """
+    if connectivity in (4, "4", "orthogonal"):
+        return "orthogonal"
+    if connectivity in (8, "8", "moore"):
+        return "moore"
+    raise InvalidParameterError(
+        f"unknown connectivity {connectivity!r}; "
+        f"expected one of {CONNECTIVITIES} or the aliases 4 / 8"
+    )
+
+
+class Grid:
+    """A finite d-dimensional grid ``[0, shape[0]) x ... x [0, shape[d-1])``.
+
+    Parameters
+    ----------
+    shape:
+        Positive side lengths, one per dimension.
+
+    Examples
+    --------
+    >>> g = Grid((3, 3))
+    >>> g.size
+    9
+    >>> g.index_of((1, 2))
+    5
+    >>> g.point_of(5)
+    (1, 2)
+    """
+
+    __slots__ = ("_shape", "_strides", "_size")
+
+    def __init__(self, shape: Sequence[int]):
+        shape = tuple(int(s) for s in shape)
+        if len(shape) == 0:
+            raise InvalidParameterError("a grid needs at least one dimension")
+        if any(s <= 0 for s in shape):
+            raise InvalidParameterError(
+                f"grid side lengths must be positive, got {shape}"
+            )
+        self._shape = shape
+        strides = []
+        acc = 1
+        for s in reversed(shape):
+            strides.append(acc)
+            acc *= s
+        self._strides = tuple(reversed(strides))
+        self._size = acc
+
+    @classmethod
+    def cube(cls, side: int, ndim: int) -> "Grid":
+        """A hyper-cubic grid with ``ndim`` axes of length ``side``."""
+        if ndim <= 0:
+            raise InvalidParameterError(f"ndim must be positive, got {ndim}")
+        return cls((side,) * ndim)
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        """Side length of every axis."""
+        return self._shape
+
+    @property
+    def ndim(self) -> int:
+        """Number of dimensions."""
+        return len(self._shape)
+
+    @property
+    def size(self) -> int:
+        """Total number of cells."""
+        return self._size
+
+    @property
+    def strides(self) -> Tuple[int, ...]:
+        """Row-major strides: ``index = sum(p[i] * strides[i])``."""
+        return self._strides
+
+    @property
+    def max_manhattan(self) -> int:
+        """The largest Manhattan distance between two cells."""
+        return sum(s - 1 for s in self._shape)
+
+    # ------------------------------------------------------------------
+    # Point <-> index conversion
+    # ------------------------------------------------------------------
+    def contains(self, point: Sequence[int]) -> bool:
+        """Whether ``point`` lies inside the grid."""
+        if len(point) != self.ndim:
+            return False
+        return all(0 <= int(c) < s for c, s in zip(point, self._shape))
+
+    def require_point(self, point: Sequence[int]) -> Point:
+        """Validate ``point`` and return it as a tuple of ints."""
+        pt = tuple(int(c) for c in point)
+        if len(pt) != self.ndim:
+            raise DimensionError(
+                f"point {pt} has {len(pt)} coordinates; grid has {self.ndim}"
+            )
+        if not self.contains(pt):
+            raise DomainError(f"point {pt} outside grid of shape {self._shape}")
+        return pt
+
+    def index_of(self, point: Sequence[int]) -> int:
+        """Row-major flat index of ``point``."""
+        pt = self.require_point(point)
+        return sum(c * st for c, st in zip(pt, self._strides))
+
+    def point_of(self, index: int) -> Point:
+        """Coordinate tuple of the cell with row-major flat ``index``."""
+        index = int(index)
+        if not 0 <= index < self._size:
+            raise DomainError(
+                f"index {index} outside grid of size {self._size}"
+            )
+        coords = []
+        for st in self._strides:
+            coords.append(index // st)
+            index %= st
+        return tuple(coords)
+
+    def indices_of(self, points: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`index_of` for an ``(n, ndim)`` integer array."""
+        pts = np.asarray(points)
+        if pts.ndim != 2 or pts.shape[1] != self.ndim:
+            raise DimensionError(
+                f"expected an (n, {self.ndim}) array, got shape {pts.shape}"
+            )
+        if pts.size and ((pts < 0).any() or (pts >= np.array(self._shape)).any()):
+            raise DomainError("some points lie outside the grid")
+        return np.ravel_multi_index(tuple(pts.T), self._shape)
+
+    def points_of(self, indices: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`point_of`: returns an ``(n, ndim)`` array."""
+        idx = np.asarray(indices)
+        if idx.size and ((idx < 0).any() or (idx >= self._size).any()):
+            raise DomainError("some indices lie outside the grid")
+        return np.stack(np.unravel_index(idx, self._shape), axis=-1)
+
+    # ------------------------------------------------------------------
+    # Enumeration
+    # ------------------------------------------------------------------
+    def points(self) -> Iterator[Point]:
+        """All cells in row-major order, as coordinate tuples."""
+        for index in range(self._size):
+            yield self.point_of(index)
+
+    def coordinates(self) -> np.ndarray:
+        """An ``(size, ndim)`` int array of every cell, in row-major order."""
+        return np.stack(
+            np.unravel_index(np.arange(self._size), self._shape), axis=1
+        )
+
+    # ------------------------------------------------------------------
+    # Metric and neighborhoods
+    # ------------------------------------------------------------------
+    @staticmethod
+    def manhattan(p: Sequence[int], q: Sequence[int]) -> int:
+        """Manhattan (L1) distance between two coordinate tuples."""
+        if len(p) != len(q):
+            raise DimensionError(
+                f"points have different dimensionality: {len(p)} vs {len(q)}"
+            )
+        return int(sum(abs(int(a) - int(b)) for a, b in zip(p, q)))
+
+    @staticmethod
+    def chebyshev(p: Sequence[int], q: Sequence[int]) -> int:
+        """Chebyshev (L-infinity) distance between two coordinate tuples."""
+        if len(p) != len(q):
+            raise DimensionError(
+                f"points have different dimensionality: {len(p)} vs {len(q)}"
+            )
+        return int(max(abs(int(a) - int(b)) for a, b in zip(p, q)))
+
+    def neighbors(self, point: Sequence[int],
+                  connectivity="orthogonal") -> Iterator[Point]:
+        """In-grid neighbours of ``point`` under the given connectivity.
+
+        ``"orthogonal"`` (alias 4) yields the at-most ``2 * ndim`` cells at
+        Manhattan distance 1; ``"moore"`` (alias 8) yields the at-most
+        ``3**ndim - 1`` cells at Chebyshev distance 1.
+        """
+        pt = self.require_point(point)
+        style = _normalize_connectivity(connectivity)
+        if style == "orthogonal":
+            for axis in range(self.ndim):
+                for delta in (-1, 1):
+                    cand = list(pt)
+                    cand[axis] += delta
+                    if 0 <= cand[axis] < self._shape[axis]:
+                        yield tuple(cand)
+        else:  # moore
+            yield from self._moore_neighbors(pt)
+
+    def _moore_neighbors(self, pt: Point) -> Iterator[Point]:
+        offsets = [(-1, 0, 1)] * self.ndim
+        stack: list[Tuple[int, ...]] = [()]
+        for axis in range(self.ndim):
+            stack = [
+                prefix + (pt[axis] + d,)
+                for prefix in stack
+                for d in offsets[axis]
+                if 0 <= pt[axis] + d < self._shape[axis]
+            ]
+        for cand in stack:
+            if cand != pt:
+                yield cand
+
+    # ------------------------------------------------------------------
+    # Dunder protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._size
+
+    def __iter__(self) -> Iterator[Point]:
+        return self.points()
+
+    def __contains__(self, point) -> bool:
+        try:
+            return self.contains(point)
+        except TypeError:
+            return False
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Grid) and other._shape == self._shape
+
+    def __hash__(self) -> int:
+        return hash(("Grid", self._shape))
+
+    def __repr__(self) -> str:
+        return f"Grid(shape={self._shape})"
+
+
+def pairs_along_axis(grid: Grid, axis: int, delta: int):
+    """All index pairs ``(i, j)`` whose cells differ by ``delta`` along one axis.
+
+    The two cells agree on every other coordinate, so their Manhattan
+    distance is exactly ``delta``.  Returned as two flat-index arrays
+    ``(left, right)`` with ``right = left + delta * strides[axis]``.
+
+    This is the pair family used by the paper's *fairness* experiment
+    (Figure 5b): distance measured "over only one dimension".
+    """
+    if not 0 <= axis < grid.ndim:
+        raise InvalidParameterError(
+            f"axis {axis} out of range for {grid.ndim}-d grid"
+        )
+    if delta <= 0 or delta >= grid.shape[axis]:
+        raise InvalidParameterError(
+            f"delta must be in [1, {grid.shape[axis] - 1}], got {delta}"
+        )
+    coords = grid.coordinates()
+    mask = coords[:, axis] + delta < grid.shape[axis]
+    left = np.flatnonzero(mask)
+    right = left + delta * grid.strides[axis]
+    return left, right

@@ -1,0 +1,222 @@
+"""Graph constructors: grid graphs, classic families, and point-cloud graphs.
+
+The paper's Step 1 models a point set as a graph with an edge wherever two
+points have Manhattan distance 1 — i.e. the *orthogonal* grid graph.
+Section 4 varies the model: 8-connectivity (Figure 4) and weighted graphs
+with a larger radius (the footnote's ``w = 1/manhattan`` model).  All of
+those are instances of :func:`grid_graph` here.
+
+Classic families (paths, cycles, stars, complete graphs) are provided for
+tests and for demonstrating spectral ordering on non-grid inputs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import DimensionError, InvalidParameterError
+from repro.geometry.grid import Grid, _normalize_connectivity
+from repro.graph.adjacency import Graph
+from repro.graph.weights import weight_function
+
+
+# ----------------------------------------------------------------------
+# Grid graphs
+# ----------------------------------------------------------------------
+def _canonical_offsets(ndim: int, connectivity: str,
+                       radius: int) -> list[Tuple[int, ...]]:
+    """Half of the neighbourhood offsets (one per undirected direction).
+
+    An offset is *canonical* when its first nonzero component is positive;
+    using only canonical offsets yields each undirected edge exactly once.
+    ``"orthogonal"`` keeps offsets with Manhattan norm <= radius;
+    ``"moore"`` keeps offsets with Chebyshev norm <= radius.
+    """
+    if radius < 1:
+        raise InvalidParameterError(f"radius must be >= 1, got {radius}")
+    offsets = []
+    for off in itertools.product(range(-radius, radius + 1), repeat=ndim):
+        if all(c == 0 for c in off):
+            continue
+        first_nonzero = next(c for c in off if c != 0)
+        if first_nonzero < 0:
+            continue
+        if connectivity == "orthogonal":
+            if sum(abs(c) for c in off) <= radius:
+                offsets.append(off)
+        else:  # moore
+            if max(abs(c) for c in off) <= radius:
+                offsets.append(off)
+    return offsets
+
+
+def grid_graph(grid: Grid, connectivity="orthogonal", radius: int = 1,
+               weight="unit") -> Graph:
+    """The neighbourhood graph of a full grid.
+
+    Parameters
+    ----------
+    grid:
+        The domain.
+    connectivity:
+        ``"orthogonal"`` (alias 4) or ``"moore"`` (alias 8); see
+        :mod:`repro.geometry.grid`.
+    radius:
+        Neighbourhood radius.  ``radius=1`` with orthogonal connectivity is
+        the paper's default model (edges at Manhattan distance exactly 1).
+    weight:
+        Weight model name or callable; see :mod:`repro.graph.weights`.
+        The paper's footnote model is
+        ``grid_graph(g, "orthogonal", radius=R, weight="inverse_manhattan")``.
+
+    Vertices are numbered by row-major flat cell index.
+    """
+    style = _normalize_connectivity(connectivity)
+    wfn = weight_function(weight)
+    coords = grid.coordinates()
+    shape = np.array(grid.shape)
+    strides = np.array(grid.strides)
+    edge_chunks = []
+    weight_chunks = []
+    for off in _canonical_offsets(grid.ndim, style, radius):
+        off_arr = np.array(off)
+        valid = np.ones(grid.size, dtype=bool)
+        for axis, delta in enumerate(off):
+            if delta > 0:
+                valid &= coords[:, axis] + delta < shape[axis]
+            elif delta < 0:
+                valid &= coords[:, axis] + delta >= 0
+        src = np.flatnonzero(valid)
+        if len(src) == 0:
+            continue
+        dst = src + int(off_arr @ strides)
+        edge_chunks.append(np.stack([src, dst], axis=1))
+        weight_chunks.append(np.full(len(src), wfn(off)))
+    if not edge_chunks:
+        return Graph.empty(grid.size)
+    edges = np.concatenate(edge_chunks, axis=0)
+    weights = np.concatenate(weight_chunks)
+    return Graph.from_edges(grid.size, edges, weights)
+
+
+def induced_grid_graph(grid: Grid, cell_indices: Sequence[int],
+                       connectivity="orthogonal", radius: int = 1,
+                       weight="unit") -> Tuple[Graph, np.ndarray]:
+    """Grid graph restricted to a subset of cells.
+
+    Models a *sparse* point set living on a grid: vertices are the given
+    cells (relabelled 0..k-1 in ascending flat-index order) and edges join
+    cells adjacent in the full grid graph.
+
+    Returns ``(graph, cells)`` where ``cells`` is the ascending array of
+    flat cell indices, aligned with the new vertex ids.
+    """
+    cells = np.unique(np.asarray(cell_indices, dtype=np.int64))
+    if len(cells) and (cells[0] < 0 or cells[-1] >= grid.size):
+        raise InvalidParameterError("cell indices out of range")
+    full = grid_graph(grid, connectivity, radius, weight)
+    sub, _ = full.subgraph(cells)
+    return sub, cells
+
+
+# ----------------------------------------------------------------------
+# Classic families (used heavily by tests)
+# ----------------------------------------------------------------------
+def path_graph(n: int) -> Graph:
+    """The path ``0 - 1 - ... - n-1``."""
+    if n < 1:
+        raise InvalidParameterError(f"n must be >= 1, got {n}")
+    edges = [(i, i + 1) for i in range(n - 1)]
+    return Graph.from_edges(n, edges)
+
+
+def cycle_graph(n: int) -> Graph:
+    """The cycle on ``n >= 3`` vertices."""
+    if n < 3:
+        raise InvalidParameterError(f"a cycle needs n >= 3, got {n}")
+    edges = [(i, (i + 1) % n) for i in range(n)]
+    return Graph.from_edges(n, edges)
+
+
+def complete_graph(n: int) -> Graph:
+    """The complete graph on ``n`` vertices."""
+    if n < 1:
+        raise InvalidParameterError(f"n must be >= 1, got {n}")
+    edges = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    return Graph.from_edges(n, edges)
+
+
+def star_graph(n: int) -> Graph:
+    """A star: vertex 0 joined to vertices ``1 .. n-1``."""
+    if n < 2:
+        raise InvalidParameterError(f"a star needs n >= 2, got {n}")
+    edges = [(0, i) for i in range(1, n)]
+    return Graph.from_edges(n, edges)
+
+
+# ----------------------------------------------------------------------
+# Point-cloud graphs
+# ----------------------------------------------------------------------
+def _pairwise_distances(points: np.ndarray, metric: str) -> np.ndarray:
+    diff = points[:, None, :].astype(np.int64) - points[None, :, :]
+    if metric == "manhattan":
+        return np.abs(diff).sum(axis=2)
+    if metric == "chebyshev":
+        return np.abs(diff).max(axis=2)
+    if metric == "euclidean":
+        return np.sqrt((diff.astype(np.float64) ** 2).sum(axis=2))
+    raise InvalidParameterError(
+        f"unknown metric {metric!r}; "
+        "expected 'manhattan', 'chebyshev' or 'euclidean'"
+    )
+
+
+def knn_graph(points: np.ndarray, k: int,
+              metric: str = "manhattan") -> Graph:
+    """Symmetrized k-nearest-neighbour graph of a point array.
+
+    An undirected edge joins ``u`` and ``v`` when either is among the
+    other's ``k`` nearest points (ties broken by vertex id).  Weights are 1.
+    """
+    pts = np.asarray(points)
+    if pts.ndim != 2:
+        raise DimensionError(f"points must be (n, d)-shaped, got {pts.shape}")
+    n = len(pts)
+    if not 1 <= k < n:
+        raise InvalidParameterError(
+            f"k must be in [1, n-1] = [1, {n - 1}], got {k}"
+        )
+    dist = _pairwise_distances(pts, metric).astype(np.float64)
+    np.fill_diagonal(dist, np.inf)
+    # argsort is stable, so equal distances break ties by vertex id.
+    nearest = np.argsort(dist, axis=1, kind="stable")[:, :k]
+    src = np.repeat(np.arange(n), k)
+    edges = np.stack([src, nearest.ravel()], axis=1)
+    return Graph.from_edges(n, edges)
+
+
+def radius_graph(points: np.ndarray, radius: float,
+                 metric: str = "manhattan", weight="unit") -> Graph:
+    """Graph joining every pair of points within ``radius``.
+
+    With ``metric="manhattan"``, ``radius=1`` and a full-grid point array
+    this reproduces the paper's default model; larger radii with
+    ``weight="inverse_manhattan"`` reproduce the Section-4 footnote.
+    """
+    pts = np.asarray(points)
+    if pts.ndim != 2:
+        raise DimensionError(f"points must be (n, d)-shaped, got {pts.shape}")
+    if radius <= 0:
+        raise InvalidParameterError(f"radius must be positive, got {radius}")
+    wfn = weight_function(weight)
+    dist = _pairwise_distances(pts, metric)
+    n = len(pts)
+    iu, ju = np.triu_indices(n, k=1)
+    mask = dist[iu, ju] <= radius
+    iu, ju = iu[mask], ju[mask]
+    offsets = pts[ju].astype(np.int64) - pts[iu]
+    weights = np.array([wfn(off) for off in offsets])
+    return Graph.from_edges(n, np.stack([iu, ju], axis=1), weights)

@@ -1,0 +1,96 @@
+"""Graph Laplacians.
+
+Step 2 of the paper's algorithm (Figure 2): the combinatorial Laplacian
+``L(G) = D(G) - A(G)`` where ``D`` is the (weighted) degree diagonal and
+``A`` the (weighted) adjacency matrix.  For any real vector ``x``,
+
+    x^T L x  =  sum over edges (u, v) of  w_uv * (x_u - x_v)^2,
+
+which is exactly the objective of the paper's Theorem 1 (weighted form in
+the Section-4 footnote).  The normalized Laplacian is provided as an
+extension for degree-irregular graphs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphStructureError
+from repro.graph.adjacency import Graph
+from repro.linalg.sparse import CSRMatrix
+
+
+def laplacian(graph: Graph) -> CSRMatrix:
+    """The combinatorial Laplacian ``D - A`` as a sparse CSR matrix."""
+    n = graph.num_vertices
+    u, v, w = graph.edge_arrays()
+    degrees = graph.weighted_degrees()
+    diag_idx = np.arange(n, dtype=np.int64)
+    rows = np.concatenate([diag_idx, u, v])
+    cols = np.concatenate([diag_idx, v, u])
+    data = np.concatenate([degrees, -w, -w])
+    return CSRMatrix.from_coo(n, rows, cols, data, sum_duplicates=True)
+
+
+def laplacian_dense(graph: Graph) -> np.ndarray:
+    """The combinatorial Laplacian as a dense array."""
+    adjacency = graph.to_dense_adjacency()
+    return np.diag(adjacency.sum(axis=1)) - adjacency
+
+
+def normalized_laplacian_dense(graph: Graph) -> np.ndarray:
+    """The symmetric normalized Laplacian ``I - D^{-1/2} A D^{-1/2}``.
+
+    Isolated vertices (degree 0) are left with a zero row/column rather
+    than dividing by zero; their eigenvalue contribution is 0 as expected
+    for a singleton component.
+    """
+    adjacency = graph.to_dense_adjacency()
+    degrees = adjacency.sum(axis=1)
+    inv_sqrt = np.zeros_like(degrees)
+    positive = degrees > 0
+    inv_sqrt[positive] = 1.0 / np.sqrt(degrees[positive])
+    scaled = adjacency * inv_sqrt[:, None] * inv_sqrt[None, :]
+    lap = -scaled
+    lap[np.arange(len(degrees)), np.arange(len(degrees))] = np.where(
+        positive, 1.0, 0.0
+    )
+    return lap
+
+
+def quadratic_form(graph: Graph, x: np.ndarray) -> float:
+    """``x^T L x`` computed edge-wise: ``sum w_uv (x_u - x_v)^2``.
+
+    This is the continuous objective of the paper's Theorem 1 (up to the
+    normalization constraints) and is exact for any vector, without
+    materializing ``L``.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.shape != (graph.num_vertices,):
+        raise GraphStructureError(
+            f"vector has shape {x.shape}, graph has "
+            f"{graph.num_vertices} vertices"
+        )
+    u, v, w = graph.edge_arrays()
+    if len(u) == 0:
+        return 0.0
+    diff = x[u] - x[v]
+    return float((w * diff * diff).sum())
+
+
+def rayleigh_quotient(graph: Graph, x: np.ndarray) -> float:
+    """``x^T L x / x^T x`` after centering ``x`` against the constant vector.
+
+    The Fiedler value is the minimum of this quotient over nonzero vectors
+    orthogonal to the all-ones vector, so for any centered ``x`` the
+    quotient upper-bounds ``lambda_2`` — a useful optimality probe in
+    tests.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    centered = x - x.mean()
+    denom = float(centered @ centered)
+    if denom == 0.0:
+        raise GraphStructureError(
+            "vector is constant; Rayleigh quotient undefined"
+        )
+    return quadratic_form(graph, centered) / denom

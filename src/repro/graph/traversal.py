@@ -1,0 +1,84 @@
+"""Graph traversal: breadth-first search and connected components.
+
+The spectral pipeline needs connectivity information twice: the Fiedler
+vector is only defined for connected graphs (a disconnected graph has
+``lambda_2 = 0`` and a locality order must be computed per component), and
+BFS order is one of the deterministic tie-breaking keys for equal Fiedler
+entries.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.graph.adjacency import Graph
+
+
+def bfs_order(graph: Graph, start: int = 0) -> np.ndarray:
+    """Vertices of ``start``'s component in breadth-first visit order.
+
+    Neighbours are visited in ascending id order, so the result is fully
+    deterministic.
+    """
+    n = graph.num_vertices
+    if not 0 <= start < n:
+        raise InvalidParameterError(f"start vertex {start} out of range")
+    seen = np.zeros(n, dtype=bool)
+    seen[start] = True
+    frontier = [start]
+    visited: List[int] = []
+    while frontier:
+        next_frontier: List[int] = []
+        for v in frontier:
+            visited.append(v)
+            for u in graph.neighbors(v):
+                if not seen[u]:
+                    seen[u] = True
+                    next_frontier.append(int(u))
+        frontier = next_frontier
+    return np.array(visited, dtype=np.int64)
+
+
+def connected_components(graph: Graph) -> Tuple[np.ndarray, int]:
+    """Label every vertex with its component id.
+
+    Returns ``(labels, count)``; component ids are assigned in order of
+    their smallest vertex, so labelling is deterministic.  Isolated
+    vertices form singleton components.
+    """
+    n = graph.num_vertices
+    labels = np.full(n, -1, dtype=np.int64)
+    count = 0
+    for root in range(n):
+        if labels[root] >= 0:
+            continue
+        labels[root] = count
+        stack = [root]
+        while stack:
+            v = stack.pop()
+            for u in graph.neighbors(v):
+                if labels[u] < 0:
+                    labels[u] = count
+                    stack.append(int(u))
+        count += 1
+    return labels, count
+
+
+def is_connected(graph: Graph) -> bool:
+    """Whether the graph has exactly one connected component.
+
+    The empty graph (0 vertices) is considered connected.
+    """
+    n = graph.num_vertices
+    if n <= 1:
+        return True
+    return len(bfs_order(graph, 0)) == n
+
+
+def component_vertex_lists(labels: np.ndarray,
+                           count: int) -> List[np.ndarray]:
+    """Group vertex ids by component label (ascending ids within each)."""
+    return [np.flatnonzero(labels == c) for c in range(count)]

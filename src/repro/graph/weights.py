@@ -1,0 +1,81 @@
+"""Edge-weight models for grid graphs.
+
+Section 4 of the paper generalizes the unweighted grid graph to a weighted
+one, where the weight of edge ``(p_i, p_j)`` is "the priority of mapping
+``p_i`` and ``p_j`` to nearby locations".  Its footnote proposes the
+concrete model ``w_ij = 1 / manhattan(p_i, p_j)`` for pairs within a
+cut-off radius.  This module hosts that model and a couple of common
+alternatives behind a small registry.
+
+A weight function receives the *offset vector* between two grid cells
+(element-wise coordinate difference) and returns a positive weight.  Grid
+builders evaluate it once per distinct offset, so the cost is negligible.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Sequence
+
+from repro.errors import InvalidParameterError
+
+WeightFn = Callable[[Sequence[int]], float]
+
+
+def unit_weight(offset: Sequence[int]) -> float:
+    """Every edge weighs 1 (the paper's default, unweighted model)."""
+    return 1.0
+
+
+def inverse_manhattan(offset: Sequence[int]) -> float:
+    """The paper's footnote model: ``w = 1 / manhattan distance``."""
+    dist = sum(abs(int(c)) for c in offset)
+    if dist == 0:
+        raise InvalidParameterError("zero offset has no weight")
+    return 1.0 / dist
+
+
+def inverse_euclidean(offset: Sequence[int]) -> float:
+    """``w = 1 / euclidean distance`` — a smoother falloff."""
+    dist = math.sqrt(sum(int(c) ** 2 for c in offset))
+    if dist == 0.0:
+        raise InvalidParameterError("zero offset has no weight")
+    return 1.0 / dist
+
+
+def gaussian(offset: Sequence[int], sigma: float = 1.0) -> float:
+    """``w = exp(-d^2 / (2 sigma^2))`` with ``d`` the Euclidean distance."""
+    if sigma <= 0:
+        raise InvalidParameterError(f"sigma must be positive, got {sigma}")
+    sq = sum(int(c) ** 2 for c in offset)
+    return math.exp(-sq / (2.0 * sigma * sigma))
+
+
+_REGISTRY: dict[str, WeightFn] = {
+    "unit": unit_weight,
+    "inverse_manhattan": inverse_manhattan,
+    "inverse_euclidean": inverse_euclidean,
+    "gaussian": gaussian,
+}
+
+
+def weight_function(spec) -> WeightFn:
+    """Resolve a weight spec (name or callable) to a weight function."""
+    if callable(spec):
+        return spec
+    if isinstance(spec, str):
+        try:
+            return _REGISTRY[spec]
+        except KeyError:
+            raise InvalidParameterError(
+                f"unknown weight model {spec!r}; "
+                f"expected one of {sorted(_REGISTRY)} or a callable"
+            ) from None
+    raise InvalidParameterError(
+        f"weight spec must be a name or callable, got {type(spec).__name__}"
+    )
+
+
+def weight_names() -> tuple[str, ...]:
+    """Names accepted by :func:`weight_function`."""
+    return tuple(sorted(_REGISTRY))

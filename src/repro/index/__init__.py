@@ -1,0 +1,6 @@
+"""Index structures built over linear orders."""
+
+from repro.index.bplustree import BPlusTree
+from repro.index.rtree import LeafStats, PackedRTree, RTreeNode
+
+__all__ = ["BPlusTree", "LeafStats", "PackedRTree", "RTreeNode"]

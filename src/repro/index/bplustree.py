@@ -1,0 +1,318 @@
+"""A B+-tree over linear-order keys.
+
+The paper's premise is that multi-dimensional data lives in a
+*one-dimensional* access method; this module provides that access method
+so the end-to-end story is executable: map each cell/point to its mapping
+rank, key a B+-tree on the ranks, and answer range queries by descending
+to the first relevant leaf and walking the leaf chain.
+
+Scope: bulk-loading (the natural fit for write-once spatial layouts) and
+single-key inserts with node splits.  Deletion is intentionally out of
+scope — none of the paper's workloads delete — and documented as such.
+
+All search operations report the number of node accesses, which is the
+I/O proxy the benchmarks compare across mappings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import InvalidParameterError
+
+
+@dataclass
+class _LeafNode:
+    keys: List[int] = field(default_factory=list)
+    values: List[object] = field(default_factory=list)
+    next_leaf: Optional["_LeafNode"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return True
+
+
+@dataclass
+class _InnerNode:
+    # separators[i] is the smallest key reachable under children[i + 1].
+    separators: List[int] = field(default_factory=list)
+    children: List[object] = field(default_factory=list)
+
+    @property
+    def is_leaf(self) -> bool:
+        return False
+
+
+def _child_position(node: _InnerNode, key: int) -> int:
+    """Index of the child subtree that may contain ``key``."""
+    position = 0
+    while (position < len(node.separators)
+           and key >= node.separators[position]):
+        position += 1
+    return position
+
+
+class BPlusTree:
+    """An insert-and-scan B+-tree with integer keys.
+
+    Parameters
+    ----------
+    order:
+        Maximum number of children per inner node (and keys per leaf).
+        Must be >= 3.
+    """
+
+    def __init__(self, order: int = 32):
+        if order < 3:
+            raise InvalidParameterError(f"order must be >= 3, got {order}")
+        self._order = order
+        self._root: object = _LeafNode()
+        self._size = 0
+        self._height = 1
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def bulk_load(cls, keys: Sequence[int], values: Sequence[object],
+                  order: int = 32, fill: float = 1.0) -> "BPlusTree":
+        """Build bottom-up from sorted distinct keys.
+
+        ``fill`` (0 < fill <= 1) controls leaf occupancy: 1.0 packs
+        leaves full (read-only workloads), lower values leave insert
+        slack.
+        """
+        if len(keys) != len(values):
+            raise InvalidParameterError(
+                f"{len(keys)} keys but {len(values)} values"
+            )
+        if not 0.0 < fill <= 1.0:
+            raise InvalidParameterError(
+                f"fill must be in (0, 1], got {fill}"
+            )
+        tree = cls(order=order)
+        if len(keys) == 0:
+            return tree
+        key_list = [int(k) for k in keys]
+        if any(b <= a for a, b in zip(key_list, key_list[1:])):
+            raise InvalidParameterError(
+                "bulk_load requires strictly increasing keys"
+            )
+        per_leaf = max(2, min(order, int(order * fill)))
+        leaves: List[_LeafNode] = []
+        for start in range(0, len(key_list), per_leaf):
+            leaf = _LeafNode(
+                keys=key_list[start:start + per_leaf],
+                values=list(values[start:start + per_leaf]),
+            )
+            if leaves:
+                leaves[-1].next_leaf = leaf
+            leaves.append(leaf)
+        level: List[object] = leaves
+        height = 1
+        while len(level) > 1:
+            parents: List[object] = []
+            position = 0
+            while position < len(level):
+                remaining = len(level) - position
+                if remaining <= order:
+                    take = remaining
+                elif remaining == order + 1:
+                    # Never leave a single orphan for the next group: an
+                    # inner node needs >= 2 children.
+                    take = order - 1
+                else:
+                    take = order
+                group = level[position:position + take]
+                position += take
+                node = _InnerNode(
+                    separators=[_smallest_key(child)
+                                for child in group[1:]],
+                    children=list(group),
+                )
+                parents.append(node)
+            level = parents
+            height += 1
+        tree._root = level[0]
+        tree._size = len(key_list)
+        tree._height = height
+        return tree
+
+    # ------------------------------------------------------------------
+    # Properties
+    # ------------------------------------------------------------------
+    @property
+    def order(self) -> int:
+        return self._order
+
+    @property
+    def height(self) -> int:
+        """Levels from root to leaf, inclusive."""
+        return self._height
+
+    def __len__(self) -> int:
+        return self._size
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+    def search(self, key: int) -> Tuple[Optional[object], int]:
+        """Look up one key.
+
+        Returns ``(value, node_accesses)``; ``value`` is ``None`` when
+        the key is absent.
+        """
+        key = int(key)
+        node = self._root
+        accesses = 1
+        while not node.is_leaf:
+            node = node.children[_child_position(node, key)]
+            accesses += 1
+        for position, leaf_key in enumerate(node.keys):
+            if leaf_key == key:
+                return node.values[position], accesses
+        return None, accesses
+
+    def range_search(self, lo: int, hi: int
+                     ) -> Tuple[List[object], int]:
+        """All values with ``lo <= key <= hi``, in key order.
+
+        Descends to the first candidate leaf, then walks the leaf chain —
+        the sequential-scan behaviour the paper's span metric models.
+        Returns ``(values, node_accesses)``.
+        """
+        lo, hi = int(lo), int(hi)
+        if lo > hi:
+            raise InvalidParameterError(f"empty range: lo={lo} > hi={hi}")
+        node = self._root
+        accesses = 1
+        while not node.is_leaf:
+            node = node.children[_child_position(node, lo)]
+            accesses += 1
+        results: List[object] = []
+        leaf: Optional[_LeafNode] = node
+        while leaf is not None:
+            for leaf_key, value in zip(leaf.keys, leaf.values):
+                if leaf_key > hi:
+                    return results, accesses
+                if leaf_key >= lo:
+                    results.append(value)
+            leaf = leaf.next_leaf
+            if leaf is not None:
+                accesses += 1
+        return results, accesses
+
+    def items(self) -> Iterator[Tuple[int, object]]:
+        """All ``(key, value)`` pairs in key order (leaf-chain walk)."""
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[0]
+        leaf: Optional[_LeafNode] = node
+        while leaf is not None:
+            yield from zip(leaf.keys, leaf.values)
+            leaf = leaf.next_leaf
+
+    # ------------------------------------------------------------------
+    # Insert
+    # ------------------------------------------------------------------
+    def insert(self, key: int, value: object) -> None:
+        """Insert a new key (duplicates are rejected)."""
+        key = int(key)
+        split = self._insert_into(self._root, key, value)
+        if split is not None:
+            separator, right = split
+            self._root = _InnerNode(separators=[separator],
+                                    children=[self._root, right])
+            self._height += 1
+        self._size += 1
+
+    def _insert_into(self, node, key: int, value
+                     ) -> Optional[Tuple[int, object]]:
+        """Recursive insert; returns ``(separator, new_right_sibling)``
+        when the child split, else ``None``."""
+        if node.is_leaf:
+            position = 0
+            while position < len(node.keys) and node.keys[position] < key:
+                position += 1
+            if position < len(node.keys) and node.keys[position] == key:
+                raise InvalidParameterError(f"duplicate key {key}")
+            node.keys.insert(position, key)
+            node.values.insert(position, value)
+            if len(node.keys) <= self._order:
+                return None
+            return self._split_leaf(node)
+        position = _child_position(node, key)
+        split = self._insert_into(node.children[position], key, value)
+        if split is None:
+            return None
+        separator, right = split
+        node.separators.insert(position, separator)
+        node.children.insert(position + 1, right)
+        if len(node.children) <= self._order:
+            return None
+        return self._split_inner(node)
+
+    def _split_leaf(self, leaf: _LeafNode) -> Tuple[int, _LeafNode]:
+        middle = len(leaf.keys) // 2
+        right = _LeafNode(
+            keys=leaf.keys[middle:],
+            values=leaf.values[middle:],
+            next_leaf=leaf.next_leaf,
+        )
+        del leaf.keys[middle:]
+        del leaf.values[middle:]
+        leaf.next_leaf = right
+        return right.keys[0], right
+
+    def _split_inner(self, node: _InnerNode) -> Tuple[int, _InnerNode]:
+        middle = len(node.children) // 2
+        separator = node.separators[middle - 1]
+        right = _InnerNode(
+            separators=node.separators[middle:],
+            children=node.children[middle:],
+        )
+        del node.separators[middle - 1:]
+        del node.children[middle:]
+        return separator, right
+
+    # ------------------------------------------------------------------
+    # Validation (used by the test suite)
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Raise AssertionError if any structural invariant is broken."""
+        keys = [key for key, _ in self.items()]
+        assert keys == sorted(keys), "leaf chain out of order"
+        assert len(set(keys)) == len(keys), "duplicate keys"
+        assert len(keys) == self._size, "size counter drifted"
+        self._check_node(self._root, None, None, is_root=True)
+
+    def _check_node(self, node, lo, hi, is_root=False) -> int:
+        if node.is_leaf:
+            for key in node.keys:
+                assert lo is None or key >= lo
+                assert hi is None or key < hi
+            assert len(node.keys) <= self._order
+            return 1
+        assert node.separators == sorted(node.separators)
+        assert len(node.children) == len(node.separators) + 1
+        assert 2 <= len(node.children) <= self._order
+        depths = set()
+        bounds = ([lo] + list(node.separators)
+                  ) if lo is not None else [None] + list(node.separators)
+        uppers = list(node.separators) + [hi]
+        for child, child_lo, child_hi in zip(node.children, bounds,
+                                             uppers):
+            depths.add(self._check_node(child, child_lo, child_hi))
+        assert len(depths) == 1, "leaves at different depths"
+        return depths.pop() + 1
+
+    def __repr__(self) -> str:
+        return (f"BPlusTree(order={self._order}, size={self._size}, "
+                f"height={self._height})")
+
+
+def _smallest_key(node) -> int:
+    while not node.is_leaf:
+        node = node.children[0]
+    return node.keys[0]

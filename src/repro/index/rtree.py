@@ -1,0 +1,219 @@
+"""Linear-order-packed R-trees.
+
+"R-tree packing" is among the first applications the paper lists for
+locality-preserving mappings.  The classic recipe (Kamel & Faloutsos'
+Hilbert packing) sorts the data by its position along a linear order,
+cuts the sorted sequence into leaves, and builds each upper level the
+same way — so leaf quality is a direct function of the order's locality.
+Packing by *any* :class:`~repro.mapping.LocalityMapping` rank drops in
+here, which turns R-tree quality into another head-to-head metric for
+spectral vs. fractal orders.
+
+Quality metrics:
+
+* total leaf MBR volume and margin (smaller = tighter leaves);
+* leaf-pair overlap volume (less = fewer multi-path descents);
+* node accesses for window queries (the end-to-end cost).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import DimensionError, InvalidParameterError
+from repro.geometry.boxes import Box
+from repro.geometry.grid import Grid
+
+
+@dataclass
+class RTreeNode:
+    """One node: an MBR plus either child nodes or data positions."""
+
+    box: Box
+    children: List["RTreeNode"]
+    entries: np.ndarray  # leaf: positions into the packed point array
+    level: int           # 0 = leaf
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.level == 0
+
+
+def _mbr_of_points(points: np.ndarray) -> Box:
+    return Box(points.min(axis=0), points.max(axis=0))
+
+
+def _mbr_of_boxes(boxes: Sequence[Box]) -> Box:
+    lo = np.min([b.lo for b in boxes], axis=0)
+    hi = np.max([b.hi for b in boxes], axis=0)
+    return Box(lo, hi)
+
+
+class PackedRTree:
+    """An R-tree bulk-loaded along a linear order.
+
+    Build with :meth:`pack`; query with :meth:`window_query`; inspect
+    quality with :meth:`leaf_stats`.
+    """
+
+    def __init__(self, root: RTreeNode, points: np.ndarray,
+                 leaf_capacity: int, fanout: int):
+        self._root = root
+        self._points = points
+        self._leaf_capacity = leaf_capacity
+        self._fanout = fanout
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def pack(cls, grid: Grid, cells: Sequence[int], ranks: np.ndarray,
+             leaf_capacity: int = 8, fanout: int = 8) -> "PackedRTree":
+        """Bulk-load from grid cells sorted by mapping rank.
+
+        Parameters
+        ----------
+        grid:
+            The domain (gives cell coordinates).
+        cells:
+            Flat indices of the data points.
+        ranks:
+            Either the mapping's rank array over the *full grid* (length
+            ``grid.size``; data is sorted by ``ranks[cell]``) or a
+            per-point key array aligned with ``cells`` (length
+            ``len(cells)``; e.g. a sparse spectral order from
+            :meth:`repro.core.SpectralLPM.order_points`).
+        leaf_capacity, fanout:
+            Max entries per leaf / children per inner node.
+        """
+        if leaf_capacity < 1 or fanout < 2:
+            raise InvalidParameterError(
+                "need leaf_capacity >= 1 and fanout >= 2, got "
+                f"{leaf_capacity} / {fanout}"
+            )
+        cells = np.asarray(cells, dtype=np.int64)
+        if cells.size == 0:
+            raise InvalidParameterError("cannot pack an empty point set")
+        ranks = np.asarray(ranks)
+        if ranks.shape == (grid.size,):
+            keys = ranks[cells]
+        elif ranks.shape == cells.shape:
+            keys = ranks
+        else:
+            raise DimensionError(
+                f"ranks must have shape ({grid.size},) or {cells.shape}, "
+                f"got {ranks.shape}"
+            )
+        by_rank = cells[np.argsort(keys, kind="stable")]
+        points = grid.points_of(by_rank)
+
+        # Leaves: consecutive rank-sorted chunks.
+        leaves: List[RTreeNode] = []
+        for start in range(0, len(points), leaf_capacity):
+            chunk = slice(start, min(start + leaf_capacity, len(points)))
+            leaves.append(RTreeNode(
+                box=_mbr_of_points(points[chunk]),
+                children=[],
+                entries=np.arange(chunk.start, chunk.stop),
+                level=0,
+            ))
+        # Upper levels: pack children in the same (rank) sequence.
+        level = 0
+        nodes = leaves
+        while len(nodes) > 1:
+            level += 1
+            parents: List[RTreeNode] = []
+            for start in range(0, len(nodes), fanout):
+                group = nodes[start:start + fanout]
+                parents.append(RTreeNode(
+                    box=_mbr_of_boxes([n.box for n in group]),
+                    children=group,
+                    entries=np.empty(0, dtype=np.int64),
+                    level=level,
+                ))
+            nodes = parents
+        return cls(nodes[0], points, leaf_capacity, fanout)
+
+    # ------------------------------------------------------------------
+    @property
+    def root(self) -> RTreeNode:
+        return self._root
+
+    @property
+    def num_points(self) -> int:
+        return len(self._points)
+
+    @property
+    def height(self) -> int:
+        """Levels from root to leaf inclusive."""
+        return self._root.level + 1
+
+    def leaves(self) -> List[RTreeNode]:
+        """All leaf nodes, left to right."""
+        result: List[RTreeNode] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                result.append(node)
+            else:
+                stack.extend(reversed(node.children))
+        return result
+
+    # ------------------------------------------------------------------
+    def window_query(self, box: Box) -> Tuple[np.ndarray, int]:
+        """Points inside ``box`` and the number of nodes visited."""
+        hits: List[int] = []
+        visited = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            visited += 1
+            if not node.box.intersects(box):
+                continue
+            if node.is_leaf:
+                for position in node.entries:
+                    if box.contains_point(self._points[position]):
+                        hits.append(int(position))
+            else:
+                stack.extend(node.children)
+        coords = (self._points[np.array(sorted(hits), dtype=np.int64)]
+                  if hits else np.empty((0, self._points.shape[1]),
+                                        dtype=np.int64))
+        return coords, visited
+
+    # ------------------------------------------------------------------
+    def leaf_stats(self) -> "LeafStats":
+        """Geometric quality of the leaf level."""
+        leaves = self.leaves()
+        volumes = np.array([leaf.box.volume for leaf in leaves],
+                           dtype=np.float64)
+        margins = np.array([
+            sum(b - a for a, b in zip(leaf.box.lo, leaf.box.hi))
+            for leaf in leaves
+        ], dtype=np.float64)
+        overlap = 0.0
+        for i in range(len(leaves)):
+            for j in range(i + 1, len(leaves)):
+                inter = leaves[i].box.intersection(leaves[j].box)
+                if inter is not None:
+                    overlap += inter.volume
+        return LeafStats(
+            leaf_count=len(leaves),
+            total_volume=float(volumes.sum()),
+            mean_volume=float(volumes.mean()),
+            total_margin=float(margins.sum()),
+            total_overlap=float(overlap),
+        )
+
+
+@dataclass(frozen=True)
+class LeafStats:
+    """Leaf-level geometric quality of a packed R-tree."""
+
+    leaf_count: int
+    total_volume: float
+    mean_volume: float
+    total_margin: float
+    total_overlap: float

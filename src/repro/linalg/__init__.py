@@ -1,0 +1,30 @@
+"""Numerical linear algebra substrate: sparse matrices and eigensolvers."""
+
+from repro.linalg.backends import (
+    BACKENDS,
+    DENSE_CUTOFF,
+    scipy_available,
+    smallest_eigenpairs,
+)
+from repro.linalg.lanczos import (
+    LanczosResult,
+    lanczos_symmetric,
+    smallest_eigenpairs_shifted,
+)
+from repro.linalg.power import deterministic_start, power_iteration
+from repro.linalg.sparse import CSRMatrix
+from repro.linalg.tridiagonal import tridiagonal_eigh
+
+__all__ = [
+    "BACKENDS",
+    "CSRMatrix",
+    "DENSE_CUTOFF",
+    "LanczosResult",
+    "deterministic_start",
+    "lanczos_symmetric",
+    "power_iteration",
+    "scipy_available",
+    "smallest_eigenpairs",
+    "smallest_eigenpairs_shifted",
+    "tridiagonal_eigh",
+]

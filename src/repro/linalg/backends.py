@@ -1,0 +1,154 @@
+"""Eigensolver backend registry.
+
+The Fiedler pipeline needs "the ``k`` smallest eigenpairs of a symmetric
+PSD sparse matrix".  Three interchangeable backends provide it:
+
+``dense``
+    ``numpy.linalg.eigh`` on the dense matrix.  Exact and simple; the
+    right choice up to a few thousand vertices and the reference oracle
+    for the others.
+``lanczos``
+    Our shift-and-deflate Lanczos (:mod:`repro.linalg.lanczos`).  Pure
+    numpy, scales to large sparse graphs.
+``scipy``
+    ``scipy.sparse.linalg.eigsh`` in shift-invert mode, when scipy is
+    importable.  Fastest for large graphs.
+
+``auto`` picks ``dense`` for small matrices, then ``scipy`` if available,
+then ``lanczos``.  All backends return eigenvalues in ascending order with
+orthonormal eigenvector columns; all are cross-validated in the test
+suite.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import BackendUnavailableError, InvalidParameterError
+from repro.linalg.lanczos import smallest_eigenpairs_shifted
+from repro.linalg.sparse import CSRMatrix
+
+#: Matrices at or below this size use the dense path under ``auto``.
+DENSE_CUTOFF = 1024
+
+BACKENDS = ("auto", "dense", "lanczos", "scipy")
+
+
+def scipy_available() -> bool:
+    """Whether the optional scipy backend can be imported."""
+    try:
+        import scipy.sparse.linalg  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def _smallest_dense(matrix: CSRMatrix, k: int,
+                    deflate: Sequence[np.ndarray]
+                    ) -> Tuple[np.ndarray, np.ndarray]:
+    dense = matrix.to_dense()
+    # Deflation by spectral shifting: push deflated directions to the top
+    # of the spectrum so the bottom-k are the wanted pairs.
+    if deflate:
+        shift = matrix.gershgorin_upper_bound() + 1.0
+        for d in deflate:
+            dense = dense + shift * np.outer(d, d)
+    values, vectors = np.linalg.eigh(dense)
+    return values[:k], vectors[:, :k]
+
+
+def _smallest_lanczos(matrix: CSRMatrix, k: int,
+                      deflate: Sequence[np.ndarray]
+                      ) -> Tuple[np.ndarray, np.ndarray]:
+    bound = matrix.gershgorin_upper_bound()
+    return smallest_eigenpairs_shifted(
+        matrix.matvec, matrix.n, k, upper_bound=bound, deflate=deflate
+    )
+
+
+def _smallest_scipy(matrix: CSRMatrix, k: int,
+                    deflate: Sequence[np.ndarray]
+                    ) -> Tuple[np.ndarray, np.ndarray]:
+    try:
+        import scipy.sparse as sp
+        import scipy.sparse.linalg as spla
+    except ImportError as exc:  # pragma: no cover - exercised via mock
+        raise BackendUnavailableError(
+            "scipy backend requested but scipy is not importable"
+        ) from exc
+    a = sp.csr_matrix(
+        (matrix.data, matrix.indices, matrix.indptr), shape=matrix.shape
+    )
+    if deflate:
+        shift = matrix.gershgorin_upper_bound() + 1.0
+        for d in deflate:
+            col = sp.csr_matrix(d.reshape(-1, 1))
+            a = a + shift * (col @ col.T)
+    n = matrix.n
+    if k >= n - 1:
+        # eigsh requires k < n; fall back to dense for tiny systems.
+        # (The deflation must carry over — dropping it would let the
+        # deflated directions back into the bottom of the spectrum.)
+        return _smallest_dense(matrix, k, deflate)
+    # Shift-invert around a point slightly below the spectrum: the matrix
+    # (A - sigma I) is then definite and the smallest eigenvalues map to
+    # the largest of the inverted operator.
+    scale = max(matrix.gershgorin_upper_bound(), 1.0)
+    sigma = -1e-3 * scale
+    values, vectors = spla.eigsh(a, k=k, sigma=sigma, which="LM")
+    order = np.argsort(values)
+    return values[order], vectors[:, order]
+
+
+def smallest_eigenpairs(matrix: CSRMatrix, k: int, backend: str = "auto",
+                        deflate: Sequence[np.ndarray] = ()
+                        ) -> Tuple[np.ndarray, np.ndarray]:
+    """The ``k`` smallest eigenpairs of a symmetric PSD CSR matrix.
+
+    Parameters
+    ----------
+    matrix:
+        Symmetric positive semi-definite matrix (e.g. a graph Laplacian).
+    k:
+        Number of wanted pairs, ``1 <= k <= n``.
+    backend:
+        One of :data:`BACKENDS`.
+    deflate:
+        Orthonormal directions to exclude from the spectrum (the constant
+        vector, for connected-Laplacian Fiedler computations).  Deflated
+        directions are pushed above the returned window, so the result is
+        the bottom of the spectrum *of the deflated operator*.
+
+    Returns
+    -------
+    (values, vectors):
+        Ascending eigenvalues and matching orthonormal eigenvector
+        columns.
+    """
+    if backend not in BACKENDS:
+        raise InvalidParameterError(
+            f"unknown backend {backend!r}; expected one of {BACKENDS}"
+        )
+    n = matrix.n
+    if not 1 <= k <= n:
+        raise InvalidParameterError(f"k must be in [1, {n}], got {k}")
+    if len(deflate) and any(d.shape != (n,) for d in deflate):
+        raise InvalidParameterError("deflate vectors must have length n")
+
+    if backend == "auto":
+        if n <= DENSE_CUTOFF or k >= n - 1:
+            backend = "dense"
+        elif scipy_available():
+            backend = "scipy"
+        else:
+            backend = "lanczos"
+
+    if backend == "dense":
+        return _smallest_dense(matrix, k, deflate)
+    if backend == "lanczos":
+        if k > n - len(deflate):
+            return _smallest_dense(matrix, k, deflate)
+        return _smallest_lanczos(matrix, k, deflate)
+    return _smallest_scipy(matrix, k, deflate)

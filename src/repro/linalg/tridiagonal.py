@@ -1,0 +1,117 @@
+"""Symmetric tridiagonal eigensolver (implicit QL with Wilkinson shifts).
+
+This is the dense kernel at the heart of the Lanczos solver: Lanczos
+reduces a large sparse symmetric matrix to a small tridiagonal ``T``, whose
+eigenpairs are computed here.  The algorithm is the classic ``tql2``
+(EISPACK) / ``tqli`` (Numerical Recipes) implicit-QL iteration with
+eigenvector accumulation, which is numerically stable and needs
+``O(k^2)``–``O(k^3)`` work for a ``k x k`` tridiagonal — negligible next to
+the Lanczos matvecs.
+
+Having our own kernel keeps the whole Fiedler pipeline operational with
+numpy alone (no scipy), as promised in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ConvergenceError, DimensionError
+
+
+def tridiagonal_eigh(diag: np.ndarray, offdiag: np.ndarray,
+                     max_sweeps: int = 64) -> Tuple[np.ndarray, np.ndarray]:
+    """All eigenpairs of the symmetric tridiagonal matrix ``(diag, offdiag)``.
+
+    Parameters
+    ----------
+    diag:
+        Main diagonal, length ``n``.
+    offdiag:
+        Sub/super-diagonal, length ``n - 1``.
+    max_sweeps:
+        Maximum QL iterations per eigenvalue before giving up.
+
+    Returns
+    -------
+    (values, vectors):
+        Eigenvalues in ascending order and the matching orthonormal
+        eigenvectors as columns of an ``(n, n)`` array.
+    """
+    d = np.asarray(diag, dtype=np.float64).copy()
+    n = len(d)
+    if n == 0:
+        return np.empty(0), np.empty((0, 0))
+    e_in = np.asarray(offdiag, dtype=np.float64)
+    if e_in.shape != (max(n - 1, 0),):
+        raise DimensionError(
+            f"offdiag must have length {n - 1}, got {e_in.shape}"
+        )
+    if n == 1:
+        return d.copy(), np.ones((1, 1))
+
+    # Working copy with a trailing slot, as in tql2.
+    e = np.zeros(n)
+    e[:n - 1] = e_in
+    z = np.eye(n)
+    eps = np.finfo(np.float64).eps
+
+    for l in range(n):
+        iterations = 0
+        while True:
+            # Find a negligible off-diagonal element e[m].
+            m = n - 1
+            for candidate in range(l, n - 1):
+                dd = abs(d[candidate]) + abs(d[candidate + 1])
+                if abs(e[candidate]) <= eps * dd:
+                    m = candidate
+                    break
+            if m == l:
+                break
+            iterations += 1
+            if iterations > max_sweeps:
+                raise ConvergenceError(
+                    f"tridiagonal QL failed to converge for eigenvalue {l}",
+                    iterations=iterations,
+                )
+            # Wilkinson shift.
+            g = (d[l + 1] - d[l]) / (2.0 * e[l])
+            r = math.hypot(g, 1.0)
+            g = d[m] - d[l] + e[l] / (g + math.copysign(r, g))
+            s = 1.0
+            c = 1.0
+            p = 0.0
+            underflow = False
+            for i in range(m - 1, l - 1, -1):
+                f = s * e[i]
+                b = c * e[i]
+                r = math.hypot(f, g)
+                e[i + 1] = r
+                if r == 0.0:
+                    # Recover from underflow: deflate and restart.
+                    d[i + 1] -= p
+                    e[m] = 0.0
+                    underflow = True
+                    break
+                s = f / r
+                c = g / r
+                g = d[i + 1] - p
+                r = (d[i] - g) * s + 2.0 * c * b
+                p = s * r
+                d[i + 1] = g + p
+                g = c * r - b
+                # Accumulate the rotation into the eigenvector matrix.
+                f_col = z[:, i + 1].copy()
+                z[:, i + 1] = s * z[:, i] + c * f_col
+                z[:, i] = c * z[:, i] - s * f_col
+            if underflow:
+                continue
+            d[l] -= p
+            e[l] = g
+            e[m] = 0.0
+
+    order = np.argsort(d, kind="stable")
+    return d[order], z[:, order]

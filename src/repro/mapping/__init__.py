@@ -1,0 +1,27 @@
+"""Unified mapping interface over spectral and curve orders."""
+
+from repro.mapping.interface import (
+    MAPPING_NAMES,
+    PAPER_MAPPING_NAMES,
+    CurveMapping,
+    ExplicitMapping,
+    LocalityMapping,
+    SpectralBisectionMapping,
+    SpectralMapping,
+    SpectralMultilevelMapping,
+    mapping_by_name,
+    paper_mappings,
+)
+
+__all__ = [
+    "MAPPING_NAMES",
+    "PAPER_MAPPING_NAMES",
+    "CurveMapping",
+    "ExplicitMapping",
+    "LocalityMapping",
+    "SpectralBisectionMapping",
+    "SpectralMapping",
+    "SpectralMultilevelMapping",
+    "mapping_by_name",
+    "paper_mappings",
+]

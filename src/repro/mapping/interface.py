@@ -1,0 +1,240 @@
+"""One interface over every locality-preserving mapping.
+
+Metrics, query engines, storage simulators, and experiment harnesses all
+consume a :class:`LocalityMapping`: something that can produce a
+:class:`~repro.core.ordering.LinearOrder` over the cells of a grid.  The
+two families —
+
+* :class:`CurveMapping` (Sweep, Snake, Peano/Z-order, Gray, Hilbert,
+  Diagonal), and
+* :class:`SpectralMapping` (the paper's contribution)
+
+— are thereby interchangeable everywhere, which is what lets each figure
+harness be a single loop over mapping names.
+
+Grids whose sides are not powers of two are handled the standard way for
+bit-interleaved curves: cells are keyed on the enclosing power-of-two
+cube and the keys are densified into ranks (exactly how Hilbert-packed
+R-trees are built in practice).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, List
+
+import numpy as np
+
+from repro.core.bisection import spectral_bisection_order
+from repro.core.multilevel import multilevel_order
+from repro.core.ordering import LinearOrder
+from repro.core.spectral import SpectralLPM
+from repro.curves.base import enclosing_bits
+from repro.curves.registry import CURVE_NAMES, make_curve
+from repro.curves.vectorized import batch_encoder
+from repro.errors import InvalidParameterError
+from repro.geometry.grid import Grid
+
+#: Mapping names accepted by :func:`mapping_by_name`.
+MAPPING_NAMES = CURVE_NAMES + ("spectral", "spectral-rb", "spectral-ml")
+
+#: The five mappings compared in the paper's Section 5.
+PAPER_MAPPING_NAMES = ("sweep", "peano", "gray", "hilbert", "spectral")
+
+
+class LocalityMapping(ABC):
+    """A named way of linearizing grid cells.
+
+    Orders are cached per grid: spectral orders cost an eigensolve and
+    experiment harnesses ask for the same grid repeatedly.
+    """
+
+    def __init__(self) -> None:
+        self._cache: Dict[Grid, LinearOrder] = {}
+
+    @property
+    @abstractmethod
+    def name(self) -> str:
+        """Registry / display name."""
+
+    @abstractmethod
+    def _compute_order(self, grid: Grid) -> LinearOrder:
+        """Compute the order for a grid (uncached)."""
+
+    def order_for_grid(self, grid: Grid) -> LinearOrder:
+        """The linear order of ``grid``'s cells (cached)."""
+        if grid not in self._cache:
+            self._cache[grid] = self._compute_order(grid)
+        return self._cache[grid]
+
+    def ranks_for_grid(self, grid: Grid) -> np.ndarray:
+        """Read-only rank array: ``ranks[flat_cell_index] = rank``."""
+        return self.order_for_grid(grid).ranks
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class CurveMapping(LocalityMapping):
+    """A space-filling-curve (or keyed) order as a mapping."""
+
+    def __init__(self, curve_name: str):
+        super().__init__()
+        if curve_name not in CURVE_NAMES:
+            raise InvalidParameterError(
+                f"unknown curve {curve_name!r}; expected one of {CURVE_NAMES}"
+            )
+        self._curve_name = curve_name
+
+    @property
+    def name(self) -> str:
+        return self._curve_name
+
+    def _compute_order(self, grid: Grid) -> LinearOrder:
+        bits = enclosing_bits(max(grid.shape))
+        coords = grid.coordinates()
+        encoder = batch_encoder(self._curve_name)
+        if encoder is not None and bits * grid.ndim <= 62:
+            keys = encoder(coords, bits)
+        else:
+            curve = make_curve(self._curve_name, grid.ndim, bits)
+            keys = np.fromiter(
+                (curve.point_to_key(tuple(point)) for point in coords),
+                dtype=np.int64, count=grid.size,
+            )
+        # Densify: distinct keys -> ranks 0..n-1 preserving key order.
+        perm = np.argsort(keys, kind="stable")
+        return LinearOrder(perm)
+
+
+class SpectralMapping(LocalityMapping):
+    """Spectral LPM as a mapping; forwards kwargs to :class:`SpectralLPM`."""
+
+    def __init__(self, **spectral_kwargs):
+        super().__init__()
+        self._algorithm = SpectralLPM(**spectral_kwargs)
+
+    @property
+    def name(self) -> str:
+        return "spectral"
+
+    @property
+    def algorithm(self) -> SpectralLPM:
+        return self._algorithm
+
+    def _compute_order(self, grid: Grid) -> LinearOrder:
+        return self._algorithm.order_grid(grid)
+
+
+class SpectralBisectionMapping(LocalityMapping):
+    """Recursive median-cut spectral bisection (the paper's ref. [1]).
+
+    A divide-and-conquer alternative to Spectral LPM's one global sort;
+    see :func:`repro.core.bisection.spectral_bisection_order`.
+    """
+
+    def __init__(self, backend: str = "auto", leaf_size: int = 8,
+                 connectivity="orthogonal"):
+        super().__init__()
+        self._backend = backend
+        self._leaf_size = leaf_size
+        self._connectivity = connectivity
+
+    @property
+    def name(self) -> str:
+        return "spectral-rb"
+
+    def _compute_order(self, grid: Grid) -> LinearOrder:
+        from repro.graph.builders import grid_graph
+        graph = grid_graph(grid, connectivity=self._connectivity)
+        return spectral_bisection_order(graph, backend=self._backend,
+                                        leaf_size=self._leaf_size)
+
+
+class SpectralMultilevelMapping(LocalityMapping):
+    """Multilevel coarsen-solve-refine spectral ordering.
+
+    The scalability variant: heavy-edge-matching coarsening, an exact
+    coarsest solve, and smoothed prolongation — see
+    :func:`repro.core.multilevel.multilevel_fiedler`.
+    """
+
+    def __init__(self, min_size: int = 64, smoothing_steps: int = 40,
+                 connectivity="orthogonal", backend: str = "dense"):
+        super().__init__()
+        self._min_size = min_size
+        self._smoothing_steps = smoothing_steps
+        self._connectivity = connectivity
+        self._backend = backend
+
+    @property
+    def name(self) -> str:
+        return "spectral-ml"
+
+    def _compute_order(self, grid: Grid) -> LinearOrder:
+        from repro.graph.builders import grid_graph
+        graph = grid_graph(grid, connectivity=self._connectivity)
+        return multilevel_order(
+            graph, min_size=self._min_size,
+            smoothing_steps=self._smoothing_steps,
+            backend=self._backend,
+        )
+
+
+class ExplicitMapping(LocalityMapping):
+    """A fixed, precomputed order for one specific grid.
+
+    Useful in tests and for feeding externally produced orders through the
+    metric/storage machinery.
+    """
+
+    def __init__(self, grid: Grid, order: LinearOrder,
+                 name: str = "explicit"):
+        super().__init__()
+        if order.n != grid.size:
+            raise InvalidParameterError(
+                f"order covers {order.n} items, grid has {grid.size} cells"
+            )
+        self._grid = grid
+        self._order = order
+        self._name = name
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def _compute_order(self, grid: Grid) -> LinearOrder:
+        if grid != self._grid:
+            raise InvalidParameterError(
+                f"this mapping is defined only for {self._grid!r}"
+            )
+        return self._order
+
+
+def mapping_by_name(name: str, **kwargs) -> LocalityMapping:
+    """Instantiate a mapping from its registry name.
+
+    Keyword arguments are forwarded to :class:`SpectralMapping` (they are
+    rejected for curve mappings, which take none).
+    """
+    lowered = name.lower()
+    if lowered == "spectral":
+        return SpectralMapping(**kwargs)
+    if lowered == "spectral-rb":
+        return SpectralBisectionMapping(**kwargs)
+    if lowered == "spectral-ml":
+        return SpectralMultilevelMapping(**kwargs)
+    if kwargs:
+        raise InvalidParameterError(
+            f"curve mapping {name!r} accepts no keyword arguments"
+        )
+    return CurveMapping(lowered)
+
+
+def paper_mappings(**spectral_kwargs) -> List[LocalityMapping]:
+    """The five Section-5 mappings: Sweep, Peano, Gray, Hilbert, Spectral."""
+    mappings: List[LocalityMapping] = [
+        CurveMapping(name) for name in ("sweep", "peano", "gray", "hilbert")
+    ]
+    mappings.append(SpectralMapping(**spectral_kwargs))
+    return mappings

@@ -1,0 +1,63 @@
+"""Locality metrics: everything Section 5 measures, and then some."""
+
+from repro.metrics.arrangement import (
+    ArrangementCosts,
+    arrangement_costs,
+    bandwidth,
+    cutwidth,
+    one_sum,
+    two_sum,
+)
+from repro.metrics.clustering import (
+    ClusterStats,
+    box_cluster_count,
+    cluster_count,
+    cluster_stats,
+)
+from repro.metrics.fairness import (
+    FairnessSummary,
+    axis_profile,
+    axis_rank_distance,
+    fairness_summary,
+)
+from repro.metrics.pairwise import (
+    DistanceProfile,
+    adjacent_gap_stats,
+    boundary_gap,
+    distances_for_percentages,
+    rank_distance_profile,
+)
+from repro.metrics.range_span import (
+    SpanStats,
+    box_span,
+    partial_match_span_stats,
+    span_field,
+    span_stats,
+)
+
+__all__ = [
+    "ArrangementCosts",
+    "ClusterStats",
+    "DistanceProfile",
+    "FairnessSummary",
+    "SpanStats",
+    "adjacent_gap_stats",
+    "arrangement_costs",
+    "axis_profile",
+    "axis_rank_distance",
+    "bandwidth",
+    "boundary_gap",
+    "box_cluster_count",
+    "box_span",
+    "cluster_count",
+    "cluster_stats",
+    "cutwidth",
+    "distances_for_percentages",
+    "fairness_summary",
+    "one_sum",
+    "partial_match_span_stats",
+    "rank_distance_profile",
+    "span_field",
+    "span_stats",
+    "two_sum",
+]

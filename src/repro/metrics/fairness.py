@@ -1,0 +1,79 @@
+"""Per-dimension fairness metrics (the paper's Figure 5b).
+
+Figure 5b measures "the Manhattan distance over only one dimension": take
+pairs of cells that differ by ``delta`` along a single axis (and agree on
+all others) and ask how far apart their ranks are.  A *fair* mapping
+treats every axis alike — Sweep is maximally unfair (its fast axis costs
+``delta``, its slow axis ``delta * row_length``) while the spectral order
+is near-symmetric by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import DimensionError, InvalidParameterError
+from repro.geometry.grid import Grid, pairs_along_axis
+
+
+def axis_rank_distance(grid: Grid, ranks: np.ndarray, axis: int,
+                       delta: int, agg: str = "max") -> float:
+    """Aggregate rank distance over pairs separated by ``delta`` on ``axis``.
+
+    ``agg`` is ``"max"`` (the figure's statistic) or ``"mean"``.
+    """
+    ranks = np.asarray(ranks)
+    if ranks.shape != (grid.size,):
+        raise DimensionError(
+            f"ranks must have shape ({grid.size},), got {ranks.shape}"
+        )
+    left, right = pairs_along_axis(grid, axis, delta)
+    gaps = np.abs(ranks[left].astype(np.int64) - ranks[right])
+    if agg == "max":
+        return float(gaps.max())
+    if agg == "mean":
+        return float(gaps.mean())
+    raise InvalidParameterError(
+        f"agg must be 'max' or 'mean', got {agg!r}"
+    )
+
+
+def axis_profile(grid: Grid, ranks: np.ndarray, axis: int,
+                 deltas: Sequence[int], agg: str = "max") -> np.ndarray:
+    """:func:`axis_rank_distance` over a sequence of deltas."""
+    return np.array([
+        axis_rank_distance(grid, ranks, axis, int(d), agg=agg)
+        for d in deltas
+    ])
+
+
+@dataclass(frozen=True)
+class FairnessSummary:
+    """How evenly a mapping treats the axes at a fixed separation.
+
+    ``per_axis[k]`` is the aggregate rank distance along axis ``k``;
+    ``spread`` is ``max - min`` across axes and ``ratio`` is
+    ``max / min`` (1.0 = perfectly fair).
+    """
+
+    delta: int
+    per_axis: np.ndarray
+    spread: float
+    ratio: float
+
+
+def fairness_summary(grid: Grid, ranks: np.ndarray, delta: int,
+                     agg: str = "max") -> FairnessSummary:
+    """Axis-by-axis rank distances at one separation, with spread stats."""
+    per_axis = np.array([
+        axis_rank_distance(grid, ranks, axis, delta, agg=agg)
+        for axis in range(grid.ndim)
+    ])
+    low = float(per_axis.min())
+    high = float(per_axis.max())
+    ratio = float("inf") if low == 0 else high / low
+    return FairnessSummary(delta=delta, per_axis=per_axis,
+                           spread=high - low, ratio=ratio)

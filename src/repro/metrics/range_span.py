@@ -1,0 +1,145 @@
+"""Range-query span metrics (the paper's Figure 6).
+
+For a range query — an axis-aligned box of cells — look at the ranks of
+the cells inside it.  The paper's statistic is the *span*: the difference
+between the largest and smallest rank.  A mapping with a small span lets
+the query be answered with one short sequential sweep of the linear
+storage (skipping the few interlopers); a large span forces the sweep to
+cover almost the whole file.
+
+Figure 6a reports the **max** span over all placements of a given query
+size (worst case); Figure 6b reports the **standard deviation** over all
+placements (fairness: does the cost depend on where the query lands?).
+
+Spans for *all* placements of one extent are computed at once with
+separable sliding-window min/max over the rank grid — O(n * extent) per
+axis rather than O(n * volume).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import DimensionError, DomainError, InvalidParameterError
+from repro.geometry.boxes import Box
+from repro.geometry.grid import Grid
+
+
+def _validate(grid: Grid, ranks: np.ndarray,
+              extent: Sequence[int]) -> Tuple[np.ndarray, Tuple[int, ...]]:
+    ranks = np.asarray(ranks)
+    if ranks.shape != (grid.size,):
+        raise DimensionError(
+            f"ranks must have shape ({grid.size},), got {ranks.shape}"
+        )
+    extent = tuple(int(e) for e in extent)
+    if len(extent) != grid.ndim:
+        raise DimensionError(
+            f"extent has {len(extent)} axes, grid has {grid.ndim}"
+        )
+    if any(e < 1 for e in extent):
+        raise InvalidParameterError(f"extents must be >= 1, got {extent}")
+    if any(e > s for e, s in zip(extent, grid.shape)):
+        raise DomainError(
+            f"extent {extent} exceeds grid shape {grid.shape}"
+        )
+    return ranks.astype(np.int64), extent
+
+
+def _sliding_extremum(array: np.ndarray, window: int, axis: int,
+                      largest: bool) -> np.ndarray:
+    """Sliding max (or min) along one axis, window fully inside."""
+    if window == 1:
+        return array
+    view = np.lib.stride_tricks.sliding_window_view(array, window,
+                                                    axis=axis)
+    return view.max(axis=-1) if largest else view.min(axis=-1)
+
+
+def span_field(grid: Grid, ranks: np.ndarray,
+               extent: Sequence[int]) -> np.ndarray:
+    """Span of every placement of an ``extent`` box.
+
+    Returns an array of shape ``(shape[0]-e0+1, ..., shape[d-1]-ed+1)``:
+    entry at index ``origin`` is ``max(ranks in box) - min(ranks in box)``
+    for the box at that origin.
+    """
+    ranks, extent = _validate(grid, ranks, extent)
+    rank_grid = ranks.reshape(grid.shape)
+    highs = rank_grid
+    lows = rank_grid
+    for axis, window in enumerate(extent):
+        highs = _sliding_extremum(highs, window, axis, largest=True)
+        lows = _sliding_extremum(lows, window, axis, largest=False)
+    return highs - lows
+
+
+@dataclass(frozen=True)
+class SpanStats:
+    """Summary of spans over all placements of one query extent."""
+
+    extent: Tuple[int, ...]
+    volume: int
+    query_count: int
+    max: int
+    mean: float
+    std: float
+    min: int
+
+    @classmethod
+    def from_field(cls, extent: Tuple[int, ...],
+                   field: np.ndarray) -> "SpanStats":
+        volume = 1
+        for e in extent:
+            volume *= e
+        return cls(
+            extent=extent,
+            volume=volume,
+            query_count=int(field.size),
+            max=int(field.max()),
+            mean=float(field.mean()),
+            std=float(field.std()),
+            min=int(field.min()),
+        )
+
+
+def span_stats(grid: Grid, ranks: np.ndarray,
+               extent: Sequence[int]) -> SpanStats:
+    """Span statistics over every placement of an ``extent`` box."""
+    field = span_field(grid, ranks, extent)
+    return SpanStats.from_field(tuple(int(e) for e in extent), field)
+
+
+def box_span(grid: Grid, ranks: np.ndarray, box: Box) -> int:
+    """Span of a single query box."""
+    ranks = np.asarray(ranks)
+    cells = box.cell_indices(grid)
+    selected = ranks[cells]
+    return int(selected.max() - selected.min())
+
+
+def partial_match_span_stats(grid: Grid, ranks: np.ndarray,
+                             fixed_axes: Sequence[int],
+                             extent: int) -> SpanStats:
+    """Span statistics over partial-match queries.
+
+    A partial-match query constrains each axis in ``fixed_axes`` to an
+    interval of length ``extent`` and leaves the other axes unrestricted
+    — the "partial range queries" of the paper's Figure-6b description.
+    """
+    fixed = set(int(a) for a in fixed_axes)
+    if not fixed:
+        raise InvalidParameterError("at least one axis must be constrained")
+    if min(fixed) < 0 or max(fixed) >= grid.ndim:
+        raise InvalidParameterError(
+            f"fixed_axes {sorted(fixed)} out of range for "
+            f"{grid.ndim}-d grid"
+        )
+    full_extent = tuple(
+        extent if axis in fixed else grid.shape[axis]
+        for axis in range(grid.ndim)
+    )
+    return span_stats(grid, ranks, full_extent)

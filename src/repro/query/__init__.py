@@ -1,0 +1,45 @@
+"""Query workloads and query processing over linear orders."""
+
+from repro.query.engine import (
+    PLANS,
+    LinearStore,
+    QueryExecution,
+    WorkloadReport,
+)
+from repro.query.join import (
+    JoinReport,
+    true_join_pairs,
+    window_join_candidates,
+    window_join_report,
+)
+from repro.query.nn import (
+    RecallReport,
+    knn_window_recall,
+    true_knn,
+    window_candidates,
+)
+from repro.query.workloads import (
+    pairs_at_manhattan_distance,
+    random_boxes,
+    random_cells,
+    sliding_boxes,
+)
+
+__all__ = [
+    "JoinReport",
+    "LinearStore",
+    "PLANS",
+    "QueryExecution",
+    "RecallReport",
+    "WorkloadReport",
+    "knn_window_recall",
+    "pairs_at_manhattan_distance",
+    "random_boxes",
+    "random_cells",
+    "sliding_boxes",
+    "true_join_pairs",
+    "true_knn",
+    "window_candidates",
+    "window_join_candidates",
+    "window_join_report",
+]

@@ -1,0 +1,134 @@
+"""Query workload generators.
+
+Everything the experiment harnesses iterate over: exhaustive and sampled
+box families for range queries, and cell-pair families for
+nearest-neighbour style distance measurements.  All randomized generators
+take an explicit seed and use an isolated generator, so workloads are
+reproducible and independent of global RNG state.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import DomainError, InvalidParameterError
+from repro.geometry.boxes import Box, boxes_with_extent
+from repro.geometry.grid import Grid
+
+
+def sliding_boxes(grid: Grid, extent: Sequence[int]) -> Iterator[Box]:
+    """Every placement of an ``extent`` box (alias of the geometry helper,
+    re-exported here because workloads are its natural home)."""
+    return boxes_with_extent(grid, extent)
+
+
+def random_boxes(grid: Grid, extent: Sequence[int], count: int,
+                 seed: int = 0) -> List[Box]:
+    """``count`` uniformly placed boxes of the given extent."""
+    extent = tuple(int(e) for e in extent)
+    if count < 1:
+        raise InvalidParameterError(f"count must be >= 1, got {count}")
+    if any(e < 1 or e > s for e, s in zip(extent, grid.shape)):
+        raise DomainError(
+            f"extent {extent} invalid for grid shape {grid.shape}"
+        )
+    rng = np.random.default_rng(seed)
+    boxes = []
+    for _ in range(count):
+        origin = tuple(
+            int(rng.integers(0, s - e + 1))
+            for s, e in zip(grid.shape, extent)
+        )
+        boxes.append(Box.from_origin_extent(origin, extent))
+    return boxes
+
+
+def random_cells(grid: Grid, count: int, seed: int = 0,
+                 replace: bool = False) -> np.ndarray:
+    """Flat indices of ``count`` random cells."""
+    if count < 1:
+        raise InvalidParameterError(f"count must be >= 1, got {count}")
+    if not replace and count > grid.size:
+        raise InvalidParameterError(
+            f"cannot draw {count} distinct cells from a grid of "
+            f"{grid.size}"
+        )
+    rng = np.random.default_rng(seed)
+    return np.sort(rng.choice(grid.size, size=count, replace=replace))
+
+
+def pairs_at_manhattan_distance(grid: Grid, distance: int,
+                                limit: int | None = None,
+                                seed: int = 0
+                                ) -> Tuple[np.ndarray, np.ndarray]:
+    """Cell-index pairs at exactly the given Manhattan distance.
+
+    Enumerates, for every cell, the partner cells reachable with a
+    non-negative leading offset (each unordered pair counted once).  When
+    ``limit`` is given and fewer pairs are wanted than exist, a uniform
+    sample of that size is drawn with the given seed.
+    """
+    if not 1 <= distance <= grid.max_manhattan:
+        raise InvalidParameterError(
+            f"distance must be in [1, {grid.max_manhattan}], got {distance}"
+        )
+    offsets = _canonical_offsets_at_distance(grid.ndim, distance)
+    coords = grid.coordinates()
+    shape = np.array(grid.shape)
+    strides = np.array(grid.strides)
+    lefts = []
+    rights = []
+    for off in offsets:
+        valid = np.ones(grid.size, dtype=bool)
+        for axis, delta in enumerate(off):
+            if delta > 0:
+                valid &= coords[:, axis] + delta < shape[axis]
+            elif delta < 0:
+                valid &= coords[:, axis] + delta >= 0
+        src = np.flatnonzero(valid)
+        if len(src):
+            lefts.append(src)
+            rights.append(src + int(np.array(off) @ strides))
+    if not lefts:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    left = np.concatenate(lefts)
+    right = np.concatenate(rights)
+    if limit is not None and len(left) > limit:
+        rng = np.random.default_rng(seed)
+        pick = rng.choice(len(left), size=limit, replace=False)
+        pick.sort()
+        left, right = left[pick], right[pick]
+    return left, right
+
+
+def _canonical_offsets_at_distance(ndim: int,
+                                   distance: int) -> List[Tuple[int, ...]]:
+    """Offsets with Manhattan norm == distance, first nonzero positive."""
+    results: List[Tuple[int, ...]] = []
+
+    def extend(prefix: Tuple[int, ...], remaining: int) -> None:
+        axis = len(prefix)
+        if axis == ndim:
+            if remaining == 0:
+                results.append(prefix)
+            return
+        if axis == ndim - 1:
+            # Last axis takes everything that remains.
+            for delta in {remaining, -remaining}:
+                extend(prefix + (delta,), 0)
+            return
+        for magnitude in range(remaining + 1):
+            deltas = (magnitude,) if magnitude == 0 else (magnitude,
+                                                          -magnitude)
+            for delta in deltas:
+                extend(prefix + (delta,), remaining - magnitude)
+
+    extend((), distance)
+    canonical = []
+    for off in results:
+        first = next((c for c in off if c != 0), 0)
+        if first > 0:
+            canonical.append(off)
+    return canonical

@@ -1,0 +1,39 @@
+"""Disk substrate: pages, cost model, buffer pool, declustering."""
+
+from repro.storage.buffer import (
+    BufferStats,
+    LRUBufferPool,
+    replay_query_stream,
+)
+from repro.storage.declustering import (
+    DECLUSTERING_SCHEMES,
+    DeclusterReport,
+    disk_of_pages,
+    query_response_time,
+    workload_response_stats,
+)
+from repro.storage.disk import (
+    DiskCostModel,
+    IOCost,
+    query_io,
+    span_scan_io,
+    workload_io,
+)
+from repro.storage.pages import PageLayout
+
+__all__ = [
+    "BufferStats",
+    "DECLUSTERING_SCHEMES",
+    "DeclusterReport",
+    "DiskCostModel",
+    "IOCost",
+    "LRUBufferPool",
+    "PageLayout",
+    "disk_of_pages",
+    "query_io",
+    "query_response_time",
+    "replay_query_stream",
+    "span_scan_io",
+    "workload_io",
+    "workload_response_stats",
+]

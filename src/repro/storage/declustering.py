@@ -1,0 +1,94 @@
+"""Declustering: spreading pages across parallel disks.
+
+Another application the paper claims for locality-preserving mappings
+(Sections 1 and 6).  The goal inverts single-disk clustering: a range
+query should touch all ``M`` disks *evenly* so its pages can be fetched in
+parallel.  The standard scheme assigns page ``p`` to disk ``p mod M``
+along the linear order; with a good mapping, the pages of any query are
+consecutive along the order and therefore stripe across disks almost
+perfectly.
+
+The quality metric is the classical *response time*: the maximum number
+of pages any single disk must serve for a query (optimal =
+``ceil(pages / M)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.storage.pages import PageLayout
+
+DECLUSTERING_SCHEMES = ("round_robin",)
+
+
+def disk_of_pages(num_pages: int, num_disks: int,
+                  scheme: str = "round_robin") -> np.ndarray:
+    """Disk assignment for every page id."""
+    if num_disks < 1:
+        raise InvalidParameterError(
+            f"num_disks must be >= 1, got {num_disks}"
+        )
+    if scheme not in DECLUSTERING_SCHEMES:
+        raise InvalidParameterError(
+            f"unknown scheme {scheme!r}; "
+            f"expected one of {DECLUSTERING_SCHEMES}"
+        )
+    return np.arange(num_pages, dtype=np.int64) % num_disks
+
+
+@dataclass(frozen=True)
+class DeclusterReport:
+    """Parallel-I/O quality of one query against a declustered layout."""
+
+    pages: int
+    num_disks: int
+    response_time: int
+    optimal_response_time: int
+
+    @property
+    def slowdown(self) -> float:
+        """response / optimal (1.0 = perfectly balanced)."""
+        if self.optimal_response_time == 0:
+            return 1.0
+        return self.response_time / self.optimal_response_time
+
+
+def query_response_time(layout: PageLayout, items: Sequence[int],
+                        num_disks: int,
+                        scheme: str = "round_robin") -> DeclusterReport:
+    """Response time of one query on an ``num_disks``-way declustering."""
+    assignment = disk_of_pages(layout.num_pages, num_disks, scheme)
+    pages = layout.pages_for_items(items)
+    if len(pages) == 0:
+        return DeclusterReport(pages=0, num_disks=num_disks,
+                               response_time=0, optimal_response_time=0)
+    per_disk = np.bincount(assignment[pages], minlength=num_disks)
+    optimal = int(np.ceil(len(pages) / num_disks))
+    return DeclusterReport(
+        pages=len(pages),
+        num_disks=num_disks,
+        response_time=int(per_disk.max()),
+        optimal_response_time=optimal,
+    )
+
+
+def workload_response_stats(layout: PageLayout,
+                            queries: Sequence[Sequence[int]],
+                            num_disks: int,
+                            scheme: str = "round_robin"
+                            ) -> tuple[float, float]:
+    """``(mean response time, mean slowdown)`` over a query workload."""
+    responses = []
+    slowdowns = []
+    for items in queries:
+        report = query_response_time(layout, items, num_disks, scheme)
+        responses.append(report.response_time)
+        slowdowns.append(report.slowdown)
+    if not responses:
+        return 0.0, 1.0
+    return float(np.mean(responses)), float(np.mean(slowdowns))

@@ -1,0 +1,99 @@
+"""A seek/transfer disk cost model.
+
+The classical magnetic-disk abstraction the paper's application domain
+assumes: reading ``p`` pages that form ``r`` contiguous runs costs
+
+    cost = r * seek_cost + p * transfer_cost
+
+(one positioning delay per run, one transfer per page).  The relative
+magnitude of the two constants is what makes locality matter — with
+``seek_cost >> transfer_cost``, a mapping that turns a range query into
+few long runs wins even when it touches a few extra pages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.storage.pages import PageLayout
+
+
+@dataclass(frozen=True)
+class DiskCostModel:
+    """Seek and transfer costs in arbitrary time units.
+
+    Defaults approximate a commodity drive: a seek is ~50x a sequential
+    page transfer.
+    """
+
+    seek_cost: float = 5.0
+    transfer_cost: float = 0.1
+
+    def __post_init__(self):
+        if self.seek_cost < 0 or self.transfer_cost < 0:
+            raise InvalidParameterError("costs must be non-negative")
+
+    def cost(self, pages: int, runs: int) -> float:
+        """Cost of reading ``pages`` pages in ``runs`` contiguous runs."""
+        if pages < 0 or runs < 0:
+            raise InvalidParameterError("pages/runs must be >= 0")
+        if runs > pages:
+            raise InvalidParameterError(
+                f"cannot have more runs ({runs}) than pages ({pages})"
+            )
+        return runs * self.seek_cost + pages * self.transfer_cost
+
+
+@dataclass(frozen=True)
+class IOCost:
+    """I/O accounting of one query against one layout."""
+
+    pages: int
+    runs: int
+    cost: float
+
+
+def query_io(layout: PageLayout, items: Sequence[int],
+             model: DiskCostModel | None = None) -> IOCost:
+    """Pages, runs, and modelled cost of fetching an item set."""
+    model = model or DiskCostModel()
+    pages = layout.pages_for_items(items)
+    runs = len(layout.page_run_lengths(pages))
+    return IOCost(pages=len(pages), runs=runs,
+                  cost=model.cost(len(pages), runs))
+
+
+def workload_io(layout: PageLayout, queries: Sequence[Sequence[int]],
+                model: DiskCostModel | None = None) -> IOCost:
+    """Aggregate I/O over a query workload (costs summed)."""
+    model = model or DiskCostModel()
+    total_pages = 0
+    total_runs = 0
+    total_cost = 0.0
+    for items in queries:
+        one = query_io(layout, items, model)
+        total_pages += one.pages
+        total_runs += one.runs
+        total_cost += one.cost
+    return IOCost(pages=total_pages, runs=total_runs, cost=total_cost)
+
+
+def span_scan_io(layout: PageLayout, items: Sequence[int],
+                 model: DiskCostModel | None = None) -> IOCost:
+    """Cost of the span-scan strategy the paper's Figure 6 motivates.
+
+    Instead of fetching exactly the touched pages, read sequentially from
+    the first relevant page through the last ("sequential access from the
+    minimum point to the maximum point while eliminating the records that
+    lie outside") — one seek, span-many transfers.
+    """
+    model = model or DiskCostModel()
+    pages = layout.pages_for_items(items)
+    if len(pages) == 0:
+        return IOCost(pages=0, runs=0, cost=0.0)
+    total = int(pages[-1] - pages[0] + 1)
+    return IOCost(pages=total, runs=1, cost=model.cost(total, 1))

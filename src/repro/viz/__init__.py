@@ -1,0 +1,5 @@
+"""Text rendering of grids, orders, and vectors."""
+
+from repro.viz.ascii_art import render_order_path, render_ranks, render_values
+
+__all__ = ["render_order_path", "render_ranks", "render_values"]

@@ -1,0 +1,55 @@
+"""Shared fixtures and hypothesis configuration for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.core import SpectralLPM
+from repro.geometry import Grid
+from repro.graph import grid_graph
+
+# One conservative profile for every property test: no deadline (CI boxes
+# vary wildly) and a bounded example budget so the suite stays fast.
+settings.register_profile(
+    "repro",
+    deadline=None,
+    max_examples=50,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def grid3() -> Grid:
+    """The paper's Figure-3 3x3 grid."""
+    return Grid((3, 3))
+
+
+@pytest.fixture
+def grid4() -> Grid:
+    """The paper's Figure-1/4 4x4 grid."""
+    return Grid((4, 4))
+
+
+@pytest.fixture
+def grid8() -> Grid:
+    return Grid((8, 8))
+
+
+@pytest.fixture
+def graph3(grid3):
+    """4-connectivity graph of the 3x3 grid (paper Figure 3b)."""
+    return grid_graph(grid3)
+
+
+@pytest.fixture
+def dense_lpm() -> SpectralLPM:
+    """Spectral LPM pinned to the exact dense eigensolver."""
+    return SpectralLPM(backend="dense")
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

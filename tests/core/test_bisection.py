@@ -1,0 +1,94 @@
+"""Tests for repro.core.bisection (recursive spectral bisection)."""
+
+import numpy as np
+import pytest
+
+from repro.core import spectral_bisection_order
+from repro.errors import InvalidParameterError
+from repro.geometry import Grid
+from repro.graph import Graph, grid_graph, path_graph
+from repro.metrics import two_sum
+
+
+def test_path_recovered():
+    order = spectral_bisection_order(path_graph(16), backend="dense",
+                                     leaf_size=4)
+    perm = list(order.permutation)
+    assert perm == list(range(16)) or perm == list(range(15, -1, -1))
+
+
+def test_order_is_permutation():
+    g = grid_graph(Grid((6, 6)))
+    order = spectral_bisection_order(g, backend="dense")
+    assert sorted(order.permutation) == list(range(36))
+
+
+def test_deterministic():
+    g = grid_graph(Grid((5, 5)))
+    a = spectral_bisection_order(g, backend="dense")
+    b = spectral_bisection_order(g, backend="dense")
+    assert a == b
+
+
+def test_halves_are_contiguous():
+    """The defining property: the first n//2 ranks form one side of the
+    median cut — a contiguous half of the grid (here: along an axis
+    mode, so one half of the cells)."""
+    grid = Grid((4, 8))  # rectangular => simple lambda_2 along axis 1
+    g = grid_graph(grid)
+    order = spectral_bisection_order(g, backend="dense")
+    first_half = {int(v) for v in order.permutation[:16]}
+    columns = {grid.point_of(v)[1] for v in first_half}
+    # The long axis has 8 columns; one side of the cut takes 4 of them.
+    assert columns in ({0, 1, 2, 3}, {4, 5, 6, 7})
+
+
+def test_leaf_size_controls_recursion():
+    g = grid_graph(Grid((4, 4)))
+    fine = spectral_bisection_order(g, backend="dense", leaf_size=2)
+    coarse = spectral_bisection_order(g, backend="dense", leaf_size=16)
+    assert sorted(fine.permutation) == sorted(coarse.permutation)
+    with pytest.raises(InvalidParameterError):
+        spectral_bisection_order(g, leaf_size=1)
+
+
+def test_disconnected_graph():
+    g = Graph.from_edges(6, [(0, 1), (1, 2), (3, 4), (4, 5)])
+    order = spectral_bisection_order(g, backend="dense")
+    assert sorted(order.permutation) == list(range(6))
+    ranks = order.ranks
+    assert sorted(int(ranks[v]) for v in (0, 1, 2)) == [0, 1, 2]
+
+
+def test_empty_and_tiny():
+    assert spectral_bisection_order(Graph.from_edges(0, [])).n == 0
+    assert list(spectral_bisection_order(
+        Graph.empty(1)).permutation) == [0]
+    assert sorted(spectral_bisection_order(
+        Graph.from_edges(2, [(0, 1)])).permutation) == [0, 1]
+
+
+def test_global_spectral_beats_bisection_on_two_sum():
+    """The library's measured support for the paper's thesis: recursive
+    bisection makes each cut final, so it pays a boundary penalty at
+    every cut boundary — a *fractal-like* local optimization — and the
+    one-global-sort Spectral LPM beats it by severalfold on the
+    quadratic objective.  (Measured: 3678 vs 13720 on 8x8.)"""
+    from repro.core import SpectralLPM
+    from repro.mapping import CurveMapping
+    grid = Grid((8, 8))
+    g = grid_graph(grid)
+    global_cost = two_sum(g, SpectralLPM(backend="dense").order_grid(grid))
+    bisect_cost = two_sum(g, spectral_bisection_order(g, backend="dense"))
+    assert global_cost < bisect_cost
+    # Still a structured order: no worse than the worst fractal curve.
+    gray_cost = two_sum(g, CurveMapping("gray").order_for_grid(grid))
+    assert bisect_cost <= gray_cost
+
+
+def test_mapping_registry_integration():
+    from repro.mapping import mapping_by_name
+    mapping = mapping_by_name("spectral-rb", backend="dense")
+    ranks = mapping.ranks_for_grid(Grid((5, 5)))
+    assert sorted(ranks) == list(range(25))
+    assert mapping.name == "spectral-rb"

@@ -1,0 +1,110 @@
+"""Tests for repro.core.extensions (Section 4)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    SpectralLPM,
+    access_pattern_weights,
+    add_access_pattern,
+    correlated_pairs_from_trace,
+    weighted_radius_model,
+)
+from repro.errors import InvalidParameterError
+from repro.geometry import Grid
+
+
+def test_add_access_pattern_adds_edge():
+    grid = Grid((4, 4))
+    lpm = SpectralLPM(backend="dense")
+    base = lpm.build_grid_graph(grid)
+    a, b = grid.index_of((0, 0)), grid.index_of((3, 3))
+    augmented = add_access_pattern(base, [(a, b)], weight=2.0)
+    assert augmented.has_edge(a, b)
+    assert augmented.edge_weight(a, b) == 2.0
+    assert not base.has_edge(a, b)  # original untouched
+
+
+def test_add_access_pattern_pulls_points_together():
+    """The paper's Section-4 scenario, quantitatively."""
+    grid = Grid((8, 8))
+    lpm = SpectralLPM(backend="dense")
+    base = lpm.build_grid_graph(grid)
+    a, b = grid.index_of((0, 0)), grid.index_of((7, 7))
+    before = lpm.order_graph(base)
+    after = lpm.order_graph(add_access_pattern(base, [(a, b)],
+                                               weight=5.0))
+    gap_before = abs(before.rank_of(a) - before.rank_of(b))
+    gap_after = abs(after.rank_of(a) - after.rank_of(b))
+    assert gap_after < gap_before / 2
+
+
+def test_add_access_pattern_empty_noop():
+    grid = Grid((3, 3))
+    base = SpectralLPM(backend="dense").build_grid_graph(grid)
+    assert add_access_pattern(base, []) is base
+
+
+def test_add_access_pattern_weight_validation():
+    grid = Grid((3, 3))
+    base = SpectralLPM(backend="dense").build_grid_graph(grid)
+    with pytest.raises(InvalidParameterError):
+        add_access_pattern(base, [(0, 1)], weight=0.0)
+
+
+def test_weighted_radius_model_weights():
+    grid = Grid((4, 4))
+    g = weighted_radius_model(grid, radius=2)
+    a = grid.index_of((0, 0))
+    assert g.edge_weight(a, grid.index_of((0, 1))) == 1.0
+    assert g.edge_weight(a, grid.index_of((1, 1))) == 0.5
+    with pytest.raises(InvalidParameterError):
+        weighted_radius_model(grid, radius=0)
+
+
+# ----------------------------------------------------------------------
+# Trace mining
+# ----------------------------------------------------------------------
+def test_correlated_pairs_counts_cooccurrences():
+    trace = [1, 2, 1, 2, 1, 2, 5]
+    pairs = correlated_pairs_from_trace(trace, window=1, min_support=2)
+    assert pairs[0][:2] == (1, 2)
+    assert pairs[0][2] == 5  # five adjacent (1,2)/(2,1) occurrences
+
+
+def test_correlated_pairs_window():
+    trace = [1, 9, 2, 1, 9, 2]
+    narrow = correlated_pairs_from_trace(trace, window=1, min_support=2)
+    wide = correlated_pairs_from_trace(trace, window=2, min_support=2)
+    assert (1, 2) not in [(p, q) for p, q, _ in narrow]
+    assert (1, 2) in [(p, q) for p, q, _ in wide]
+
+
+def test_correlated_pairs_min_support_and_top_k():
+    trace = [1, 2] * 5 + [3, 4]
+    pairs = correlated_pairs_from_trace(trace, min_support=3)
+    assert [(p, q) for p, q, _ in pairs] == [(1, 2)]
+    top = correlated_pairs_from_trace(trace, min_support=1, top_k=1)
+    assert len(top) == 1
+
+
+def test_correlated_pairs_deterministic_tiebreak():
+    trace = [1, 2, 3, 4]  # pairs (1,2),(2,3),(3,4) each once
+    pairs = correlated_pairs_from_trace(trace, min_support=1)
+    assert pairs == [(1, 2, 1), (2, 3, 1), (3, 4, 1)]
+
+
+def test_correlated_pairs_validation():
+    with pytest.raises(InvalidParameterError):
+        correlated_pairs_from_trace([1, 2], window=0)
+    with pytest.raises(InvalidParameterError):
+        correlated_pairs_from_trace([1, 2], min_support=0)
+
+
+def test_access_pattern_weights_normalized():
+    pairs = [(0, 1, 10), (2, 3, 5)]
+    edges, weights = access_pattern_weights(pairs, base_weight=4.0)
+    assert edges == [(0, 1), (2, 3)]
+    assert list(weights) == [4.0, 2.0]
+    empty_edges, empty_weights = access_pattern_weights([])
+    assert empty_edges == [] and len(empty_weights) == 0

@@ -1,0 +1,81 @@
+"""Tests for repro.core.multilevel."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    SpectralLPM,
+    fiedler_vector,
+    multilevel_fiedler,
+    multilevel_order,
+)
+from repro.errors import GraphStructureError, InvalidParameterError
+from repro.geometry import Grid
+from repro.graph import Graph, grid_graph, path_graph
+from repro.metrics import two_sum
+
+
+def test_rayleigh_close_to_lambda2():
+    g = grid_graph(Grid((16, 16)))
+    result = multilevel_fiedler(g, min_size=32)
+    exact = fiedler_vector(g, backend="dense").value
+    assert result.rayleigh <= 1.10 * exact
+    assert result.rayleigh >= exact - 1e-9  # lambda_2 is a lower bound
+
+
+def test_order_is_valid_permutation():
+    g = grid_graph(Grid((12, 12)))
+    order = multilevel_order(g, min_size=24)
+    assert sorted(order.permutation) == list(range(144))
+
+
+def test_quality_competitive_with_exact():
+    grid = Grid((16, 16))
+    g = grid_graph(grid)
+    exact_cost = two_sum(g, SpectralLPM(backend="dense").order_grid(grid))
+    ml_cost = two_sum(g, multilevel_order(g, min_size=32))
+    assert ml_cost <= 1.5 * exact_cost
+
+
+def test_deterministic():
+    g = grid_graph(Grid((10, 10)))
+    a = multilevel_fiedler(g)
+    b = multilevel_fiedler(g)
+    assert a.order == b.order
+    assert np.array_equal(a.vector, b.vector)
+
+
+def test_small_graph_skips_coarsening():
+    g = path_graph(10)
+    result = multilevel_fiedler(g, min_size=64)
+    assert result.levels == 0
+    perm = list(result.order.permutation)
+    assert perm == sorted(perm) or perm == sorted(perm, reverse=True)
+
+
+def test_levels_reported():
+    g = grid_graph(Grid((16, 16)))
+    result = multilevel_fiedler(g, min_size=32)
+    assert result.levels >= 2
+    assert result.coarsest_size <= 32
+
+
+def test_smoothing_improves_quotient():
+    g = grid_graph(Grid((16, 16)))
+    rough = multilevel_fiedler(g, min_size=32, smoothing_steps=0)
+    smooth = multilevel_fiedler(g, min_size=32, smoothing_steps=60)
+    assert smooth.rayleigh <= rough.rayleigh + 1e-12
+
+
+def test_disconnected_rejected():
+    g = Graph.from_edges(4, [(0, 1), (2, 3)])
+    with pytest.raises(GraphStructureError):
+        multilevel_fiedler(g)
+
+
+def test_validation():
+    g = path_graph(6)
+    with pytest.raises(InvalidParameterError):
+        multilevel_fiedler(Graph.empty(1))
+    with pytest.raises(InvalidParameterError):
+        multilevel_fiedler(g, smoothing_steps=-1)

@@ -1,0 +1,105 @@
+"""Tests for repro.core.refinement."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import LinearOrder, SpectralLPM, refine_order
+from repro.errors import InvalidParameterError
+from repro.geometry import Grid
+from repro.graph import Graph, grid_graph, path_graph
+from repro.metrics import one_sum, two_sum
+
+
+def test_optimal_order_is_a_fixed_point():
+    g = path_graph(10)
+    result = refine_order(g, LinearOrder.identity(10))
+    assert result.order == LinearOrder.identity(10)
+    assert result.swaps == 0
+    assert result.improvement == 0.0
+
+
+def test_refinement_never_worsens():
+    g = grid_graph(Grid((5, 5)))
+    rng = np.random.default_rng(3)
+    for _ in range(10):
+        start = LinearOrder(rng.permutation(25))
+        result = refine_order(g, start)
+        assert result.final_cost <= result.initial_cost
+        assert result.final_cost == pytest.approx(
+            two_sum(g, result.order))
+
+
+def test_refinement_reaches_local_optimum():
+    """At the fixed point, no adjacent swap improves the objective."""
+    g = grid_graph(Grid((4, 4)))
+    start = LinearOrder(np.random.default_rng(1).permutation(16))
+    refined = refine_order(g, start, max_passes=100).order
+    base = two_sum(g, refined)
+    perm = refined.permutation.copy()
+    for position in range(15):
+        candidate = perm.copy()
+        candidate[position], candidate[position + 1] = \
+            candidate[position + 1], candidate[position]
+        assert two_sum(g, LinearOrder(candidate)) >= base - 1e-9
+
+
+def test_refinement_improves_scrambled_order():
+    g = grid_graph(Grid((5, 5)))
+    scrambled = LinearOrder(np.random.default_rng(7).permutation(25))
+    result = refine_order(g, scrambled, max_passes=200)
+    assert result.improvement > 0.2
+    assert result.swaps > 0
+
+
+def test_one_sum_objective():
+    g = grid_graph(Grid((4, 4)))
+    scrambled = LinearOrder(np.random.default_rng(5).permutation(16))
+    result = refine_order(g, scrambled, objective="one_sum")
+    assert result.final_cost == pytest.approx(one_sum(g, result.order))
+    assert result.final_cost <= result.initial_cost
+
+
+def test_refining_spectral_changes_little():
+    """Spectral starts near a local optimum of its own objective; the
+    greedy pass should find only marginal gains (a few percent)."""
+    grid = Grid((8, 8))
+    g = grid_graph(grid)
+    spectral = SpectralLPM(backend="dense").order_grid(grid)
+    result = refine_order(g, spectral)
+    assert result.improvement <= 0.10
+    assert result.final_cost <= result.initial_cost
+
+
+def test_max_passes_zero_is_noop():
+    g = path_graph(6)
+    start = LinearOrder(np.array([3, 1, 2, 0, 5, 4]))
+    result = refine_order(g, start, max_passes=0)
+    assert result.order == start
+    assert result.passes == 0
+
+
+def test_validation():
+    g = path_graph(4)
+    with pytest.raises(InvalidParameterError):
+        refine_order(g, LinearOrder.identity(5))
+    with pytest.raises(InvalidParameterError):
+        refine_order(g, LinearOrder.identity(4), objective="bandwidth")
+    with pytest.raises(InvalidParameterError):
+        refine_order(g, LinearOrder.identity(4), max_passes=-1)
+
+
+def test_empty_and_tiny_graphs():
+    assert refine_order(Graph.empty(1), LinearOrder.identity(1)).swaps == 0
+    g2 = Graph.from_edges(2, [(0, 1)])
+    assert refine_order(g2, LinearOrder.identity(2)).swaps == 0
+
+
+@given(n=st.integers(2, 12), seed=st.integers(0, 100))
+@settings(max_examples=25)
+def test_refined_path_cost_bounded_by_start(n, seed):
+    g = path_graph(n)
+    start = LinearOrder(np.random.default_rng(seed).permutation(n))
+    result = refine_order(g, start, max_passes=50)
+    assert result.final_cost <= two_sum(g, start) + 1e-9

@@ -1,0 +1,48 @@
+"""Tests for repro.core.tie_breaking."""
+
+import numpy as np
+import pytest
+
+from repro.core import tie_break_keys
+from repro.errors import InvalidParameterError
+from repro.graph import Graph, path_graph
+
+
+def test_index_strategy():
+    assert list(tie_break_keys("index", 4)) == [0, 1, 2, 3]
+
+
+def test_bfs_strategy_orders_from_min_value():
+    g = path_graph(5)
+    values = np.array([3.0, 2.0, 0.0, 2.0, 3.0])  # min at vertex 2
+    keys = tie_break_keys("bfs", 5, values=values, graph=g)
+    # BFS from 2 visits 2, then 1,3, then 0,4.
+    assert keys[2] == 0
+    assert sorted([keys[1], keys[3]]) == [1, 2]
+    assert sorted([keys[0], keys[4]]) == [3, 4]
+
+
+def test_bfs_strategy_unreached_vertices_last():
+    g = Graph.from_edges(4, [(0, 1)])
+    values = np.array([0.0, 1.0, 2.0, 3.0])
+    keys = tie_break_keys("bfs", 4, values=values, graph=g)
+    assert keys[0] == 0 and keys[1] == 1
+    assert keys[2] == 4 and keys[3] == 4  # sentinel: after everyone
+
+
+def test_bfs_requires_graph_and_values():
+    with pytest.raises(InvalidParameterError):
+        tie_break_keys("bfs", 4)
+    with pytest.raises(InvalidParameterError):
+        tie_break_keys("bfs", 4, values=np.zeros(4))
+
+
+def test_bfs_size_mismatch():
+    g = path_graph(3)
+    with pytest.raises(InvalidParameterError):
+        tie_break_keys("bfs", 4, values=np.zeros(4), graph=g)
+
+
+def test_unknown_strategy():
+    with pytest.raises(InvalidParameterError):
+        tie_break_keys("alphabetical", 4)

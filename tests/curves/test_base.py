@@ -1,0 +1,91 @@
+"""Tests for repro.curves.base and the registry."""
+
+import pytest
+
+from repro.curves import (
+    CURVE_NAMES,
+    PAPER_BASELINES,
+    HilbertCurve,
+    SpaceFillingCurve,
+    ZOrderCurve,
+    enclosing_bits,
+    make_curve,
+)
+from repro.errors import (
+    DimensionError,
+    DomainError,
+    InvalidParameterError,
+)
+
+
+def test_enclosing_bits():
+    assert enclosing_bits(1) == 1
+    assert enclosing_bits(2) == 1
+    assert enclosing_bits(3) == 2
+    assert enclosing_bits(4) == 2
+    assert enclosing_bits(5) == 3
+    assert enclosing_bits(16) == 4
+    assert enclosing_bits(17) == 5
+    with pytest.raises(InvalidParameterError):
+        enclosing_bits(0)
+
+
+def test_curve_domain_properties():
+    curve = ZOrderCurve(3, 2)
+    assert curve.ndim == 3
+    assert curve.bits == 2
+    assert curve.side == 4
+    assert curve.size == 64
+
+
+def test_constructor_validation():
+    with pytest.raises(InvalidParameterError):
+        ZOrderCurve(0, 2)
+    with pytest.raises(InvalidParameterError):
+        ZOrderCurve(2, 0)
+
+
+def test_point_domain_validation():
+    curve = ZOrderCurve(2, 2)
+    with pytest.raises(DomainError):
+        curve.point_to_index((4, 0))
+    with pytest.raises(DomainError):
+        curve.point_to_index((-1, 0))
+    with pytest.raises(DimensionError):
+        curve.point_to_index((1, 1, 1))
+    with pytest.raises(DomainError):
+        curve.index_to_point(16)
+
+
+def test_points_in_order_covers_domain():
+    curve = HilbertCurve(2, 2)
+    points = list(curve.points_in_order())
+    assert len(points) == 16
+    assert len(set(points)) == 16
+
+
+def test_step_sizes_length():
+    curve = HilbertCurve(2, 2)
+    assert len(list(curve.step_sizes())) == 15
+
+
+def test_registry_names():
+    assert set(PAPER_BASELINES) <= set(CURVE_NAMES)
+    for name in CURVE_NAMES:
+        curve = make_curve(name, 2, 2)
+        assert curve.ndim == 2
+    with pytest.raises(InvalidParameterError):
+        make_curve("koch", 2, 2)
+
+
+def test_registry_aliases():
+    assert isinstance(make_curve("zorder", 2, 2), ZOrderCurve)
+    assert isinstance(make_curve("morton", 2, 2), ZOrderCurve)
+    assert isinstance(make_curve("PEANO", 2, 2), ZOrderCurve)
+
+
+def test_curve_names_exposed_on_instances():
+    assert make_curve("peano", 2, 2).name == "peano"
+    assert make_curve("hilbert", 2, 2).name == "hilbert"
+    assert make_curve("diagonal-zigzag", 2, 2).name == "diagonal-zigzag"
+    assert isinstance(make_curve("hilbert", 2, 2), SpaceFillingCurve)

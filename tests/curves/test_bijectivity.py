@@ -1,0 +1,67 @@
+"""Bijectivity and inverse properties for every curve, incl. hypothesis."""
+
+import itertools
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.curves import CURVE_NAMES, SpaceFillingCurve, make_curve
+
+SMALL_DOMAINS = [(1, 3), (2, 1), (2, 2), (2, 3), (3, 1), (3, 2), (4, 1),
+                 (5, 1)]
+
+
+@pytest.mark.parametrize("name", CURVE_NAMES)
+@pytest.mark.parametrize("ndim,bits", SMALL_DOMAINS)
+def test_keys_are_distinct(name, ndim, bits):
+    curve = make_curve(name, ndim, bits)
+    points = list(itertools.product(range(1 << bits), repeat=ndim))
+    keys = [curve.point_to_key(p) for p in points]
+    assert len(set(keys)) == len(points)
+    assert all(k >= 0 for k in keys)
+
+
+@pytest.mark.parametrize("name", CURVE_NAMES)
+@pytest.mark.parametrize("ndim,bits", SMALL_DOMAINS)
+def test_bijection_and_inverse(name, ndim, bits):
+    curve = make_curve(name, ndim, bits)
+    if not isinstance(curve, SpaceFillingCurve):
+        pytest.skip("keyed-only order")
+    points = list(itertools.product(range(1 << bits), repeat=ndim))
+    indices = [curve.point_to_index(p) for p in points]
+    assert sorted(indices) == list(range(len(points)))
+    for point, index in zip(points, indices):
+        assert curve.index_to_point(index) == point
+
+
+@given(
+    name=st.sampled_from(CURVE_NAMES),
+    ndim=st.integers(1, 4),
+    bits=st.integers(1, 3),
+    data=st.data(),
+)
+def test_roundtrip_property(name, ndim, bits, data):
+    curve = make_curve(name, ndim, bits)
+    point = tuple(
+        data.draw(st.integers(0, curve.side - 1)) for _ in range(ndim)
+    )
+    key = curve.point_to_key(point)
+    assert 0 <= key
+    if isinstance(curve, SpaceFillingCurve):
+        index = curve.point_to_index(point)
+        assert curve.index_to_point(index) == point
+        assert 0 <= index < curve.size
+
+
+@given(
+    name=st.sampled_from([n for n in CURVE_NAMES
+                          if n not in ("diagonal", "diagonal-zigzag")]),
+    ndim=st.integers(1, 3),
+    bits=st.integers(1, 3),
+    data=st.data(),
+)
+def test_index_roundtrip_property(name, ndim, bits, data):
+    curve = make_curve(name, ndim, bits)
+    index = data.draw(st.integers(0, curve.size - 1))
+    assert curve.point_to_index(curve.index_to_point(index)) == index

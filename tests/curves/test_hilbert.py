@@ -1,0 +1,107 @@
+"""Tests for the Hilbert curve (Skilling transform + 2-D oracle)."""
+
+import itertools
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.curves import (
+    HilbertCurve,
+    hilbert2d_index,
+    hilbert2d_point,
+)
+from repro.errors import DomainError, InvalidParameterError
+
+
+@pytest.mark.parametrize("ndim,bits", [(2, 2), (2, 3), (2, 4), (3, 2),
+                                       (3, 3), (4, 2), (5, 1)])
+def test_unit_steps(ndim, bits):
+    """The defining Hilbert property: consecutive cells are adjacent."""
+    curve = HilbertCurve(ndim, bits)
+    assert all(step == 1 for step in curve.step_sizes())
+
+
+def test_starts_at_origin():
+    for ndim, bits in [(2, 2), (3, 2), (4, 1)]:
+        curve = HilbertCurve(ndim, bits)
+        assert curve.index_to_point(0) == (0,) * ndim
+
+
+def test_nested_self_similarity_2d():
+    """The first quadrant of the 2^(b+1) curve is the 2^b curve's cells.
+
+    Hilbert curves refine: the first quarter of the indices stays inside
+    one quadrant of the grid — the recursive structure that makes the
+    curve a fractal.
+    """
+    coarse = HilbertCurve(2, 2)
+    fine = HilbertCurve(2, 3)
+    quarter = {fine.index_to_point(i) for i in range(fine.size // 4)}
+    # All inside a single 4x4 quadrant.
+    assert all(x < 4 and y < 4 for x, y in quarter)
+    assert len(quarter) == coarse.size
+
+
+def test_4x4_visits_every_cell_with_unit_steps():
+    curve = HilbertCurve(2, 2)
+    order = [curve.index_to_point(i) for i in range(16)]
+    assert len(set(order)) == 16
+    assert order[0] == (0, 0)
+
+
+# ----------------------------------------------------------------------
+# The classic 2-D oracle
+# ----------------------------------------------------------------------
+def test_oracle_roundtrip():
+    for side in (2, 4, 8, 16):
+        for index in range(side * side):
+            x, y = hilbert2d_point(side, index)
+            assert hilbert2d_index(side, x, y) == index
+
+
+def test_oracle_unit_steps():
+    side = 16
+    points = [hilbert2d_point(side, i) for i in range(side * side)]
+    for a, b in zip(points, points[1:]):
+        assert abs(a[0] - b[0]) + abs(a[1] - b[1]) == 1
+
+
+def test_oracle_validation():
+    with pytest.raises(InvalidParameterError):
+        hilbert2d_index(3, 0, 0)
+    with pytest.raises(DomainError):
+        hilbert2d_index(4, 4, 0)
+    with pytest.raises(InvalidParameterError):
+        hilbert2d_point(5, 0)
+    with pytest.raises(DomainError):
+        hilbert2d_point(4, 16)
+
+
+def test_skilling_and_oracle_share_locality_statistics():
+    """Orientations may differ, but both are Hilbert curves: identical
+    multiset of adjacent-pair index gaps on the same grid."""
+    side = 8
+    curve = HilbertCurve(2, 3)
+
+    def adjacent_gaps(index_of):
+        gaps = []
+        for x, y in itertools.product(range(side), repeat=2):
+            if x + 1 < side:
+                gaps.append(abs(index_of(x, y) - index_of(x + 1, y)))
+            if y + 1 < side:
+                gaps.append(abs(index_of(x, y) - index_of(x, y + 1)))
+        return sorted(gaps)
+
+    skilling = adjacent_gaps(lambda x, y: curve.point_to_index((x, y)))
+    oracle = adjacent_gaps(lambda x, y: hilbert2d_index(side, x, y))
+    assert skilling == oracle
+
+
+@given(bits=st.integers(1, 5), data=st.data())
+def test_oracle_matches_unit_step_property(bits, data):
+    side = 1 << bits
+    index = data.draw(st.integers(0, side * side - 2))
+    a = hilbert2d_point(side, index)
+    b = hilbert2d_point(side, index + 1)
+    assert abs(a[0] - b[0]) + abs(a[1] - b[1]) == 1

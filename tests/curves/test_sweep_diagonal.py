@@ -1,0 +1,98 @@
+"""Tests for the Sweep, Snake and Diagonal orders."""
+
+import itertools
+
+import pytest
+
+from repro.curves import DiagonalOrder, SnakeCurve, SweepCurve
+from repro.errors import InvalidParameterError
+
+
+# ----------------------------------------------------------------------
+# Sweep
+# ----------------------------------------------------------------------
+def test_sweep_is_row_major():
+    curve = SweepCurve(2, 2)
+    order = [curve.index_to_point(i) for i in range(16)]
+    assert order[:5] == [(0, 0), (0, 1), (0, 2), (0, 3), (1, 0)]
+
+
+def test_sweep_axis_order():
+    curve = SweepCurve(2, 2, axis_order=(1, 0))  # column-major
+    order = [curve.index_to_point(i) for i in range(5)]
+    assert order == [(0, 0), (1, 0), (2, 0), (3, 0), (0, 1)]
+
+
+def test_sweep_axis_order_validation():
+    with pytest.raises(InvalidParameterError):
+        SweepCurve(2, 2, axis_order=(0, 0))
+    with pytest.raises(InvalidParameterError):
+        SnakeCurve(2, 2, axis_order=(1, 2))
+
+
+def test_sweep_matches_flat_index():
+    curve = SweepCurve(3, 1)
+    for point in itertools.product(range(2), repeat=3):
+        expected = point[0] * 4 + point[1] * 2 + point[2]
+        assert curve.point_to_index(point) == expected
+
+
+def test_sweep_step_is_stride_jump():
+    curve = SweepCurve(2, 2)
+    steps = list(curve.step_sizes())
+    # Within-row steps are 1; row changes jump across the row.
+    assert steps.count(1) == 12
+    assert steps.count(4) == 3  # (0,3)->(1,0): |1| + |3| = 4
+
+
+# ----------------------------------------------------------------------
+# Snake
+# ----------------------------------------------------------------------
+def test_snake_reverses_alternate_rows():
+    curve = SnakeCurve(2, 2)
+    order = [curve.index_to_point(i) for i in range(8)]
+    assert order == [(0, 0), (0, 1), (0, 2), (0, 3),
+                     (1, 3), (1, 2), (1, 1), (1, 0)]
+
+
+@pytest.mark.parametrize("ndim,bits", [(1, 3), (2, 2), (2, 3), (3, 2),
+                                       (4, 1), (5, 1)])
+def test_snake_unit_steps(ndim, bits):
+    curve = SnakeCurve(ndim, bits)
+    assert all(step == 1 for step in curve.step_sizes())
+
+
+def test_snake_first_cell_is_origin():
+    assert SnakeCurve(3, 2).index_to_point(0) == (0, 0, 0)
+
+
+# ----------------------------------------------------------------------
+# Diagonal
+# ----------------------------------------------------------------------
+def test_diagonal_orders_by_coordinate_sum():
+    order = DiagonalOrder(2, 2)
+    points = sorted(itertools.product(range(4), repeat=2),
+                    key=order.point_to_key)
+    sums = [sum(p) for p in points]
+    assert sums == sorted(sums)
+
+
+def test_diagonal_lexicographic_within_diagonal():
+    order = DiagonalOrder(2, 2)
+    diag2 = sorted([(0, 2), (1, 1), (2, 0)], key=order.point_to_key)
+    assert diag2 == [(0, 2), (1, 1), (2, 0)]
+
+
+def test_diagonal_zigzag_alternates():
+    order = DiagonalOrder(2, 2, zigzag=True)
+    assert order.zigzag
+    diag1 = sorted([(0, 1), (1, 0)], key=order.point_to_key)
+    diag2 = sorted([(0, 2), (1, 1), (2, 0)], key=order.point_to_key)
+    # Odd diagonal reversed, even diagonal forward.
+    assert diag1 == [(1, 0), (0, 1)]
+    assert diag2 == [(0, 2), (1, 1), (2, 0)]
+
+
+def test_diagonal_names():
+    assert DiagonalOrder(2, 2).name == "diagonal"
+    assert DiagonalOrder(2, 2, zigzag=True).name == "diagonal-zigzag"

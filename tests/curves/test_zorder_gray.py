@@ -1,0 +1,106 @@
+"""Tests for the Z-order (Peano) and Gray-code curves."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.curves import (
+    GrayCurve,
+    ZOrderCurve,
+    deinterleave_bits,
+    gray_decode,
+    gray_encode,
+    interleave_bits,
+)
+
+
+# ----------------------------------------------------------------------
+# Bit interleaving
+# ----------------------------------------------------------------------
+def test_interleave_2d_known_values():
+    # x = coordinate 0 contributes the higher bit of each pair.
+    assert interleave_bits((0, 0), 2) == 0
+    assert interleave_bits((0, 1), 2) == 1
+    assert interleave_bits((1, 0), 2) == 2
+    assert interleave_bits((3, 3), 2) == 15
+
+
+def test_deinterleave_inverts():
+    for bits in (1, 2, 3):
+        for ndim in (1, 2, 3):
+            for code in range(1 << (bits * ndim)):
+                coords = deinterleave_bits(code, bits, ndim)
+                assert interleave_bits(coords, bits) == code
+
+
+def test_zorder_quadrant_structure():
+    """Z-order visits quadrants in Z shape: each quadrant's 4 cells are
+    contiguous in index space (the 'fragment' behaviour of Section 2)."""
+    curve = ZOrderCurve(2, 2)
+    for quadrant in range(4):
+        cells = {curve.index_to_point(i)
+                 for i in range(4 * quadrant, 4 * quadrant + 4)}
+        xs = {x // 2 for x, _ in cells}
+        ys = {y // 2 for _, y in cells}
+        assert len(xs) == 1 and len(ys) == 1
+
+
+def test_zorder_not_unit_step():
+    curve = ZOrderCurve(2, 2)
+    steps = list(curve.step_sizes())
+    assert max(steps) > 1  # the diagonal jumps of the Z
+
+
+# ----------------------------------------------------------------------
+# Gray codes
+# ----------------------------------------------------------------------
+def test_gray_encode_known_values():
+    assert [gray_encode(i) for i in range(8)] == [0, 1, 3, 2, 6, 7, 5, 4]
+
+
+def test_gray_roundtrip():
+    for value in range(512):
+        assert gray_decode(gray_encode(value)) == value
+
+
+def test_gray_consecutive_codes_differ_one_bit():
+    for value in range(255):
+        diff = gray_encode(value) ^ gray_encode(value + 1)
+        assert diff and (diff & (diff - 1)) == 0
+
+
+def test_gray_negative_rejected():
+    with pytest.raises(ValueError):
+        gray_encode(-1)
+    with pytest.raises(ValueError):
+        gray_decode(-1)
+
+
+def test_gray_curve_consecutive_cells_differ_one_coordinate_bit():
+    """Gray curve steps flip exactly one bit of one coordinate — i.e.
+    one coordinate changes by a power of two, the rest stay."""
+    curve = GrayCurve(2, 2)
+    previous = curve.index_to_point(0)
+    for index in range(1, curve.size):
+        current = curve.index_to_point(index)
+        changed = [(a, b) for a, b in zip(previous, current) if a != b]
+        assert len(changed) == 1
+        delta = abs(changed[0][0] - changed[0][1])
+        assert delta in (1, 2)  # a power of two within a 4-wide domain
+        previous = current
+
+
+def test_gray_curve_is_cyclic_on_cube():
+    """The last and first cells also differ in one bit (cyclic code)."""
+    curve = GrayCurve(3, 1)
+    first = curve.index_to_point(0)
+    last = curve.index_to_point(curve.size - 1)
+    assert sum(a != b for a, b in zip(first, last)) == 1
+
+
+@given(bits=st.integers(1, 4), ndim=st.integers(1, 3), data=st.data())
+def test_zorder_matches_interleave(bits, ndim, data):
+    curve = ZOrderCurve(ndim, bits)
+    point = tuple(data.draw(st.integers(0, curve.side - 1))
+                  for _ in range(ndim))
+    assert curve.point_to_index(point) == interleave_bits(point, bits)

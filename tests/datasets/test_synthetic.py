@@ -1,0 +1,92 @@
+"""Tests for repro.datasets.synthetic."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    DATASET_NAMES,
+    dataset_by_name,
+    gaussian_cluster_cells,
+    uniform_cells,
+    zipf_cells,
+)
+from repro.errors import InvalidParameterError
+from repro.geometry import Grid
+
+GENERATORS = [uniform_cells, gaussian_cluster_cells, zipf_cells]
+
+
+@pytest.mark.parametrize("generator", GENERATORS)
+def test_exact_count_distinct_in_range(generator):
+    grid = Grid((10, 10))
+    cells = generator(grid, 30, seed=0)
+    assert len(cells) == 30
+    assert len(np.unique(cells)) == 30
+    assert (cells >= 0).all() and (cells < 100).all()
+    assert np.array_equal(cells, np.sort(cells))
+
+
+@pytest.mark.parametrize("generator", GENERATORS)
+def test_seeded_reproducibility(generator):
+    grid = Grid((8, 8))
+    assert np.array_equal(generator(grid, 20, seed=5),
+                          generator(grid, 20, seed=5))
+    assert not np.array_equal(generator(grid, 20, seed=5),
+                              generator(grid, 20, seed=6))
+
+
+@pytest.mark.parametrize("generator", GENERATORS)
+def test_full_grid_request(generator):
+    grid = Grid((4, 4))
+    cells = generator(grid, 16, seed=1)
+    assert list(cells) == list(range(16))
+
+
+@pytest.mark.parametrize("generator", GENERATORS)
+def test_count_validation(generator):
+    grid = Grid((4, 4))
+    with pytest.raises(InvalidParameterError):
+        generator(grid, 0)
+    with pytest.raises(InvalidParameterError):
+        generator(grid, 17)
+
+
+def test_gaussian_parameters_validated():
+    grid = Grid((8, 8))
+    with pytest.raises(InvalidParameterError):
+        gaussian_cluster_cells(grid, 5, clusters=0)
+    with pytest.raises(InvalidParameterError):
+        gaussian_cluster_cells(grid, 5, spread=0.0)
+
+
+def test_gaussian_clusters_are_concentrated():
+    """Clustered data has a smaller mean pairwise distance than uniform."""
+    grid = Grid((32, 32))
+    clustered = gaussian_cluster_cells(grid, 60, clusters=2,
+                                       spread=0.04, seed=2)
+    uniform = uniform_cells(grid, 60, seed=2)
+
+    def mean_pairwise(cells):
+        pts = grid.points_of(cells)
+        return float(np.abs(pts[:, None, :] - pts[None, :, :])
+                     .sum(axis=2).mean())
+
+    assert mean_pairwise(clustered) < mean_pairwise(uniform)
+
+
+def test_zipf_skews_toward_origin():
+    grid = Grid((32, 32))
+    skewed = zipf_cells(grid, 100, alpha=1.5, seed=3)
+    uniform = uniform_cells(grid, 100, seed=3)
+    assert grid.points_of(skewed).mean() < grid.points_of(uniform).mean()
+    with pytest.raises(InvalidParameterError):
+        zipf_cells(grid, 5, alpha=0.0)
+
+
+def test_dataset_by_name():
+    grid = Grid((6, 6))
+    for name in DATASET_NAMES:
+        cells = dataset_by_name(name, grid, 10, seed=1)
+        assert len(cells) == 10
+    with pytest.raises(InvalidParameterError):
+        dataset_by_name("fractal", grid, 10)

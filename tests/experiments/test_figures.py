@@ -1,0 +1,154 @@
+"""Tests for the figure harnesses (small parameters for speed)."""
+
+import pytest
+
+from repro.experiments import (
+    PAPER_FIG1_GAPS,
+    fig4_metrics_table,
+    paper_fig5a,
+    paper_fig5b,
+    paper_fig6a,
+    paper_fig6b,
+    render_fig1_orders,
+    render_fig4,
+    run_fig1,
+    run_fig4,
+    run_fig5a,
+    run_fig5b,
+    run_fig6a,
+    run_fig6b,
+)
+from repro.experiments.runner import ranking_agreement
+
+
+# ----------------------------------------------------------------------
+# Figure 1
+# ----------------------------------------------------------------------
+def test_fig1_fractals_pay_boundary_effect():
+    result = run_fig1(side=4, backend="dense")
+    worst = {s.name: s.y[result.x.index("any-adjacent-max")]
+             for s in result.series}
+    # Every fractal's worst adjacent gap exceeds sweep's; the exact paper
+    # values (PAPER_FIG1_GAPS) are orientation-dependent, but the gaps
+    # must be of at least that order of magnitude collectively.
+    for fractal in ("peano", "gray", "hilbert"):
+        assert worst[fractal] > worst["sweep"]
+    assert worst["hilbert"] + worst["gray"] + worst["peano"] >= sum(
+        PAPER_FIG1_GAPS.values())
+    assert worst["spectral"] <= min(
+        worst[f] for f in ("peano", "gray", "hilbert"))
+
+
+def test_fig1_render_contains_all_mappings():
+    art = render_fig1_orders(side=4, backend="dense")
+    for name in ("sweep", "peano", "gray", "hilbert", "spectral"):
+        assert f"[{name}]" in art
+
+
+# ----------------------------------------------------------------------
+# Figure 4
+# ----------------------------------------------------------------------
+def test_fig4_models_produce_distinct_valid_orders():
+    outcome = run_fig4(side=4, backend="dense")
+    orders = list(outcome.orders.values())
+    assert len(orders) == 3
+    for order in orders:
+        assert sorted(order.permutation) == list(range(16))
+
+
+def test_fig4_metrics_table_shape():
+    table = fig4_metrics_table(side=4, backend="dense")
+    assert table.series_names == ["4-connectivity", "8-connectivity",
+                                  "weighted-r2"]
+    assert len(table.x) == 4
+
+
+def test_fig4_render():
+    art = render_fig4(side=4, backend="dense")
+    assert "[4-connectivity]" in art and "[8-connectivity]" in art
+
+
+# ----------------------------------------------------------------------
+# Figure 5
+# ----------------------------------------------------------------------
+def test_fig5a_small_reproduces_story():
+    # 3-D side-4 keeps the test fast; the paper's ordering story must
+    # still hold: spectral <= every fractal at every x.
+    result = run_fig5a(side=4, ndim=3, backend="dense")
+    spectral = result.series_by_name("spectral").y
+    for fractal in ("peano", "gray", "hilbert"):
+        curve = result.series_by_name(fractal).y
+        assert all(s <= c + 1e-9 for s, c in zip(spectral, curve))
+
+
+def test_fig5a_values_are_percentages():
+    result = run_fig5a(side=3, ndim=3, backend="dense")
+    for series in result.series:
+        assert all(0.0 <= y <= 100.0 for y in series.y)
+
+
+def test_fig5b_sweep_unfair_spectral_fair():
+    result = run_fig5b(side=8, backend="dense")
+    sweep_gap = [
+        abs(a - b) for a, b in zip(result.series_by_name("sweep-X").y,
+                                   result.series_by_name("sweep-Y").y)
+    ]
+    spectral_gap = [
+        abs(a - b)
+        for a, b in zip(result.series_by_name("spectral-X").y,
+                        result.series_by_name("spectral-Y").y)
+    ]
+    assert all(s <= max(2.0, 0.15 * g + 2.0)
+               for s, g in zip(spectral_gap, sweep_gap))
+    assert sum(sweep_gap) > 4 * sum(spectral_gap)
+
+
+def test_fig5b_optional_hilbert_series():
+    result = run_fig5b(side=8, backend="dense", include_hilbert=True)
+    assert "hilbert-X" in result.series_names
+    assert "hilbert-Y" in result.series_names
+
+
+# ----------------------------------------------------------------------
+# Figure 6
+# ----------------------------------------------------------------------
+def test_fig6a_small_spectral_beats_fractals():
+    result = run_fig6a(side=4, ndim=3, backend="dense")
+    spectral = result.series_by_name("spectral").y
+    for fractal in ("gray", "hilbert"):
+        curve = result.series_by_name(fractal).y
+        assert all(s <= c + 1e-9 for s, c in zip(spectral, curve))
+
+
+def test_fig6b_spectral_lowest_stdev():
+    result = run_fig6b(side=4, ndim=3, backend="dense")
+    spectral = result.series_by_name("spectral").y
+    for other in ("sweep", "peano", "gray", "hilbert"):
+        curve = result.series_by_name(other).y
+        assert sum(spectral) < sum(curve)
+
+
+# ----------------------------------------------------------------------
+# Digitized paper data sanity
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("factory", [paper_fig5a, paper_fig5b,
+                                     paper_fig6a, paper_fig6b])
+def test_paper_reference_results_well_formed(factory):
+    result = factory()
+    assert len(result.series) >= 4
+    for series in result.series:
+        assert len(series.y) == len(result.x)
+
+
+def test_paper_fig5a_story_internally_consistent():
+    """In the digitized curves, spectral < sweep < fractals at x=10."""
+    reference = paper_fig5a()
+    assert reference.series_by_name("spectral").y[0] < \
+        reference.series_by_name("sweep").y[0] < \
+        reference.series_by_name("peano").y[0]
+
+
+def test_measured_fig5a_agrees_with_paper_shape():
+    measured = run_fig5a(side=4, ndim=3, backend="dense")
+    agreement = ranking_agreement(measured, paper_fig5a())
+    assert agreement >= 0.6

@@ -1,0 +1,104 @@
+"""Tests for repro.experiments.runner and tables."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.experiments import (
+    ExperimentResult,
+    ranking_agreement,
+    ranking_at,
+    render_report,
+    render_table,
+    winner_per_x,
+)
+
+
+@pytest.fixture
+def result():
+    r = ExperimentResult(
+        exp_id="toy",
+        title="A toy experiment",
+        xlabel="x",
+        ylabel="y",
+        x=(1, 2, 3),
+    )
+    r.add_series("alpha", [3.0, 2.0, 1.0])
+    r.add_series("beta", [1.0, 2.0, 3.0])
+    return r
+
+
+def test_add_series_validates_length(result):
+    with pytest.raises(InvalidParameterError):
+        result.add_series("gamma", [1.0])
+
+
+def test_series_lookup(result):
+    assert result.series_by_name("alpha").y == (3.0, 2.0, 1.0)
+    assert result.series_names == ["alpha", "beta"]
+    with pytest.raises(InvalidParameterError):
+        result.series_by_name("gamma")
+
+
+def test_ranking_at(result):
+    assert ranking_at(result, 0) == ["beta", "alpha"]
+    assert ranking_at(result, 2) == ["alpha", "beta"]
+    # Tie at x=2: stable (series order).
+    assert ranking_at(result, 1) == ["alpha", "beta"]
+    with pytest.raises(InvalidParameterError):
+        ranking_at(result, 3)
+
+
+def test_winner_per_x(result):
+    assert winner_per_x(result) == ["beta", "alpha", "alpha"]
+
+
+def test_ranking_agreement_perfect(result):
+    assert ranking_agreement(result, result) == 1.0
+
+
+def test_ranking_agreement_flipped(result):
+    flipped = ExperimentResult(exp_id="flip", title="", xlabel="x",
+                               ylabel="y", x=(1, 2, 3))
+    flipped.add_series("alpha", [1.0, 2.0, 3.0])
+    flipped.add_series("beta", [3.0, 2.0, 1.0])
+    # x=1 and x=3 disagree; x=2 is a tie in both (counts as agreement).
+    assert ranking_agreement(result, flipped) == pytest.approx(1 / 3)
+
+
+def test_ranking_agreement_needs_common_series(result):
+    other = ExperimentResult(exp_id="o", title="", xlabel="x",
+                             ylabel="y", x=(1, 2, 3))
+    other.add_series("gamma", [1, 2, 3])
+    with pytest.raises(InvalidParameterError):
+        ranking_agreement(result, other)
+
+
+def test_ranking_agreement_needs_matching_x(result):
+    other = ExperimentResult(exp_id="o", title="", xlabel="x",
+                             ylabel="y", x=(1, 2))
+    other.add_series("alpha", [1, 2])
+    other.add_series("beta", [2, 1])
+    with pytest.raises(InvalidParameterError):
+        ranking_agreement(result, other)
+
+
+def test_render_table_contains_everything(result):
+    result.notes = "a note"
+    text = render_table(result)
+    assert "toy: A toy experiment" in text
+    assert "alpha" in text and "beta" in text
+    assert "a note" in text
+    # Integer-valued floats print without decimals.
+    assert " 3" in text
+
+
+def test_render_report_with_reference(result):
+    text = render_report(result, result)
+    assert "winner per x" in text
+    assert "ranking agreement" in text
+    assert "1.00" in text
+
+
+def test_render_report_without_reference(result):
+    text = render_report(result)
+    assert "ranking agreement" not in text

@@ -1,0 +1,59 @@
+"""Tests for the summary matrix and scaling study harnesses."""
+
+import pytest
+
+from repro.experiments import SUMMARY_METRICS, run_summary
+from repro.experiments.scaling import DEFAULT_DOMAINS, run_scaling
+
+
+def test_summary_shape():
+    result = run_summary(side=8, backend="dense")
+    assert result.x == list(SUMMARY_METRICS)
+    assert set(result.series_names) == {
+        "sweep", "peano", "gray", "hilbert", "spectral"}
+    for series in result.series:
+        assert len(series.y) == len(SUMMARY_METRICS)
+        assert all(y >= 0 for y in series.y)
+
+
+def test_summary_spectral_wins_two_sum():
+    result = run_summary(side=8, backend="dense")
+    index = list(SUMMARY_METRICS).index("two-sum")
+    spectral = result.series_by_name("spectral").y[index]
+    for name in ("peano", "gray", "hilbert"):
+        assert spectral < result.series_by_name(name).y[index]
+
+
+def test_summary_miss_rate_is_probability():
+    result = run_summary(side=8, backend="dense")
+    index = list(SUMMARY_METRICS).index("nn-miss-rate")
+    for series in result.series:
+        assert 0.0 <= series.y[index] <= 1.0
+
+
+def test_scaling_shape_and_normalization():
+    domains = ((2, 8), (3, 4))
+    result = run_scaling(domains=domains, backend="dense")
+    assert result.x == [2, 3]
+    for series in result.series:
+        assert all(0.0 < y <= 1.0 for y in series.y)
+
+
+def test_scaling_default_domains_have_comparable_sizes():
+    sizes = [side ** ndim for ndim, side in DEFAULT_DOMAINS]
+    assert min(sizes) >= 256
+    assert max(sizes) <= 1296
+
+
+def test_scaling_fractals_worse_than_spectral():
+    result = run_scaling(domains=((2, 8), (3, 4)), backend="dense")
+    spectral = result.series_by_name("spectral").y
+    gray = result.series_by_name("gray").y
+    assert all(s < g for s, g in zip(spectral, gray))
+
+
+def test_cli_summary(capsys):
+    from repro.experiments.__main__ import main
+    assert main(["summary", "--backend", "dense", "--side", "8"]) == 0
+    output = capsys.readouterr().out
+    assert "two-sum" in output

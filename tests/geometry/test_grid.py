@@ -1,0 +1,246 @@
+"""Tests for repro.geometry.grid."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import (
+    DimensionError,
+    DomainError,
+    InvalidParameterError,
+)
+from repro.geometry import Grid, pairs_along_axis
+
+# ----------------------------------------------------------------------
+# Construction
+# ----------------------------------------------------------------------
+def test_shape_and_size():
+    grid = Grid((3, 4, 5))
+    assert grid.shape == (3, 4, 5)
+    assert grid.ndim == 3
+    assert grid.size == 60
+    assert len(grid) == 60
+
+
+def test_cube_constructor():
+    grid = Grid.cube(4, 5)
+    assert grid.shape == (4,) * 5
+    assert grid.size == 1024
+
+
+def test_strides_are_row_major():
+    grid = Grid((3, 4, 5))
+    assert grid.strides == (20, 5, 1)
+
+
+def test_empty_shape_rejected():
+    with pytest.raises(InvalidParameterError):
+        Grid(())
+
+
+def test_nonpositive_side_rejected():
+    with pytest.raises(InvalidParameterError):
+        Grid((3, 0))
+    with pytest.raises(InvalidParameterError):
+        Grid((-1,))
+
+
+def test_cube_rejects_bad_ndim():
+    with pytest.raises(InvalidParameterError):
+        Grid.cube(4, 0)
+
+
+# ----------------------------------------------------------------------
+# Index <-> point conversion
+# ----------------------------------------------------------------------
+def test_index_of_matches_numpy_ravel():
+    grid = Grid((3, 4, 5))
+    for point in [(0, 0, 0), (2, 3, 4), (1, 2, 3)]:
+        assert grid.index_of(point) == np.ravel_multi_index(point,
+                                                            grid.shape)
+
+
+def test_point_of_inverts_index_of():
+    grid = Grid((3, 4, 5))
+    for index in range(grid.size):
+        assert grid.index_of(grid.point_of(index)) == index
+
+
+def test_out_of_domain_point_raises():
+    grid = Grid((3, 3))
+    with pytest.raises(DomainError):
+        grid.index_of((3, 0))
+    with pytest.raises(DomainError):
+        grid.index_of((0, -1))
+
+
+def test_wrong_dimensionality_raises():
+    grid = Grid((3, 3))
+    with pytest.raises(DimensionError):
+        grid.index_of((1, 1, 1))
+
+
+def test_point_of_out_of_range_raises():
+    grid = Grid((3, 3))
+    with pytest.raises(DomainError):
+        grid.point_of(9)
+    with pytest.raises(DomainError):
+        grid.point_of(-1)
+
+
+def test_vectorized_conversions_roundtrip():
+    grid = Grid((4, 5))
+    indices = np.arange(grid.size)
+    points = grid.points_of(indices)
+    assert points.shape == (grid.size, 2)
+    assert np.array_equal(grid.indices_of(points), indices)
+
+
+def test_indices_of_rejects_out_of_domain():
+    grid = Grid((3, 3))
+    with pytest.raises(DomainError):
+        grid.indices_of(np.array([[0, 3]]))
+
+
+def test_indices_of_rejects_bad_shape():
+    grid = Grid((3, 3))
+    with pytest.raises(DimensionError):
+        grid.indices_of(np.array([[0, 0, 0]]))
+
+
+# ----------------------------------------------------------------------
+# Enumeration
+# ----------------------------------------------------------------------
+def test_points_enumerates_row_major():
+    grid = Grid((2, 3))
+    assert list(grid.points()) == [
+        (0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2)
+    ]
+
+
+def test_coordinates_matches_points():
+    grid = Grid((3, 2, 2))
+    coords = grid.coordinates()
+    assert coords.shape == (grid.size, 3)
+    assert [tuple(row) for row in coords] == list(grid.points())
+
+
+def test_iter_and_contains():
+    grid = Grid((2, 2))
+    assert (1, 1) in grid
+    assert (2, 0) not in grid
+    assert list(iter(grid)) == list(grid.points())
+
+
+# ----------------------------------------------------------------------
+# Metrics and neighborhoods
+# ----------------------------------------------------------------------
+def test_manhattan_and_chebyshev():
+    assert Grid.manhattan((0, 0), (2, 3)) == 5
+    assert Grid.chebyshev((0, 0), (2, 3)) == 3
+    with pytest.raises(DimensionError):
+        Grid.manhattan((0,), (1, 2))
+    with pytest.raises(DimensionError):
+        Grid.chebyshev((0,), (1, 2))
+
+
+def test_max_manhattan():
+    assert Grid((3, 4)).max_manhattan == 5
+    assert Grid.cube(4, 5).max_manhattan == 15
+
+
+def test_orthogonal_neighbors_interior_and_corner():
+    grid = Grid((3, 3))
+    center = set(grid.neighbors((1, 1)))
+    assert center == {(0, 1), (2, 1), (1, 0), (1, 2)}
+    corner = set(grid.neighbors((0, 0)))
+    assert corner == {(0, 1), (1, 0)}
+
+
+def test_moore_neighbors():
+    grid = Grid((3, 3))
+    center = set(grid.neighbors((1, 1), connectivity="moore"))
+    assert len(center) == 8
+    corner = set(grid.neighbors((0, 0), connectivity=8))
+    assert corner == {(0, 1), (1, 0), (1, 1)}
+
+
+def test_connectivity_aliases():
+    grid = Grid((3, 3))
+    assert (set(grid.neighbors((1, 1), connectivity=4))
+            == set(grid.neighbors((1, 1), connectivity="orthogonal")))
+    with pytest.raises(InvalidParameterError):
+        list(grid.neighbors((1, 1), connectivity="hexagonal"))
+
+
+def test_neighbors_3d_counts():
+    grid = Grid((3, 3, 3))
+    assert len(list(grid.neighbors((1, 1, 1)))) == 6
+    assert len(list(grid.neighbors((1, 1, 1), "moore"))) == 26
+
+
+# ----------------------------------------------------------------------
+# pairs_along_axis
+# ----------------------------------------------------------------------
+def test_pairs_along_axis_values():
+    grid = Grid((3, 3))
+    left, right = pairs_along_axis(grid, axis=1, delta=2)
+    # Only cells with column 0 have a partner two columns right.
+    assert list(left) == [0, 3, 6]
+    assert list(right) == [2, 5, 8]
+
+
+def test_pairs_along_axis_distance_is_delta():
+    grid = Grid((4, 5))
+    for axis in (0, 1):
+        for delta in (1, 2, 3):
+            left, right = pairs_along_axis(grid, axis, delta)
+            for a, b in zip(left, right):
+                assert Grid.manhattan(grid.point_of(int(a)),
+                                      grid.point_of(int(b))) == delta
+
+
+def test_pairs_along_axis_validation():
+    grid = Grid((3, 3))
+    with pytest.raises(InvalidParameterError):
+        pairs_along_axis(grid, axis=2, delta=1)
+    with pytest.raises(InvalidParameterError):
+        pairs_along_axis(grid, axis=0, delta=3)
+    with pytest.raises(InvalidParameterError):
+        pairs_along_axis(grid, axis=0, delta=0)
+
+
+# ----------------------------------------------------------------------
+# Dunder protocol / properties
+# ----------------------------------------------------------------------
+def test_equality_and_hash():
+    assert Grid((2, 3)) == Grid((2, 3))
+    assert Grid((2, 3)) != Grid((3, 2))
+    assert hash(Grid((2, 3))) == hash(Grid((2, 3)))
+    assert Grid((2, 3)) != "not a grid"
+
+
+def test_repr_mentions_shape():
+    assert "(2, 3)" in repr(Grid((2, 3)))
+
+
+# ----------------------------------------------------------------------
+# Property-based
+# ----------------------------------------------------------------------
+@given(
+    shape=st.lists(st.integers(1, 6), min_size=1, max_size=4),
+    data=st.data(),
+)
+def test_index_point_roundtrip_property(shape, data):
+    grid = Grid(shape)
+    index = data.draw(st.integers(0, grid.size - 1))
+    assert grid.index_of(grid.point_of(index)) == index
+
+
+@given(shape=st.lists(st.integers(1, 5), min_size=1, max_size=4))
+def test_coordinate_count_property(shape):
+    grid = Grid(shape)
+    coords = grid.coordinates()
+    assert len(coords) == grid.size
+    assert len({tuple(c) for c in coords}) == grid.size

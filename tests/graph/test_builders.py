@@ -1,0 +1,207 @@
+"""Tests for repro.graph.builders."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DimensionError, InvalidParameterError
+from repro.geometry import Grid
+from repro.graph import (
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    induced_grid_graph,
+    knn_graph,
+    path_graph,
+    radius_graph,
+    star_graph,
+)
+
+# ----------------------------------------------------------------------
+# Grid graphs
+# ----------------------------------------------------------------------
+def test_grid_graph_edge_count_2d():
+    # s x s orthogonal grid: 2 * s * (s-1) edges.
+    for side in (2, 3, 5):
+        g = grid_graph(Grid((side, side)))
+        assert g.num_edges == 2 * side * (side - 1)
+
+
+def test_grid_graph_edge_count_3d():
+    grid = Grid((3, 3, 3))
+    g = grid_graph(grid)
+    assert g.num_edges == 3 * (3 * 3 * 2)  # 3 axes x 9 lines x 2 edges
+
+
+def test_grid_graph_edges_are_manhattan_1():
+    grid = Grid((4, 3))
+    g = grid_graph(grid)
+    for u, v, _ in g.edges():
+        assert Grid.manhattan(grid.point_of(u), grid.point_of(v)) == 1
+
+
+def test_grid_graph_moore_edges_are_chebyshev_1():
+    grid = Grid((4, 4))
+    g = grid_graph(grid, connectivity="moore")
+    for u, v, _ in g.edges():
+        assert Grid.chebyshev(grid.point_of(u), grid.point_of(v)) == 1
+    # Moore adds the diagonals: 2*4*3 orthogonal + 2*3*3 diagonal pairs.
+    assert g.num_edges == 24 + 18
+
+
+def test_grid_graph_matches_neighbors_method():
+    grid = Grid((3, 4))
+    for connectivity in ("orthogonal", "moore"):
+        g = grid_graph(grid, connectivity=connectivity)
+        for index in range(grid.size):
+            expected = sorted(
+                grid.index_of(p)
+                for p in grid.neighbors(grid.point_of(index), connectivity)
+            )
+            assert list(g.neighbors(index)) == expected
+
+
+def test_grid_graph_radius2_weighted():
+    grid = Grid((4, 4))
+    g = grid_graph(grid, radius=2, weight="inverse_manhattan")
+    # Distance-1 edges weigh 1, distance-2 edges weigh 1/2.
+    a = grid.index_of((0, 0))
+    assert g.edge_weight(a, grid.index_of((0, 1))) == 1.0
+    assert g.edge_weight(a, grid.index_of((0, 2))) == 0.5
+    assert g.edge_weight(a, grid.index_of((1, 1))) == 0.5
+    assert not g.has_edge(a, grid.index_of((2, 2)))
+
+
+def test_grid_graph_custom_weight_callable():
+    grid = Grid((3, 3))
+    g = grid_graph(grid, weight=lambda off: 7.0)
+    assert g.edge_weight(0, 1) == 7.0
+
+
+def test_grid_graph_radius_validation():
+    with pytest.raises(InvalidParameterError):
+        grid_graph(Grid((3, 3)), radius=0)
+
+
+def test_grid_graph_1d_is_path():
+    g = grid_graph(Grid((5,)))
+    p = path_graph(5)
+    assert g.num_edges == p.num_edges
+    for u, v, _ in p.edges():
+        assert g.has_edge(u, v)
+
+
+def test_single_cell_grid_graph():
+    g = grid_graph(Grid((1, 1)))
+    assert g.num_vertices == 1
+    assert g.num_edges == 0
+
+
+# ----------------------------------------------------------------------
+# Induced grid graphs
+# ----------------------------------------------------------------------
+def test_induced_grid_graph_subset():
+    grid = Grid((3, 3))
+    # An L-shape: (0,0),(1,0),(2,0),(2,1)
+    cells = [grid.index_of(p) for p in [(0, 0), (1, 0), (2, 0), (2, 1)]]
+    sub, ids = induced_grid_graph(grid, cells)
+    assert list(ids) == sorted(cells)
+    assert sub.num_vertices == 4
+    assert sub.num_edges == 3  # the chain along the L
+
+
+def test_induced_grid_graph_dedupes_cells():
+    grid = Grid((3, 3))
+    sub, ids = induced_grid_graph(grid, [0, 0, 1])
+    assert sub.num_vertices == 2
+    assert list(ids) == [0, 1]
+
+
+def test_induced_grid_graph_validation():
+    grid = Grid((3, 3))
+    with pytest.raises(InvalidParameterError):
+        induced_grid_graph(grid, [9])
+
+
+# ----------------------------------------------------------------------
+# Classic families
+# ----------------------------------------------------------------------
+def test_path_graph():
+    g = path_graph(5)
+    assert g.num_edges == 4
+    assert list(g.degrees()) == [1, 2, 2, 2, 1]
+    with pytest.raises(InvalidParameterError):
+        path_graph(0)
+
+
+def test_cycle_graph():
+    g = cycle_graph(5)
+    assert g.num_edges == 5
+    assert all(d == 2 for d in g.degrees())
+    with pytest.raises(InvalidParameterError):
+        cycle_graph(2)
+
+
+def test_complete_graph():
+    g = complete_graph(5)
+    assert g.num_edges == 10
+    assert all(d == 4 for d in g.degrees())
+
+
+def test_star_graph():
+    g = star_graph(5)
+    assert g.num_edges == 4
+    assert g.degree(0) == 4
+    assert all(g.degree(i) == 1 for i in range(1, 5))
+    with pytest.raises(InvalidParameterError):
+        star_graph(1)
+
+
+# ----------------------------------------------------------------------
+# Point-cloud graphs
+# ----------------------------------------------------------------------
+def test_knn_graph_symmetrized():
+    points = np.array([[0, 0], [0, 1], [0, 2], [5, 5]])
+    g = knn_graph(points, k=1)
+    # 0<->1 and 1<->2 from their nearest choices; 3's nearest is 2.
+    assert g.has_edge(0, 1)
+    assert g.has_edge(2, 3)
+    for u in range(4):
+        for v in g.neighbors(u):
+            assert u in g.neighbors(int(v))
+
+
+def test_knn_graph_validation():
+    points = np.array([[0, 0], [1, 1]])
+    with pytest.raises(InvalidParameterError):
+        knn_graph(points, k=2)
+    with pytest.raises(DimensionError):
+        knn_graph(np.array([1, 2, 3]), k=1)
+
+
+def test_radius_graph_edges_and_weights():
+    points = np.array([[0, 0], [0, 1], [0, 3]])
+    g = radius_graph(points, radius=2, weight="inverse_manhattan")
+    assert g.has_edge(0, 1)
+    assert g.has_edge(1, 2)
+    assert not g.has_edge(0, 2)
+    assert g.edge_weight(1, 2) == 0.5
+
+
+def test_radius_graph_metrics():
+    points = np.array([[0, 0], [1, 1]])
+    assert radius_graph(points, 1, metric="chebyshev").num_edges == 1
+    assert radius_graph(points, 1, metric="manhattan").num_edges == 0
+    assert radius_graph(points, 1.5, metric="euclidean").num_edges == 1
+    with pytest.raises(InvalidParameterError):
+        radius_graph(points, 1, metric="cosine")
+    with pytest.raises(InvalidParameterError):
+        radius_graph(points, 0)
+
+
+def test_full_grid_radius_graph_equals_grid_graph():
+    grid = Grid((3, 3))
+    by_radius = radius_graph(grid.coordinates(), radius=1)
+    by_grid = grid_graph(grid)
+    assert by_radius.num_edges == by_grid.num_edges
+    for u, v, _ in by_grid.edges():
+        assert by_radius.has_edge(u, v)

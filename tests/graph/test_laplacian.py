@@ -1,0 +1,119 @@
+"""Tests for repro.graph.laplacian."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import GraphStructureError
+from repro.geometry import Grid
+from repro.graph import (
+    Graph,
+    grid_graph,
+    laplacian,
+    laplacian_dense,
+    normalized_laplacian_dense,
+    path_graph,
+    quadratic_form,
+    rayleigh_quotient,
+)
+
+
+def test_laplacian_matches_dense(graph3):
+    assert np.allclose(laplacian(graph3).to_dense(),
+                       laplacian_dense(graph3))
+
+
+def test_laplacian_figure3c_values(grid3, graph3):
+    """The paper's Figure 3c prints the 3x3 grid Laplacian explicitly."""
+    dense = laplacian_dense(graph3)
+    # Degrees: corners 2, edges 3, center 4.
+    assert dense[0, 0] == 2 and dense[1, 1] == 3 and dense[4, 4] == 4
+    assert dense[0, 1] == -1 and dense[0, 3] == -1 and dense[0, 4] == 0
+    assert np.allclose(dense, dense.T)
+
+
+def test_laplacian_row_sums_zero():
+    g = grid_graph(Grid((4, 5)))
+    dense = laplacian_dense(g)
+    assert np.allclose(dense.sum(axis=1), 0.0)
+    assert np.allclose(laplacian(g).matvec(np.ones(g.num_vertices)), 0.0)
+
+
+def test_laplacian_psd():
+    g = grid_graph(Grid((4, 4)), connectivity="moore")
+    values = np.linalg.eigvalsh(laplacian_dense(g))
+    assert values.min() > -1e-10
+
+
+def test_weighted_laplacian_diagonal():
+    g = Graph.from_edges(3, [(0, 1), (1, 2)], weights=[2.0, 3.0])
+    dense = laplacian_dense(g)
+    assert list(dense.diagonal()) == [2.0, 5.0, 3.0]
+    assert dense[0, 1] == -2.0
+
+
+def test_quadratic_form_identity():
+    g = grid_graph(Grid((4, 4)))
+    rng = np.random.default_rng(0)
+    for _ in range(5):
+        x = rng.normal(size=g.num_vertices)
+        direct = x @ laplacian_dense(g) @ x
+        assert quadratic_form(g, x) == pytest.approx(direct)
+
+
+def test_quadratic_form_constant_vector_is_zero():
+    g = grid_graph(Grid((3, 3)))
+    assert quadratic_form(g, np.full(9, 3.7)) == pytest.approx(0.0)
+
+
+def test_quadratic_form_shape_check():
+    g = path_graph(4)
+    with pytest.raises(GraphStructureError):
+        quadratic_form(g, np.ones(5))
+
+
+def test_quadratic_form_empty_graph():
+    g = Graph.empty(4)
+    assert quadratic_form(g, np.ones(4)) == 0.0
+
+
+def test_rayleigh_quotient_bounds_lambda2():
+    g = path_graph(10)
+    lambda2 = 2 * (1 - np.cos(np.pi / 10))
+    rng = np.random.default_rng(1)
+    for _ in range(10):
+        x = rng.normal(size=10)
+        assert rayleigh_quotient(g, x) >= lambda2 - 1e-9
+
+
+def test_rayleigh_quotient_constant_rejected():
+    g = path_graph(4)
+    with pytest.raises(GraphStructureError):
+        rayleigh_quotient(g, np.full(4, 2.0))
+
+
+def test_normalized_laplacian_spectrum_range():
+    g = grid_graph(Grid((4, 4)))
+    values = np.linalg.eigvalsh(normalized_laplacian_dense(g))
+    assert values.min() > -1e-10
+    assert values.max() <= 2.0 + 1e-10
+
+
+def test_normalized_laplacian_isolated_vertex():
+    g = Graph.from_edges(3, [(0, 1)])
+    norm = normalized_laplacian_dense(g)
+    assert norm[2, 2] == 0.0
+    assert np.allclose(norm[2, :], 0.0)
+
+
+@given(n=st.integers(2, 10), data=st.data())
+def test_quadratic_form_nonnegative(n, data):
+    pairs = st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)).filter(
+        lambda t: t[0] != t[1]
+    )
+    edges = data.draw(st.lists(pairs, max_size=15))
+    g = Graph.from_edges(n, edges)
+    x = np.array(data.draw(st.lists(
+        st.floats(-100, 100), min_size=n, max_size=n)))
+    assert quadratic_form(g, x) >= 0.0

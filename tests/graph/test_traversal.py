@@ -1,0 +1,65 @@
+"""Tests for repro.graph.traversal."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.graph import (
+    Graph,
+    bfs_order,
+    component_vertex_lists,
+    connected_components,
+    cycle_graph,
+    grid_graph,
+    is_connected,
+    path_graph,
+    star_graph,
+)
+from repro.geometry import Grid
+
+
+def test_bfs_order_path():
+    g = path_graph(5)
+    assert list(bfs_order(g, 0)) == [0, 1, 2, 3, 4]
+    assert list(bfs_order(g, 2)) == [2, 1, 3, 0, 4]
+
+
+def test_bfs_visits_ascending_neighbors():
+    g = star_graph(5)
+    assert list(bfs_order(g, 0)) == [0, 1, 2, 3, 4]
+
+
+def test_bfs_restricted_to_component():
+    g = Graph.from_edges(5, [(0, 1), (2, 3)])
+    assert set(bfs_order(g, 0)) == {0, 1}
+    assert set(bfs_order(g, 3)) == {2, 3}
+    assert list(bfs_order(g, 4)) == [4]
+
+
+def test_bfs_start_validation():
+    with pytest.raises(InvalidParameterError):
+        bfs_order(path_graph(3), 3)
+
+
+def test_connected_components_labels():
+    g = Graph.from_edges(6, [(0, 1), (1, 2), (4, 5)])
+    labels, count = connected_components(g)
+    assert count == 3
+    assert labels[0] == labels[1] == labels[2] == 0
+    assert labels[3] == 1
+    assert labels[4] == labels[5] == 2
+
+
+def test_component_vertex_lists():
+    g = Graph.from_edges(5, [(0, 4), (1, 2)])
+    labels, count = connected_components(g)
+    groups = component_vertex_lists(labels, count)
+    assert [list(grp) for grp in groups] == [[0, 4], [1, 2], [3]]
+
+
+def test_is_connected():
+    assert is_connected(grid_graph(Grid((4, 4))))
+    assert is_connected(cycle_graph(5))
+    assert not is_connected(Graph.from_edges(3, [(0, 1)]))
+    assert is_connected(Graph.empty(1))
+    assert is_connected(Graph.from_edges(0, []))
+    assert not is_connected(Graph.empty(2))

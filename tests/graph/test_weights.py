@@ -1,0 +1,65 @@
+"""Tests for repro.graph.weights."""
+
+import math
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.graph import (
+    gaussian,
+    inverse_euclidean,
+    inverse_manhattan,
+    unit_weight,
+    weight_function,
+    weight_names,
+)
+
+
+def test_unit_weight():
+    assert unit_weight((3, -4)) == 1.0
+    assert unit_weight((0,)) == 1.0
+
+
+def test_inverse_manhattan():
+    assert inverse_manhattan((1, 0)) == 1.0
+    assert inverse_manhattan((1, -1)) == 0.5
+    assert inverse_manhattan((2, 2)) == 0.25
+    with pytest.raises(InvalidParameterError):
+        inverse_manhattan((0, 0))
+
+
+def test_inverse_euclidean():
+    assert inverse_euclidean((3, 4)) == pytest.approx(0.2)
+    with pytest.raises(InvalidParameterError):
+        inverse_euclidean((0,))
+
+
+def test_gaussian():
+    assert gaussian((0, 1)) == pytest.approx(math.exp(-0.5))
+    assert gaussian((0, 0)) == 1.0
+    assert gaussian((0, 2), sigma=2.0) == pytest.approx(math.exp(-0.5))
+    with pytest.raises(InvalidParameterError):
+        gaussian((1,), sigma=0.0)
+
+
+def test_weight_function_resolves_names():
+    assert weight_function("unit") is unit_weight
+    assert weight_function("inverse_manhattan") is inverse_manhattan
+
+
+def test_weight_function_passes_callables_through():
+    fn = lambda off: 2.0  # noqa: E731
+    assert weight_function(fn) is fn
+
+
+def test_weight_function_rejects_unknown():
+    with pytest.raises(InvalidParameterError):
+        weight_function("mystery")
+    with pytest.raises(InvalidParameterError):
+        weight_function(42)
+
+
+def test_weight_names_lists_registry():
+    names = weight_names()
+    assert "unit" in names and "inverse_manhattan" in names
+    assert names == tuple(sorted(names))

@@ -1,0 +1,165 @@
+"""Tests for repro.index.bplustree."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import InvalidParameterError
+from repro.index import BPlusTree
+
+
+# ----------------------------------------------------------------------
+# Bulk load
+# ----------------------------------------------------------------------
+def test_bulk_load_and_point_lookup():
+    keys = list(range(0, 200, 2))
+    tree = BPlusTree.bulk_load(keys, [f"v{k}" for k in keys], order=8)
+    tree.check_invariants()
+    assert len(tree) == 100
+    value, accesses = tree.search(42)
+    assert value == "v42"
+    assert accesses == tree.height
+    missing, _ = tree.search(43)
+    assert missing is None
+
+
+def test_bulk_load_empty():
+    tree = BPlusTree.bulk_load([], [], order=4)
+    assert len(tree) == 0
+    assert tree.search(1) == (None, 1)
+    assert tree.range_search(0, 10) == ([], 1)
+
+
+def test_bulk_load_single_leaf():
+    tree = BPlusTree.bulk_load([1, 2, 3], "abc", order=8)
+    assert tree.height == 1
+    assert [k for k, _ in tree.items()] == [1, 2, 3]
+
+
+def test_bulk_load_validation():
+    with pytest.raises(InvalidParameterError):
+        BPlusTree.bulk_load([1, 2], [1], order=4)
+    with pytest.raises(InvalidParameterError):
+        BPlusTree.bulk_load([2, 1], [1, 2], order=4)
+    with pytest.raises(InvalidParameterError):
+        BPlusTree.bulk_load([1, 1], [1, 2], order=4)
+    with pytest.raises(InvalidParameterError):
+        BPlusTree.bulk_load([1], [1], order=4, fill=0.0)
+    with pytest.raises(InvalidParameterError):
+        BPlusTree(order=2)
+
+
+def test_bulk_load_fill_factor_changes_height():
+    keys = list(range(256))
+    packed = BPlusTree.bulk_load(keys, keys, order=8, fill=1.0)
+    slack = BPlusTree.bulk_load(keys, keys, order=8, fill=0.5)
+    packed.check_invariants()
+    slack.check_invariants()
+    assert slack.height >= packed.height
+
+
+# ----------------------------------------------------------------------
+# Range search
+# ----------------------------------------------------------------------
+def test_range_search_inclusive_bounds():
+    keys = list(range(0, 100, 5))
+    tree = BPlusTree.bulk_load(keys, keys, order=5)
+    values, _ = tree.range_search(10, 30)
+    assert values == [10, 15, 20, 25, 30]
+
+
+def test_range_search_between_keys():
+    tree = BPlusTree.bulk_load([0, 10, 20], [0, 10, 20], order=4)
+    assert tree.range_search(1, 9)[0] == []
+    assert tree.range_search(0, 0)[0] == [0]
+
+
+def test_range_search_walks_leaf_chain():
+    keys = list(range(64))
+    tree = BPlusTree.bulk_load(keys, keys, order=4)
+    values, accesses = tree.range_search(0, 63)
+    assert values == keys
+    # Must have touched every leaf once plus the descent.
+    assert accesses >= 64 // 4
+
+
+def test_range_search_validation():
+    tree = BPlusTree.bulk_load([1], [1], order=4)
+    with pytest.raises(InvalidParameterError):
+        tree.range_search(5, 4)
+
+
+# ----------------------------------------------------------------------
+# Inserts
+# ----------------------------------------------------------------------
+def test_insert_into_empty_tree():
+    tree = BPlusTree(order=4)
+    for key in [5, 1, 9, 3, 7]:
+        tree.insert(key, key * 10)
+    tree.check_invariants()
+    assert [k for k, _ in tree.items()] == [1, 3, 5, 7, 9]
+    assert tree.search(7)[0] == 70
+
+
+def test_insert_splits_maintain_invariants():
+    tree = BPlusTree(order=4)
+    rng = np.random.default_rng(0)
+    keys = rng.permutation(300)
+    for key in keys:
+        tree.insert(int(key), int(key))
+    tree.check_invariants()
+    assert len(tree) == 300
+    assert tree.height >= 3
+    values, _ = tree.range_search(100, 110)
+    assert values == list(range(100, 111))
+
+
+def test_insert_duplicate_rejected():
+    tree = BPlusTree(order=4)
+    tree.insert(1, "a")
+    with pytest.raises(InvalidParameterError):
+        tree.insert(1, "b")
+
+
+def test_insert_into_bulk_loaded_tree():
+    keys = list(range(0, 100, 2))
+    tree = BPlusTree.bulk_load(keys, keys, order=8, fill=0.5)
+    for key in range(1, 100, 2):
+        tree.insert(key, key)
+    tree.check_invariants()
+    assert len(tree) == 100
+    assert [k for k, _ in tree.items()] == list(range(100))
+
+
+# ----------------------------------------------------------------------
+# Properties
+# ----------------------------------------------------------------------
+@given(st.sets(st.integers(0, 10_000), min_size=1, max_size=200),
+       st.integers(3, 16))
+def test_bulk_load_equals_inserts(keys, order):
+    sorted_keys = sorted(keys)
+    loaded = BPlusTree.bulk_load(sorted_keys, sorted_keys, order=order)
+    inserted = BPlusTree(order=order)
+    for key in keys:
+        inserted.insert(key, key)
+    loaded.check_invariants()
+    inserted.check_invariants()
+    assert list(loaded.items()) == list(inserted.items())
+
+
+@given(st.sets(st.integers(0, 500), min_size=1, max_size=120),
+       st.tuples(st.integers(0, 500), st.integers(0, 500)))
+def test_range_search_matches_filter(keys, bounds):
+    lo, hi = min(bounds), max(bounds)
+    sorted_keys = sorted(keys)
+    tree = BPlusTree.bulk_load(sorted_keys, sorted_keys, order=6)
+    values, _ = tree.range_search(lo, hi)
+    assert values == [k for k in sorted_keys if lo <= k <= hi]
+
+
+def test_height_is_logarithmic():
+    keys = list(range(4096))
+    tree = BPlusTree.bulk_load(keys, keys, order=16)
+    assert tree.height <= 4  # 16^3 = 4096
+    assert "height" in repr(tree)

@@ -1,0 +1,134 @@
+"""Tests for repro.index.rtree."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import gaussian_cluster_cells, uniform_cells
+from repro.errors import DimensionError, InvalidParameterError
+from repro.geometry import Box, Grid
+from repro.index import PackedRTree
+from repro.mapping import CurveMapping
+
+
+@pytest.fixture
+def packed():
+    grid = Grid((16, 16))
+    cells = uniform_cells(grid, 50, seed=7)
+    ranks = CurveMapping("hilbert").ranks_for_grid(grid)
+    return grid, cells, PackedRTree.pack(grid, cells, ranks,
+                                         leaf_capacity=4, fanout=4)
+
+
+def test_every_point_in_exactly_one_leaf(packed):
+    _, cells, tree = packed
+    positions = []
+    for leaf in tree.leaves():
+        positions.extend(int(v) for v in leaf.entries)
+    assert sorted(positions) == list(range(len(cells)))
+
+
+def test_leaf_capacity_respected(packed):
+    _, _, tree = packed
+    for leaf in tree.leaves():
+        assert 1 <= len(leaf.entries) <= 4
+
+
+def test_mbr_containment_up_the_tree(packed):
+    _, _, tree = packed
+
+    def check(node):
+        for child in node.children:
+            assert node.box.contains_box(child.box)
+            check(child)
+
+    check(tree.root)
+    assert tree.height >= 2
+    assert tree.num_points == 50
+
+
+def test_window_query_matches_brute_force(packed):
+    grid, cells, tree = packed
+    coords = grid.points_of(cells)
+    for box in [Box((0, 0), (15, 15)), Box((3, 3), (8, 9)),
+                Box((10, 0), (15, 4)), Box((15, 15), (15, 15))]:
+        hits, visited = tree.window_query(box)
+        expected = sorted(
+            tuple(p) for p in coords
+            if box.contains_point(tuple(p))
+        )
+        assert sorted(tuple(p) for p in hits) == expected
+        assert visited >= 1
+
+
+def test_pruning_saves_node_visits(packed):
+    _, _, tree = packed
+    total_nodes = 1 + sum(
+        1 for _ in _walk(tree.root)
+    )
+    _, visited = tree.window_query(Box((0, 0), (1, 1)))
+    assert visited < total_nodes
+
+
+def _walk(node):
+    for child in node.children:
+        yield child
+        yield from _walk(child)
+
+
+def test_leaf_stats_fields(packed):
+    _, _, tree = packed
+    stats = tree.leaf_stats()
+    assert stats.leaf_count == len(tree.leaves())
+    assert stats.total_volume > 0
+    assert stats.mean_volume == pytest.approx(
+        stats.total_volume / stats.leaf_count)
+    assert stats.total_overlap >= 0
+
+
+def test_per_point_ranks_variant():
+    """Ranks aligned with cells (sparse spectral order) also pack."""
+    from repro.core import SpectralLPM
+    grid = Grid((12, 12))
+    cells = gaussian_cluster_cells(grid, 40, seed=3)
+    order, ordered_cells = SpectralLPM(backend="dense").order_points(
+        grid, cells)
+    tree = PackedRTree.pack(grid, ordered_cells, order.ranks,
+                            leaf_capacity=5, fanout=4)
+    assert tree.num_points == 40
+    hits, _ = tree.window_query(Box((0, 0), (11, 11)))
+    assert len(hits) == 40
+
+
+def test_pack_validation():
+    grid = Grid((4, 4))
+    ranks = np.arange(16)
+    with pytest.raises(InvalidParameterError):
+        PackedRTree.pack(grid, [], ranks)
+    with pytest.raises(InvalidParameterError):
+        PackedRTree.pack(grid, [0], ranks, leaf_capacity=0)
+    with pytest.raises(InvalidParameterError):
+        PackedRTree.pack(grid, [0], ranks, fanout=1)
+    with pytest.raises(DimensionError):
+        PackedRTree.pack(grid, [0, 1], np.arange(5))
+
+
+def test_single_point_tree():
+    grid = Grid((4, 4))
+    tree = PackedRTree.pack(grid, [5], np.arange(16))
+    assert tree.height == 1
+    assert tree.root.is_leaf
+    hits, _ = tree.window_query(Box((0, 0), (3, 3)))
+    assert len(hits) == 1
+
+
+def test_hilbert_packing_tighter_than_scrambled():
+    """Packing along a locality-preserving order must beat packing along
+    a scrambled order on total leaf volume."""
+    grid = Grid((16, 16))
+    cells = uniform_cells(grid, 64, seed=9)
+    hilbert_ranks = CurveMapping("hilbert").ranks_for_grid(grid)
+    scrambled_ranks = np.random.default_rng(0).permutation(grid.size)
+    tight = PackedRTree.pack(grid, cells, hilbert_ranks, 4, 4).leaf_stats()
+    loose = PackedRTree.pack(grid, cells, scrambled_ranks, 4,
+                             4).leaf_stats()
+    assert tight.total_volume < loose.total_volume

@@ -1,0 +1,85 @@
+"""Determinism guarantees, exhaustively.
+
+DESIGN.md promises: every API that could be order-ambiguous resolves
+deterministically, and spectral orders are identical across eigensolver
+backends.  This file is the single place that pins all of it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    SpectralLPM,
+    multilevel_order,
+    spectral_bisection_order,
+)
+from repro.datasets import dataset_by_name
+from repro.geometry import Grid
+from repro.graph import grid_graph
+from repro.linalg import scipy_available
+from repro.mapping import MAPPING_NAMES, mapping_by_name
+from repro.query import knn_window_recall, random_boxes
+
+BACKENDS = ["dense", "lanczos"] + (["scipy"] if scipy_available() else [])
+
+
+@pytest.mark.parametrize("shape", [(4, 4), (3, 3, 3), (6, 4), (2, 9)])
+def test_spectral_orders_identical_across_backends(shape):
+    orders = [SpectralLPM(backend=b).order_grid(Grid(shape))
+              for b in BACKENDS]
+    assert all(order == orders[0] for order in orders)
+
+
+@pytest.mark.parametrize("shape", [(4, 4), (5, 3)])
+def test_weighted_and_moore_models_cross_backend(shape):
+    for kwargs in ({"connectivity": "moore"},
+                   {"radius": 2, "weight": "inverse_manhattan"}):
+        orders = [SpectralLPM(backend=b, **kwargs).order_grid(Grid(shape))
+                  for b in BACKENDS]
+        assert all(order == orders[0] for order in orders)
+
+
+@pytest.mark.parametrize("name", MAPPING_NAMES)
+def test_every_mapping_is_repeatable(name):
+    grid = Grid((5, 5))
+    first = mapping_by_name(name).ranks_for_grid(grid)
+    second = mapping_by_name(name).ranks_for_grid(grid)
+    assert np.array_equal(first, second)
+
+
+def test_bisection_and_multilevel_cross_backend():
+    grid = Grid((6, 6))
+    graph = grid_graph(grid)
+    bisection_orders = [
+        spectral_bisection_order(graph, backend=b) for b in BACKENDS
+    ]
+    assert all(o == bisection_orders[0] for o in bisection_orders)
+    ml_orders = [multilevel_order(graph, backend=b) for b in
+                 ("dense", "lanczos")]
+    assert ml_orders[0] == ml_orders[1]
+
+
+def test_datasets_are_pure_functions_of_seed():
+    grid = Grid((16, 16))
+    for name in ("uniform", "gaussian", "zipf"):
+        assert np.array_equal(dataset_by_name(name, grid, 30, seed=9),
+                              dataset_by_name(name, grid, 30, seed=9))
+
+
+def test_workloads_are_pure_functions_of_seed():
+    grid = Grid((16, 16))
+    assert random_boxes(grid, (4, 4), 10, seed=3) == \
+        random_boxes(grid, (4, 4), 10, seed=3)
+    ranks = mapping_by_name("hilbert").ranks_for_grid(grid)
+    assert knn_window_recall(grid, ranks, 4, 8, seed=2) == \
+        knn_window_recall(grid, ranks, 4, 8, seed=2)
+
+
+def test_experiment_harnesses_are_deterministic():
+    from repro.experiments import run_fig1, run_fig5b
+    a = run_fig5b(side=8, backend="dense")
+    b = run_fig5b(side=8, backend="dense")
+    assert [s.y for s in a.series] == [s.y for s in b.series]
+    a1 = run_fig1(side=4, backend="dense")
+    b1 = run_fig1(side=4, backend="dense")
+    assert [s.y for s in a1.series] == [s.y for s in b1.series]

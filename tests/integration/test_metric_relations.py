@@ -1,0 +1,131 @@
+"""Cross-metric invariants: the evaluation quantities constrain each
+other mathematically; violating any of these would mean a metric is
+mis-implemented.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Box, Grid, boxes_with_extent
+from repro.mapping import CurveMapping, mapping_by_name
+from repro.metrics import (
+    adjacent_gap_stats,
+    bandwidth,
+    box_cluster_count,
+    box_span,
+    cluster_stats,
+    one_sum,
+    span_stats,
+    two_sum,
+)
+from repro.graph import grid_graph
+
+
+@given(
+    shape=st.tuples(st.integers(2, 5), st.integers(2, 5)),
+    seed=st.integers(0, 200),
+    data=st.data(),
+)
+@settings(max_examples=30)
+def test_span_bounds_clusters(shape, seed, data):
+    """span >= cells + clusters - 2: every extra cluster needs at least
+    one missing rank inside the span."""
+    grid = Grid(shape)
+    ranks = np.random.default_rng(seed).permutation(grid.size)
+    extent = tuple(data.draw(st.integers(1, s)) for s in shape)
+    box = Box.from_origin_extent(
+        tuple(data.draw(st.integers(0, s - e))
+              for s, e in zip(shape, extent)),
+        extent,
+    )
+    cells = box.volume
+    span = box_span(grid, ranks, box)
+    clusters = box_cluster_count(grid, ranks, box)
+    assert span >= cells + clusters - 2
+    assert 1 <= clusters <= cells
+
+
+def test_bandwidth_equals_worst_adjacent_gap_on_grid_graph():
+    """The arrangement 'bandwidth' on the orthogonal grid graph IS the
+    max adjacent rank gap: two views of the same quantity."""
+    grid = Grid((6, 7))
+    graph = grid_graph(grid)
+    for name in ("sweep", "snake", "hilbert", "gray"):
+        mapping = CurveMapping(name)
+        order = mapping.order_for_grid(grid)
+        worst, _ = adjacent_gap_stats(grid, order.ranks)
+        assert bandwidth(graph, order) == worst
+
+
+def test_one_sum_bounds_two_sum():
+    """Cauchy-Schwarz: one_sum^2 <= m * two_sum (unit weights)."""
+    grid = Grid((6, 6))
+    graph = grid_graph(grid)
+    for name in ("sweep", "peano", "hilbert"):
+        order = CurveMapping(name).order_for_grid(grid)
+        m = graph.num_edges
+        assert one_sum(graph, order) ** 2 <= m * two_sum(graph,
+                                                         order) + 1e-6
+
+
+def test_one_sum_at_least_edge_count():
+    """Each edge stretches >= 1 rank in any permutation."""
+    grid = Grid((5, 5))
+    graph = grid_graph(grid)
+    rng = np.random.default_rng(0)
+    from repro.core import LinearOrder
+    for _ in range(5):
+        order = LinearOrder(rng.permutation(25))
+        assert one_sum(graph, order) >= graph.num_edges
+
+
+def test_span_stats_max_dominates_mean():
+    grid = Grid((6, 6))
+    for name in ("sweep", "hilbert"):
+        ranks = CurveMapping(name).ranks_for_grid(grid)
+        stats = span_stats(grid, ranks, (3, 3))
+        assert stats.min <= stats.mean <= stats.max
+        assert stats.std <= (stats.max - stats.min)
+
+
+def test_full_domain_query_has_full_span():
+    """The query covering everything spans n-1 under any mapping."""
+    grid = Grid((4, 5))
+    for name in ("sweep", "gray", "hilbert"):
+        ranks = CurveMapping(name).ranks_for_grid(grid)
+        stats = span_stats(grid, ranks, grid.shape)
+        assert stats.max == stats.min == grid.size - 1
+
+
+def test_unit_step_curves_have_unit_mean_gap():
+    """Snake and Hilbert take only unit steps, so their *mean* adjacent
+    gap is low; sweep's contains the row-jump average."""
+    grid = Grid((8, 8))
+    snake_worst, snake_mean = adjacent_gap_stats(
+        grid, CurveMapping("snake").ranks_for_grid(grid))
+    # A unit-step curve still has large gaps between non-consecutive
+    # adjacents, but the minimum possible gap (1) occurs n-1 times.
+    assert snake_mean < 8
+
+
+def test_cluster_mean_of_unit_step_curve_bounded_by_rows():
+    """A continuous curve enters a k x k box at most ~perimeter times."""
+    grid = Grid((8, 8))
+    stats = cluster_stats(
+        grid, CurveMapping("hilbert").ranks_for_grid(grid), (4, 4))
+    assert stats.max <= 8  # half the box perimeter
+
+
+def test_spectral_consistency_across_entry_points():
+    """order_grid == order_graph(grid_graph) == mapping ranks."""
+    from repro.core import SpectralLPM, symmetric_grid_probe
+    grid = Grid((5, 5))
+    lpm = SpectralLPM(backend="dense")
+    direct = lpm.order_grid(grid)
+    via_graph = lpm.order_graph(lpm.build_grid_graph(grid),
+                                probe=symmetric_grid_probe(grid))
+    via_mapping = mapping_by_name(
+        "spectral", backend="dense").order_for_grid(grid)
+    assert direct == via_graph == via_mapping

@@ -1,0 +1,88 @@
+"""Cross-module property-based tests on the core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import LinearOrder, SpectralLPM, fiedler_vector
+from repro.geometry import Grid
+from repro.graph import Graph, grid_graph, quadratic_form
+from repro.metrics import span_field, two_sum
+
+small_grids = st.tuples(st.integers(2, 5), st.integers(2, 5))
+
+
+@given(shape=small_grids)
+def test_spectral_order_is_always_a_permutation(shape):
+    order = SpectralLPM(backend="dense").order_grid(Grid(shape))
+    assert sorted(order.permutation) == list(range(Grid(shape).size))
+
+
+@given(shape=small_grids, seed=st.integers(0, 100))
+def test_spectral_two_sum_never_worse_than_random(shape, seed):
+    grid = Grid(shape)
+    graph = grid_graph(grid)
+    spectral_cost = two_sum(graph,
+                            SpectralLPM(backend="dense").order_grid(grid))
+    random_order = LinearOrder(
+        np.random.default_rng(seed).permutation(grid.size))
+    assert spectral_cost <= two_sum(graph, random_order)
+
+
+@given(shape=small_grids)
+def test_fiedler_value_lower_bounds_all_unit_centered_vectors(shape):
+    graph = grid_graph(Grid(shape))
+    result = fiedler_vector(graph, backend="dense")
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=graph.num_vertices)
+    x -= x.mean()
+    norm = np.linalg.norm(x)
+    if norm < 1e-12:
+        return
+    x /= norm
+    assert quadratic_form(graph, x) >= result.value - 1e-9
+
+
+@given(
+    shape=small_grids,
+    seed=st.integers(0, 50),
+    data=st.data(),
+)
+@settings(max_examples=25)
+def test_span_field_bounds(shape, seed, data):
+    grid = Grid(shape)
+    ranks = np.random.default_rng(seed).permutation(grid.size)
+    extent = tuple(
+        data.draw(st.integers(1, s)) for s in shape
+    )
+    field = span_field(grid, ranks, extent)
+    volume = int(np.prod(extent))
+    assert (field >= volume - 1).all()
+    assert (field <= grid.size - 1).all()
+
+
+@given(n=st.integers(2, 20), m=st.integers(0, 30),
+       seed=st.integers(0, 1000))
+@settings(max_examples=30)
+def test_random_graph_spectral_order_valid(n, m, seed):
+    """Spectral LPM handles arbitrary (possibly disconnected) graphs."""
+    rng = np.random.default_rng(seed)
+    edges = []
+    for _ in range(m):
+        u, v = rng.integers(0, n, size=2)
+        if u != v:
+            edges.append((int(u), int(v)))
+    graph = Graph.from_edges(n, edges)
+    order = SpectralLPM(backend="dense").order_graph(graph)
+    assert sorted(order.permutation) == list(range(n))
+
+
+@given(n=st.integers(3, 24))
+def test_path_recovery_property(n):
+    """The strongest exact guarantee: a path's spectral order is the
+    path itself (up to reversal), for every size."""
+    from repro.graph import path_graph
+    order = SpectralLPM(backend="dense").order_graph(path_graph(n))
+    perm = list(order.permutation)
+    assert perm == list(range(n)) or perm == list(range(n - 1, -1, -1))

@@ -1,0 +1,112 @@
+"""Tests for repro.linalg.lanczos."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.geometry import Grid
+from repro.graph import grid_graph, laplacian, path_graph
+from repro.linalg import (
+    CSRMatrix,
+    lanczos_symmetric,
+    smallest_eigenpairs_shifted,
+)
+
+
+def random_symmetric(n, seed):
+    rng = np.random.default_rng(seed)
+    a = rng.normal(size=(n, n))
+    return (a + a.T) / 2
+
+
+def test_largest_eigenpairs_random():
+    dense = random_symmetric(40, 0)
+    mat = CSRMatrix.from_dense(dense)
+    result = lanczos_symmetric(mat.matvec, 40, k=3)
+    expected = np.linalg.eigvalsh(dense)[-3:]
+    assert np.allclose(result.values, expected, atol=1e-7)
+    for j in range(3):
+        y = result.vectors[:, j]
+        assert np.linalg.norm(dense @ y - result.values[j] * y) < 1e-6
+
+
+def test_full_space_small_matrix():
+    dense = random_symmetric(6, 1)
+    mat = CSRMatrix.from_dense(dense)
+    result = lanczos_symmetric(mat.matvec, 6, k=6)
+    assert np.allclose(result.values, np.linalg.eigvalsh(dense),
+                       atol=1e-8)
+
+
+def test_deflation_excludes_direction():
+    dense = random_symmetric(20, 2)
+    # Plant a known dominant eigenpair.
+    v = np.ones(20) / np.sqrt(20)
+    dense = dense + 100.0 * np.outer(v, v)
+    mat = CSRMatrix.from_dense(dense)
+    undeflated = lanczos_symmetric(mat.matvec, 20, k=1)
+    assert undeflated.values[0] == pytest.approx(
+        np.linalg.eigvalsh(dense)[-1])
+    deflated = lanczos_symmetric(mat.matvec, 20, k=1, deflate=[v])
+    # The planted direction is gone; the top of the remaining spectrum
+    # matches the dense solve restricted to the orthogonal complement.
+    assert abs(deflated.vectors[:, 0] @ v) < 1e-8
+    assert deflated.values[0] < 90.0
+
+
+def test_determinism():
+    dense = random_symmetric(30, 3)
+    mat = CSRMatrix.from_dense(dense)
+    r1 = lanczos_symmetric(mat.matvec, 30, k=2)
+    r2 = lanczos_symmetric(mat.matvec, 30, k=2)
+    assert np.array_equal(r1.values, r2.values)
+    assert np.array_equal(r1.vectors, r2.vectors)
+
+
+def test_k_validation():
+    mat = CSRMatrix.from_dense(np.eye(4))
+    with pytest.raises(InvalidParameterError):
+        lanczos_symmetric(mat.matvec, 4, k=0)
+    with pytest.raises(InvalidParameterError):
+        lanczos_symmetric(mat.matvec, 4, k=5)
+    with pytest.raises(InvalidParameterError):
+        lanczos_symmetric(mat.matvec, 0, k=1)
+
+
+def test_happy_breakdown_identity():
+    # The identity's Krylov space collapses after one vector: the solver
+    # must restart internally and still return k orthonormal pairs.
+    mat = CSRMatrix.from_dense(np.eye(8))
+    result = lanczos_symmetric(mat.matvec, 8, k=3)
+    assert np.allclose(result.values, 1.0)
+    basis = result.vectors
+    assert np.allclose(basis.T @ basis, np.eye(3), atol=1e-8)
+
+
+def test_smallest_eigenpairs_shifted_path():
+    g = path_graph(50)
+    lap = laplacian(g)
+    ones = np.ones(50) / np.sqrt(50)
+    values, vectors = smallest_eigenpairs_shifted(
+        lap.matvec, 50, k=3, upper_bound=lap.gershgorin_upper_bound(),
+        deflate=[ones],
+    )
+    expected = 2 * (1 - np.cos(np.pi * np.arange(1, 4) / 50))
+    assert np.allclose(values, expected, atol=1e-8)
+    assert (np.diff(values) >= -1e-12).all()
+
+
+def test_smallest_eigenpairs_shifted_grid_degenerate():
+    g = grid_graph(Grid((5, 5)))
+    lap = laplacian(g)
+    n = g.num_vertices
+    ones = np.ones(n) / np.sqrt(n)
+    values, _ = smallest_eigenpairs_shifted(
+        lap.matvec, n, k=4, upper_bound=lap.gershgorin_upper_bound(),
+        deflate=[ones],
+    )
+    lambda2 = 2 * (1 - np.cos(np.pi / 5))
+    # Degenerate pair, then the next mode.
+    assert values[0] == pytest.approx(lambda2, abs=1e-8)
+    assert values[1] == pytest.approx(lambda2, abs=1e-8)
+    assert values[2] > lambda2 + 1e-6

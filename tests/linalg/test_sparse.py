@@ -1,0 +1,120 @@
+"""Tests for repro.linalg.sparse."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import DimensionError, InvalidParameterError
+from repro.linalg import CSRMatrix
+
+
+def random_dense(n, density, seed):
+    rng = np.random.default_rng(seed)
+    dense = rng.normal(size=(n, n))
+    dense[rng.random((n, n)) > density] = 0.0
+    return dense
+
+
+def test_from_dense_roundtrip():
+    dense = random_dense(8, 0.4, 0)
+    mat = CSRMatrix.from_dense(dense)
+    assert np.allclose(mat.to_dense(), dense)
+    assert mat.shape == (8, 8)
+    assert mat.nnz == np.count_nonzero(dense)
+
+
+def test_from_dense_rejects_nonsquare():
+    with pytest.raises(DimensionError):
+        CSRMatrix.from_dense(np.ones((2, 3)))
+
+
+def test_matvec_matches_dense():
+    dense = random_dense(10, 0.3, 1)
+    mat = CSRMatrix.from_dense(dense)
+    rng = np.random.default_rng(2)
+    for _ in range(5):
+        x = rng.normal(size=10)
+        assert np.allclose(mat.matvec(x), dense @ x)
+
+
+def test_matvec_empty_matrix():
+    mat = CSRMatrix.from_dense(np.zeros((4, 4)))
+    assert np.allclose(mat.matvec(np.ones(4)), 0.0)
+
+
+def test_matvec_shape_check():
+    mat = CSRMatrix.from_dense(np.eye(3))
+    with pytest.raises(DimensionError):
+        mat.matvec(np.ones(4))
+
+
+def test_matmat_and_matmul():
+    dense = random_dense(6, 0.5, 3)
+    mat = CSRMatrix.from_dense(dense)
+    block = np.random.default_rng(4).normal(size=(6, 3))
+    assert np.allclose(mat.matmat(block), dense @ block)
+    assert np.allclose(mat @ block, dense @ block)
+    assert np.allclose(mat @ block[:, 0], dense @ block[:, 0])
+    with pytest.raises(DimensionError):
+        mat.matmat(np.ones((4, 2)))
+
+
+def test_from_coo_sums_duplicates():
+    mat = CSRMatrix.from_coo(3, [0, 0, 1], [1, 1, 2], [1.0, 2.0, 5.0])
+    dense = mat.to_dense()
+    assert dense[0, 1] == 3.0
+    assert dense[1, 2] == 5.0
+
+
+def test_from_coo_validation():
+    with pytest.raises(InvalidParameterError):
+        CSRMatrix.from_coo(2, [0], [2], [1.0])
+    with pytest.raises(DimensionError):
+        CSRMatrix.from_coo(2, [0, 1], [0], [1.0])
+
+
+def test_diagonal():
+    dense = np.diag([1.0, 2.0, 3.0])
+    dense[0, 2] = 9.0
+    mat = CSRMatrix.from_dense(dense)
+    assert np.allclose(mat.diagonal(), [1.0, 2.0, 3.0])
+
+
+def test_is_symmetric():
+    sym = random_dense(6, 0.4, 5)
+    sym = sym + sym.T
+    assert CSRMatrix.from_dense(sym).is_symmetric()
+    asym = sym.copy()
+    asym[0, 1] += 1.0
+    assert not CSRMatrix.from_dense(asym).is_symmetric()
+
+
+def test_gershgorin_bounds_largest_eigenvalue():
+    sym = random_dense(8, 0.5, 6)
+    sym = sym + sym.T
+    mat = CSRMatrix.from_dense(sym)
+    top = np.linalg.eigvalsh(sym).max()
+    assert mat.gershgorin_upper_bound() >= top - 1e-10
+
+
+def test_constructor_validation():
+    with pytest.raises(DimensionError):
+        CSRMatrix(2, np.array([0, 1]), np.array([0]), np.array([1.0]))
+    with pytest.raises(InvalidParameterError):
+        CSRMatrix(2, np.array([0, 1, 3]), np.array([0]), np.array([1.0]))
+    with pytest.raises(InvalidParameterError):
+        CSRMatrix(2, np.array([0, 1, 1]), np.array([5]), np.array([1.0]))
+
+
+def test_repr():
+    mat = CSRMatrix.from_dense(np.eye(3))
+    assert "n=3" in repr(mat) and "nnz=3" in repr(mat)
+
+
+@given(n=st.integers(1, 12), seed=st.integers(0, 1000))
+def test_matvec_property(n, seed):
+    dense = random_dense(n, 0.5, seed)
+    mat = CSRMatrix.from_dense(dense)
+    x = np.random.default_rng(seed + 1).normal(size=n)
+    assert np.allclose(mat.matvec(x), dense @ x)

@@ -1,0 +1,92 @@
+"""Tests for repro.linalg.tridiagonal (implicit QL vs LAPACK)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import DimensionError
+from repro.linalg import tridiagonal_eigh
+
+
+def dense_tridiagonal(diag, offdiag):
+    return (np.diag(diag) + np.diag(offdiag, 1) + np.diag(offdiag, -1))
+
+
+def test_scalar_matrix():
+    values, vectors = tridiagonal_eigh(np.array([3.0]), np.empty(0))
+    assert values[0] == 3.0
+    assert vectors[0, 0] == 1.0
+
+
+def test_empty_matrix():
+    values, vectors = tridiagonal_eigh(np.empty(0), np.empty(0))
+    assert values.shape == (0,)
+    assert vectors.shape == (0, 0)
+
+
+def test_diagonal_matrix_sorted():
+    values, vectors = tridiagonal_eigh(np.array([3.0, 1.0, 2.0]),
+                                       np.zeros(2))
+    assert np.allclose(values, [1.0, 2.0, 3.0])
+    # Eigenvectors are permuted unit vectors.
+    assert np.allclose(np.abs(vectors).sum(axis=0), 1.0)
+
+
+def test_matches_lapack_random():
+    rng = np.random.default_rng(7)
+    for n in (2, 3, 5, 10, 25):
+        diag = rng.normal(size=n)
+        offdiag = rng.normal(size=n - 1)
+        values, vectors = tridiagonal_eigh(diag, offdiag)
+        dense = dense_tridiagonal(diag, offdiag)
+        assert np.allclose(values, np.linalg.eigvalsh(dense), atol=1e-9)
+        # Orthogonality + reconstruction.
+        assert np.allclose(vectors.T @ vectors, np.eye(n), atol=1e-9)
+        assert np.allclose(vectors @ np.diag(values) @ vectors.T, dense,
+                           atol=1e-8)
+
+
+def test_values_ascending():
+    rng = np.random.default_rng(8)
+    diag = rng.normal(size=20)
+    offdiag = rng.normal(size=19)
+    values, _ = tridiagonal_eigh(diag, offdiag)
+    assert (np.diff(values) >= -1e-12).all()
+
+
+def test_path_laplacian_analytic():
+    """Tridiagonal Laplacian of a path has eigenvalues 2 - 2cos(pi k/n)."""
+    n = 12
+    diag = np.full(n, 2.0)
+    diag[0] = diag[-1] = 1.0
+    offdiag = np.full(n - 1, -1.0)
+    values, _ = tridiagonal_eigh(diag, offdiag)
+    expected = 2.0 - 2.0 * np.cos(np.pi * np.arange(n) / n)
+    assert np.allclose(values, np.sort(expected), atol=1e-9)
+
+
+def test_degenerate_eigenvalues():
+    # Two decoupled identical 2x2 blocks -> doubly degenerate spectrum.
+    diag = np.array([1.0, 1.0, 1.0, 1.0])
+    offdiag = np.array([0.5, 0.0, 0.5])
+    values, vectors = tridiagonal_eigh(diag, offdiag)
+    assert np.allclose(values, [0.5, 0.5, 1.5, 1.5])
+    assert np.allclose(vectors.T @ vectors, np.eye(4), atol=1e-9)
+
+
+def test_offdiag_length_checked():
+    with pytest.raises(DimensionError):
+        tridiagonal_eigh(np.ones(3), np.ones(3))
+
+
+@given(n=st.integers(2, 15), seed=st.integers(0, 500))
+def test_matches_lapack_property(n, seed):
+    rng = np.random.default_rng(seed)
+    diag = rng.uniform(-5, 5, size=n)
+    offdiag = rng.uniform(-5, 5, size=n - 1)
+    values, vectors = tridiagonal_eigh(diag, offdiag)
+    dense = dense_tridiagonal(diag, offdiag)
+    assert np.allclose(values, np.linalg.eigvalsh(dense), atol=1e-8)
+    assert np.allclose(vectors @ np.diag(values) @ vectors.T, dense,
+                       atol=1e-7)

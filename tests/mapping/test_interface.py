@@ -1,0 +1,98 @@
+"""Tests for repro.mapping.interface."""
+
+import numpy as np
+import pytest
+
+from repro.core import LinearOrder
+from repro.errors import InvalidParameterError
+from repro.geometry import Grid
+from repro.mapping import (
+    MAPPING_NAMES,
+    PAPER_MAPPING_NAMES,
+    CurveMapping,
+    ExplicitMapping,
+    SpectralMapping,
+    mapping_by_name,
+    paper_mappings,
+)
+
+
+def test_every_registered_mapping_produces_a_permutation(grid4):
+    for name in MAPPING_NAMES:
+        mapping = mapping_by_name(name, backend="dense") \
+            if name == "spectral" else mapping_by_name(name)
+        ranks = mapping.ranks_for_grid(grid4)
+        assert sorted(ranks) == list(range(grid4.size))
+
+
+def test_sweep_mapping_is_row_major_flat_index(grid4):
+    ranks = CurveMapping("sweep").ranks_for_grid(grid4)
+    assert list(ranks) == list(range(grid4.size))
+
+
+def test_non_power_of_two_grid_compaction():
+    """Bit curves on a 5x5 grid embed in 8x8 and compact to dense ranks."""
+    grid = Grid((5, 5))
+    for name in ("hilbert", "peano", "gray"):
+        ranks = CurveMapping(name).ranks_for_grid(grid)
+        assert sorted(ranks) == list(range(25))
+
+
+def test_compaction_preserves_relative_order():
+    """Compacted ranks keep the curve's visit sequence on kept cells."""
+    from repro.curves import make_curve
+    grid = Grid((3, 3))
+    curve = make_curve("hilbert", 2, 2)
+    keys = [curve.point_to_index(p) for p in grid.points()]
+    ranks = CurveMapping("hilbert").ranks_for_grid(grid)
+    by_key = np.argsort(keys, kind="stable")
+    by_rank = np.argsort(ranks, kind="stable")
+    assert list(by_key) == list(by_rank)
+
+
+def test_rectangular_grid_support():
+    grid = Grid((4, 7))
+    for name in ("hilbert", "sweep", "diagonal"):
+        ranks = CurveMapping(name).ranks_for_grid(grid)
+        assert sorted(ranks) == list(range(28))
+
+
+def test_mapping_cache_returns_same_object(grid4):
+    mapping = CurveMapping("hilbert")
+    assert mapping.order_for_grid(grid4) is mapping.order_for_grid(grid4)
+    other = Grid((4, 4))
+    assert mapping.order_for_grid(other) is mapping.order_for_grid(grid4)
+
+
+def test_spectral_mapping_forwards_kwargs(grid4):
+    mapping = SpectralMapping(backend="dense", connectivity="moore")
+    assert mapping.algorithm.config.connectivity == "moore"
+    assert sorted(mapping.ranks_for_grid(grid4)) == list(range(16))
+    assert mapping.name == "spectral"
+
+
+def test_mapping_by_name_validation():
+    with pytest.raises(InvalidParameterError):
+        mapping_by_name("voronoi")
+    with pytest.raises(InvalidParameterError):
+        mapping_by_name("hilbert", backend="dense")
+
+
+def test_paper_mappings_roster():
+    mappings = paper_mappings(backend="dense")
+    assert [m.name for m in mappings] == list(PAPER_MAPPING_NAMES)
+
+
+def test_explicit_mapping(grid3):
+    order = LinearOrder(np.arange(9)[::-1])
+    mapping = ExplicitMapping(grid3, order, name="reversed")
+    assert mapping.name == "reversed"
+    assert list(mapping.ranks_for_grid(grid3)) == list(order.ranks)
+    with pytest.raises(InvalidParameterError):
+        mapping.order_for_grid(Grid((2, 2)))
+    with pytest.raises(InvalidParameterError):
+        ExplicitMapping(Grid((2, 2)), order)
+
+
+def test_repr_shows_name():
+    assert "hilbert" in repr(CurveMapping("hilbert"))

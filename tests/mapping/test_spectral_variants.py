@@ -1,0 +1,45 @@
+"""Tests for the spectral mapping variants in the registry."""
+
+import pytest
+
+from repro.geometry import Grid
+from repro.graph import grid_graph
+from repro.mapping import (
+    MAPPING_NAMES,
+    SpectralMultilevelMapping,
+    mapping_by_name,
+)
+from repro.metrics import two_sum
+
+
+def test_registry_includes_all_spectral_variants():
+    assert "spectral" in MAPPING_NAMES
+    assert "spectral-rb" in MAPPING_NAMES
+    assert "spectral-ml" in MAPPING_NAMES
+
+
+@pytest.mark.parametrize("name", ["spectral-rb", "spectral-ml"])
+def test_variants_produce_permutations(name):
+    grid = Grid((6, 6))
+    mapping = mapping_by_name(name, backend="dense")
+    ranks = mapping.ranks_for_grid(grid)
+    assert sorted(ranks) == list(range(36))
+    assert mapping.name == name
+
+
+def test_multilevel_mapping_kwargs():
+    mapping = SpectralMultilevelMapping(min_size=16, smoothing_steps=20)
+    grid = Grid((10, 10))
+    assert sorted(mapping.ranks_for_grid(grid)) == list(range(100))
+
+
+def test_variant_quality_ordering():
+    """On the quadratic objective: global ~ multilevel << bisection."""
+    grid = Grid((8, 8))
+    graph = grid_graph(grid)
+    costs = {}
+    for name in ("spectral", "spectral-ml", "spectral-rb"):
+        mapping = mapping_by_name(name, backend="dense")
+        costs[name] = two_sum(graph, mapping.order_for_grid(grid))
+    assert costs["spectral-ml"] <= 1.5 * costs["spectral"]
+    assert costs["spectral-rb"] > 2.0 * costs["spectral"]

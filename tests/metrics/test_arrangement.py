@@ -1,0 +1,102 @@
+"""Tests for repro.metrics.arrangement."""
+
+import numpy as np
+import pytest
+
+from repro.core import LinearOrder
+from repro.errors import InvalidParameterError
+from repro.graph import Graph, cycle_graph, grid_graph, path_graph
+from repro.geometry import Grid
+from repro.metrics import (
+    arrangement_costs,
+    bandwidth,
+    cutwidth,
+    one_sum,
+    two_sum,
+)
+
+
+def test_identity_order_on_path():
+    g = path_graph(5)
+    order = LinearOrder.identity(5)
+    assert two_sum(g, order) == 4.0
+    assert one_sum(g, order) == 4.0
+    assert bandwidth(g, order) == 1
+    assert cutwidth(g, order) == 1
+
+
+def test_reversed_order_same_costs():
+    g = grid_graph(Grid((3, 3)))
+    order = LinearOrder.identity(9)
+    assert two_sum(g, order) == two_sum(g, order.reversed())
+    assert one_sum(g, order) == one_sum(g, order.reversed())
+    assert bandwidth(g, order) == bandwidth(g, order.reversed())
+    assert cutwidth(g, order) == cutwidth(g, order.reversed())
+
+
+def test_weighted_two_sum():
+    g = Graph.from_edges(3, [(0, 1), (1, 2)], weights=[2.0, 1.0])
+    order = LinearOrder([0, 2, 1])  # ranks: 0->0, 2->1, 1->2
+    # Edge (0,1): diff 2, w 2 -> 8; edge (1,2): diff 1, w 1 -> 1.
+    assert two_sum(g, order) == 9.0
+    assert one_sum(g, order) == 5.0
+
+
+def test_cutwidth_star():
+    g = Graph.from_edges(4, [(0, 1), (0, 2), (0, 3)])
+    order = LinearOrder([1, 0, 2, 3])  # center at rank 1
+    # Gap 0: 1 edge; gap 1: 2 edges; gap 2: 1 edge.
+    assert cutwidth(g, order) == 2
+    worst = LinearOrder([0, 1, 2, 3])  # center first
+    assert cutwidth(g, worst) == 3
+
+
+def test_cutwidth_cycle_identity():
+    g = cycle_graph(6)
+    order = LinearOrder.identity(6)
+    # The wrap-around edge crosses every gap: 2 everywhere + locals.
+    assert cutwidth(g, order) == 2
+
+
+def test_empty_graph_costs():
+    g = Graph.empty(4)
+    order = LinearOrder.identity(4)
+    costs = arrangement_costs(g, order)
+    assert costs.two_sum == costs.one_sum == 0.0
+    assert costs.bandwidth == costs.cutwidth == 0
+
+
+def test_size_mismatch_rejected():
+    g = path_graph(4)
+    with pytest.raises(InvalidParameterError):
+        two_sum(g, LinearOrder.identity(5))
+    with pytest.raises(InvalidParameterError):
+        cutwidth(g, LinearOrder.identity(5))
+
+
+def test_two_sum_equals_quadratic_form_of_ranks():
+    from repro.graph import quadratic_form
+    g = grid_graph(Grid((3, 4)))
+    rng = np.random.default_rng(2)
+    order = LinearOrder(rng.permutation(12))
+    assert two_sum(g, order) == pytest.approx(
+        quadratic_form(g, order.ranks.astype(float)))
+
+
+def test_spectral_two_sum_beats_fractals(dense_lpm):
+    """The discrete Theorem-1 objective: spectral wins on its own turf."""
+    from repro.mapping import CurveMapping
+    grid = Grid((8, 8))
+    graph = dense_lpm.build_grid_graph(grid)
+    spectral_cost = two_sum(graph, dense_lpm.order_grid(grid))
+    for name in ("peano", "gray", "hilbert"):
+        curve_cost = two_sum(graph, CurveMapping(name).order_for_grid(grid))
+        assert spectral_cost < curve_cost
+
+
+def test_identity_is_optimal_bandwidth_for_path():
+    g = path_graph(8)
+    rng = np.random.default_rng(4)
+    identity_bw = bandwidth(g, LinearOrder.identity(8))
+    for _ in range(10):
+        assert bandwidth(g, LinearOrder(rng.permutation(8))) >= identity_bw

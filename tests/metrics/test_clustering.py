@@ -1,0 +1,68 @@
+"""Tests for repro.metrics.clustering."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DimensionError
+from repro.geometry import Box, Grid
+from repro.metrics import (
+    box_cluster_count,
+    cluster_count,
+    cluster_stats,
+)
+
+
+def test_cluster_count_basics():
+    assert cluster_count(np.array([])) == 0
+    assert cluster_count(np.array([5])) == 1
+    assert cluster_count(np.array([1, 2, 3])) == 1
+    assert cluster_count(np.array([1, 3, 5])) == 3
+    assert cluster_count(np.array([3, 1, 2, 7, 8])) == 2  # unsorted input
+
+
+def test_box_cluster_count_row_major():
+    grid = Grid((4, 4))
+    ranks = np.arange(16)
+    # A 2x2 box: two runs (one per row).
+    assert box_cluster_count(grid, ranks, Box((0, 0), (1, 1))) == 2
+    # A full row: one run.
+    assert box_cluster_count(grid, ranks, Box((1, 0), (1, 3))) == 1
+
+
+def test_cluster_stats_row_major():
+    grid = Grid((4, 4))
+    stats = cluster_stats(grid, np.arange(16), (2, 2))
+    assert stats.max == 2
+    assert stats.mean == 2.0
+    assert stats.std == 0.0
+    assert stats.query_count == 9
+    assert stats.extent == (2, 2)
+
+
+def test_cluster_stats_validation():
+    grid = Grid((3, 3))
+    with pytest.raises(DimensionError):
+        cluster_stats(grid, np.arange(4), (2, 2))
+
+
+def test_snake_halves_clusters_vs_sweep():
+    """Moon et al.'s observation: continuous curves produce fewer
+    clusters; snake joins row pairs at their turn, sweep never does."""
+    from repro.mapping import CurveMapping
+    grid = Grid((8, 8))
+    sweep = cluster_stats(
+        grid, CurveMapping("sweep").ranks_for_grid(grid), (2, 2))
+    snake = cluster_stats(
+        grid, CurveMapping("snake").ranks_for_grid(grid), (2, 2))
+    assert snake.mean < sweep.mean
+
+
+def test_hilbert_beats_zorder_on_clusters():
+    """The classic Moon/Jagadish/Faloutsos/Salz result (reference [4])."""
+    from repro.mapping import CurveMapping
+    grid = Grid((16, 16))
+    hilbert = cluster_stats(
+        grid, CurveMapping("hilbert").ranks_for_grid(grid), (4, 4))
+    zorder = cluster_stats(
+        grid, CurveMapping("peano").ranks_for_grid(grid), (4, 4))
+    assert hilbert.mean < zorder.mean

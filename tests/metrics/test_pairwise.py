@@ -1,0 +1,108 @@
+"""Tests for repro.metrics.pairwise."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DimensionError, InvalidParameterError
+from repro.geometry import Grid
+from repro.metrics import (
+    adjacent_gap_stats,
+    boundary_gap,
+    distances_for_percentages,
+    rank_distance_profile,
+)
+
+
+def identity_ranks(grid):
+    return np.arange(grid.size)
+
+
+def brute_force_profile(grid, ranks):
+    """O(n^2) reference implementation with plain loops."""
+    coords = grid.coordinates()
+    buckets = {}
+    for i in range(grid.size):
+        for j in range(i + 1, grid.size):
+            md = int(np.abs(coords[i] - coords[j]).sum())
+            rd = abs(int(ranks[i]) - int(ranks[j]))
+            current = buckets.setdefault(md, [0, 0, 0])
+            current[0] = max(current[0], rd)
+            current[1] += rd
+            current[2] += 1
+    return buckets
+
+
+@pytest.mark.parametrize("shape", [(4, 4), (3, 5), (2, 3, 2)])
+def test_profile_matches_brute_force(shape):
+    grid = Grid(shape)
+    rng = np.random.default_rng(3)
+    ranks = rng.permutation(grid.size)
+    profile = rank_distance_profile(grid, ranks, chunk=7)
+    reference = brute_force_profile(grid, ranks)
+    assert list(profile.distances) == sorted(reference)
+    for k, distance in enumerate(profile.distances):
+        ref_max, ref_sum, ref_count = reference[int(distance)]
+        assert profile.max_rank_distance[k] == ref_max
+        assert profile.pair_count[k] == ref_count
+        assert profile.mean_rank_distance[k] == pytest.approx(
+            ref_sum / ref_count)
+
+
+def test_profile_identity_mapping_1d():
+    grid = Grid((6,))
+    profile = rank_distance_profile(grid, identity_ranks(grid))
+    # On a 1-D grid with identity ranks, rank distance == Manhattan.
+    for k, distance in enumerate(profile.distances):
+        assert profile.max_rank_distance[k] == distance
+        assert profile.mean_rank_distance[k] == pytest.approx(distance)
+
+
+def test_profile_at_accessor():
+    grid = Grid((4, 4))
+    profile = rank_distance_profile(grid, identity_ranks(grid))
+    worst, mean = profile.at(1)
+    assert worst >= mean > 0
+    with pytest.raises(InvalidParameterError):
+        profile.at(99)
+
+
+def test_profile_validation():
+    grid = Grid((3, 3))
+    with pytest.raises(DimensionError):
+        rank_distance_profile(grid, np.arange(5))
+    with pytest.raises(InvalidParameterError):
+        rank_distance_profile(grid, identity_ranks(grid), chunk=0)
+
+
+def test_adjacent_gap_stats_identity():
+    grid = Grid((3, 3))
+    worst, mean = adjacent_gap_stats(grid, identity_ranks(grid))
+    # Row-major: along-row gaps are 1, along-column gaps are 3.
+    assert worst == 3
+    assert mean == pytest.approx((6 * 1 + 6 * 3) / 12)
+
+
+def test_boundary_gap_identity():
+    grid = Grid((4, 4))
+    ranks = identity_ranks(grid)
+    # Crossing the axis-0 midplane with row-major ranks: stride 4.
+    assert boundary_gap(grid, ranks, axis=0) == 4
+    assert boundary_gap(grid, ranks, axis=1) == 1
+
+
+def test_boundary_gap_custom_split():
+    grid = Grid((4, 4))
+    ranks = identity_ranks(grid)
+    assert boundary_gap(grid, ranks, axis=0, split=1) == 4
+    with pytest.raises(InvalidParameterError):
+        boundary_gap(grid, ranks, axis=0, split=0)
+    with pytest.raises(InvalidParameterError):
+        boundary_gap(grid, ranks, axis=5)
+
+
+def test_distances_for_percentages():
+    grid = Grid.cube(4, 5)  # max manhattan 15
+    distances = distances_for_percentages(grid, np.array([10, 50, 100]))
+    assert list(distances) == [2, 8, 15]
+    # Tiny percentages still map to at least distance 1.
+    assert distances_for_percentages(grid, np.array([0.1]))[0] == 1

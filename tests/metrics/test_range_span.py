@@ -1,0 +1,107 @@
+"""Tests for repro.metrics.range_span."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DimensionError, DomainError, InvalidParameterError
+from repro.geometry import Box, Grid, boxes_with_extent
+from repro.metrics import (
+    box_span,
+    partial_match_span_stats,
+    span_field,
+    span_stats,
+)
+
+
+def brute_force_spans(grid, ranks, extent):
+    spans = []
+    for box in boxes_with_extent(grid, extent):
+        inside = ranks[box.cell_indices(grid)]
+        spans.append(int(inside.max() - inside.min()))
+    return spans
+
+
+@pytest.mark.parametrize("shape,extent", [
+    ((5, 5), (2, 2)),
+    ((5, 5), (3, 1)),
+    ((4, 6), (2, 3)),
+    ((3, 3, 3), (2, 2, 2)),
+    ((4, 4), (4, 4)),
+])
+def test_span_field_matches_brute_force(shape, extent):
+    grid = Grid(shape)
+    rng = np.random.default_rng(5)
+    ranks = rng.permutation(grid.size)
+    field = span_field(grid, ranks, extent)
+    assert sorted(field.ravel()) == sorted(
+        brute_force_spans(grid, ranks, extent))
+
+
+def test_span_field_shape():
+    grid = Grid((5, 7))
+    field = span_field(grid, np.arange(35), (2, 3))
+    assert field.shape == (4, 5)
+
+
+def test_span_identity_row_major():
+    grid = Grid((4, 4))
+    stats = span_stats(grid, np.arange(16), (2, 2))
+    # Every 2x2 box spans exactly one row stride + 1.
+    assert stats.max == stats.min == 5
+    assert stats.std == 0.0
+    assert stats.query_count == 9
+    assert stats.volume == 4
+
+
+def test_span_single_cell_extent():
+    grid = Grid((3, 3))
+    stats = span_stats(grid, np.arange(9), (1, 1))
+    assert stats.max == 0 and stats.mean == 0.0
+
+
+def test_box_span():
+    grid = Grid((4, 4))
+    assert box_span(grid, np.arange(16), Box((1, 1), (2, 2))) == 5
+
+
+def test_span_validation():
+    grid = Grid((3, 3))
+    with pytest.raises(DimensionError):
+        span_stats(grid, np.arange(5), (2, 2))
+    with pytest.raises(DimensionError):
+        span_stats(grid, np.arange(9), (2,))
+    with pytest.raises(DomainError):
+        span_stats(grid, np.arange(9), (4, 2))
+    with pytest.raises(InvalidParameterError):
+        span_stats(grid, np.arange(9), (0, 2))
+
+
+def test_partial_match_span_stats():
+    grid = Grid((4, 4))
+    ranks = np.arange(16)
+    stats = partial_match_span_stats(grid, ranks, fixed_axes=[0],
+                                     extent=2)
+    # Boxes are 2x4 rows: span = 7 everywhere with row-major ranks.
+    assert stats.max == 7 and stats.std == 0.0
+    column_stats = partial_match_span_stats(grid, ranks, fixed_axes=[1],
+                                            extent=2)
+    # Boxes are 4x2 columns: span = 13.
+    assert column_stats.max == 13
+
+
+def test_partial_match_validation():
+    grid = Grid((4, 4))
+    with pytest.raises(InvalidParameterError):
+        partial_match_span_stats(grid, np.arange(16), [], 2)
+    with pytest.raises(InvalidParameterError):
+        partial_match_span_stats(grid, np.arange(16), [3], 2)
+
+
+def test_span_lower_bound_is_volume_minus_one():
+    """Any permutation's span over a box >= box volume - 1."""
+    grid = Grid((4, 4))
+    rng = np.random.default_rng(11)
+    for _ in range(5):
+        ranks = rng.permutation(16)
+        field = span_field(grid, ranks, (2, 2))
+        assert (field >= 3).all()

@@ -1,0 +1,79 @@
+"""Tests for repro.query.join."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DimensionError, InvalidParameterError
+from repro.geometry import Grid
+from repro.query import (
+    true_join_pairs,
+    window_join_candidates,
+    window_join_report,
+)
+
+
+def test_true_join_pairs_small():
+    grid = Grid((4, 4))
+    a = [grid.index_of((0, 0)), grid.index_of((3, 3))]
+    b = [grid.index_of((0, 1)), grid.index_of((2, 2))]
+    pairs = true_join_pairs(grid, a, b, epsilon=1)
+    assert {tuple(p) for p in pairs} == {(0, 0)}  # (0,0)~(0,1) only
+    pairs2 = true_join_pairs(grid, a, b, epsilon=2)
+    assert {tuple(p) for p in pairs2} == {(0, 0), (1, 1)}
+
+
+def test_true_join_validation():
+    grid = Grid((3, 3))
+    with pytest.raises(InvalidParameterError):
+        true_join_pairs(grid, [0], [1], epsilon=-1)
+
+
+def test_window_join_candidates_two_pointer():
+    ranks = np.arange(10)
+    a = [0, 5]
+    b = [1, 6, 9]
+    candidates = window_join_candidates(ranks, a, b, window=1)
+    assert {tuple(c) for c in candidates} == {(0, 0), (1, 1)}
+    wide = window_join_candidates(ranks, a, b, window=9)
+    assert len(wide) == 6
+
+
+def test_window_join_empty():
+    ranks = np.arange(10)
+    empty = window_join_candidates(ranks, [0], [9], window=2)
+    assert empty.shape == (0, 2)
+    with pytest.raises(InvalidParameterError):
+        window_join_candidates(ranks, [0], [1], window=-1)
+
+
+def test_window_join_report_full_window_has_full_recall(grid8, dense_lpm):
+    rng = np.random.default_rng(8)
+    a = rng.choice(64, size=12, replace=False)
+    b = rng.choice(64, size=12, replace=False)
+    ranks = dense_lpm.order_grid(grid8).ranks
+    report = window_join_report(grid8, ranks, a, b, epsilon=2, window=64)
+    assert report.recall == 1.0
+    assert report.candidate_pairs == 144
+
+
+def test_window_join_report_metrics(grid8, dense_lpm):
+    rng = np.random.default_rng(9)
+    a = rng.choice(64, size=16, replace=False)
+    b = rng.choice(64, size=16, replace=False)
+    ranks = dense_lpm.order_grid(grid8).ranks
+    report = window_join_report(grid8, ranks, a, b, epsilon=2, window=12)
+    assert 0.0 <= report.recall <= 1.0
+    assert report.matched_pairs <= report.true_pairs
+    assert report.matched_pairs <= report.candidate_pairs
+    assert report.candidate_ratio >= 0.0
+
+
+def test_window_join_report_no_true_pairs():
+    grid = Grid((8, 8))
+    ranks = np.arange(64)
+    report = window_join_report(grid, ranks, [0], [63], epsilon=1,
+                                window=1)
+    assert report.true_pairs == 0
+    assert report.recall == 1.0  # vacuous
+    with pytest.raises(DimensionError):
+        window_join_report(grid, np.arange(5), [0], [1], 1, 1)

@@ -1,0 +1,97 @@
+"""Tests for repro.query.workloads."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DomainError, InvalidParameterError
+from repro.geometry import Grid
+from repro.query import (
+    pairs_at_manhattan_distance,
+    random_boxes,
+    random_cells,
+    sliding_boxes,
+)
+
+
+def test_sliding_boxes_counts():
+    grid = Grid((5, 4))
+    assert len(list(sliding_boxes(grid, (2, 2)))) == 4 * 3
+
+
+def test_random_boxes_in_domain_and_seeded():
+    grid = Grid((8, 8))
+    a = random_boxes(grid, (3, 3), count=10, seed=1)
+    b = random_boxes(grid, (3, 3), count=10, seed=1)
+    c = random_boxes(grid, (3, 3), count=10, seed=2)
+    assert a == b
+    assert a != c
+    for box in a:
+        assert box.extent == (3, 3)
+        assert box.clipped_to(grid) == box
+
+
+def test_random_boxes_validation():
+    grid = Grid((4, 4))
+    with pytest.raises(InvalidParameterError):
+        random_boxes(grid, (2, 2), count=0)
+    with pytest.raises(DomainError):
+        random_boxes(grid, (5, 2), count=1)
+
+
+def test_random_cells_distinct_and_seeded():
+    grid = Grid((6, 6))
+    a = random_cells(grid, 10, seed=3)
+    assert len(np.unique(a)) == 10
+    assert np.array_equal(a, random_cells(grid, 10, seed=3))
+    assert (a >= 0).all() and (a < 36).all()
+
+
+def test_random_cells_validation():
+    grid = Grid((3, 3))
+    with pytest.raises(InvalidParameterError):
+        random_cells(grid, 10)
+    with pytest.raises(InvalidParameterError):
+        random_cells(grid, 0)
+    # With replacement, more than grid.size is fine.
+    cells = random_cells(grid, 20, replace=True)
+    assert len(cells) == 20
+
+
+def brute_force_pairs(grid, distance):
+    coords = grid.coordinates()
+    pairs = set()
+    for i in range(grid.size):
+        for j in range(i + 1, grid.size):
+            if int(np.abs(coords[i] - coords[j]).sum()) == distance:
+                pairs.add((i, j))
+    return pairs
+
+
+@pytest.mark.parametrize("shape,distance", [
+    ((4, 4), 1), ((4, 4), 3), ((3, 3, 3), 2), ((5,), 2), ((3, 4), 5),
+])
+def test_pairs_at_distance_match_brute_force(shape, distance):
+    grid = Grid(shape)
+    left, right = pairs_at_manhattan_distance(grid, distance)
+    ours = {(min(int(a), int(b)), max(int(a), int(b)))
+            for a, b in zip(left, right)}
+    assert ours == brute_force_pairs(grid, distance)
+
+
+def test_pairs_at_distance_limit_subsamples():
+    grid = Grid((6, 6))
+    full_left, _ = pairs_at_manhattan_distance(grid, 2)
+    left, right = pairs_at_manhattan_distance(grid, 2, limit=10, seed=4)
+    assert len(left) == 10 < len(full_left)
+    again_left, again_right = pairs_at_manhattan_distance(grid, 2,
+                                                          limit=10, seed=4)
+    assert np.array_equal(left, again_left)
+    assert np.array_equal(right, again_right)
+
+
+def test_pairs_at_distance_validation():
+    grid = Grid((3, 3))
+    with pytest.raises(InvalidParameterError):
+        pairs_at_manhattan_distance(grid, 0)
+    with pytest.raises(InvalidParameterError):
+        pairs_at_manhattan_distance(grid, 5)

@@ -1,0 +1,78 @@
+"""Tests for repro.storage.buffer."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.storage import LRUBufferPool, replay_query_stream
+
+
+def test_cold_misses_then_hits():
+    pool = LRUBufferPool(capacity=2)
+    assert pool.access(1) is False
+    assert pool.access(1) is True
+    assert pool.access(2) is False
+    assert pool.access(2) is True
+    stats = pool.stats()
+    assert stats.accesses == 4
+    assert stats.hits == 2
+    assert stats.misses == 2
+    assert stats.evictions == 0
+    assert stats.hit_rate == 0.5
+
+
+def test_lru_eviction_order():
+    pool = LRUBufferPool(capacity=2)
+    pool.access(1)
+    pool.access(2)
+    pool.access(3)          # evicts 1 (least recently used)
+    assert pool.contains(2) and pool.contains(3)
+    assert not pool.contains(1)
+    assert pool.stats().evictions == 1
+
+
+def test_touch_refreshes_recency():
+    pool = LRUBufferPool(capacity=2)
+    pool.access(1)
+    pool.access(2)
+    pool.access(1)          # 1 becomes most recent
+    pool.access(3)          # evicts 2, not 1
+    assert pool.contains(1)
+    assert not pool.contains(2)
+
+
+def test_contains_does_not_touch():
+    pool = LRUBufferPool(capacity=2)
+    pool.access(1)
+    pool.access(2)
+    pool.contains(1)        # must NOT refresh 1
+    pool.access(3)          # evicts 1
+    assert not pool.contains(1)
+
+
+def test_access_many_counts_hits():
+    pool = LRUBufferPool(capacity=4)
+    assert pool.access_many([1, 2, 1, 2]) == 2
+
+
+def test_reset():
+    pool = LRUBufferPool(capacity=2)
+    pool.access(1)
+    pool.reset()
+    assert pool.resident == 0
+    assert pool.stats().accesses == 0
+
+
+def test_capacity_validation():
+    with pytest.raises(InvalidParameterError):
+        LRUBufferPool(0)
+
+
+def test_empty_stats_hit_rate():
+    assert LRUBufferPool(1).stats().hit_rate == 0.0
+
+
+def test_replay_query_stream():
+    stats = replay_query_stream(2, [[1, 2], [1, 2], [3], [1]])
+    # [1,2] cold; [1,2] both hit; [3] evicts 1; [1] misses.
+    assert stats.hits == 2
+    assert stats.misses == 4

@@ -1,0 +1,74 @@
+"""Tests for repro.storage.declustering."""
+
+import numpy as np
+import pytest
+
+from repro.core import LinearOrder
+from repro.errors import InvalidParameterError
+from repro.storage import (
+    PageLayout,
+    disk_of_pages,
+    query_response_time,
+    workload_response_stats,
+)
+
+
+def test_round_robin_assignment():
+    assert list(disk_of_pages(6, 3)) == [0, 1, 2, 0, 1, 2]
+    with pytest.raises(InvalidParameterError):
+        disk_of_pages(6, 0)
+    with pytest.raises(InvalidParameterError):
+        disk_of_pages(6, 3, scheme="random")
+
+
+def test_contiguous_pages_stripe_perfectly():
+    layout = PageLayout(LinearOrder.identity(16), page_size=2)
+    # Items 0..7 occupy pages 0..3; on 4 disks that is 1 page each.
+    report = query_response_time(layout, list(range(8)), num_disks=4)
+    assert report.pages == 4
+    assert report.response_time == 1
+    assert report.optimal_response_time == 1
+    assert report.slowdown == 1.0
+
+
+def test_pathological_stride_hits_one_disk():
+    layout = PageLayout(LinearOrder.identity(16), page_size=2)
+    # Pages 0 and 2 both live on disk 0 of 2 disks.
+    items = [0, 1, 4, 5]
+    report = query_response_time(layout, items, num_disks=2)
+    assert report.pages == 2
+    assert report.response_time == 2
+    assert report.optimal_response_time == 1
+    assert report.slowdown == 2.0
+
+
+def test_empty_query():
+    layout = PageLayout(LinearOrder.identity(8), page_size=2)
+    report = query_response_time(layout, [], num_disks=2)
+    assert report.response_time == 0
+    assert report.slowdown == 1.0
+
+
+def test_workload_response_stats():
+    layout = PageLayout(LinearOrder.identity(16), page_size=2)
+    mean_response, mean_slowdown = workload_response_stats(
+        layout, [[0, 1, 2, 3], [8, 9]], num_disks=2)
+    # First query: pages 0,1 -> disks 0,1 -> response 1.
+    # Second query: page 4 -> response 1.
+    assert mean_response == 1.0
+    assert mean_slowdown == 1.0
+    assert workload_response_stats(layout, [], 2) == (0.0, 1.0)
+
+
+def test_locality_helps_declustering():
+    """Contiguous (locality-preserved) queries stripe better than
+    scattered ones on average."""
+    layout = PageLayout(LinearOrder.identity(64), page_size=2)
+    rng = np.random.default_rng(1)
+    contiguous = [list(range(start, start + 8))
+                  for start in range(0, 56, 8)]
+    scattered = [list(rng.choice(64, size=8, replace=False))
+                 for _ in range(7)]
+    _, slow_contig = workload_response_stats(layout, contiguous, 4)
+    _, slow_scatter = workload_response_stats(layout, scattered, 4)
+    assert slow_contig <= slow_scatter

@@ -1,0 +1,90 @@
+"""Tests for repro.storage.disk."""
+
+import pytest
+
+from repro.core import LinearOrder
+from repro.errors import InvalidParameterError
+from repro.storage import (
+    DiskCostModel,
+    PageLayout,
+    query_io,
+    span_scan_io,
+    workload_io,
+)
+
+
+@pytest.fixture
+def identity_layout():
+    return PageLayout(LinearOrder.identity(16), page_size=2)
+
+
+def test_cost_model_formula():
+    model = DiskCostModel(seek_cost=10.0, transfer_cost=1.0)
+    assert model.cost(pages=4, runs=2) == 24.0
+    assert model.cost(pages=0, runs=0) == 0.0
+
+
+def test_cost_model_validation():
+    with pytest.raises(InvalidParameterError):
+        DiskCostModel(seek_cost=-1.0)
+    model = DiskCostModel()
+    with pytest.raises(InvalidParameterError):
+        model.cost(pages=1, runs=2)
+    with pytest.raises(InvalidParameterError):
+        model.cost(pages=-1, runs=0)
+
+
+def test_query_io_contiguous(identity_layout):
+    io = query_io(identity_layout, [0, 1, 2, 3],
+                  DiskCostModel(seek_cost=5.0, transfer_cost=1.0))
+    assert io.pages == 2
+    assert io.runs == 1
+    assert io.cost == 7.0
+
+
+def test_query_io_fragmented(identity_layout):
+    # Items 0 and 15 are on pages 0 and 7: two runs.
+    io = query_io(identity_layout, [0, 15])
+    assert io.pages == 2
+    assert io.runs == 2
+
+
+def test_query_io_empty(identity_layout):
+    io = query_io(identity_layout, [])
+    assert io.pages == io.runs == 0
+    assert io.cost == 0.0
+
+
+def test_workload_io_sums(identity_layout):
+    model = DiskCostModel(seek_cost=1.0, transfer_cost=1.0)
+    total = workload_io(identity_layout, [[0, 1], [14, 15]], model)
+    assert total.pages == 2
+    assert total.runs == 2
+    assert total.cost == 4.0
+
+
+def test_span_scan_io(identity_layout):
+    model = DiskCostModel(seek_cost=5.0, transfer_cost=1.0)
+    io = span_scan_io(identity_layout, [0, 15], model)
+    # Scan from page 0 through page 7: 8 transfers, one seek.
+    assert io.pages == 8
+    assert io.runs == 1
+    assert io.cost == 13.0
+    assert span_scan_io(identity_layout, []).cost == 0.0
+
+
+def test_better_order_costs_less():
+    """A locality-preserving order beats a scrambled one on clustered
+    queries — the end-to-end premise of the paper."""
+    import numpy as np
+    from repro.geometry import Box, Grid
+    from repro.mapping import CurveMapping
+
+    grid = Grid((8, 8))
+    query = Box((2, 2), (5, 5)).cell_indices(grid)
+    model = DiskCostModel(seek_cost=5.0, transfer_cost=0.1)
+    snake = PageLayout(CurveMapping("snake").order_for_grid(grid), 4)
+    scrambled = PageLayout(
+        LinearOrder(np.random.default_rng(0).permutation(64)), 4)
+    assert query_io(snake, query, model).cost < \
+        query_io(scrambled, query, model).cost

@@ -1,0 +1,49 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    BackendUnavailableError,
+    ConvergenceError,
+    DimensionError,
+    DomainError,
+    GraphStructureError,
+    InvalidParameterError,
+    ReproError,
+)
+
+
+def test_all_errors_derive_from_repro_error():
+    for error_type in (BackendUnavailableError, ConvergenceError,
+                       DimensionError, DomainError, GraphStructureError,
+                       InvalidParameterError):
+        assert issubclass(error_type, ReproError)
+
+
+def test_value_error_compatibility():
+    """Parameter/domain errors double as ValueError so idiomatic
+    caller-side handling works."""
+    assert issubclass(InvalidParameterError, ValueError)
+    assert issubclass(DimensionError, ValueError)
+    assert issubclass(DomainError, ValueError)
+
+
+def test_convergence_error_payload():
+    error = ConvergenceError("no luck", iterations=7, residual=0.5)
+    assert error.iterations == 7
+    assert error.residual == 0.5
+    assert "no luck" in str(error)
+    bare = ConvergenceError("bare")
+    assert bare.iterations is None and bare.residual is None
+
+
+def test_backend_unavailable_is_import_error():
+    assert issubclass(BackendUnavailableError, ImportError)
+
+
+def test_one_catch_handles_everything():
+    from repro.geometry import Grid
+    with pytest.raises(ReproError):
+        Grid(())
+    with pytest.raises(ReproError):
+        Grid((3, 3)).index_of((9, 9))

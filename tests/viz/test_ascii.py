@@ -1,0 +1,59 @@
+"""Tests for repro.viz.ascii_art."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DimensionError
+from repro.geometry import Grid
+from repro.viz import render_order_path, render_ranks, render_values
+
+
+def test_render_ranks_2x2():
+    grid = Grid((2, 2))
+    text = render_ranks(grid, np.array([0, 1, 3, 2]))
+    assert text == " 0  1\n 3  2"
+
+
+def test_render_ranks_width_scales():
+    grid = Grid((2, 2))
+    text = render_ranks(grid, np.array([0, 1, 2, 100]))
+    assert "100" in text
+    rows = text.splitlines()
+    assert len(rows) == 2
+
+
+def test_render_ranks_validation():
+    with pytest.raises(DimensionError):
+        render_ranks(Grid((2, 2, 2)), np.arange(8))
+    with pytest.raises(DimensionError):
+        render_ranks(Grid((2, 2)), np.arange(5))
+
+
+def test_render_values():
+    grid = Grid((2, 2))
+    text = render_values(grid, np.array([0.5, -0.5, 0.25, 0.0]),
+                         precision=2)
+    assert "0.50" in text and "-0.50" in text
+    with pytest.raises(DimensionError):
+        render_values(Grid((3,)), np.arange(3.0))
+
+
+def test_render_order_path_sweep():
+    grid = Grid((2, 3))
+    # Row-major sweep: right, right, jump, right, right, end.
+    text = render_order_path(grid, np.arange(6))
+    assert text == "> > *\n> > o"
+
+
+def test_render_order_path_snake():
+    grid = Grid((2, 2))
+    from repro.mapping import CurveMapping
+    ranks = CurveMapping("snake").ranks_for_grid(grid)
+    text = render_order_path(grid, ranks)
+    assert "o" in text
+    assert "*" not in text  # snake is continuous
+
+
+def test_render_order_path_validation():
+    with pytest.raises(DimensionError):
+        render_order_path(Grid((2, 2, 2)), np.arange(8))
