@@ -8,17 +8,59 @@ Every benchmark both *times* its experiment (via pytest-benchmark) and
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
+#: Machine-readable benchmark trajectory: every solver benchmark appends
+#: its timings here, so perf changes leave a reviewable record instead
+#: of vanishing with the terminal scrollback.  The git-tracked file is
+#: only written when REPRO_BENCH_RECORD=1 (an intentional trajectory
+#: update); ordinary test runs append to the .local sibling, which is
+#: gitignored — otherwise every `pytest -q` would dirty the tree and
+#: bury the committed baselines under machine-local noise.
+BENCH_JSON = RESULTS_DIR / "BENCH_spectral.json"
+BENCH_JSON_LOCAL = RESULTS_DIR / "BENCH_spectral.local.json"
+
 
 @pytest.fixture(scope="session")
 def results_dir() -> Path:
     RESULTS_DIR.mkdir(exist_ok=True)
     return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def save_json(results_dir):
+    """Append machine-readable benchmark records to BENCH_spectral.json.
+
+    Each record is a flat dict — by convention at least ``name``, ``n``,
+    ``backend`` and ``seconds``.  Appending (rather than rewriting)
+    preserves the perf trajectory across runs; consumers can group by
+    ``name``/``backend`` and plot ``seconds`` over time.  Records land
+    in the committed ``results/BENCH_spectral.json`` only under
+    ``REPRO_BENCH_RECORD=1``; default runs append to the untracked
+    ``.local`` sibling.
+    """
+    import os
+
+    target = (BENCH_JSON
+              if os.environ.get("REPRO_BENCH_RECORD", "") == "1"
+              else BENCH_JSON_LOCAL)
+
+    def _save(record: dict) -> None:
+        records = []
+        if target.exists():
+            try:
+                records = json.loads(target.read_text())
+            except json.JSONDecodeError:
+                records = []
+        records.append(dict(record))
+        target.write_text(json.dumps(records, indent=2) + "\n")
+
+    return _save
 
 
 @pytest.fixture(scope="session")

@@ -11,7 +11,9 @@ from repro.core import SpectralLPM
 from repro.geometry import Grid
 from repro.linalg import scipy_available
 
-BACKENDS = ["dense", "lanczos"] + (["scipy"] if scipy_available() else [])
+BACKENDS = (["dense", "lanczos"]
+            + (["scipy"] if scipy_available() else [])
+            + ["multilevel"])
 GRIDS = {"16x16": Grid((16, 16)), "24x24": Grid((24, 24))}
 
 

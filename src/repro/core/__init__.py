@@ -10,7 +10,9 @@ from repro.core.extensions import (
 )
 from repro.core.fiedler import FiedlerResult, fiedler_value, fiedler_vector
 from repro.core.multilevel import (
+    MultilevelEigenspace,
     MultilevelResult,
+    multilevel_eigenspace,
     multilevel_fiedler,
     multilevel_order,
 )
@@ -35,9 +37,11 @@ __all__ = [
     "DISCONNECTED_POLICIES",
     "FiedlerResult",
     "LinearOrder",
+    "MultilevelEigenspace",
     "MultilevelResult",
     "OBJECTIVES",
     "RefinementResult",
+    "multilevel_eigenspace",
     "multilevel_fiedler",
     "multilevel_order",
     "refine_order",

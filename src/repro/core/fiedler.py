@@ -14,9 +14,22 @@ Degenerate eigenspaces
 the same (optimal) objective value, but different eigensolvers return
 different bases, so a naive implementation is non-deterministic exactly on
 the paper's own examples.  We canonicalize: compute the full eigenspace
-(growing ``k`` until the eigenvalue group is closed), project a fixed probe
-vector onto it, and fix the sign.  The result is deterministic and
+(growing the window until the eigenvalue group is closed), project a fixed
+probe vector onto it, and fix the sign.  The result is deterministic and
 backend-independent up to floating-point noise.
+
+Eigenspace closing reuses converged pairs: iterative backends append one
+deflated solve per missing direction instead of re-solving from scratch
+with a doubled window (which repaid the full Krylov cost every round).
+
+Backend dispatch
+----------------
+``backend`` accepts every name in :data:`repro.linalg.backends.BACKENDS`.
+``"multilevel"`` runs the coarsen-solve-refine approximation
+(:mod:`repro.core.multilevel`); ``"auto"`` also selects it for graphs
+above :data:`repro.linalg.backends.MULTILEVEL_CUTOFF` vertices, falling
+back to the exact path whenever the approximate pair misses the
+``multilevel_tol`` relative-residual quality bound.
 """
 
 from __future__ import annotations
@@ -29,7 +42,13 @@ from repro.errors import GraphStructureError, InvalidParameterError
 from repro.graph.adjacency import Graph
 from repro.graph.laplacian import laplacian
 from repro.graph.traversal import is_connected
-from repro.linalg.backends import smallest_eigenpairs
+from repro.linalg import backends as backend_registry
+from repro.linalg.backends import (
+    BACKENDS,
+    MULTILEVEL_QUALITY_RTOL,
+    smallest_eigenpairs,
+)
+from repro.linalg.operators import canonical_in_span
 from repro.linalg.power import deterministic_start
 
 
@@ -49,7 +68,9 @@ class FiedlerResult:
         All eigenvalues computed on the way (ascending, excludes the
         trivial 0), useful for spectral-gap diagnostics.
     backend:
-        The eigensolver backend that produced the result.
+        The eigensolver backend that produced the result
+        (``"multilevel"`` when the approximate path served the answer,
+        even under ``backend="auto"``).
     """
 
     value: float
@@ -60,43 +81,67 @@ class FiedlerResult:
 
 
 def _canonicalize(basis: np.ndarray, probe: np.ndarray) -> np.ndarray:
-    """A deterministic unit vector in the span of ``basis`` columns.
+    """A deterministic unit vector in the span of ``basis`` columns."""
+    return canonical_in_span(basis, probe)
 
-    The sign comes for free: the projection of the probe onto the
-    eigenspace satisfies ``probe @ v > 0`` by construction, so two
-    backends that agree on the eigenspace agree on the vector *including
-    its sign* (an explicit largest-entry sign rule would be unstable
-    whenever symmetric eigenvectors make two entries equal in magnitude).
+
+def _multilevel_fiedler_result(graph: Graph, probe: np.ndarray,
+                               quality_rtol: float,
+                               strict: bool) -> FiedlerResult | None:
+    """The multilevel approximation as a :class:`FiedlerResult`.
+
+    Returns ``None`` when ``strict`` is off (the ``auto`` path) and the
+    bottom Ritz pair misses the relative-residual quality bound
+    ``||L y - theta y|| <= quality_rtol * theta`` — the caller then runs
+    an exact backend instead.
     """
-    # Re-orthonormalize: backend eigenvectors are orthonormal only to
-    # solver tolerance, and exactly orthonormal columns make the
-    # projection below well-conditioned.
-    q, _ = np.linalg.qr(basis)
-    projected = q @ (q.T @ probe)
-    norm = np.linalg.norm(projected)
-    if norm < 1e-8:
-        # The probe is (numerically) orthogonal to the eigenspace; fall
-        # back to alternative deterministic probes, then to the first
-        # basis vector with a first-significant-entry sign rule.
-        for salt in (3, 7, 11):
-            candidate = q @ (q.T @ deterministic_start(len(basis), salt))
-            norm = np.linalg.norm(candidate)
-            if norm >= 1e-8:
-                projected = candidate
-                break
+    # Imported lazily: repro.core.multilevel pulls in the ordering
+    # helpers, which import this module.
+    from repro.core.multilevel import GROUP_RTOL, multilevel_eigenspace
+
+    space = multilevel_eigenspace(graph)
+    theta0 = float(space.values[0])
+    group_tol = max(GROUP_RTOL * max(abs(theta0), 1e-12), 1e-10)
+    group = np.flatnonzero(space.values <= theta0 + group_tol)
+    if not strict:
+        # Relative eigenvalue-error estimate for the bottom Ritz pair.
+        # With a measurable gap to the first Ritz value outside the
+        # lambda_2 group, the Kato-Temple inequality sharpens the plain
+        # residual bound |theta - lambda| <= r to r^2 / gap — the raw
+        # ratio r / theta is hopelessly pessimistic exactly in the
+        # regime multilevel serves (huge graphs, tiny lambda_2, modest
+        # high-frequency residue left in the vector).
+        residual = float(space.residuals[0])
+        outside = space.values[space.values > theta0 + group_tol]
+        denominator = max(theta0, 1e-300)
+        if len(outside) and float(outside[0]) > theta0 + residual:
+            error_bound = residual ** 2 / (float(outside[0]) - theta0)
         else:
-            projected = q[:, 0]
-            threshold = 0.5 * np.abs(projected).max()
-            anchor = int(np.argmax(np.abs(projected) >= threshold))
-            if projected[anchor] < 0:
-                projected = -projected
-            norm = 1.0
-    return projected / np.linalg.norm(projected)
+            error_bound = residual
+        if error_bound / denominator > quality_rtol:
+            return None
+    vector = _canonicalize(space.vectors[:, group], probe)
+    return FiedlerResult(
+        value=theta0,
+        vector=vector,
+        multiplicity=len(group),
+        eigenvalues=space.values.copy(),
+        backend="multilevel",
+    )
+
+
+def _resolve_exact_backend(backend: str, n: int) -> str:
+    """The concrete matrix backend ``auto`` would pick for this size."""
+    if backend != "auto":
+        return backend
+    return backend_registry.resolve_auto(n, min(4, n - 1))
 
 
 def fiedler_vector(graph: Graph, backend: str = "auto",
                    probe: np.ndarray | None = None,
-                   rtol: float = 1e-6) -> FiedlerResult:
+                   rtol: float = 1e-6,
+                   multilevel_tol: float = MULTILEVEL_QUALITY_RTOL
+                   ) -> FiedlerResult:
     """The canonical Fiedler pair of a connected graph.
 
     Parameters
@@ -105,6 +150,10 @@ def fiedler_vector(graph: Graph, backend: str = "auto",
         A connected graph with at least 2 vertices.
     backend:
         Eigensolver backend (see :mod:`repro.linalg.backends`).
+        ``"multilevel"`` requests the coarsen-solve-refine approximation
+        explicitly; ``"auto"`` uses it for graphs above
+        :data:`~repro.linalg.backends.MULTILEVEL_CUTOFF` vertices when
+        the quality bound holds.
     probe:
         Optional deterministic direction used to pick a canonical vector
         inside a degenerate eigenspace.  Defaults to a fixed quasi-random
@@ -112,6 +161,11 @@ def fiedler_vector(graph: Graph, backend: str = "auto",
     rtol:
         Relative tolerance for grouping eigenvalues into the ``lambda_2``
         eigenspace.
+    multilevel_tol:
+        Relative-residual bound for accepting a multilevel answer under
+        ``backend="auto"`` (``||L y - theta y|| <= multilevel_tol *
+        theta``).  Ignored for other backends; an explicit
+        ``backend="multilevel"`` always returns the approximation.
 
     Raises
     ------
@@ -119,6 +173,10 @@ def fiedler_vector(graph: Graph, backend: str = "auto",
         If the graph is disconnected (``lambda_2 = 0`` there; order the
         components separately — see :mod:`repro.core.components`).
     """
+    if backend not in BACKENDS:
+        raise InvalidParameterError(
+            f"unknown backend {backend!r}; expected one of {BACKENDS}"
+        )
     n = graph.num_vertices
     if n < 2:
         raise InvalidParameterError(
@@ -138,37 +196,57 @@ def fiedler_vector(graph: Graph, backend: str = "auto",
                 f"probe must have shape ({n},), got {probe.shape}"
             )
 
+    if backend == "multilevel" or (
+            backend == "auto" and n > backend_registry.MULTILEVEL_CUTOFF):
+        result = _multilevel_fiedler_result(
+            graph, probe, multilevel_tol, strict=backend == "multilevel")
+        if result is not None:
+            return result
+
+    exact_backend = _resolve_exact_backend(backend, n)
     lap = laplacian(graph)
     ones = np.ones(n) / np.sqrt(n)
     # With the constant direction deflated, the bottom of the spectrum is
-    # lambda_2 <= lambda_3 <= ...; grow k until the lambda_2 group closes.
+    # lambda_2 <= lambda_3 <= ...; the lambda_2 group is closed once a
+    # computed eigenvalue rises above it.
     k = min(n - 1, 4)
-    while True:
-        values, vectors = smallest_eigenpairs(lap, k, backend=backend,
-                                              deflate=[ones])
+    values, vectors = smallest_eigenpairs(lap, k, backend=exact_backend,
+                                          deflate=[ones])
+    lambda2 = float(values[0])
+    tol = max(rtol * max(abs(lambda2), 1.0), 1e-10)
+    # Window entirely inside the group means multiplicity >= k (stars,
+    # complete graphs).  Double the window until a value above the group
+    # appears: for dense each call is a full eigh anyway, and for the
+    # iterative backends closing a high-multiplicity group one deflated
+    # solve at a time would cost O(multiplicity) Krylov runs — doubling
+    # reaches the (effectively dense) full-window solve in O(log n)
+    # steps instead.  In the common case the first window already
+    # contains an above-group value and this loop never runs.
+    while (values <= lambda2 + tol).all() and k < n - 1:
+        k = min(n - 1, 2 * k)
+        values, vectors = smallest_eigenpairs(
+            lap, k, backend=exact_backend, deflate=[ones])
         lambda2 = float(values[0])
         tol = max(rtol * max(abs(lambda2), 1.0), 1e-10)
-        in_group = values <= lambda2 + tol
-        if in_group.all() and k < n - 1:
-            k = min(n - 1, 2 * k)
-            continue
-        break
-    group = np.flatnonzero(in_group)
+    group = np.flatnonzero(values <= lambda2 + tol)
     basis = vectors[:, group]
     # Guard against solver drift: project the eigenspace basis against the
     # constant direction once more, then orthonormalize.
     basis = basis - ones[:, None] * (ones @ basis)
     basis, _ = np.linalg.qr(basis)
-    # Iterative backends can return fewer copies of a degenerate
-    # eigenvalue than its true multiplicity (one Krylov sequence sees each
-    # eigenvalue once).  Close the eigenspace by explicit deflation: keep
-    # asking for the smallest remaining eigenpair with everything found
-    # so far projected out, until the answer rises above lambda_2.
-    if backend != "dense":
+    extra_seen: list[float] = []
+    if exact_backend != "dense":
+        # Close the eigenspace by explicit deflation, reusing every
+        # already-converged pair: keep asking for the smallest remaining
+        # eigenpair with everything found so far projected out, until the
+        # answer rises above lambda_2.  This covers both an unclosed
+        # window (all computed values still inside the group) and
+        # degenerate copies a single Krylov sequence cannot see.
         while basis.shape[1] < n - 1:
             deflate = [ones] + [basis[:, j] for j in range(basis.shape[1])]
             extra_values, extra_vectors = smallest_eigenpairs(
-                lap, 1, backend=backend, deflate=deflate)
+                lap, 1, backend=exact_backend, deflate=deflate)
+            extra_seen.append(float(extra_values[0]))
             if extra_values[0] > lambda2 + tol:
                 break
             fresh = extra_vectors[:, 0]
@@ -179,12 +257,18 @@ def fiedler_vector(graph: Graph, backend: str = "auto",
                 break
             basis = np.column_stack([basis, fresh / norm])
     vector = _canonicalize(basis, probe)
+    # Fold the closure loop's finds into the diagnostic spectrum so the
+    # field always shows the first value above the lambda_2 group (the
+    # spectral gap) even when the initial window closed entirely inside
+    # the group.
+    eigenvalues = np.sort(np.concatenate([values, np.array(extra_seen)])) \
+        if extra_seen else values.copy()
     return FiedlerResult(
         value=lambda2,
         vector=vector,
         multiplicity=basis.shape[1],
-        eigenvalues=values.copy(),
-        backend=backend,
+        eigenvalues=eigenvalues,
+        backend=exact_backend,
     )
 
 

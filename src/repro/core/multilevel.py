@@ -2,17 +2,32 @@
 
 The scalability extension of Spectral LPM: instead of solving the
 Fiedler problem on the full graph, coarsen it by heavy-edge matching
-(:mod:`repro.graph.coarsening`), solve exactly on the coarsest level
-with the dense eigensolver, prolong the vector back level by level
-(piecewise-constant interpolation), and smooth at each level with a few
-deflated power-iteration steps on the shifted Laplacian.
+(:mod:`repro.graph.coarsening`), solve a small *block* eigenproblem
+exactly on the coarsest level, prolong the block back level by level
+(piecewise-constant interpolation), smooth at each level with a
+Chebyshev polynomial filter, and finish with one exact Rayleigh-Ritz
+projection on the finest level.
 
-The result approximates the true Fiedler vector — the smoothed Rayleigh
-quotient typically lands within a few percent of ``lambda_2`` — and the
-induced order is competitive with exact Spectral LPM at a fraction of the
-eigensolver cost, making million-cell grids practical without scipy.
-This is Barnard & Simon's multilevel spectral bisection recipe, applied
-to ordering.
+Two upgrades over the classic Barnard & Simon recipe (which prolonged a
+single vector and smoothed with plain power iteration):
+
+* **Chebyshev-accelerated smoothing.**  A degree-``d`` Chebyshev filter
+  damps the unwanted band ``[a, lambda_max]`` uniformly, so error modes
+  decay like ``exp(-2 d sqrt(a / lambda_max))`` — exponentially faster
+  than the ``(1 - lambda/lambda_max)^d`` of shifted power iteration at
+  equal matvec count.  The low edge ``a`` is set adaptively from the
+  Rayleigh quotients of the incoming block.
+* **Blocked prolongation + final Rayleigh-Ritz.**  Carrying a small
+  block (default 4 vectors) instead of one vector keeps *degenerate*
+  Fiedler eigenspaces intact — square grids have multiplicity 2, cubes
+  multiplicity 3 — and the closing Rayleigh-Ritz projection on the fine
+  level extracts the best eigenpair approximations the block spans,
+  together with trustworthy residual norms for quality control.
+
+The result approximates the true Fiedler pair — the Ritz value typically
+lands well within a percent of ``lambda_2`` — and the induced order is
+competitive with exact Spectral LPM at a fraction of the eigensolver
+cost, making million-cell grids practical without scipy.
 """
 
 from __future__ import annotations
@@ -21,15 +36,35 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.fiedler import fiedler_vector
 from repro.core.ordering import LinearOrder, order_by_values
-from repro.core.spectral import snap_ties
 from repro.core.tie_breaking import tie_break_keys
 from repro.errors import GraphStructureError, InvalidParameterError
 from repro.graph.adjacency import Graph
 from repro.graph.coarsening import coarsen_hierarchy
 from repro.graph.laplacian import laplacian, rayleigh_quotient
 from repro.graph.traversal import is_connected
+from repro.linalg.backends import smallest_eigenpairs
+from repro.linalg.operators import canonical_in_span, orthonormalize_block
+from repro.linalg.power import deterministic_start
+from repro.linalg.sparse import CSRMatrix
+
+#: Ritz values within this relative distance of the smallest one are
+#: treated as one (possibly degenerate) eigenspace group.  Looser than
+#: the exact backends' grouping tolerance because multilevel Ritz values
+#: carry approximation error, not just solver noise.
+GROUP_RTOL = 1e-2
+
+
+@dataclass(frozen=True)
+class MultilevelEigenspace:
+    """Approximate bottom eigenpairs of a connected graph's Laplacian
+    (constant vector excluded), with quality diagnostics."""
+
+    values: np.ndarray       # ascending Ritz values
+    vectors: np.ndarray      # matching orthonormal Ritz vectors
+    residuals: np.ndarray    # true residual norms ||L y - theta y||
+    levels: int              # coarsening levels used
+    coarsest_size: int
 
 
 @dataclass(frozen=True)
@@ -38,52 +73,118 @@ class MultilevelResult:
 
     order: LinearOrder
     vector: np.ndarray
-    rayleigh: float         # quotient of the smoothed vector
+    rayleigh: float         # quotient of the returned vector
     levels: int             # coarsening levels used
     coarsest_size: int
 
 
-def _smooth(graph: Graph, vector: np.ndarray,
-            iterations: int) -> np.ndarray:
-    """Deflated shifted power-iteration smoothing toward the Fiedler
-    vector (monotonically improves the Rayleigh quotient)."""
-    n = graph.num_vertices
-    lap = laplacian(graph)
-    bound = lap.gershgorin_upper_bound()
-    if bound <= 0:
-        return vector
+def _smooth_block(lap: CSRMatrix, block: np.ndarray, degree: int,
+                  window_low: float | None = None) -> np.ndarray:
+    """Chebyshev-filtered smoothing of a block toward the bottom
+    eigenspace of ``lap`` (constant direction projected out).
+
+    Applies ``T_degree(g(L))`` to every column, where ``g`` maps the
+    damped band ``[a, b]`` onto ``[-1, 1]`` (``b`` a Gershgorin bound,
+    ``a`` = ``window_low``, defaulting to an estimate from the block's
+    Rayleigh quotients).  Eigenvalues below ``a`` are amplified
+    exponentially in ``degree`` relative to the damped band — the
+    Chebyshev replacement for the plain power iteration this function
+    used to run.  Callers that track eigenvalue estimates (the
+    multilevel hierarchy) should pass ``window_low`` explicitly:
+    prolongation error inflates Rayleigh quotients, and an inflated
+    ``a`` lets exactly the low-frequency error the filter exists to
+    remove pass through undamped.
+    """
+    n = lap.n
     ones = np.ones(n) / np.sqrt(n)
-    x = vector - (ones @ vector) * ones
-    norm = np.linalg.norm(x)
-    if norm < 1e-12:
-        return vector
-    x /= norm
-    for _ in range(iterations):
-        x = bound * x - lap.matvec(x)
-        x -= (ones @ x) * ones
-        norm = np.linalg.norm(x)
-        if norm < 1e-300:
-            break
-        x /= norm
-    return x
+    x = block - ones[:, None] * (ones @ block)
+    norms = np.linalg.norm(x, axis=0)
+    keep = norms > 1e-12
+    if not keep.any():
+        return x
+    x = x[:, keep] / norms[keep]
+    if degree <= 0:
+        return x
+    b = lap.gershgorin_upper_bound()
+    if b <= 0:
+        return x
+    lx = lap.matmat(x)
+    if window_low is None:
+        quotients = np.einsum("ij,ij->j", x, lx)
+        window_low = 2.0 * float(quotients.max())
+    # Floor the damped band's low edge so the filter stays *selective*:
+    # the bottom modes are amplified by roughly cosh(2 d sqrt(a/b))
+    # relative to the band, so an ``a`` far below ``b / d^2`` buys no
+    # separation per sweep no matter how small the wanted eigenvalues
+    # are.  The floor fixes the per-sweep gain around cosh(9) ~ 4000x
+    # and leaves eigenvalue-estimate-based lower edges in force only
+    # when they are the binding constraint.
+    floor = b * (4.5 / max(degree, 1)) ** 2
+    a = float(np.clip(max(window_low, floor), 1e-12, 0.5 * b))
+    half_width = (b - a) / 2.0
+    center = (b + a) / 2.0
+    x_prev = x
+    x_cur = (lx - center * x) / half_width
+    for _ in range(degree - 1):
+        x_next = (2.0 / half_width) * (lap.matmat(x_cur) - center * x_cur)
+        x_next -= x_prev
+        x_next -= ones[:, None] * (ones @ x_next)
+        scale = float(np.abs(x_next).max())
+        if scale > 1e100:
+            x_next /= scale
+            x_cur /= scale
+        x_prev, x_cur = x_cur, x_next
+    return x_cur
 
 
-def multilevel_fiedler(graph: Graph, min_size: int = 64,
-                       smoothing_steps: int = 40,
-                       backend: str = "dense") -> MultilevelResult:
-    """Approximate Fiedler vector and order via coarsen-solve-refine.
+def _rayleigh_ritz(lap: CSRMatrix, block: np.ndarray
+                   ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Exact Rayleigh-Ritz of ``lap`` on the span of ``block``.
+
+    Returns ``(theta, vectors, residuals)`` with ascending Ritz values,
+    orthonormal Ritz vectors (all orthogonal to the constant vector),
+    and true residual norms ``||L y - theta y||``.
+    """
+    n = lap.n
+    ones = np.ones(n) / np.sqrt(n)
+    q = orthonormalize_block(block, against=ones[:, None])
+    if q.shape[1] == 0:  # block collapsed; seed a fresh probe
+        q = orthonormalize_block(
+            deterministic_start(n)[:, None], against=ones[:, None]
+        )
+    lq = lap.matmat(q)
+    h = q.T @ lq
+    h = (h + h.T) / 2.0
+    theta, s = np.linalg.eigh(h)
+    vectors = q @ s
+    residual_block = lq @ s - vectors * theta[None, :]
+    residuals = np.linalg.norm(residual_block, axis=0)
+    return theta, vectors, residuals
+
+
+def multilevel_eigenspace(graph: Graph, block_size: int = 4,
+                          min_size: int = 64, smoothing_steps: int = 40,
+                          coarse_backend: str = "dense"
+                          ) -> MultilevelEigenspace:
+    """Approximate bottom Laplacian eigenpairs via coarsen-filter-project.
 
     Parameters
     ----------
     graph:
         A connected graph with at least 2 vertices.
+    block_size:
+        Number of vectors carried through the hierarchy (and of Ritz
+        pairs returned, spectrum permitting).  Must cover the expected
+        ``lambda_2`` multiplicity; 4 handles every grid family in this
+        library.
     min_size:
-        Coarsening stops at this many vertices; the coarsest problem is
-        solved exactly.
+        Coarsening stops at this many vertices; the coarsest block
+        eigenproblem is solved exactly.
     smoothing_steps:
-        Power-iteration steps applied after each prolongation.
-    backend:
-        Eigensolver backend for the coarsest solve.
+        Chebyshev filter degree applied after each prolongation.
+    coarse_backend:
+        Eigensolver backend for the coarsest solve (must be a
+        matrix-level backend, i.e. not ``"multilevel"``).
     """
     n = graph.num_vertices
     if n < 2:
@@ -99,20 +200,100 @@ def multilevel_fiedler(graph: Graph, min_size: int = 64,
         raise InvalidParameterError(
             f"smoothing_steps must be >= 0, got {smoothing_steps}"
         )
+    if block_size < 1:
+        raise InvalidParameterError(
+            f"block_size must be >= 1, got {block_size}"
+        )
     levels = coarsen_hierarchy(graph, min_size=min_size)
-    coarsest = levels[-1].graph if levels else graph
-    if coarsest.num_vertices >= 2:
-        vector = fiedler_vector(coarsest, backend=backend).vector
-    else:  # a graph this small cannot arise while connected, but be safe
-        vector = np.zeros(coarsest.num_vertices)
-    # Prolong back up, smoothing at every level (including the finest).
     graphs = [graph] + [level.graph for level in levels]
+    coarsest = graphs[-1]
+    nc = coarsest.num_vertices
+    k = max(1, min(block_size, nc - 1))
+    ones_c = np.ones(nc) / np.sqrt(nc)
+    theta, block = smallest_eigenpairs(laplacian(coarsest), k,
+                                       backend=coarse_backend,
+                                       deflate=[ones_c])
+    # Prolong back up; at every level (including the finest) smooth with
+    # the Chebyshev filter and realign the block with an exact
+    # Rayleigh-Ritz projection.  The per-level projection does two jobs:
+    # it rotates prolongation-induced mixing *within* the block span
+    # back onto eigenvector approximations, and it refreshes the
+    # eigenvalue estimates that set the next filter window.  Windows
+    # come from those estimates — not from the incoming block's Rayleigh
+    # quotients, which prolongation error inflates by orders of
+    # magnitude (see :func:`_smooth_block`).
+    theta_max = float(theta[-1])
+    lap = None
     for depth in range(len(levels) - 1, -1, -1):
-        fine_graph = graphs[depth]
-        vector = vector[levels[depth].fine_to_coarse]
-        vector = _smooth(fine_graph, vector, smoothing_steps)
-    if not levels:
-        vector = _smooth(graph, vector, smoothing_steps)
+        block = block[levels[depth].fine_to_coarse]
+        lap = laplacian(graphs[depth])
+        window_low = 8.0 * max(theta_max, 1e-12)
+        block = _smooth_block(lap, block, smoothing_steps, window_low)
+        theta, block, residuals = _rayleigh_ritz(lap, block)
+        theta_max = float(theta[-1])
+    if lap is None:
+        lap = laplacian(graph)
+        block = _smooth_block(lap, block, smoothing_steps,
+                              8.0 * max(theta_max, 1e-12))
+        theta, block, residuals = _rayleigh_ritz(lap, block)
+    # One polish sweep on the finest level: the level loop leaves the
+    # *eigenvalues* accurate but the vectors still carry high-frequency
+    # residue from the last prolongation; a second filter + projection
+    # multiplies that residue by another band-damping factor, which is
+    # what makes the residual-based quality bound tight enough to be
+    # useful.
+    block = _smooth_block(lap, block, smoothing_steps,
+                          8.0 * max(theta_max, 1e-12))
+    theta, block, residuals = _rayleigh_ritz(lap, block)
+    return MultilevelEigenspace(
+        values=theta,
+        vectors=block,
+        residuals=residuals,
+        levels=len(levels),
+        coarsest_size=nc,
+    )
+
+
+def multilevel_fiedler(graph: Graph, min_size: int = 64,
+                       smoothing_steps: int = 40,
+                       backend: str = "dense",
+                       block_size: int = 4,
+                       probe: np.ndarray | None = None) -> MultilevelResult:
+    """Approximate Fiedler vector and order via coarsen-solve-refine.
+
+    Parameters
+    ----------
+    graph:
+        A connected graph with at least 2 vertices.
+    min_size:
+        Coarsening stops at this many vertices; the coarsest problem is
+        solved exactly.
+    smoothing_steps:
+        Chebyshev filter degree applied after each prolongation.
+    backend:
+        Eigensolver backend for the coarsest solve.
+    block_size:
+        Vectors carried through the hierarchy (see
+        :func:`multilevel_eigenspace`).
+    probe:
+        Optional deterministic canonicalization direction for degenerate
+        (or near-degenerate) ``lambda_2`` eigenspaces; defaults to the
+        fixed quasi-random vector the exact pipeline uses.
+    """
+    from repro.core.spectral import snap_ties
+
+    n = graph.num_vertices
+    space = multilevel_eigenspace(
+        graph, block_size=block_size, min_size=min_size,
+        smoothing_steps=smoothing_steps, coarse_backend=backend,
+    )
+    theta0 = float(space.values[0])
+    group_tol = max(GROUP_RTOL * max(abs(theta0), 1e-12), 1e-10)
+    group = np.flatnonzero(space.values <= theta0 + group_tol)
+    basis = space.vectors[:, group]
+    if probe is None:
+        probe = deterministic_start(n)
+    vector = canonical_in_span(basis, np.asarray(probe, dtype=np.float64))
     quotient = rayleigh_quotient(graph, vector)
     snapped = snap_ties(vector)
     keys = tie_break_keys("index", n)
@@ -121,8 +302,8 @@ def multilevel_fiedler(graph: Graph, min_size: int = 64,
         order=order,
         vector=vector,
         rayleigh=float(quotient),
-        levels=len(levels),
-        coarsest_size=coarsest.num_vertices,
+        levels=space.levels,
+        coarsest_size=space.coarsest_size,
     )
 
 

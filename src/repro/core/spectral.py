@@ -113,8 +113,26 @@ class SpectralLPM:
         :mod:`repro.graph.weights`); the Section-4 footnote model is
         ``"inverse_manhattan"``.
     backend:
-        Eigensolver backend (``"auto"``, ``"dense"``, ``"lanczos"``,
-        ``"scipy"``).
+        Eigensolver backend: ``"auto"``, ``"dense"``, ``"lanczos"``,
+        ``"scipy"``, or ``"multilevel"``.  Guidance:
+
+        * ``"auto"`` (default) — dense up to
+          :data:`~repro.linalg.backends.DENSE_CUTOFF` vertices, then
+          scipy shift-invert (falling back to the in-house Lanczos when
+          scipy is absent), then the multilevel approximation above
+          :data:`~repro.linalg.backends.MULTILEVEL_CUTOFF` vertices
+          whenever it meets its relative-residual quality bound.
+        * ``"dense"`` — exact and simple; the oracle the others are
+          tested against.  O(n^3), so only for small graphs.
+        * ``"lanczos"`` — thick-restart Lanczos, pure numpy.  Exact (to
+          solver tolerance) and dependency-free at any size.
+        * ``"scipy"`` — fastest exact option for large graphs; requires
+          the ``[perf]`` extra.
+        * ``"multilevel"`` — coarsen-solve-refine approximation: orders
+          of magnitude faster on huge graphs, with a documented quality
+          tolerance instead of solver-precision guarantees (exact
+          symmetry ties may resolve differently than under the exact
+          backends).
     tie_break:
         How equal Fiedler entries are ordered (``"index"`` or ``"bfs"``).
     probe:

@@ -169,11 +169,22 @@ class Graph:
 
     def weighted_degrees(self) -> np.ndarray:
         """Sum of incident edge weights per vertex (the Laplacian diagonal)."""
-        out = np.zeros(self._n)
-        if len(self._weights):
-            rows = np.repeat(np.arange(self._n), np.diff(self._indptr))
-            np.add.at(out, rows, self._weights)
-        return out
+        if not len(self._weights):
+            return np.zeros(self._n)
+        rows = np.repeat(np.arange(self._n), np.diff(self._indptr))
+        return np.bincount(rows, weights=self._weights, minlength=self._n)
+
+    def csr_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The symmetric CSR structure ``(indptr, indices, weights)``.
+
+        Row ``v`` occupies ``indices[indptr[v]:indptr[v+1]]`` (ascending
+        neighbour ids) with matching ``weights``.  Views of internal
+        storage — callers must not mutate them.  This is the zero-copy
+        entry point for vectorized algorithms (coarsening, Laplacian
+        assembly) that would otherwise pay a Python-level accessor per
+        vertex.
+        """
+        return self._indptr, self._indices, self._weights
 
     def neighbors(self, v: int) -> np.ndarray:
         """Neighbour ids of ``v`` (read-only view, ascending)."""

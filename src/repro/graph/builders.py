@@ -79,7 +79,8 @@ def grid_graph(grid: Grid, connectivity="orthogonal", radius: int = 1,
     coords = grid.coordinates()
     shape = np.array(grid.shape)
     strides = np.array(grid.strides)
-    edge_chunks = []
+    src_chunks = []
+    dst_chunks = []
     weight_chunks = []
     for off in _canonical_offsets(grid.ndim, style, radius):
         off_arr = np.array(off)
@@ -92,14 +93,28 @@ def grid_graph(grid: Grid, connectivity="orthogonal", radius: int = 1,
         src = np.flatnonzero(valid)
         if len(src) == 0:
             continue
-        dst = src + int(off_arr @ strides)
-        edge_chunks.append(np.stack([src, dst], axis=1))
+        src_chunks.append(src)
+        dst_chunks.append(src + int(off_arr @ strides))
         weight_chunks.append(np.full(len(src), wfn(off)))
-    if not edge_chunks:
+    if not src_chunks:
         return Graph.empty(grid.size)
-    edges = np.concatenate(edge_chunks, axis=0)
-    weights = np.concatenate(weight_chunks)
-    return Graph.from_edges(grid.size, edges, weights)
+    # Fast path: assemble the symmetric CSR arrays directly.  Canonical
+    # offsets produce each undirected edge exactly once with src < dst
+    # (the first nonzero offset component is positive, and any in-grid
+    # trailing components can subtract at most strides[axis] - 1), so the
+    # generic duplicate-resolution sort in Graph.from_edges — an extra
+    # np.unique over all edges — is provably unnecessary here.
+    n = grid.size
+    half_u = np.concatenate(src_chunks)
+    half_v = np.concatenate(dst_chunks)
+    half_w = np.concatenate(weight_chunks)
+    rows = np.concatenate([half_u, half_v])
+    cols = np.concatenate([half_v, half_u])
+    wgt = np.concatenate([half_w, half_w])
+    order = np.lexsort((cols, rows))
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    indptr[1:] = np.bincount(rows, minlength=n).cumsum()
+    return Graph(n, indptr, cols[order], wgt[order])
 
 
 def induced_grid_graph(grid: Grid, cell_indices: Sequence[int],

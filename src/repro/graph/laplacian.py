@@ -21,15 +21,36 @@ from repro.linalg.sparse import CSRMatrix
 
 
 def laplacian(graph: Graph) -> CSRMatrix:
-    """The combinatorial Laplacian ``D - A`` as a sparse CSR matrix."""
+    """The combinatorial Laplacian ``D - A`` as a sparse CSR matrix.
+
+    Assembled directly from the graph's symmetric CSR arrays: each row
+    is the (already sorted) negated neighbour weights with the weighted
+    degree spliced in at the diagonal position.  This avoids the
+    coordinate round-trip through :meth:`CSRMatrix.from_coo`, whose
+    duplicate-resolution sort is an ``O(m log m)`` tax the hot path was
+    paying on every level of every multilevel solve.
+    """
     n = graph.num_vertices
-    u, v, w = graph.edge_arrays()
-    degrees = graph.weighted_degrees()
-    diag_idx = np.arange(n, dtype=np.int64)
-    rows = np.concatenate([diag_idx, u, v])
-    cols = np.concatenate([diag_idx, v, u])
-    data = np.concatenate([degrees, -w, -w])
-    return CSRMatrix.from_coo(n, rows, cols, data, sum_duplicates=True)
+    indptr, indices, weights = graph.csr_arrays()
+    m = len(indices)
+    rows = np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
+    degrees = np.bincount(rows, weights=weights, minlength=n) if m \
+        else np.zeros(n)
+    # Entries strictly below the diagonal keep their offset; the rest
+    # shift right by one to make room for the diagonal entry.
+    below = np.bincount(rows[indices < rows], minlength=n).astype(np.int64)
+    new_indptr = np.zeros(n + 1, dtype=np.int64)
+    new_indptr[1:] = (np.diff(indptr) + 1).cumsum()
+    offsets = np.arange(m, dtype=np.int64) - indptr[rows]
+    dest = new_indptr[rows] + offsets + (offsets >= below[rows])
+    out_indices = np.empty(m + n, dtype=np.int64)
+    out_data = np.empty(m + n)
+    out_indices[dest] = indices
+    out_data[dest] = -weights
+    diag_pos = new_indptr[:-1] + below
+    out_indices[diag_pos] = np.arange(n, dtype=np.int64)
+    out_data[diag_pos] = degrees
+    return CSRMatrix(n, new_indptr, out_indices, out_data)
 
 
 def laplacian_dense(graph: Graph) -> np.ndarray:

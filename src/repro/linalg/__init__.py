@@ -3,6 +3,8 @@
 from repro.linalg.backends import (
     BACKENDS,
     DENSE_CUTOFF,
+    MULTILEVEL_CUTOFF,
+    MULTILEVEL_QUALITY_RTOL,
     scipy_available,
     smallest_eigenpairs,
 )
@@ -10,6 +12,13 @@ from repro.linalg.lanczos import (
     LanczosResult,
     lanczos_symmetric,
     smallest_eigenpairs_shifted,
+)
+from repro.linalg.operators import (
+    DeflatedOperator,
+    ShiftedOperator,
+    canonical_in_span,
+    deflation_matrix,
+    orthonormalize_block,
 )
 from repro.linalg.power import deterministic_start, power_iteration
 from repro.linalg.sparse import CSRMatrix
@@ -19,9 +28,16 @@ __all__ = [
     "BACKENDS",
     "CSRMatrix",
     "DENSE_CUTOFF",
+    "DeflatedOperator",
     "LanczosResult",
+    "MULTILEVEL_CUTOFF",
+    "MULTILEVEL_QUALITY_RTOL",
+    "ShiftedOperator",
+    "canonical_in_span",
+    "deflation_matrix",
     "deterministic_start",
     "lanczos_symmetric",
+    "orthonormalize_block",
     "power_iteration",
     "scipy_available",
     "smallest_eigenpairs",

@@ -1,23 +1,43 @@
 """Eigensolver backend registry.
 
 The Fiedler pipeline needs "the ``k`` smallest eigenpairs of a symmetric
-PSD sparse matrix".  Three interchangeable backends provide it:
+PSD sparse matrix".  Four interchangeable backends provide it:
 
 ``dense``
     ``numpy.linalg.eigh`` on the dense matrix.  Exact and simple; the
     right choice up to a few thousand vertices and the reference oracle
     for the others.
 ``lanczos``
-    Our shift-and-deflate Lanczos (:mod:`repro.linalg.lanczos`).  Pure
-    numpy, scales to large sparse graphs.
+    Our thick-restart Lanczos (:mod:`repro.linalg.lanczos`).  Pure
+    numpy, BLAS-level reorthogonalization, scales to large sparse
+    graphs.
 ``scipy``
     ``scipy.sparse.linalg.eigsh`` in shift-invert mode, when scipy is
-    importable.  Fastest for large graphs.
+    importable.  Fastest exact option for large graphs.  Deflation is
+    matrix-free: the rank-``p`` spectral shift is folded into the
+    shift-invert operator with the Woodbury identity, so the sparse
+    factorization never sees an ``n x n`` dense update.
+``multilevel``
+    Coarsen-solve-refine approximation
+    (:mod:`repro.core.multilevel`).  It needs the *graph*, not just the
+    matrix, so it is dispatched by
+    :func:`repro.core.fiedler.fiedler_vector` rather than by
+    :func:`smallest_eigenpairs`; requesting it here raises with a
+    pointer to the right entry point.  Results carry a documented
+    quality tolerance instead of solver-precision guarantees.
 
-``auto`` picks ``dense`` for small matrices, then ``scipy`` if available,
-then ``lanczos``.  All backends return eigenvalues in ascending order with
-orthonormal eigenvector columns; all are cross-validated in the test
-suite.
+Backend selection under ``auto``
+--------------------------------
+* ``n <= DENSE_CUTOFF`` (or ``k`` close to ``n``): ``dense``.
+* larger matrices: ``scipy`` when importable, else ``lanczos``.
+* graphs above ``MULTILEVEL_CUTOFF`` vertices (only via
+  :func:`~repro.core.fiedler.fiedler_vector`, which sees the graph):
+  ``multilevel`` with a quality check — the approximate pair is accepted
+  only when its relative residual is within the configured tolerance,
+  otherwise the exact path runs.
+
+All backends return eigenvalues in ascending order with orthonormal
+eigenvector columns; all are cross-validated in the test suite.
 """
 
 from __future__ import annotations
@@ -28,12 +48,23 @@ import numpy as np
 
 from repro.errors import BackendUnavailableError, InvalidParameterError
 from repro.linalg.lanczos import smallest_eigenpairs_shifted
+from repro.linalg.operators import DeflatedOperator, deflation_matrix
 from repro.linalg.sparse import CSRMatrix
 
 #: Matrices at or below this size use the dense path under ``auto``.
 DENSE_CUTOFF = 1024
 
-BACKENDS = ("auto", "dense", "lanczos", "scipy")
+#: Graphs above this many vertices use the multilevel approximation under
+#: ``auto`` (subject to its quality check).  Only meaningful at the
+#: :func:`repro.core.fiedler.fiedler_vector` level, where the graph
+#: structure needed for coarsening is still available.
+MULTILEVEL_CUTOFF = 131_072
+
+#: Default relative-residual tolerance for accepting a multilevel result
+#: under ``auto`` (``||L y - theta y|| <= tol * theta``).
+MULTILEVEL_QUALITY_RTOL = 0.05
+
+BACKENDS = ("auto", "dense", "lanczos", "scipy", "multilevel")
 
 
 def scipy_available() -> bool:
@@ -45,13 +76,28 @@ def scipy_available() -> bool:
     return True
 
 
+def resolve_auto(n: int, k: int = 1) -> str:
+    """The concrete matrix backend ``auto`` selects for an (n, k) solve.
+
+    The single source of truth for the policy — callers that need to
+    know the resolved backend up front (e.g. the Fiedler pipeline's
+    eigenspace closure, which behaves differently per backend) must use
+    this rather than re-deriving the rules.
+    """
+    if n <= DENSE_CUTOFF or k >= n - 1:
+        return "dense"
+    if scipy_available():
+        return "scipy"
+    return "lanczos"
+
+
 def _smallest_dense(matrix: CSRMatrix, k: int,
                     deflate: Sequence[np.ndarray]
                     ) -> Tuple[np.ndarray, np.ndarray]:
     dense = matrix.to_dense()
     # Deflation by spectral shifting: push deflated directions to the top
     # of the spectrum so the bottom-k are the wanted pairs.
-    if deflate:
+    if len(deflate):
         shift = matrix.gershgorin_upper_bound() + 1.0
         for d in deflate:
             dense = dense + shift * np.outer(d, d)
@@ -81,11 +127,6 @@ def _smallest_scipy(matrix: CSRMatrix, k: int,
     a = sp.csr_matrix(
         (matrix.data, matrix.indices, matrix.indptr), shape=matrix.shape
     )
-    if deflate:
-        shift = matrix.gershgorin_upper_bound() + 1.0
-        for d in deflate:
-            col = sp.csr_matrix(d.reshape(-1, 1))
-            a = a + shift * (col @ col.T)
     n = matrix.n
     if k >= n - 1:
         # eigsh requires k < n; fall back to dense for tiny systems.
@@ -97,7 +138,44 @@ def _smallest_scipy(matrix: CSRMatrix, k: int,
     # the largest of the inverted operator.
     scale = max(matrix.gershgorin_upper_bound(), 1.0)
     sigma = -1e-3 * scale
-    values, vectors = spla.eigsh(a, k=k, sigma=sigma, which="LM")
+    if not len(deflate):
+        values, vectors = spla.eigsh(a, k=k, sigma=sigma, which="LM")
+    else:
+        # Deflation without densification.  The deflated operator is
+        # ``B = A + shift * D D^T`` (deflated directions pushed above the
+        # window).  Forming ``D D^T`` — even "sparsely" — materializes an
+        # n x n dense block for the constant vector, so instead the
+        # rank-p update is folded into the *inverse* with the Woodbury
+        # identity:
+        #
+        #   B - sigma I = M + shift D D^T,   M = A - sigma I  (sparse!)
+        #   (B - sigma I)^-1 x
+        #       = M^-1 x - Z (I/shift + D^T Z)^-1 Z^T x,  Z = M^-1 D.
+        #
+        # One sparse factorization of M plus p extra solves, and eigsh
+        # runs entirely matrix-free.
+        d = deflation_matrix(deflate, n)
+        p = d.shape[1]
+        shift = matrix.gershgorin_upper_bound() + 1.0
+        m_factor = spla.splu((a - sigma * sp.identity(n)).tocsc())
+        z = m_factor.solve(d)
+        capacitance = np.linalg.inv(np.eye(p) / shift + d.T @ z)
+        # The operator handed to eigsh is the matrix-free deflated one;
+        # ARPACK's shift-invert mode iterates OPinv exclusively (the A
+        # operand's matvec is never applied for a standard problem), and
+        # on the complement of the deflated directions the two agree
+        # exactly.
+        b_op = DeflatedOperator(matrix.matvec, n, deflate=d,
+                                shift=shift).to_scipy_linear_operator()
+
+        def b_shift_inv(x: np.ndarray) -> np.ndarray:
+            y = m_factor.solve(x)
+            return y - z @ (capacitance @ (z.T @ x))
+
+        op_inv = spla.LinearOperator((n, n), matvec=b_shift_inv,
+                                     dtype=np.float64)
+        values, vectors = spla.eigsh(b_op, k=k, sigma=sigma, which="LM",
+                                     OPinv=op_inv)
     order = np.argsort(values)
     return values[order], vectors[:, order]
 
@@ -114,7 +192,10 @@ def smallest_eigenpairs(matrix: CSRMatrix, k: int, backend: str = "auto",
     k:
         Number of wanted pairs, ``1 <= k <= n``.
     backend:
-        One of :data:`BACKENDS`.
+        One of :data:`BACKENDS`.  ``"multilevel"`` is graph-based and
+        only available through
+        :func:`repro.core.fiedler.fiedler_vector`; requesting it here
+        raises :class:`~repro.errors.InvalidParameterError`.
     deflate:
         Orthonormal directions to exclude from the spectrum (the constant
         vector, for connected-Laplacian Fiedler computations).  Deflated
@@ -131,6 +212,13 @@ def smallest_eigenpairs(matrix: CSRMatrix, k: int, backend: str = "auto",
         raise InvalidParameterError(
             f"unknown backend {backend!r}; expected one of {BACKENDS}"
         )
+    if backend == "multilevel":
+        raise InvalidParameterError(
+            "the 'multilevel' backend needs the graph, not just its "
+            "matrix; use repro.core.fiedler.fiedler_vector("
+            "graph, backend='multilevel') or SpectralLPM("
+            "backend='multilevel')"
+        )
     n = matrix.n
     if not 1 <= k <= n:
         raise InvalidParameterError(f"k must be in [1, {n}], got {k}")
@@ -138,12 +226,7 @@ def smallest_eigenpairs(matrix: CSRMatrix, k: int, backend: str = "auto",
         raise InvalidParameterError("deflate vectors must have length n")
 
     if backend == "auto":
-        if n <= DENSE_CUTOFF or k >= n - 1:
-            backend = "dense"
-        elif scipy_available():
-            backend = "scipy"
-        else:
-            backend = "lanczos"
+        backend = resolve_auto(n, k)
 
     if backend == "dense":
         return _smallest_dense(matrix, k, deflate)

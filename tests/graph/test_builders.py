@@ -6,6 +6,7 @@ import pytest
 from repro.errors import DimensionError, InvalidParameterError
 from repro.geometry import Grid
 from repro.graph import (
+    Graph,
     complete_graph,
     cycle_graph,
     grid_graph,
@@ -205,3 +206,44 @@ def test_full_grid_radius_graph_equals_grid_graph():
     assert by_radius.num_edges == by_grid.num_edges
     for u, v, _ in by_grid.edges():
         assert by_radius.has_edge(u, v)
+
+
+def test_grid_graph_fast_path_matches_from_edges():
+    """The direct-CSR fast path must equal the generic from_edges route
+    entry for entry (structure, neighbour order, and weights)."""
+    cases = [
+        (Grid((7, 5)), "orthogonal", 1, "unit"),
+        (Grid((6, 6)), "moore", 1, "unit"),
+        (Grid((5, 4, 3)), "orthogonal", 2, "inverse_manhattan"),
+        (Grid((9,)), "orthogonal", 3, "inverse_manhattan"),
+    ]
+    from repro.graph.builders import _canonical_offsets
+    from repro.graph.weights import weight_function
+
+    for grid, connectivity, radius, weight in cases:
+        fast = grid_graph(grid, connectivity, radius, weight)
+        wfn = weight_function(weight)
+        coords = grid.coordinates()
+        strides = np.array(grid.strides)
+        shape = np.array(grid.shape)
+        edges, weights = [], []
+        for off in _canonical_offsets(grid.ndim, connectivity, radius):
+            valid = np.ones(grid.size, dtype=bool)
+            for axis, delta in enumerate(off):
+                if delta > 0:
+                    valid &= coords[:, axis] + delta < shape[axis]
+                elif delta < 0:
+                    valid &= coords[:, axis] + delta >= 0
+            src = np.flatnonzero(valid)
+            if not len(src):
+                continue
+            dst = src + int(np.array(off) @ strides)
+            edges.append(np.stack([src, dst], axis=1))
+            weights.append(np.full(len(src), wfn(off)))
+        reference = Graph.from_edges(grid.size, np.concatenate(edges),
+                                     np.concatenate(weights))
+        f_indptr, f_indices, f_weights = fast.csr_arrays()
+        r_indptr, r_indices, r_weights = reference.csr_arrays()
+        assert np.array_equal(f_indptr, r_indptr)
+        assert np.array_equal(f_indices, r_indices)
+        assert np.allclose(f_weights, r_weights)

@@ -1,5 +1,7 @@
 """Tests for repro.linalg.backends — all backends must agree."""
 
+import os
+
 import numpy as np
 import pytest
 
@@ -23,11 +25,24 @@ def backend(request):
 
 
 def test_backend_list_stable():
-    assert BACKENDS == ("auto", "dense", "lanczos", "scipy")
+    assert BACKENDS == ("auto", "dense", "lanczos", "scipy", "multilevel")
 
 
+def test_multilevel_needs_graph():
+    # The multilevel backend coarsens the *graph*; the matrix-level entry
+    # point documents the redirection instead of guessing.
+    lap = laplacian(path_graph(8))
+    with pytest.raises(InvalidParameterError, match="multilevel"):
+        smallest_eigenpairs(lap, 2, backend="multilevel")
+
+
+@pytest.mark.skipif(os.environ.get("REPRO_NO_SCIPY", "") == "1",
+                    reason="scipy-less environment requested")
 def test_scipy_is_available_here():
-    # The evaluation environment ships scipy; make sure we exercise it.
+    # The default evaluation environment ships scipy; make sure we
+    # exercise it.  CI's deliberately scipy-less leg opts out via
+    # REPRO_NO_SCIPY=1 (the fallback paths have their own coverage in
+    # test_backend_fallbacks.py).
     assert scipy_available()
 
 

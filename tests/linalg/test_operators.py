@@ -1,0 +1,166 @@
+"""Tests for repro.linalg.operators — matrix-free deflation primitives."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DimensionError, InvalidParameterError
+from repro.linalg import CSRMatrix
+from repro.linalg.operators import (
+    DeflatedOperator,
+    ShiftedOperator,
+    canonical_in_span,
+    deflation_matrix,
+    orthonormalize_block,
+)
+
+
+def random_symmetric(n, seed):
+    rng = np.random.default_rng(seed)
+    a = rng.normal(size=(n, n))
+    return (a + a.T) / 2
+
+
+# ----------------------------------------------------------------------
+# deflation_matrix
+# ----------------------------------------------------------------------
+def test_deflation_matrix_from_sequence():
+    d = deflation_matrix([np.ones(4), np.arange(4.0)], 4)
+    assert d.shape == (4, 2)
+    assert np.array_equal(d[:, 0], np.ones(4))
+
+
+def test_deflation_matrix_empty():
+    d = deflation_matrix((), 5)
+    assert d.shape == (5, 0)
+
+
+def test_deflation_matrix_passthrough_2d():
+    block = np.eye(3)[:, :2]
+    assert deflation_matrix(block, 3).shape == (3, 2)
+
+
+def test_deflation_matrix_shape_validation():
+    with pytest.raises(DimensionError):
+        deflation_matrix([np.ones(3)], 4)
+
+
+# ----------------------------------------------------------------------
+# DeflatedOperator
+# ----------------------------------------------------------------------
+def test_deflated_operator_matches_dense_projection():
+    n = 12
+    dense = random_symmetric(n, 0)
+    mat = CSRMatrix.from_dense(dense)
+    d = np.ones(n) / np.sqrt(n)
+    op = DeflatedOperator(mat.matvec, n, deflate=[d])
+    p = np.eye(n) - np.outer(d, d)
+    reference = p @ dense @ p
+    x = np.linspace(-1, 1, n)
+    assert np.allclose(op.matvec(x), reference @ x)
+    assert np.allclose(op @ x, reference @ x)
+
+
+def test_deflated_operator_shift_places_eigenvalue():
+    n = 8
+    dense = random_symmetric(n, 1)
+    mat = CSRMatrix.from_dense(dense)
+    d = np.ones(n) / np.sqrt(n)
+    shift = 50.0
+    op = DeflatedOperator(mat.matvec, n, deflate=[d], shift=shift)
+    # The deflated direction is an exact eigenvector at `shift`.
+    assert np.allclose(op.matvec(d), shift * d)
+
+
+def test_deflated_operator_no_deflation_is_identity_wrapper():
+    n = 6
+    dense = random_symmetric(n, 2)
+    mat = CSRMatrix.from_dense(dense)
+    op = DeflatedOperator(mat.matvec, n)
+    x = np.arange(6.0)
+    assert np.allclose(op.matvec(x), dense @ x)
+    assert op.num_deflated == 0
+
+
+def test_deflated_operator_matmat_and_shape():
+    n = 5
+    mat = CSRMatrix.from_dense(np.eye(n))
+    op = DeflatedOperator(mat.matvec, n, deflate=[np.eye(n)[:, 0]])
+    block = np.arange(10.0).reshape(5, 2)
+    out = op @ block
+    assert out.shape == (5, 2)
+    assert op.shape == (n, n)
+    with pytest.raises(InvalidParameterError):
+        DeflatedOperator(mat.matvec, 0)
+
+
+# ----------------------------------------------------------------------
+# ShiftedOperator
+# ----------------------------------------------------------------------
+def test_shifted_operator_spectrum_flip():
+    n = 10
+    dense = random_symmetric(n, 3)
+    mat = CSRMatrix.from_dense(dense)
+    c = 7.5
+    op = ShiftedOperator(mat.matvec, n, c)
+    x = np.linspace(0, 1, n)
+    assert np.allclose(op.matvec(x), c * x - dense @ x)
+    assert op.c == c
+
+
+# ----------------------------------------------------------------------
+# orthonormalize_block
+# ----------------------------------------------------------------------
+def test_orthonormalize_block_basic():
+    rng = np.random.default_rng(4)
+    block = rng.normal(size=(20, 3))
+    q = orthonormalize_block(block)
+    assert q.shape == (20, 3)
+    assert np.allclose(q.T @ q, np.eye(3), atol=1e-12)
+
+
+def test_orthonormalize_block_against():
+    rng = np.random.default_rng(5)
+    against = np.linalg.qr(rng.normal(size=(20, 2)))[0]
+    block = rng.normal(size=(20, 3))
+    q = orthonormalize_block(block, against=against)
+    assert np.abs(against.T @ q).max() < 1e-12
+
+
+def test_orthonormalize_block_drops_dependent_columns():
+    v = np.arange(10.0)
+    block = np.column_stack([v, 2 * v, np.ones(10)])
+    q = orthonormalize_block(block)
+    assert q.shape[1] == 2
+
+
+def test_orthonormalize_block_collapsed():
+    against = np.ones((6, 1)) / np.sqrt(6)
+    block = np.ones((6, 2))  # entirely inside the projected-out span
+    q = orthonormalize_block(block, against=against)
+    assert q.shape[1] == 0
+
+
+# ----------------------------------------------------------------------
+# canonical_in_span
+# ----------------------------------------------------------------------
+def test_canonical_in_span_sign_follows_probe():
+    rng = np.random.default_rng(6)
+    basis = np.linalg.qr(rng.normal(size=(15, 2)))[0]
+    probe = rng.normal(size=15)
+    v = canonical_in_span(basis, probe)
+    assert np.linalg.norm(v) == pytest.approx(1.0)
+    assert probe @ v > 0
+    # Basis rotation does not change the canonical vector.
+    angle = 0.3
+    rot = np.array([[np.cos(angle), -np.sin(angle)],
+                    [np.sin(angle), np.cos(angle)]])
+    v2 = canonical_in_span(basis @ rot, probe)
+    assert np.allclose(v, v2, atol=1e-12)
+
+
+def test_canonical_in_span_orthogonal_probe_fallback():
+    basis = np.eye(4)[:, :1]
+    probe = np.eye(4)[:, 1]  # exactly orthogonal to the span
+    v = canonical_in_span(basis, probe)
+    assert np.linalg.norm(v) == pytest.approx(1.0)
+    assert abs(abs(v[0]) - 1.0) < 1e-12
