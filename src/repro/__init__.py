@@ -53,8 +53,15 @@ from repro.mapping import (
     mapping_by_name,
     paper_mappings,
 )
+from repro.service import (
+    ArtifactStore,
+    OrderArtifact,
+    OrderRequest,
+    OrderingService,
+)
 
 __all__ = [
+    "ArtifactStore",
     "BackendUnavailableError",
     "Box",
     "ConvergenceError",
@@ -69,6 +76,9 @@ __all__ = [
     "LinearOrder",
     "LocalityMapping",
     "MAPPING_NAMES",
+    "OrderArtifact",
+    "OrderRequest",
+    "OrderingService",
     "PAPER_MAPPING_NAMES",
     "ReproError",
     "SpectralConfig",

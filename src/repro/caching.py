@@ -1,0 +1,71 @@
+"""A small generic LRU cache, shared by every caching layer.
+
+Both the ordering service's in-memory artifact tier
+(:mod:`repro.service.ordering`) and the graph layer's coarsening
+hierarchy cache (:mod:`repro.graph.coarsening`) need the same mechanics
+— ordered-dict recency, capacity eviction, hit/miss counters — and the
+graph layer cannot import the service layer, so the shared
+implementation lives here next to :mod:`repro.errors`.  Capacity counts
+entries, not bytes: values of wildly different sizes each occupy one
+slot, which keeps the policy predictable for callers that know their
+workload mix.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Generic, Hashable, Iterator, Optional, TypeVar
+
+from repro.errors import InvalidParameterError
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+
+class LRUCache(Generic[K, V]):
+    """A minimal ordered-dict LRU with hit/miss counters."""
+
+    def __init__(self, capacity: int = 128):
+        if capacity < 1:
+            raise InvalidParameterError(
+                f"capacity must be >= 1, got {capacity}"
+            )
+        self._capacity = int(capacity)
+        self._entries: "OrderedDict[K, V]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of entries held."""
+        return self._capacity
+
+    def get(self, key: K) -> Optional[V]:
+        """The cached value, refreshed as most-recently-used; else None."""
+        value = self._entries.get(key)
+        if value is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: K, value: V) -> None:
+        """Insert (or refresh) an entry, evicting the LRU beyond capacity."""
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self._capacity:
+            self._entries.popitem(last=False)
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[K]:
+        return iter(self._entries)
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        self._entries.clear()

@@ -87,7 +87,8 @@ def _canonicalize(basis: np.ndarray, probe: np.ndarray) -> np.ndarray:
 
 def _multilevel_fiedler_result(graph: Graph, probe: np.ndarray,
                                quality_rtol: float,
-                               strict: bool) -> FiedlerResult | None:
+                               strict: bool,
+                               hierarchy_cache=None) -> FiedlerResult | None:
     """The multilevel approximation as a :class:`FiedlerResult`.
 
     Returns ``None`` when ``strict`` is off (the ``auto`` path) and the
@@ -99,7 +100,7 @@ def _multilevel_fiedler_result(graph: Graph, probe: np.ndarray,
     # helpers, which import this module.
     from repro.core.multilevel import GROUP_RTOL, multilevel_eigenspace
 
-    space = multilevel_eigenspace(graph)
+    space = multilevel_eigenspace(graph, hierarchy_cache=hierarchy_cache)
     theta0 = float(space.values[0])
     group_tol = max(GROUP_RTOL * max(abs(theta0), 1e-12), 1e-10)
     group = np.flatnonzero(space.values <= theta0 + group_tol)
@@ -140,8 +141,8 @@ def _resolve_exact_backend(backend: str, n: int) -> str:
 def fiedler_vector(graph: Graph, backend: str = "auto",
                    probe: np.ndarray | None = None,
                    rtol: float = 1e-6,
-                   multilevel_tol: float = MULTILEVEL_QUALITY_RTOL
-                   ) -> FiedlerResult:
+                   multilevel_tol: float = MULTILEVEL_QUALITY_RTOL,
+                   hierarchy_cache=None) -> FiedlerResult:
     """The canonical Fiedler pair of a connected graph.
 
     Parameters
@@ -166,6 +167,10 @@ def fiedler_vector(graph: Graph, backend: str = "auto",
         ``backend="auto"`` (``||L y - theta y|| <= multilevel_tol *
         theta``).  Ignored for other backends; an explicit
         ``backend="multilevel"`` always returns the approximation.
+    hierarchy_cache:
+        Optional :class:`~repro.graph.coarsening.HierarchyCache` used by
+        the multilevel path to reuse matching/prolongation chains across
+        solves of the same topology.  Ignored by the exact backends.
 
     Raises
     ------
@@ -199,7 +204,8 @@ def fiedler_vector(graph: Graph, backend: str = "auto",
     if backend == "multilevel" or (
             backend == "auto" and n > backend_registry.MULTILEVEL_CUTOFF):
         result = _multilevel_fiedler_result(
-            graph, probe, multilevel_tol, strict=backend == "multilevel")
+            graph, probe, multilevel_tol, strict=backend == "multilevel",
+            hierarchy_cache=hierarchy_cache)
         if result is not None:
             return result
 

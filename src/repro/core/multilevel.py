@@ -40,7 +40,7 @@ from repro.core.ordering import LinearOrder, order_by_values
 from repro.core.tie_breaking import tie_break_keys
 from repro.errors import GraphStructureError, InvalidParameterError
 from repro.graph.adjacency import Graph
-from repro.graph.coarsening import coarsen_hierarchy
+from repro.graph.coarsening import HierarchyCache, coarsen_hierarchy
 from repro.graph.laplacian import laplacian, rayleigh_quotient
 from repro.graph.traversal import is_connected
 from repro.linalg.backends import smallest_eigenpairs
@@ -164,7 +164,8 @@ def _rayleigh_ritz(lap: CSRMatrix, block: np.ndarray
 
 def multilevel_eigenspace(graph: Graph, block_size: int = 4,
                           min_size: int = 64, smoothing_steps: int = 40,
-                          coarse_backend: str = "dense"
+                          coarse_backend: str = "dense",
+                          hierarchy_cache: HierarchyCache | None = None
                           ) -> MultilevelEigenspace:
     """Approximate bottom Laplacian eigenpairs via coarsen-filter-project.
 
@@ -185,6 +186,14 @@ def multilevel_eigenspace(graph: Graph, block_size: int = 4,
     coarse_backend:
         Eigensolver backend for the coarsest solve (must be a
         matrix-level backend, i.e. not ``"multilevel"``).
+    hierarchy_cache:
+        Optional :class:`~repro.graph.coarsening.HierarchyCache`.  When
+        given, the matching/prolongation chain for this graph's topology
+        is computed canonically on the unit-weighted structure and
+        reused across solves (only contraction and smoothing see the
+        actual weights) — deterministic and history-independent; when
+        ``None`` the hierarchy is built from scratch with weight-aware
+        matching.
     """
     n = graph.num_vertices
     if n < 2:
@@ -204,7 +213,10 @@ def multilevel_eigenspace(graph: Graph, block_size: int = 4,
         raise InvalidParameterError(
             f"block_size must be >= 1, got {block_size}"
         )
-    levels = coarsen_hierarchy(graph, min_size=min_size)
+    if hierarchy_cache is not None:
+        levels = hierarchy_cache.hierarchy(graph, min_size=min_size)
+    else:
+        levels = coarsen_hierarchy(graph, min_size=min_size)
     graphs = [graph] + [level.graph for level in levels]
     coarsest = graphs[-1]
     nc = coarsest.num_vertices
@@ -258,7 +270,9 @@ def multilevel_fiedler(graph: Graph, min_size: int = 64,
                        smoothing_steps: int = 40,
                        backend: str = "dense",
                        block_size: int = 4,
-                       probe: np.ndarray | None = None) -> MultilevelResult:
+                       probe: np.ndarray | None = None,
+                       hierarchy_cache: HierarchyCache | None = None
+                       ) -> MultilevelResult:
     """Approximate Fiedler vector and order via coarsen-solve-refine.
 
     Parameters
@@ -279,6 +293,9 @@ def multilevel_fiedler(graph: Graph, min_size: int = 64,
         Optional deterministic canonicalization direction for degenerate
         (or near-degenerate) ``lambda_2`` eigenspaces; defaults to the
         fixed quasi-random vector the exact pipeline uses.
+    hierarchy_cache:
+        Optional coarsening-hierarchy cache (see
+        :func:`multilevel_eigenspace`).
     """
     from repro.core.spectral import snap_ties
 
@@ -286,6 +303,7 @@ def multilevel_fiedler(graph: Graph, min_size: int = 64,
     space = multilevel_eigenspace(
         graph, block_size=block_size, min_size=min_size,
         smoothing_steps=smoothing_steps, coarse_backend=backend,
+        hierarchy_cache=hierarchy_cache,
     )
     theta0 = float(space.values[0])
     group_tol = max(GROUP_RTOL * max(abs(theta0), 1e-12), 1e-10)

@@ -85,7 +85,12 @@ def symmetric_grid_probe(grid: Grid) -> np.ndarray:
 @dataclass(frozen=True)
 class SpectralConfig:
     """Configuration of a :class:`SpectralLPM` instance (all defaults match
-    the paper's base algorithm)."""
+    the paper's base algorithm).
+
+    Hashable and fully value-typed, so it doubles as a cache identity:
+    two ``SpectralLPM`` instances with equal configs (and no custom probe
+    or callable weight) produce bit-identical orders for the same domain.
+    """
 
     connectivity: str = "orthogonal"
     radius: int = 1
@@ -94,6 +99,7 @@ class SpectralConfig:
     tie_break: str = "index"
     on_disconnected: str = "per-component"
     component_arrangement: str = "by_min_vertex"
+    snap_tol: float = 1e-9
 
 
 class SpectralLPM:
@@ -147,6 +153,11 @@ class SpectralLPM:
     snap_tol:
         Fiedler entries closer than this are treated as exact ties (see
         :func:`snap_ties`); 0 disables snapping.
+    hierarchy_cache:
+        Optional :class:`~repro.graph.coarsening.HierarchyCache` shared
+        with other instances: the multilevel backend then reuses
+        matching/prolongation chains across solves of the same topology.
+        ``None`` (the default) coarsens from scratch every solve.
 
     Examples
     --------
@@ -162,7 +173,8 @@ class SpectralLPM:
                  probe: np.ndarray | None = None,
                  on_disconnected: str = "per-component",
                  component_arrangement: str = "by_min_vertex",
-                 snap_tol: float = 1e-9):
+                 snap_tol: float = 1e-9,
+                 hierarchy_cache=None):
         if tie_break not in TIE_BREAK_STRATEGIES:
             raise InvalidParameterError(
                 f"unknown tie_break {tie_break!r}; "
@@ -191,13 +203,44 @@ class SpectralLPM:
                 f"snap_tol must be >= 0, got {snap_tol}"
             )
         self._snap_tol = float(snap_tol)
+        self._hierarchy_cache = hierarchy_cache
 
     # ------------------------------------------------------------------
+    @classmethod
+    def from_config(cls, config: SpectralConfig,
+                    hierarchy_cache=None) -> "SpectralLPM":
+        """Instantiate the algorithm a :class:`SpectralConfig` describes.
+
+        The round-trip invariant ``SpectralLPM.from_config(lpm.config)``
+        reproduces ``lpm``'s behavior exactly whenever ``lpm`` is
+        :attr:`cacheable` — which is what lets services key artifacts by
+        config and recompute on miss.
+        """
+        return cls(
+            connectivity=config.connectivity,
+            radius=config.radius,
+            weight=config.weight,
+            backend=config.backend,
+            tie_break=config.tie_break,
+            on_disconnected=config.on_disconnected,
+            component_arrangement=config.component_arrangement,
+            snap_tol=config.snap_tol,
+            hierarchy_cache=hierarchy_cache,
+        )
+
     @property
     def config(self) -> SpectralConfig:
-        """The (hashable) configuration, for caching and reporting."""
+        """The (hashable) configuration, for caching and reporting.
+
+        A callable weight model is rendered as ``"callable:<name>"`` —
+        deliberately *not* a registered weight name, so a config lifted
+        off a non-:attr:`cacheable` instance can never silently resolve
+        to a same-named registry model: feeding it back through
+        :meth:`from_config` fails loudly at graph-build time instead.
+        """
         weight = (self._weight if isinstance(self._weight, str)
-                  else getattr(self._weight, "__name__", "custom"))
+                  else "callable:"
+                  + getattr(self._weight, "__name__", "custom"))
         return SpectralConfig(
             connectivity=str(self._connectivity),
             radius=self._radius,
@@ -206,7 +249,20 @@ class SpectralLPM:
             tie_break=self._tie_break,
             on_disconnected=self._on_disconnected,
             component_arrangement=self._component_arrangement,
+            snap_tol=self._snap_tol,
         )
+
+    @property
+    def cacheable(self) -> bool:
+        """Whether :attr:`config` fully determines this instance's output.
+
+        False when the instance carries state a :class:`SpectralConfig`
+        cannot represent — a callable weight model (two different
+        callables may share a ``__name__``) or an explicit probe vector.
+        Cache layers must bypass storage for non-cacheable instances:
+        keying them by config would let distinct algorithms collide.
+        """
+        return isinstance(self._weight, str) and self._probe is None
 
     # ------------------------------------------------------------------
     # Entry points
@@ -219,6 +275,26 @@ class SpectralLPM:
         canonicalization direction for this call (an explicit probe given
         at construction time still wins).
         """
+        return self._order_graph(graph, probe, None)
+
+    def order_graph_with_fiedler(
+            self, graph: Graph, probe: np.ndarray | None = None
+    ) -> Tuple[LinearOrder, list]:
+        """:meth:`order_graph` plus the Fiedler pairs it computed.
+
+        Returns ``(order, results)`` where ``results`` is the list of
+        :class:`~repro.core.fiedler.FiedlerResult` produced along the way
+        — one per non-trivial connected component, in the order they were
+        solved; empty for trivial graphs (``n <= 2`` components only).
+        Services persist these as solve provenance next to the cached
+        order.
+        """
+        recorder: list = []
+        order = self._order_graph(graph, probe, recorder)
+        return order, recorder
+
+    def _order_graph(self, graph: Graph, probe: np.ndarray | None,
+                     recorder: list | None) -> LinearOrder:
         n = graph.num_vertices
         if n == 0:
             return LinearOrder(np.empty(0, dtype=np.int64))
@@ -231,7 +307,7 @@ class SpectralLPM:
             # vertex count differs), so they fall back to the default.
             sub_probe = (effective
                          if component.num_vertices == n else None)
-            return self._order_connected(component, sub_probe)
+            return self._order_connected(component, sub_probe, recorder)
 
         try:
             return order_connected(graph)
@@ -254,6 +330,16 @@ class SpectralLPM:
         graph = self.build_grid_graph(grid)
         return self.order_graph(graph, probe=symmetric_grid_probe(grid))
 
+    def order_grid_with_fiedler(self, grid: Grid
+                                ) -> Tuple[LinearOrder, list]:
+        """:meth:`order_grid` plus the Fiedler pairs it computed.
+
+        See :meth:`order_graph_with_fiedler` for the result convention.
+        """
+        graph = self.build_grid_graph(grid)
+        return self.order_graph_with_fiedler(
+            graph, probe=symmetric_grid_probe(grid))
+
     def order_points(self, grid: Grid,
                      cell_indices: Sequence[int]
                      ) -> Tuple[LinearOrder, np.ndarray]:
@@ -273,7 +359,8 @@ class SpectralLPM:
     def fiedler(self, graph: Graph) -> FiedlerResult:
         """Expose the Fiedler pair for a connected graph (diagnostics)."""
         return fiedler_vector(graph, backend=self._backend,
-                              probe=self._probe)
+                              probe=self._probe,
+                              hierarchy_cache=self._hierarchy_cache)
 
     def build_grid_graph(self, grid: Grid) -> Graph:
         """Step 1: the configured graph model of a grid domain."""
@@ -282,7 +369,8 @@ class SpectralLPM:
 
     # ------------------------------------------------------------------
     def _order_connected(self, graph: Graph,
-                         probe: np.ndarray | None = None) -> LinearOrder:
+                         probe: np.ndarray | None = None,
+                         recorder: list | None = None) -> LinearOrder:
         n = graph.num_vertices
         if n == 1:
             return LinearOrder(np.zeros(1, dtype=np.int64))
@@ -290,7 +378,10 @@ class SpectralLPM:
             # lambda_2 = 2w with vector (+, -)/sqrt(2); with only two
             # items the stable order is by vertex id.
             return LinearOrder(np.array([0, 1]))
-        result = fiedler_vector(graph, backend=self._backend, probe=probe)
+        result = fiedler_vector(graph, backend=self._backend, probe=probe,
+                                hierarchy_cache=self._hierarchy_cache)
+        if recorder is not None:
+            recorder.append(result)
         snapped = snap_ties(result.vector, tol=self._snap_tol)
         keys = tie_break_keys(self._tie_break, n, values=result.vector,
                               graph=graph)

@@ -5,10 +5,16 @@ Usage::
     python -m repro.experiments fig5a
     python -m repro.experiments fig6b --backend dense --side 5
     python -m repro.experiments all
+    python -m repro.experiments all --cache-dir ~/.cache/repro-orders
     repro-experiments fig1          # console-script alias
 
 Each figure prints the same rows/series the paper plots, plus a shape
 comparison against the digitized published curves where available.
+
+All figures share one :class:`~repro.service.OrderingService`, so a
+domain that appears in several figures is eigensolved once per run —
+and, with ``--cache-dir``, once per *machine*: subsequent runs load the
+orders from the artifact store instead of recomputing them.
 """
 
 from __future__ import annotations
@@ -33,15 +39,19 @@ from repro.experiments.paper_data import (
 )
 from repro.experiments.summary import run_summary
 from repro.experiments.tables import render_report, render_table
+from repro.service import OrderingService
 
 FIGURES = ("fig1", "fig3", "fig4", "fig5a", "fig5b", "fig6a", "fig6b",
            "summary")
 
 
-def _run_one(figure: str, backend: str, side: Optional[int]) -> str:
+def _run_one(figure: str, backend: str, side: Optional[int],
+             service: Optional[OrderingService]) -> str:
     if figure == "fig1":
-        table = render_table(run_fig1(side=side or 4, backend=backend))
-        art = render_fig1_orders(side=side or 4, backend=backend)
+        table = render_table(run_fig1(side=side or 4, backend=backend,
+                                      service=service))
+        art = render_fig1_orders(side=side or 4, backend=backend,
+                                 service=service)
         return f"{table}\n\n{art}"
     if figure == "fig3":
         return render_fig3(backend=backend)
@@ -51,20 +61,24 @@ def _run_one(figure: str, backend: str, side: Optional[int]) -> str:
         art = render_fig4(side=side or 4, backend=backend)
         return f"{table}\n\n{art}"
     if figure == "fig5a":
-        measured = run_fig5a(side=side or 4, backend=backend)
+        measured = run_fig5a(side=side or 4, backend=backend,
+                             service=service)
         return render_report(measured, paper_fig5a())
     if figure == "fig5b":
-        measured = run_fig5b(side=side or 16, backend=backend)
+        measured = run_fig5b(side=side or 16, backend=backend,
+                             service=service)
         return render_report(measured, paper_fig5b())
     if figure == "fig6a":
-        measured = run_fig6a(side=side or 6, backend=backend)
+        measured = run_fig6a(side=side or 6, backend=backend,
+                             service=service)
         return render_report(measured, paper_fig6a())
     if figure == "fig6b":
-        measured = run_fig6b(side=side or 6, backend=backend)
+        measured = run_fig6b(side=side or 6, backend=backend,
+                             service=service)
         return render_report(measured, paper_fig6b())
     if figure == "summary":
-        return render_table(run_summary(side=side or 16,
-                                        backend=backend), precision=2)
+        return render_table(run_summary(side=side or 16, backend=backend,
+                                        service=service), precision=2)
     raise ValueError(f"unknown figure {figure!r}")
 
 
@@ -87,12 +101,25 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="override the grid side length (figure-specific default "
              "otherwise)",
     )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persist computed spectral orders under DIR; reruns load "
+             "them instead of re-solving",
+    )
     args = parser.parse_args(argv)
     figures = FIGURES if args.figure == "all" else (args.figure,)
+    service = OrderingService(store=args.cache_dir)
     outputs = []
     for figure in figures:
         outputs.append("=" * 72)
-        outputs.append(_run_one(figure, args.backend, args.side))
+        outputs.append(_run_one(figure, args.backend, args.side, service))
+    stats = service.stats
+    outputs.append("=" * 72)
+    outputs.append(
+        f"[ordering service] computed={stats.computed} "
+        f"memory_hits={stats.memory_hits} disk_hits={stats.disk_hits} "
+        f"eigensolver_calls={stats.solver_calls}"
+    )
     print("\n".join(outputs))
     return 0
 

@@ -25,7 +25,7 @@ FIG1_MAPPINGS = ("sweep", "snake", "peano", "gray", "hilbert", "spectral")
 
 def run_fig1(side: int = 4,
              mapping_names: Sequence[str] = FIG1_MAPPINGS,
-             backend: str = "auto") -> ExperimentResult:
+             backend: str = "auto", service=None) -> ExperimentResult:
     """Boundary-effect table on a ``side x side`` grid.
 
     The x-axis is categorical: the mid-plane crossed (per axis), then the
@@ -50,7 +50,7 @@ def run_fig1(side: int = 4,
         ),
     )
     for name in mapping_names:
-        mapping = (mapping_by_name(name, backend=backend)
+        mapping = (mapping_by_name(name, backend=backend, service=service)
                    if name == "spectral" else mapping_by_name(name))
         ranks = mapping.ranks_for_grid(grid)
         row = [boundary_gap(grid, ranks, axis) for axis in range(grid.ndim)]
@@ -61,12 +61,13 @@ def run_fig1(side: int = 4,
 
 
 def render_fig1_orders(side: int = 4, backend: str = "auto",
-                       mapping_names: Sequence[str] = FIG1_MAPPINGS) -> str:
+                       mapping_names: Sequence[str] = FIG1_MAPPINGS,
+                       service=None) -> str:
     """The Figure-1 pictures, as text: rank matrix + path per mapping."""
     grid = Grid((side, side))
     blocks = []
     for name in mapping_names:
-        mapping = (mapping_by_name(name, backend=backend)
+        mapping = (mapping_by_name(name, backend=backend, service=service)
                    if name == "spectral" else mapping_by_name(name))
         ranks = mapping.ranks_for_grid(grid)
         blocks.append(

@@ -30,11 +30,13 @@ from repro.metrics.pairwise import (
 def run_fig5a(side: int = 4, ndim: int = 5,
               percents: Sequence[int] = NN_PERCENTS,
               mapping_names: Sequence[str] = PAPER_MAPPING_NAMES,
-              backend: str = "auto") -> ExperimentResult:
+              backend: str = "auto", service=None) -> ExperimentResult:
     """Reproduce Figure 5a.
 
     Defaults: a 4^5 grid (1024 cells), the paper's five mappings, and the
-    paper's x-axis of 10..50% of the maximum Manhattan distance.
+    paper's x-axis of 10..50% of the maximum Manhattan distance.  An
+    optional :class:`~repro.service.ordering.OrderingService` lets the
+    spectral solve be shared with other harnesses over the same domain.
     """
     grid = Grid.cube(side, ndim)
     distances = distances_for_percentages(grid, percents)
@@ -53,7 +55,7 @@ def run_fig5a(side: int = 4, ndim: int = 5,
     )
     scale = 100.0 / (grid.size - 1)
     for name in mapping_names:
-        mapping = (mapping_by_name(name, backend=backend)
+        mapping = (mapping_by_name(name, backend=backend, service=service)
                    if name == "spectral" else mapping_by_name(name))
         profile = rank_distance_profile(grid, mapping.ranks_for_grid(grid))
         result.add_series(
@@ -66,7 +68,8 @@ def run_fig5a(side: int = 4, ndim: int = 5,
 def run_fig5b(side: int = 16,
               percents: Sequence[int] = NN_PERCENTS,
               backend: str = "auto",
-              include_hilbert: bool = False) -> ExperimentResult:
+              include_hilbert: bool = False,
+              service=None) -> ExperimentResult:
     """Reproduce Figure 5b.
 
     Pairs separated by ``delta`` cells along exactly one axis of a 2-D
@@ -92,7 +95,7 @@ def run_fig5b(side: int = 16,
     names = ["sweep", "spectral"] + (
         ["hilbert"] if include_hilbert else [])
     for name in names:
-        mapping = (mapping_by_name(name, backend=backend)
+        mapping = (mapping_by_name(name, backend=backend, service=service)
                    if name == "spectral" else mapping_by_name(name))
         ranks = mapping.ranks_for_grid(grid)
         for axis, label in ((0, "X"), (1, "Y")):

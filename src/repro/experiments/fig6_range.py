@@ -30,7 +30,7 @@ from repro.metrics.range_span import span_field, span_stats
 def run_fig6a(side: int = 6, ndim: int = 4,
               size_percents: Sequence[int] = RANGE_PERCENTS,
               mapping_names: Sequence[str] = PAPER_MAPPING_NAMES,
-              backend: str = "auto") -> ExperimentResult:
+              backend: str = "auto", service=None) -> ExperimentResult:
     """Reproduce Figure 6a (max span of hyper-cubic range queries)."""
     grid = Grid.cube(side, ndim)
     extents = [extent_for_volume_fraction(grid, p / 100.0)
@@ -54,7 +54,7 @@ def run_fig6a(side: int = 6, ndim: int = 4,
         ),
     )
     for name in mapping_names:
-        mapping = (mapping_by_name(name, backend=backend)
+        mapping = (mapping_by_name(name, backend=backend, service=service)
                    if name == "spectral" else mapping_by_name(name))
         ranks = mapping.ranks_for_grid(grid)
         result.add_series(
@@ -101,7 +101,7 @@ def partial_match_spans(grid: Grid, ranks: np.ndarray,
 def run_fig6b(side: int = 6, ndim: int = 4,
               size_percents: Sequence[int] = RANGE_PERCENTS,
               mapping_names: Sequence[str] = PAPER_MAPPING_NAMES,
-              backend: str = "auto") -> ExperimentResult:
+              backend: str = "auto", service=None) -> ExperimentResult:
     """Reproduce Figure 6b (stdev of span over all partial queries)."""
     grid = Grid.cube(side, ndim)
     result = ExperimentResult(
@@ -118,7 +118,7 @@ def run_fig6b(side: int = 6, ndim: int = 4,
         ),
     )
     for name in mapping_names:
-        mapping = (mapping_by_name(name, backend=backend)
+        mapping = (mapping_by_name(name, backend=backend, service=service)
                    if name == "spectral" else mapping_by_name(name))
         ranks = mapping.ranks_for_grid(grid)
         ys = []

@@ -23,7 +23,7 @@ DEFAULT_DOMAINS = ((2, 16), (3, 8), (4, 6), (5, 4))
 
 def run_scaling(domains: Sequence[tuple] = DEFAULT_DOMAINS,
                 mapping_names: Sequence[str] = PAPER_MAPPING_NAMES,
-                backend: str = "auto") -> ExperimentResult:
+                backend: str = "auto", service=None) -> ExperimentResult:
     """Max adjacent rank gap (fraction of n) vs dimensionality."""
     grids = [Grid.cube(side, ndim) for ndim, side in domains]
     result = ExperimentResult(
@@ -40,7 +40,7 @@ def run_scaling(domains: Sequence[tuple] = DEFAULT_DOMAINS,
         ),
     )
     for name in mapping_names:
-        mapping = (mapping_by_name(name, backend=backend)
+        mapping = (mapping_by_name(name, backend=backend, service=service)
                    if name.startswith("spectral")
                    else mapping_by_name(name))
         ys = []

@@ -33,11 +33,14 @@ SUMMARY_METRICS = (
 
 def run_summary(side: int = 16, backend: str = "auto",
                 query_fraction: float = 0.0625,
-                nn_k: int = 8, nn_window: int = 16) -> ExperimentResult:
+                nn_k: int = 8, nn_window: int = 16,
+                service=None) -> ExperimentResult:
     """The full metric matrix on a ``side x side`` grid.
 
     ``query_fraction`` sizes the range-query family for the span/cluster
     rows; ``nn_k``/``nn_window`` parameterize the similarity-search row.
+    An optional ordering service shares the spectral solve with other
+    harnesses over the same domain.
     """
     grid = Grid((side, side))
     graph = grid_graph(grid)
@@ -52,7 +55,7 @@ def run_summary(side: int = 16, backend: str = "auto",
         params={"side": side, "backend": backend,
                 "query_fraction": query_fraction},
     )
-    for mapping in paper_mappings(backend=backend):
+    for mapping in paper_mappings(backend=backend, service=service):
         order = mapping.order_for_grid(grid)
         ranks = order.ranks
         worst_gap, mean_gap = adjacent_gap_stats(grid, ranks)

@@ -3,14 +3,20 @@
 from repro.graph.adjacency import DUPLICATE_POLICIES, Graph
 from repro.graph.coarsening import (
     CoarseningLevel,
+    HierarchyCache,
     coarsen,
     coarsen_hierarchy,
+    contract,
     heavy_edge_matching,
+    matching_invocations,
 )
 from repro.graph.builders import (
+    GridTopology,
     complete_graph,
     cycle_graph,
     grid_graph,
+    grid_graph_from_topology,
+    grid_graph_topology,
     induced_grid_graph,
     knn_graph,
     path_graph,
@@ -43,16 +49,22 @@ __all__ = [
     "CoarseningLevel",
     "DUPLICATE_POLICIES",
     "Graph",
+    "GridTopology",
+    "HierarchyCache",
     "bfs_order",
     "coarsen",
     "coarsen_hierarchy",
+    "contract",
     "heavy_edge_matching",
+    "matching_invocations",
     "complete_graph",
     "component_vertex_lists",
     "connected_components",
     "cycle_graph",
     "gaussian",
     "grid_graph",
+    "grid_graph_from_topology",
+    "grid_graph_topology",
     "induced_grid_graph",
     "inverse_euclidean",
     "inverse_manhattan",

@@ -12,6 +12,7 @@ which keeps the Section-4 "access-pattern edge" workflow side-effect free.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Iterable, Iterator, Sequence, Tuple
 
 import numpy as np
@@ -280,6 +281,41 @@ class Graph:
         edges = np.stack([relabel[u[mask]], relabel[v[mask]]], axis=1)
         sub = Graph.from_edges(len(vertex_array), edges, w[mask])
         return sub, vertex_array
+
+    # ------------------------------------------------------------------
+    # Fingerprints (stable content identity for caches and stores)
+    # ------------------------------------------------------------------
+    def structure_fingerprint(self) -> str:
+        """A stable hex digest of the graph's *topology* (edges, no weights).
+
+        Two graphs share a structure fingerprint exactly when they have
+        the same vertex count and the same undirected edge set.  The
+        digest is computed from the canonical CSR arrays with SHA-256, so
+        it is deterministic across processes and Python versions (unlike
+        ``hash()``).  Used to key caches of weight-independent artifacts
+        such as coarsening hierarchies.
+        """
+        h = hashlib.sha256(b"graph-structure-v1")
+        h.update(np.int64(self._n).tobytes())
+        h.update(np.ascontiguousarray(self._indptr, dtype=np.int64)
+                 .tobytes())
+        h.update(np.ascontiguousarray(self._indices, dtype=np.int64)
+                 .tobytes())
+        return h.hexdigest()
+
+    def content_fingerprint(self) -> str:
+        """A stable hex digest of the full graph content (edges + weights).
+
+        Extends :meth:`structure_fingerprint` with the exact float64 edge
+        weights, so two graphs share a content fingerprint exactly when
+        they are indistinguishable to every algorithm in this library.
+        Used to key order caches for arbitrary user graphs.
+        """
+        h = hashlib.sha256(b"graph-content-v1")
+        h.update(self.structure_fingerprint().encode("ascii"))
+        h.update(np.ascontiguousarray(self._weights, dtype=np.float64)
+                 .tobytes())
+        return h.hexdigest()
 
     def to_dense_adjacency(self) -> np.ndarray:
         """Dense symmetric adjacency matrix (weights as entries)."""

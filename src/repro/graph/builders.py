@@ -13,6 +13,7 @@ tests and for demonstrating spectral ordering on non-grid inputs.
 from __future__ import annotations
 
 import itertools
+from dataclasses import dataclass
 from typing import Sequence, Tuple
 
 import numpy as np
@@ -53,6 +54,135 @@ def _canonical_offsets(ndim: int, connectivity: str,
     return offsets
 
 
+@dataclass(frozen=True)
+class GridTopology:
+    """The weight-independent part of a grid graph build.
+
+    Building a grid graph splits naturally into a *topology* phase (which
+    cells are adjacent under a connectivity/radius — the expensive masks
+    and CSR sort) and a *weighting* phase (one weight per distinct
+    offset).  A ``GridTopology`` captures the first phase so that many
+    weight configurations over the same domain pay the build once:
+    :func:`grid_graph_from_topology` turns it into a :class:`Graph` in a
+    single vectorized gather.
+
+    Attributes
+    ----------
+    grid, connectivity, radius:
+        The domain and (normalized) graph model this topology encodes.
+    indptr, indices:
+        The symmetric CSR structure shared by every weighting.
+    offset_ids:
+        Per CSR entry, the index into ``offsets`` of the coordinate
+        offset that produced it (offsets are canonicalized, so both CSR
+        copies of an undirected edge share one id).
+    offsets:
+        The distinct canonical offsets, as coordinate tuples.
+    """
+
+    grid: Grid
+    connectivity: str
+    radius: int
+    indptr: np.ndarray
+    indices: np.ndarray
+    offset_ids: np.ndarray
+    offsets: Tuple[Tuple[int, ...], ...]
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices (= grid cells)."""
+        return self.grid.size
+
+
+def grid_graph_topology(grid: Grid, connectivity="orthogonal",
+                        radius: int = 1) -> GridTopology:
+    """The weight-independent topology of :func:`grid_graph`.
+
+    Performs the neighbourhood masks and the CSR assembly sort — all the
+    work of a grid-graph build except assigning weights — and returns a
+    reusable :class:`GridTopology`.  Batched services build this once per
+    ``(shape, connectivity, radius)`` and stamp out one graph per weight
+    model via :func:`grid_graph_from_topology`.
+    """
+    style = _normalize_connectivity(connectivity)
+    if radius < 1:
+        raise InvalidParameterError(f"radius must be >= 1, got {radius}")
+    coords = grid.coordinates()
+    shape = np.array(grid.shape)
+    strides = np.array(grid.strides)
+    offsets = _canonical_offsets(grid.ndim, style, radius)
+    src_chunks = []
+    dst_chunks = []
+    id_chunks = []
+    kept_offsets = []
+    for off in offsets:
+        off_arr = np.array(off)
+        valid = np.ones(grid.size, dtype=bool)
+        for axis, delta in enumerate(off):
+            if delta > 0:
+                valid &= coords[:, axis] + delta < shape[axis]
+            elif delta < 0:
+                valid &= coords[:, axis] + delta >= 0
+        src = np.flatnonzero(valid)
+        if len(src) == 0:
+            continue
+        off_id = len(kept_offsets)
+        kept_offsets.append(off)
+        src_chunks.append(src)
+        dst_chunks.append(src + int(off_arr @ strides))
+        id_chunks.append(np.full(len(src), off_id, dtype=np.int64))
+    n = grid.size
+    if not src_chunks:
+        empty = np.empty(0, dtype=np.int64)
+        return GridTopology(grid=grid, connectivity=style, radius=radius,
+                            indptr=np.zeros(n + 1, dtype=np.int64),
+                            indices=empty, offset_ids=empty, offsets=())
+    # Canonical offsets produce each undirected edge exactly once with
+    # src < dst (the first nonzero offset component is positive, and any
+    # in-grid trailing components can subtract at most strides[axis] - 1),
+    # so the generic duplicate-resolution sort in Graph.from_edges — an
+    # extra np.unique over all edges — is provably unnecessary here.
+    half_u = np.concatenate(src_chunks)
+    half_v = np.concatenate(dst_chunks)
+    half_id = np.concatenate(id_chunks)
+    rows = np.concatenate([half_u, half_v])
+    cols = np.concatenate([half_v, half_u])
+    ids = np.concatenate([half_id, half_id])
+    order = np.lexsort((cols, rows))
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    indptr[1:] = np.bincount(rows, minlength=n).cumsum()
+    return GridTopology(grid=grid, connectivity=style, radius=radius,
+                        indptr=indptr, indices=cols[order],
+                        offset_ids=ids[order],
+                        offsets=tuple(kept_offsets))
+
+
+def grid_graph_from_topology(topology: GridTopology,
+                             weight="unit") -> Graph:
+    """A grid graph from a prebuilt :class:`GridTopology` plus weights.
+
+    Evaluates the weight model once per distinct offset and gathers the
+    per-edge weights in one vectorized pass — bit-identical to calling
+    :func:`grid_graph` with the same parameters, at a fraction of the
+    cost when the topology is reused.
+    """
+    wfn = weight_function(weight)
+    if not len(topology.offsets):
+        return Graph.empty(topology.num_vertices)
+    per_offset = np.array([wfn(off) for off in topology.offsets])
+    # Direct CSR construction skips Graph.from_edges, so enforce its
+    # positive-weight invariant here (one check per distinct offset —
+    # every eigensolver backend assumes a PSD Laplacian).
+    if (per_offset <= 0).any():
+        bad = int(np.argmax(per_offset <= 0))
+        raise InvalidParameterError(
+            f"edge weights must be positive; weight model returned "
+            f"{per_offset[bad]} for offset {topology.offsets[bad]}"
+        )
+    return Graph(topology.num_vertices, topology.indptr, topology.indices,
+                 per_offset[topology.offset_ids])
+
+
 def grid_graph(grid: Grid, connectivity="orthogonal", radius: int = 1,
                weight="unit") -> Graph:
     """The neighbourhood graph of a full grid.
@@ -72,49 +202,14 @@ def grid_graph(grid: Grid, connectivity="orthogonal", radius: int = 1,
         The paper's footnote model is
         ``grid_graph(g, "orthogonal", radius=R, weight="inverse_manhattan")``.
 
-    Vertices are numbered by row-major flat cell index.
+    Vertices are numbered by row-major flat cell index.  Internally this
+    is :func:`grid_graph_topology` + :func:`grid_graph_from_topology`;
+    callers ordering the same domain under several weight models should
+    build the topology once and reuse it.
     """
-    style = _normalize_connectivity(connectivity)
-    wfn = weight_function(weight)
-    coords = grid.coordinates()
-    shape = np.array(grid.shape)
-    strides = np.array(grid.strides)
-    src_chunks = []
-    dst_chunks = []
-    weight_chunks = []
-    for off in _canonical_offsets(grid.ndim, style, radius):
-        off_arr = np.array(off)
-        valid = np.ones(grid.size, dtype=bool)
-        for axis, delta in enumerate(off):
-            if delta > 0:
-                valid &= coords[:, axis] + delta < shape[axis]
-            elif delta < 0:
-                valid &= coords[:, axis] + delta >= 0
-        src = np.flatnonzero(valid)
-        if len(src) == 0:
-            continue
-        src_chunks.append(src)
-        dst_chunks.append(src + int(off_arr @ strides))
-        weight_chunks.append(np.full(len(src), wfn(off)))
-    if not src_chunks:
-        return Graph.empty(grid.size)
-    # Fast path: assemble the symmetric CSR arrays directly.  Canonical
-    # offsets produce each undirected edge exactly once with src < dst
-    # (the first nonzero offset component is positive, and any in-grid
-    # trailing components can subtract at most strides[axis] - 1), so the
-    # generic duplicate-resolution sort in Graph.from_edges — an extra
-    # np.unique over all edges — is provably unnecessary here.
-    n = grid.size
-    half_u = np.concatenate(src_chunks)
-    half_v = np.concatenate(dst_chunks)
-    half_w = np.concatenate(weight_chunks)
-    rows = np.concatenate([half_u, half_v])
-    cols = np.concatenate([half_v, half_u])
-    wgt = np.concatenate([half_w, half_w])
-    order = np.lexsort((cols, rows))
-    indptr = np.zeros(n + 1, dtype=np.int64)
-    indptr[1:] = np.bincount(rows, minlength=n).cumsum()
-    return Graph(n, indptr, cols[order], wgt[order])
+    wfn = weight_function(weight)  # validate the spec before building
+    topology = grid_graph_topology(grid, connectivity, radius)
+    return grid_graph_from_topology(topology, wfn)
 
 
 def induced_grid_graph(grid: Grid, cell_indices: Sequence[int],

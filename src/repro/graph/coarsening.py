@@ -20,6 +20,7 @@ from typing import List, Tuple
 
 import numpy as np
 
+from repro.caching import LRUCache
 from repro.errors import InvalidParameterError
 from repro.graph.adjacency import Graph
 
@@ -31,6 +32,17 @@ from repro.graph.adjacency import Graph
 #: the dominant-edge variant turns the biggest multilevel-coarsening cost
 #: from a Python loop over every vertex into a few array passes per round.
 DOMINANT_EDGE_CUTOFF = 4096
+
+# Process-wide count of heavy-edge matchings computed.  Matching is the
+# irreducible cost a hierarchy cache exists to avoid, so tests and
+# services assert on the delta of this counter to prove reuse actually
+# happened (mirroring the eigensolver counter in repro.linalg.backends).
+_MATCHING_INVOCATIONS = 0
+
+
+def matching_invocations() -> int:
+    """How many heavy-edge matchings this process has computed so far."""
+    return _MATCHING_INVOCATIONS
 
 
 def _dominant_edge_matching(graph: Graph, max_rounds: int = 200
@@ -56,7 +68,6 @@ def _dominant_edge_matching(graph: Graph, max_rounds: int = 200
     """
     n = graph.num_vertices
     indptr, indices, weights = graph.csr_arrays()
-    m = len(indices)
     starts = indptr[:-1]
     nonempty = np.diff(indptr) > 0
     rows = np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
@@ -127,6 +138,8 @@ def heavy_edge_matching(graph: Graph) -> np.ndarray:
     :func:`_dominant_edge_matching`, which apply the same heavy-edge
     preference simultaneously instead of sequentially.
     """
+    global _MATCHING_INVOCATIONS
+    _MATCHING_INVOCATIONS += 1
     n = graph.num_vertices
     if n > DOMINANT_EDGE_CUTOFF:
         return _dominant_edge_matching(graph)
@@ -154,14 +167,40 @@ def heavy_edge_matching(graph: Graph) -> np.ndarray:
     return match
 
 
+def contract(graph: Graph, fine_to_coarse: np.ndarray,
+             num_coarse: int | None = None) -> Graph:
+    """Contract a graph along a fine-to-coarse vertex projection.
+
+    Edges whose endpoints land on the same coarse vertex vanish; parallel
+    edges have their weights summed, so the coarse Laplacian is the
+    Galerkin restriction of the fine one under piecewise-constant
+    interpolation.  This is the weight-dependent half of :func:`coarsen`;
+    a cached projection lets callers re-contract a known topology under
+    new edge weights without recomputing the matching.
+    """
+    fine_to_coarse = np.asarray(fine_to_coarse, dtype=np.int64)
+    if fine_to_coarse.shape != (graph.num_vertices,):
+        raise InvalidParameterError(
+            f"fine_to_coarse must have shape ({graph.num_vertices},), "
+            f"got {fine_to_coarse.shape}"
+        )
+    if num_coarse is None:
+        num_coarse = int(fine_to_coarse.max()) + 1 \
+            if len(fine_to_coarse) else 0
+    u, v, w = graph.edge_arrays()
+    cu = fine_to_coarse[u]
+    cv = fine_to_coarse[v]
+    keep = cu != cv
+    edges = np.stack([cu[keep], cv[keep]], axis=1)
+    return Graph.from_edges(num_coarse, edges, w[keep],
+                            duplicate_policy="sum")
+
+
 def coarsen(graph: Graph) -> Tuple[Graph, np.ndarray]:
     """Contract a heavy-edge matching.
 
     Returns ``(coarse, fine_to_coarse)``: each matched pair becomes one
-    coarse vertex; parallel edges created by the contraction have their
-    weights summed (so the coarse Laplacian is the Galerkin restriction
-    of the fine one under piecewise-constant interpolation).  Edges
-    internal to a contracted pair vanish.
+    coarse vertex; see :func:`contract` for the contraction semantics.
     """
     n = graph.num_vertices
     match = heavy_edge_matching(graph)
@@ -170,15 +209,7 @@ def coarsen(graph: Graph) -> Tuple[Graph, np.ndarray]:
     representative = np.minimum(np.arange(n, dtype=np.int64), match)
     _, fine_to_coarse = np.unique(representative, return_inverse=True)
     fine_to_coarse = fine_to_coarse.astype(np.int64)
-    next_id = int(fine_to_coarse.max()) + 1 if n else 0
-    u, v, w = graph.edge_arrays()
-    cu = fine_to_coarse[u]
-    cv = fine_to_coarse[v]
-    keep = cu != cv
-    edges = np.stack([cu[keep], cv[keep]], axis=1)
-    coarse = Graph.from_edges(next_id, edges, w[keep],
-                              duplicate_policy="sum")
-    return coarse, fine_to_coarse
+    return contract(graph, fine_to_coarse), fine_to_coarse
 
 
 @dataclass(frozen=True)
@@ -217,3 +248,84 @@ def coarsen_hierarchy(graph: Graph, min_size: int = 64,
                                       fine_to_coarse=projection))
         current = coarse
     return levels
+
+
+class HierarchyCache:
+    """A cache of coarsening hierarchies keyed by graph *topology*.
+
+    The matching/prolongation chain of a hierarchy depends only on the
+    graph's structure plus edge weights, and in practice the structure
+    dominates: re-ordering the same grid under a different ``weight=``
+    configuration rebuilds an (almost) identical chain from scratch.
+    This cache computes the chain **canonically** — the matchings run on
+    the *unit-weighted copy* of the structure — and stores the per-level
+    ``fine_to_coarse`` projections keyed by
+    :meth:`~repro.graph.adjacency.Graph.structure_fingerprint`.  Every
+    call (hit or miss) then rebuilds the coarse graphs by
+    :func:`contract` — a few vectorized passes — with the *actual* edge
+    weights, so the expensive matchings run once per topology and only
+    the contraction and the smoothing downstream see the weights.
+
+    Canonical matching is what makes the cache safe to share: the chain
+    served for a graph is a pure function of its structure, never of
+    which weighting happened to be requested first, so results are
+    deterministic and history-independent (a persistent order store
+    keyed by graph content can trust them).  The price is that, for
+    non-uniformly-weighted graphs, the chain may differ from what
+    weight-aware matching (:func:`coarsen_hierarchy`) would build; the
+    chain stays a valid Galerkin hierarchy either way, and the
+    multilevel solver's quality gate judges the resulting eigenpairs on
+    their actual residuals.  Entries are evicted least-recently-used
+    beyond ``max_entries``.
+    """
+
+    def __init__(self, max_entries: int = 32):
+        self._projections: "LRUCache[Tuple, Tuple[np.ndarray, ...]]" = \
+            LRUCache(max_entries)
+
+    @property
+    def hits(self) -> int:
+        """Structure-fingerprint hits (matchings reused)."""
+        return self._projections.hits
+
+    @property
+    def misses(self) -> int:
+        """Structure-fingerprint misses (matchings computed)."""
+        return self._projections.misses
+
+    def __len__(self) -> int:
+        return len(self._projections)
+
+    def clear(self) -> None:
+        """Drop every cached hierarchy (counters are kept)."""
+        self._projections.clear()
+
+    def hierarchy(self, graph: Graph, min_size: int = 64,
+                  max_levels: int = 20) -> List[CoarseningLevel]:
+        """Like :func:`coarsen_hierarchy`, with canonical cached matchings.
+
+        On a structure-fingerprint miss the matching chain is computed
+        on the unit-weighted copy of ``graph``'s structure and stored;
+        either way the stored projections are replayed against
+        ``graph``'s current weights via :func:`contract`.
+        """
+        key = (graph.structure_fingerprint(), int(min_size),
+               int(max_levels))
+        projections = self._projections.get(key)
+        if projections is None:
+            indptr, indices, weights = graph.csr_arrays()
+            unit = Graph(graph.num_vertices, indptr, indices,
+                         np.ones(len(weights)))
+            unit_levels = coarsen_hierarchy(unit, min_size=min_size,
+                                            max_levels=max_levels)
+            projections = tuple(level.fine_to_coarse
+                                for level in unit_levels)
+            self._projections.put(key, projections)
+        levels: List[CoarseningLevel] = []
+        current = graph
+        for projection in projections:
+            coarse = contract(current, projection)
+            levels.append(CoarseningLevel(graph=coarse,
+                                          fine_to_coarse=projection))
+            current = coarse
+        return levels

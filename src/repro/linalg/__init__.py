@@ -5,8 +5,10 @@ from repro.linalg.backends import (
     DENSE_CUTOFF,
     MULTILEVEL_CUTOFF,
     MULTILEVEL_QUALITY_RTOL,
+    cutoff_from_env,
     scipy_available,
     smallest_eigenpairs,
+    solver_invocations,
 )
 from repro.linalg.lanczos import (
     LanczosResult,
@@ -34,6 +36,7 @@ __all__ = [
     "MULTILEVEL_QUALITY_RTOL",
     "ShiftedOperator",
     "canonical_in_span",
+    "cutoff_from_env",
     "deflation_matrix",
     "deterministic_start",
     "lanczos_symmetric",
@@ -42,5 +45,6 @@ __all__ = [
     "scipy_available",
     "smallest_eigenpairs",
     "smallest_eigenpairs_shifted",
+    "solver_invocations",
     "tridiagonal_eigh",
 ]

@@ -36,12 +36,19 @@ Backend selection under ``auto``
   only when its relative residual is within the configured tolerance,
   otherwise the exact path runs.
 
+Both cutoffs are hardware policy, not algorithmic constants — the
+crossover points move with BLAS quality, core count, and whether scipy
+is installed.  They can be overridden per deployment through the
+environment variables ``REPRO_DENSE_CUTOFF`` and
+``REPRO_MULTILEVEL_CUTOFF`` (positive integers, validated at import).
+
 All backends return eigenvalues in ascending order with orthonormal
 eigenvector columns; all are cross-validated in the test suite.
 """
 
 from __future__ import annotations
 
+import os
 from typing import Sequence, Tuple
 
 import numpy as np
@@ -51,20 +58,62 @@ from repro.linalg.lanczos import smallest_eigenpairs_shifted
 from repro.linalg.operators import DeflatedOperator, deflation_matrix
 from repro.linalg.sparse import CSRMatrix
 
+
+def cutoff_from_env(name: str, default: int) -> int:
+    """Resolve a backend cutoff from the environment, with validation.
+
+    Absent or empty variables yield ``default``; anything else must parse
+    as a positive integer or :class:`~repro.errors.InvalidParameterError`
+    is raised (a silently ignored typo in a tuning knob is worse than a
+    loud startup failure).
+    """
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return int(default)
+    try:
+        value = int(raw.strip())
+    except ValueError:
+        raise InvalidParameterError(
+            f"{name} must be a positive integer, got {raw!r}"
+        ) from None
+    if value < 1:
+        raise InvalidParameterError(
+            f"{name} must be a positive integer, got {value}"
+        )
+    return value
+
+
 #: Matrices at or below this size use the dense path under ``auto``.
-DENSE_CUTOFF = 1024
+#: Overridable via the ``REPRO_DENSE_CUTOFF`` environment variable.
+DENSE_CUTOFF = cutoff_from_env("REPRO_DENSE_CUTOFF", 1024)
 
 #: Graphs above this many vertices use the multilevel approximation under
 #: ``auto`` (subject to its quality check).  Only meaningful at the
 #: :func:`repro.core.fiedler.fiedler_vector` level, where the graph
-#: structure needed for coarsening is still available.
-MULTILEVEL_CUTOFF = 131_072
+#: structure needed for coarsening is still available.  Overridable via
+#: the ``REPRO_MULTILEVEL_CUTOFF`` environment variable.
+MULTILEVEL_CUTOFF = cutoff_from_env("REPRO_MULTILEVEL_CUTOFF", 131_072)
 
 #: Default relative-residual tolerance for accepting a multilevel result
 #: under ``auto`` (``||L y - theta y|| <= tol * theta``).
 MULTILEVEL_QUALITY_RTOL = 0.05
 
 BACKENDS = ("auto", "dense", "lanczos", "scipy", "multilevel")
+
+# Process-wide count of eigensolver invocations.  The ordering service's
+# contract — "a warm cache pays zero eigensolves" — is asserted against
+# the delta of this counter, which every backend path below increments.
+_SOLVER_INVOCATIONS = 0
+
+
+def solver_invocations() -> int:
+    """How many :func:`smallest_eigenpairs` solves this process has run.
+
+    A monotone counter (never reset) intended for delta assertions:
+    record it, run the operation under test, and compare.  Cache layers
+    use it to *prove* a warm path never reached an eigensolver.
+    """
+    return _SOLVER_INVOCATIONS
 
 
 def scipy_available() -> bool:
@@ -224,6 +273,9 @@ def smallest_eigenpairs(matrix: CSRMatrix, k: int, backend: str = "auto",
         raise InvalidParameterError(f"k must be in [1, {n}], got {k}")
     if len(deflate) and any(d.shape != (n,) for d in deflate):
         raise InvalidParameterError("deflate vectors must have length n")
+
+    global _SOLVER_INVOCATIONS
+    _SOLVER_INVOCATIONS += 1
 
     if backend == "auto":
         backend = resolve_auto(n, k)

@@ -108,11 +108,20 @@ class CurveMapping(LocalityMapping):
 
 
 class SpectralMapping(LocalityMapping):
-    """Spectral LPM as a mapping; forwards kwargs to :class:`SpectralLPM`."""
+    """Spectral LPM as a mapping; forwards kwargs to :class:`SpectralLPM`.
 
-    def __init__(self, **spectral_kwargs):
+    ``service`` optionally routes order computation through an
+    :class:`~repro.service.ordering.OrderingService`, so identical
+    (config, grid) requests across mappings, stores and harnesses share
+    one eigensolve (and survive restarts when the service has a disk
+    store).  Without a service each instance keeps only its private
+    per-grid memo from :class:`LocalityMapping`.
+    """
+
+    def __init__(self, service=None, **spectral_kwargs):
         super().__init__()
         self._algorithm = SpectralLPM(**spectral_kwargs)
+        self._service = service
 
     @property
     def name(self) -> str:
@@ -122,7 +131,14 @@ class SpectralMapping(LocalityMapping):
     def algorithm(self) -> SpectralLPM:
         return self._algorithm
 
+    @property
+    def service(self):
+        """The attached ordering service, if any."""
+        return self._service
+
     def _compute_order(self, grid: Grid) -> LinearOrder:
+        if self._service is not None:
+            return self._service.order_grid(grid, self._algorithm)
         return self._algorithm.order_grid(grid)
 
 
@@ -211,15 +227,19 @@ class ExplicitMapping(LocalityMapping):
         return self._order
 
 
-def mapping_by_name(name: str, **kwargs) -> LocalityMapping:
+def mapping_by_name(name: str, service=None, **kwargs) -> LocalityMapping:
     """Instantiate a mapping from its registry name.
 
     Keyword arguments are forwarded to :class:`SpectralMapping` (they are
-    rejected for curve mappings, which take none).
+    rejected for curve mappings, which take none).  ``service``
+    optionally attaches an
+    :class:`~repro.service.ordering.OrderingService` to the spectral
+    mapping; it is ignored for every other name (curves are pure
+    arithmetic and need no cache).
     """
     lowered = name.lower()
     if lowered == "spectral":
-        return SpectralMapping(**kwargs)
+        return SpectralMapping(service=service, **kwargs)
     if lowered == "spectral-rb":
         return SpectralBisectionMapping(**kwargs)
     if lowered == "spectral-ml":
@@ -231,10 +251,14 @@ def mapping_by_name(name: str, **kwargs) -> LocalityMapping:
     return CurveMapping(lowered)
 
 
-def paper_mappings(**spectral_kwargs) -> List[LocalityMapping]:
-    """The five Section-5 mappings: Sweep, Peano, Gray, Hilbert, Spectral."""
+def paper_mappings(service=None, **spectral_kwargs) -> List[LocalityMapping]:
+    """The five Section-5 mappings: Sweep, Peano, Gray, Hilbert, Spectral.
+
+    ``service`` optionally attaches an ordering service to the spectral
+    member (see :func:`mapping_by_name`).
+    """
     mappings: List[LocalityMapping] = [
         CurveMapping(name) for name in ("sweep", "peano", "gray", "hilbert")
     ]
-    mappings.append(SpectralMapping(**spectral_kwargs))
+    mappings.append(SpectralMapping(service=service, **spectral_kwargs))
     return mappings

@@ -30,7 +30,7 @@ from repro.errors import InvalidParameterError
 from repro.geometry.boxes import Box
 from repro.geometry.grid import Grid
 from repro.index.bplustree import BPlusTree
-from repro.mapping.interface import LocalityMapping
+from repro.mapping.interface import LocalityMapping, SpectralMapping
 from repro.storage.buffer import LRUBufferPool
 from repro.storage.disk import DiskCostModel
 from repro.storage.pages import PageLayout
@@ -69,15 +69,32 @@ class LinearStore:
         Pages held in the LRU pool; ``None`` disables buffering.
     cost_model:
         Seek/transfer costs for the accounting.
+    service:
+        Optional :class:`~repro.service.ordering.OrderingService`.  When
+        given and the mapping is a cacheable spectral mapping without a
+        service of its own, the store's order is obtained through the
+        service, so many stores over the same domain (and service
+        restarts backed by a disk store) share one eigensolve.  A
+        mapping that already carries a service keeps it, non-cacheable
+        spectral mappings keep their per-grid memo (re-solving through a
+        cache-bypassing service would be strictly slower), and
+        non-spectral mappings ignore it — curve orders are already
+        cheaper than a cache lookup is worth persisting.
     """
 
     def __init__(self, grid: Grid, mapping: LocalityMapping,
                  page_size: int = 16, tree_order: int = 32,
                  buffer_capacity: Optional[int] = None,
-                 cost_model: Optional[DiskCostModel] = None):
+                 cost_model: Optional[DiskCostModel] = None,
+                 service=None):
         self._grid = grid
         self._mapping = mapping
-        order = mapping.order_for_grid(grid)
+        if (service is not None and isinstance(mapping, SpectralMapping)
+                and mapping.service is None
+                and mapping.algorithm.cacheable):
+            order = service.order_grid(grid, mapping.algorithm)
+        else:
+            order = mapping.order_for_grid(grid)
         self._ranks = order.ranks
         self._layout = PageLayout(order, page_size)
         # Key = rank; value = flat cell index.

@@ -1,0 +1,45 @@
+"""Ordering service layer: cached, batched, persistable spectral orders.
+
+The paper computes a spectral order once per domain and reuses it
+everywhere; this package is the subsystem that owns that lifecycle.
+:class:`OrderingService` fronts the core pipeline with an in-memory LRU,
+an optional versioned on-disk artifact store (zero eigensolves after a
+restart), a shared coarsening-hierarchy cache, and a topology-grouping
+batch API.  See :mod:`repro.service.ordering` for the full story.
+"""
+
+from repro.caching import LRUCache
+from repro.service.artifacts import ARTIFACT_SOURCES, OrderArtifact
+from repro.service.fingerprint import (
+    FINGERPRINT_VERSION,
+    config_fingerprint,
+    domain_fingerprint,
+    graph_fingerprint,
+    grid_fingerprint,
+    order_key,
+    points_fingerprint,
+)
+from repro.service.ordering import (
+    OrderingService,
+    OrderRequest,
+    ServiceStats,
+)
+from repro.service.store import STORE_VERSION, ArtifactStore
+
+__all__ = [
+    "ARTIFACT_SOURCES",
+    "ArtifactStore",
+    "FINGERPRINT_VERSION",
+    "LRUCache",
+    "OrderArtifact",
+    "OrderRequest",
+    "OrderingService",
+    "STORE_VERSION",
+    "ServiceStats",
+    "config_fingerprint",
+    "domain_fingerprint",
+    "graph_fingerprint",
+    "grid_fingerprint",
+    "order_key",
+    "points_fingerprint",
+]

@@ -1,0 +1,68 @@
+"""The unit of exchange between the service and its cache tiers.
+
+An :class:`OrderArtifact` bundles a computed
+:class:`~repro.core.ordering.LinearOrder` with everything needed to
+trust and reuse it: the cache key it lives under, the exact
+:class:`~repro.core.spectral.SpectralConfig` that produced it, a
+human-readable domain descriptor, and solve provenance — which
+eigensolver backend actually ran, the ``lambda_2`` it found, the
+relative residual of the Fiedler pair, and how many eigensolver
+invocations were spent.  Provenance is what makes a disk store auditable
+months later: an artifact that claims "multilevel, residual 3e-4" can be
+accepted or recomputed on policy, not on faith.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.core.ordering import LinearOrder
+from repro.core.spectral import SpectralConfig
+
+#: ``source`` values an artifact can carry.
+ARTIFACT_SOURCES = ("computed", "memory", "disk")
+
+
+@dataclass(frozen=True)
+class OrderArtifact:
+    """A cached spectral order plus its solve provenance.
+
+    Attributes
+    ----------
+    key:
+        The fingerprint the artifact is stored under (see
+        :func:`repro.service.fingerprint.order_key`).
+    config:
+        The exact configuration that produced the order.
+    domain:
+        Human-readable domain descriptor (``"grid(64, 64)"``, ...).
+    order:
+        The immutable linear order itself.
+    lambda2, multiplicity, backend, residual, eigenvalues:
+        Fiedler provenance of the solve: the algebraic connectivity, the
+        detected eigenspace multiplicity, the backend that served the
+        pair, the relative residual ``||L v - lambda v|| / max(lambda,
+        eps)`` of the returned vector, and the diagnostic spectrum.  All
+        ``None`` when the domain decomposed into trivial components only,
+        and aggregated from the *first* non-trivial component when the
+        domain was disconnected.
+    solver_calls:
+        Eigensolver invocations spent computing the artifact (0 when it
+        was served from a cache, by definition of a cache hit).
+    source:
+        Where this copy came from: ``"computed"``, ``"memory"``, or
+        ``"disk"``.
+    """
+
+    key: str
+    config: SpectralConfig
+    domain: str
+    order: LinearOrder
+    lambda2: Optional[float] = None
+    multiplicity: Optional[int] = None
+    backend: Optional[str] = None
+    residual: Optional[float] = None
+    eigenvalues: Optional[Tuple[float, ...]] = None
+    solver_calls: int = 0
+    source: str = "computed"

@@ -1,0 +1,184 @@
+"""The on-disk tier of the ordering cache.
+
+A directory of versioned artifacts, one pair of files per order:
+
+* ``<key>.json`` — metadata: store version, key, the full
+  :class:`~repro.core.spectral.SpectralConfig` as a field dict, the
+  domain descriptor, and the solve provenance (backend, ``lambda_2``,
+  residual, multiplicity, diagnostic eigenvalues, solver calls);
+* ``<key>.npy`` — the order's permutation array (``int64``), written
+  with :func:`numpy.save` so a million-cell order loads in one
+  ``mmap``-able read instead of a JSON parse.
+
+Writes are atomic (temp file + ``os.replace``), so a crashed process
+never leaves a half-written artifact a later service could trust.  Loads
+are *defensive*: version mismatch, key mismatch, malformed JSON, a
+missing half of the pair, or a corrupt permutation all count as a miss
+(``None``) rather than an error — a cache must degrade to recomputation,
+never take the service down.  This is what lets a restarted service pay
+zero eigensolves for every domain it has seen before.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from pathlib import Path
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.ordering import LinearOrder
+from repro.core.spectral import SpectralConfig
+from repro.errors import InvalidParameterError
+from repro.service.artifacts import OrderArtifact
+
+#: On-disk format version.  Bump on any incompatible layout change;
+#: artifacts written under another version are ignored (treated as
+#: misses), never misread.
+STORE_VERSION = 1
+
+
+class ArtifactStore:
+    """A directory-backed, versioned store of :class:`OrderArtifact`.
+
+    Parameters
+    ----------
+    root:
+        Directory holding the artifacts (created on first write).
+    """
+
+    def __init__(self, root) -> None:
+        self._root = Path(root).expanduser()
+        self.loads = 0
+        self.load_failures = 0
+
+    @property
+    def root(self) -> Path:
+        """The store directory."""
+        return self._root
+
+    def _meta_path(self, key: str) -> Path:
+        self._check_key(key)
+        return self._root / f"{key}.json"
+
+    def _perm_path(self, key: str) -> Path:
+        self._check_key(key)
+        return self._root / f"{key}.npy"
+
+    @staticmethod
+    def _check_key(key: str) -> None:
+        # Keys are hex digests; refuse anything that could escape the
+        # store directory or collide with the temp-file suffix.
+        if not key or not all(c in "0123456789abcdef" for c in key):
+            raise InvalidParameterError(
+                f"artifact keys must be lowercase hex digests, got {key!r}"
+            )
+
+    # ------------------------------------------------------------------
+    def save(self, artifact: OrderArtifact) -> None:
+        """Persist an artifact (atomic per file; last writer wins)."""
+        self._root.mkdir(parents=True, exist_ok=True)
+        meta = {
+            "version": STORE_VERSION,
+            "key": artifact.key,
+            "config": dataclasses.asdict(artifact.config),
+            "domain": artifact.domain,
+            "n": artifact.order.n,
+            "lambda2": artifact.lambda2,
+            "multiplicity": artifact.multiplicity,
+            "backend": artifact.backend,
+            "residual": artifact.residual,
+            "eigenvalues": (list(artifact.eigenvalues)
+                            if artifact.eigenvalues is not None else None),
+            "solver_calls": artifact.solver_calls,
+        }
+        self._atomic_write_bytes(
+            self._meta_path(artifact.key),
+            (json.dumps(meta, indent=1, sort_keys=True) + "\n")
+            .encode("utf-8"),
+        )
+        perm_path = self._perm_path(artifact.key)
+        tmp = perm_path.with_suffix(".npy.tmp")
+        # Write through a file handle: np.save() on a *path* appends
+        # ".npy" when absent, which would break the temp-file rename.
+        with open(tmp, "wb") as handle:
+            np.save(handle, np.asarray(artifact.order.permutation,
+                                       dtype=np.int64))
+        os.replace(tmp, perm_path)
+
+    def _atomic_write_bytes(self, path: Path, payload: bytes) -> None:
+        tmp = path.with_suffix(path.suffix + ".tmp")
+        tmp.write_bytes(payload)
+        os.replace(tmp, path)
+
+    # ------------------------------------------------------------------
+    def load(self, key: str) -> Optional[OrderArtifact]:
+        """The stored artifact under ``key``, or ``None``.
+
+        A wholly absent artifact is a clean miss.  Any *defect* — a
+        metadata file whose permutation half is missing (a crash between
+        the two writes), version or key mismatch, malformed JSON or
+        permutation — also yields ``None`` but bumps ``load_failures``,
+        so store corruption stays distinguishable from cold misses in
+        monitoring; the caller recomputes either way.
+        """
+        self.loads += 1
+        meta_path = self._meta_path(key)
+        perm_path = self._perm_path(key)
+        try:
+            meta_text = meta_path.read_text()
+        except FileNotFoundError:
+            return None
+        try:
+            meta = json.loads(meta_text)
+            if (meta.get("version") != STORE_VERSION
+                    or meta.get("key") != key):
+                raise ValueError("version or key mismatch")
+            config = SpectralConfig(**meta["config"])
+            permutation = np.load(perm_path)
+            if len(permutation) != meta.get("n"):
+                raise ValueError("permutation length mismatch")
+            order = LinearOrder(permutation)
+            eigenvalues = meta.get("eigenvalues")
+            return OrderArtifact(
+                key=key,
+                config=config,
+                domain=str(meta.get("domain", "")),
+                order=order,
+                lambda2=meta.get("lambda2"),
+                multiplicity=meta.get("multiplicity"),
+                backend=meta.get("backend"),
+                residual=meta.get("residual"),
+                eigenvalues=(tuple(eigenvalues)
+                             if eigenvalues is not None else None),
+                solver_calls=0,
+                source="disk",
+            )
+        except Exception:
+            self.load_failures += 1
+            return None
+
+    def __contains__(self, key: str) -> bool:
+        return self._meta_path(key).exists()
+
+    def keys(self) -> List[str]:
+        """Keys of every artifact present (by metadata file)."""
+        if not self._root.is_dir():
+            return []
+        return sorted(p.stem for p in self._root.glob("*.json"))
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    def delete(self, key: str) -> bool:
+        """Remove one artifact; returns whether anything was deleted."""
+        removed = False
+        for path in (self._meta_path(key), self._perm_path(key)):
+            try:
+                path.unlink()
+                removed = True
+            except FileNotFoundError:
+                pass
+        return removed

@@ -179,7 +179,10 @@ def test_callable_weight_named_in_config():
     def my_weight(offset):
         return 2.0
 
-    assert SpectralLPM(weight=my_weight).config.weight == "my_weight"
+    # The "callable:" prefix keeps a lossy config from ever aliasing a
+    # registered weight model of the same name (a cache-key hazard).
+    assert SpectralLPM(weight=my_weight).config.weight == \
+        "callable:my_weight"
 
 
 def test_connectivity_variants_give_valid_orders(grid4):

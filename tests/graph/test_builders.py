@@ -83,6 +83,15 @@ def test_grid_graph_radius_validation():
         grid_graph(Grid((3, 3)), radius=0)
 
 
+def test_grid_graph_rejects_non_positive_weights():
+    # The direct-CSR fast path must enforce the same positive-weight
+    # invariant Graph.from_edges does (PSD Laplacian assumption).
+    with pytest.raises(InvalidParameterError):
+        grid_graph(Grid((4, 4)), weight=lambda off: 0.0)
+    with pytest.raises(InvalidParameterError):
+        grid_graph(Grid((4, 4)), weight=lambda off: -1.0)
+
+
 def test_grid_graph_1d_is_path():
     g = grid_graph(Grid((5,)))
     p = path_graph(5)

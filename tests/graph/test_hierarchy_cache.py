@@ -1,0 +1,159 @@
+"""Tests for repro.graph.coarsening.HierarchyCache (coarse-level reuse)."""
+
+import numpy as np
+import pytest
+
+from repro.core.multilevel import multilevel_eigenspace, multilevel_fiedler
+from repro.errors import InvalidParameterError
+from repro.geometry import Grid
+from repro.graph import (
+    HierarchyCache,
+    coarsen_hierarchy,
+    contract,
+    grid_graph,
+    matching_invocations,
+)
+
+
+def test_miss_equals_direct_hierarchy():
+    graph = grid_graph(Grid((12, 12)))
+    direct = coarsen_hierarchy(graph, min_size=16)
+    cached = HierarchyCache().hierarchy(graph, min_size=16)
+    assert len(cached) == len(direct)
+    for a, b in zip(direct, cached):
+        assert np.array_equal(a.fine_to_coarse, b.fine_to_coarse)
+        ia, ja, wa = a.graph.csr_arrays()
+        ib, jb, wb = b.graph.csr_arrays()
+        assert np.array_equal(ia, ib)
+        assert np.array_equal(ja, jb)
+        assert np.array_equal(wa, wb)
+
+
+def test_hit_skips_matching_and_reweights():
+    grid = Grid((14, 14))
+    cache = HierarchyCache()
+    unit = grid_graph(grid)
+    cache.hierarchy(unit, min_size=16)
+
+    weighted = grid_graph(grid, weight="inverse_manhattan", radius=2)
+    # radius=2 changes the structure -> different fingerprint -> miss.
+    before = matching_invocations()
+    cache.hierarchy(weighted, min_size=16)
+    assert matching_invocations() > before
+
+    # Same structure, different weights -> hit, no matchings.
+    reweighted = grid_graph(grid, weight="gaussian")
+    before = matching_invocations()
+    replayed = cache.hierarchy(reweighted, min_size=16)
+    assert matching_invocations() == before, \
+        "a topology hit must not recompute matchings"
+    # The replayed chain carries the *new* weights: each level is the
+    # Galerkin contraction of the level above.
+    current = reweighted
+    for level in replayed:
+        expected = contract(current, level.fine_to_coarse)
+        _, _, w_expected = expected.csr_arrays()
+        _, _, w_actual = level.graph.csr_arrays()
+        assert np.allclose(w_actual, w_expected)
+        current = level.graph
+    assert cache.hits == 1 and cache.misses == 2
+
+
+def test_small_graph_produces_empty_hierarchy():
+    graph = grid_graph(Grid((4, 4)))
+    cache = HierarchyCache()
+    assert cache.hierarchy(graph, min_size=64) == []
+    # And the (empty) result is itself cached.
+    before = matching_invocations()
+    assert cache.hierarchy(graph, min_size=64) == []
+    assert matching_invocations() == before
+    assert cache.hits == 1
+
+
+def test_min_size_participates_in_key():
+    graph = grid_graph(Grid((12, 12)))
+    cache = HierarchyCache()
+    deep = cache.hierarchy(graph, min_size=8)
+    shallow = cache.hierarchy(graph, min_size=100)
+    assert cache.misses == 2
+    assert len(deep) > len(shallow)
+
+
+def test_lru_eviction():
+    cache = HierarchyCache(max_entries=1)
+    g1 = grid_graph(Grid((10, 10)))
+    g2 = grid_graph(Grid((11, 11)))
+    cache.hierarchy(g1, min_size=16)
+    cache.hierarchy(g2, min_size=16)  # evicts g1's chain
+    cache.hierarchy(g1, min_size=16)
+    assert cache.misses == 3 and cache.hits == 0
+    assert len(cache) == 1
+    cache.clear()
+    assert len(cache) == 0
+
+
+def test_invalid_capacity_rejected():
+    with pytest.raises(InvalidParameterError):
+        HierarchyCache(max_entries=0)
+
+
+def test_replay_is_history_independent():
+    """The chain served for a graph is a pure function of its structure.
+
+    Regression test: a cache that stored whatever weighting arrived
+    first would make multilevel orders depend on request history, and
+    two services with different histories could persist conflicting
+    artifacts under one content-keyed order key.
+    """
+    grid = Grid((14, 14))
+    g_gauss = grid_graph(grid, weight="gaussian", connectivity="moore")
+    g_inv = grid_graph(grid, weight="inverse_euclidean",
+                       connectivity="moore")
+
+    warmed_by_other = HierarchyCache()
+    warmed_by_other.hierarchy(g_gauss, min_size=16)   # foreign history
+    via_history = warmed_by_other.hierarchy(g_inv, min_size=16)
+
+    cold = HierarchyCache()
+    direct = cold.hierarchy(g_inv, min_size=16)
+
+    assert len(via_history) == len(direct)
+    for a, b in zip(via_history, direct):
+        assert np.array_equal(a.fine_to_coarse, b.fine_to_coarse)
+        _, _, wa = a.graph.csr_arrays()
+        _, _, wb = b.graph.csr_arrays()
+        assert np.array_equal(wa, wb)
+
+
+def test_contract_validates_projection_shape():
+    graph = grid_graph(Grid((3, 3)))
+    with pytest.raises(InvalidParameterError):
+        contract(graph, np.zeros(4, dtype=np.int64))
+
+
+# ----------------------------------------------------------------------
+# Integration with the multilevel solver
+# ----------------------------------------------------------------------
+def test_multilevel_eigenspace_identical_with_cache():
+    graph = grid_graph(Grid((16, 16)))
+    cache = HierarchyCache()
+    plain = multilevel_eigenspace(graph, min_size=32)
+    warm = multilevel_eigenspace(graph, min_size=32,
+                                 hierarchy_cache=cache)   # miss
+    again = multilevel_eigenspace(graph, min_size=32,
+                                  hierarchy_cache=cache)  # hit
+    assert np.array_equal(plain.values, warm.values)
+    assert np.array_equal(plain.vectors, warm.vectors)
+    assert np.array_equal(warm.values, again.values)
+    assert np.array_equal(warm.vectors, again.vectors)
+    assert cache.hits == 1 and cache.misses == 1
+
+
+def test_multilevel_fiedler_accepts_cache():
+    graph = grid_graph(Grid((12, 12)))
+    cache = HierarchyCache()
+    a = multilevel_fiedler(graph, min_size=32, hierarchy_cache=cache)
+    before = matching_invocations()
+    b = multilevel_fiedler(graph, min_size=32, hierarchy_cache=cache)
+    assert matching_invocations() == before
+    assert a.order == b.order

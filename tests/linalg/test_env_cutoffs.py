@@ -1,0 +1,66 @@
+"""Tests for the REPRO_*_CUTOFF environment overrides (backends.py)."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.linalg import cutoff_from_env
+from repro.linalg import backends as backend_registry
+
+
+def test_default_when_absent(monkeypatch):
+    monkeypatch.delenv("REPRO_DENSE_CUTOFF", raising=False)
+    assert cutoff_from_env("REPRO_DENSE_CUTOFF", 1024) == 1024
+
+
+def test_empty_value_means_default(monkeypatch):
+    monkeypatch.setenv("REPRO_MULTILEVEL_CUTOFF", "   ")
+    assert cutoff_from_env("REPRO_MULTILEVEL_CUTOFF", 7) == 7
+
+
+def test_valid_override(monkeypatch):
+    monkeypatch.setenv("REPRO_DENSE_CUTOFF", " 2048 ")
+    assert cutoff_from_env("REPRO_DENSE_CUTOFF", 1024) == 2048
+
+
+@pytest.mark.parametrize("bad", ["abc", "1.5", "-3", "0", "1e6"])
+def test_invalid_values_rejected(monkeypatch, bad):
+    monkeypatch.setenv("REPRO_DENSE_CUTOFF", bad)
+    with pytest.raises(InvalidParameterError):
+        cutoff_from_env("REPRO_DENSE_CUTOFF", 1024)
+
+
+def _resolved_cutoffs(env_extra):
+    import os
+
+    env = dict(os.environ)
+    env.update(env_extra)
+    src_dir = os.path.abspath(
+        os.path.join(os.path.dirname(__file__), "..", "..", "src"))
+    env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+    snippet = ("from repro.linalg import backends as b; "
+               "print(b.DENSE_CUTOFF); print(b.MULTILEVEL_CUTOFF)")
+    out = subprocess.run([sys.executable, "-c", snippet],
+                         capture_output=True, text=True, env=env)
+    return out
+
+
+def test_overrides_take_effect_at_import():
+    out = _resolved_cutoffs({"REPRO_DENSE_CUTOFF": "77",
+                             "REPRO_MULTILEVEL_CUTOFF": "99999"})
+    assert out.returncode == 0, out.stderr
+    assert out.stdout.split() == ["77", "99999"]
+
+
+def test_invalid_override_fails_loudly_at_import():
+    out = _resolved_cutoffs({"REPRO_MULTILEVEL_CUTOFF": "soon"})
+    assert out.returncode != 0
+    assert "REPRO_MULTILEVEL_CUTOFF" in out.stderr
+
+
+def test_auto_policy_respects_dense_cutoff(monkeypatch):
+    monkeypatch.setattr(backend_registry, "DENSE_CUTOFF", 10)
+    assert backend_registry.resolve_auto(10, 1) == "dense"
+    assert backend_registry.resolve_auto(11, 1) in ("scipy", "lanczos")

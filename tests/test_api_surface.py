@@ -27,6 +27,7 @@ SUBPACKAGES = [
     "repro.mapping",
     "repro.metrics",
     "repro.query",
+    "repro.service",
     "repro.storage",
     "repro.viz",
 ]
