@@ -12,7 +12,7 @@ from repro.experiments.runner import ExperimentResult
 from repro.experiments.tables import render_table
 from repro.geometry import Grid
 from repro.graph import grid_graph
-from repro.mapping import mapping_by_name
+from repro.api import make_mapping
 from repro.metrics import (
     adjacent_gap_stats,
     arrangement_costs,
@@ -40,7 +40,7 @@ def test_bisection_ablation(benchmark, save_report):
         rows["spectral-rb (bisection)"] = order_metrics(
             graph, spectral_bisection_order(graph, backend="auto"))
         rows["hilbert"] = order_metrics(
-            graph, mapping_by_name("hilbert").order_for_grid(GRID))
+            graph, make_mapping("hilbert").order_for_grid(GRID))
         return rows
 
     benchmark.pedantic(run_all, iterations=1, rounds=1)

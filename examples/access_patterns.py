@@ -14,8 +14,14 @@ fractal curves cannot use this information at all.
 
 import numpy as np
 
-from repro import Grid, SpectralLPM, add_access_pattern
-from repro.core import access_pattern_weights, correlated_pairs_from_trace
+from repro.api import OrderingService, SpectralIndex
+from repro.core import (
+    access_pattern_weights,
+    add_access_pattern,
+    correlated_pairs_from_trace,
+)
+from repro.geometry import Grid
+from repro.graph import grid_graph
 
 
 def synthesize_trace(grid: Grid, hot_pairs, length: int = 600,
@@ -34,7 +40,7 @@ def synthesize_trace(grid: Grid, hot_pairs, length: int = 600,
 
 def main() -> None:
     grid = Grid((8, 8))
-    algorithm = SpectralLPM(backend="auto")
+    service = OrderingService()
 
     # Two far-apart cell pairs that the workload always touches together.
     hot_pairs = [
@@ -51,13 +57,17 @@ def main() -> None:
         print(f"  {grid.point_of(p)} <-> {grid.point_of(q)}  "
               f"support={support}")
 
-    base_graph = algorithm.build_grid_graph(grid)
-    base_order = algorithm.order_graph(base_graph)
+    # Graph domains drop into the same facade as grids: the base grid
+    # graph and its access-pattern-augmented variant are two indexes
+    # sharing one service (content-hashed, so each solves once).
+    base_graph = grid_graph(grid)
+    base_order = SpectralIndex.build(base_graph, service=service).order
 
     edges, weights = access_pattern_weights(mined, base_weight=4.0)
     augmented = add_access_pattern(base_graph, edges,
                                    weight=float(weights.max()))
-    augmented_order = algorithm.order_graph(augmented)
+    augmented_order = SpectralIndex.build(augmented,
+                                          service=service).order
 
     print()
     print("rank distance of the hot pairs, before vs after the "

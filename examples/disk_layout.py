@@ -11,7 +11,8 @@ declustered (multi-disk) response time, covering three applications the
 paper names in one script.
 """
 
-from repro import Grid, paper_mappings
+from repro.api import SpectralIndex
+from repro.geometry import Grid
 from repro.query import random_boxes
 from repro.storage import (
     DiskCostModel,
@@ -37,8 +38,9 @@ def main() -> None:
     print(header)
     print("-" * len(header))
 
-    for mapping in paper_mappings():
-        order = mapping.order_for_grid(grid)
+    index = SpectralIndex.build(grid)
+    for name in ("sweep", "peano", "gray", "hilbert", "spectral"):
+        order = index.order_for(name)
         layout = PageLayout(order, page_size)
         buffer_pool = LRUBufferPool(capacity=16)
         total_pages = 0
@@ -56,7 +58,7 @@ def main() -> None:
             total_response += query_response_time(
                 layout, items, num_disks).response_time
         stats = buffer_pool.stats()
-        print(f"{mapping.name:9s} {total_pages:6d} {total_seeks:6d} "
+        print(f"{name:9s} {total_pages:6d} {total_seeks:6d} "
               f"{total_cost:8.1f} {100 * stats.hit_rate:8.1f}% "
               f"{total_response / len(queries):13.2f}")
 

@@ -4,38 +4,40 @@ Run with::
 
     python examples/quickstart.py
 
-Covers the core public API in ~40 lines: build a grid, compute the
-spectral order (the paper's Figure-2 algorithm) through the caching
-:class:`~repro.service.OrderingService` — the documented path, so the
-eigensolve runs once no matter how many consumers ask — compute a
-fractal baseline, and compare their locality with the adjacent-gap
-statistic that drives the paper's Figure 1.
+Covers the public API in ~40 lines, all through the one front door —
+:class:`repro.api.SpectralIndex`: build an index over a grid (the
+eigensolve runs once, behind the caching ordering service), read the
+spectral order, pull every fractal baseline's ranks from the same index,
+and compare locality with the adjacent-gap statistic that drives the
+paper's Figure 1.
 """
 
-from repro import Grid, OrderingService, mapping_by_name
+from repro.api import SpectralIndex
 from repro.metrics import adjacent_gap_stats, boundary_gap
 from repro.viz import render_order_path, render_ranks
 
 
 def main() -> None:
-    grid = Grid((8, 8))
-    service = OrderingService()
+    # One call composes domain -> mapping -> service -> index.
+    index = SpectralIndex.build((8, 8))
+    grid = index.domain
 
     # The paper's algorithm: graph -> Laplacian -> Fiedler vector -> sort.
-    # (`spectral_order(grid)` computes the same thing uncached.)
-    order = service.order_grid(grid)
     print("Spectral order of an 8x8 grid (rank of every cell):")
-    print(render_ranks(grid, order.ranks))
+    print(render_ranks(grid, index.ranks))
     print()
     print("...as a path (arrows = unit steps, * = jumps):")
-    print(render_order_path(grid, order.ranks))
+    print(render_order_path(grid, index.ranks))
+    print()
+    art = index.provenance
+    print(f"(solve provenance: backend={art.backend}, "
+          f"lambda_2={art.lambda2:.4f})")
     print()
 
-    # Any baseline drops in through the same mapping interface; the
-    # spectral member reuses the order already computed above.
+    # Any baseline drops in through the same index; the spectral member
+    # reuses the order already computed above.
     for name in ("sweep", "peano", "gray", "hilbert", "spectral"):
-        mapping = mapping_by_name(name, service=service)
-        ranks = mapping.ranks_for_grid(grid)
+        ranks = index.ranks_for(name)
         worst, mean = adjacent_gap_stats(grid, ranks)
         cross = boundary_gap(grid, ranks, axis=0)
         print(f"{name:9s}  worst adjacent gap = {worst:3d}   "
@@ -45,7 +47,7 @@ def main() -> None:
     print("The fractal curves (peano/gray/hilbert) pay a large gap "
           "exactly at the\nquadrant boundary - the paper's 'boundary "
           "effect'.  Spectral LPM does not.")
-    stats = service.stats
+    stats = index.stats
     print(f"(ordering service: {stats.computed} eigensolve, "
           f"{stats.memory_hits} cache hit)")
 

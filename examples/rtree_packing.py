@@ -8,14 +8,16 @@ Packs R-trees over a clustered point dataset by sorting on each mapping's
 rank (the Kamel-Faloutsos recipe with the mapping swapped out), then
 compares leaf quality and window-query node accesses.  Spectral LPM is
 run two ways: with full-grid ranks, and with a *sparse* order computed on
-the induced subgraph of the data itself (``order_points``) - the latter is
-the fair way to use a data-adaptive mapping, and the difference is visible.
+the data itself (a :class:`~repro.api.PointSet` domain) - the latter is
+the fair way to use a data-adaptive mapping, and the difference is
+visible.
 """
 
 import numpy as np
 
-from repro import Box, Grid, SpectralLPM, mapping_by_name
+from repro.api import PointSet, SpectralIndex
 from repro.datasets import gaussian_cluster_cells
+from repro.geometry import Grid
 from repro.index import PackedRTree
 from repro.query import random_boxes
 
@@ -39,9 +41,9 @@ def main() -> None:
     print(header)
     print("-" * len(header))
 
+    index = SpectralIndex.build(grid)
     for name in ("sweep", "peano", "gray", "hilbert"):
-        mapping = mapping_by_name(name)
-        tree = PackedRTree.pack(grid, cells, mapping.ranks_for_grid(grid),
+        tree = PackedRTree.pack(grid, cells, index.ranks_for(name),
                                 leaf_capacity=8, fanout=8)
         stats = tree.leaf_stats()
         print(f"{name:18s} {stats.total_volume:9.0f} "
@@ -49,18 +51,18 @@ def main() -> None:
               f"{query_cost(tree, grid):12.1f}")
 
     # Spectral, the naive way: full-grid ranks.
-    mapping = mapping_by_name("spectral")
-    tree = PackedRTree.pack(grid, cells, mapping.ranks_for_grid(grid),
+    tree = PackedRTree.pack(grid, cells, index.ranks,
                             leaf_capacity=8, fanout=8)
     stats = tree.leaf_stats()
     print(f"{'spectral (grid)':18s} {stats.total_volume:9.0f} "
           f"{stats.total_overlap:9.0f} {stats.total_margin:8.0f} "
           f"{query_cost(tree, grid):12.1f}")
 
-    # Spectral, the data-adaptive way: order the induced point graph.
-    algorithm = SpectralLPM()
-    sparse_order, ordered_cells = algorithm.order_points(grid, cells)
-    tree = PackedRTree.pack(grid, ordered_cells, sparse_order.ranks,
+    # Spectral, the data-adaptive way: a PointSet domain orders the
+    # induced graph of the data itself (sharing the same service).
+    points = PointSet(grid, cells)
+    sparse = SpectralIndex.build(points, service=index.service)
+    tree = PackedRTree.pack(grid, points.cells, sparse.ranks,
                             leaf_capacity=8, fanout=8)
     stats = tree.leaf_stats()
     print(f"{'spectral (points)':18s} {stats.total_volume:9.0f} "

@@ -11,15 +11,17 @@ the span scan (read from the query's min key to its max key, filtering)
 and the page fetch (read exactly the touched pages).  One table per
 mapping shows where each plan's costs come from.
 
-Every store is built through one shared
-:class:`~repro.service.OrderingService`, the layer a production
-deployment would put in front of the eigensolver: the two per-mapping
-stores (one per plan) and any later restart backed by the same artifact
-directory all reuse a single spectral solve per domain.
+Everything runs through one shared
+:class:`~repro.api.OrderingService` behind per-mapping
+:class:`~repro.api.SpectralIndex` facades: the two plans of a mapping
+share that mapping's store, every spectral index shares a single
+eigensolve, and a restart backed by the same artifact directory would
+reuse it too.
 """
 
-from repro import Box, Grid, OrderingService, mapping_by_name
-from repro.query import LinearStore, random_boxes
+from repro.api import OrderingService, SpectralIndex
+from repro.geometry import Grid
+from repro.query import random_boxes
 from repro.storage import DiskCostModel
 
 MAPPINGS = ("sweep", "peano", "gray", "hilbert", "spectral",
@@ -42,12 +44,16 @@ def main() -> None:
     print("-" * len(header))
 
     for name in MAPPINGS:
-        mapping = mapping_by_name(name, service=service)
         for plan in ("span-scan", "page-fetch"):
-            store = LinearStore(grid, mapping, page_size=8,
-                                tree_order=16, buffer_capacity=64,
-                                cost_model=model, service=service)
-            report = store.execute_workload(queries, plan=plan)
+            # A fresh index per plan keeps the LRU buffer cold, so the
+            # two plans are compared on equal footing; the shared
+            # service still makes every spectral solve happen once.
+            index = SpectralIndex.build(grid, mapping=name,
+                                        service=service, page_size=8,
+                                        tree_order=16,
+                                        buffer_capacity=64,
+                                        cost_model=model)
+            report = index.workload(queries, plan=plan)
             print(f"{name:12s} {plan:10s} "
                   f"{report.index_node_accesses:9d} "
                   f"{report.pages_fetched:6d} {report.seeks:6d} "
@@ -59,8 +65,8 @@ def main() -> None:
           "A good mapping wins on both.")
     stats = service.stats
     print(f"(ordering service: {stats.computed} spectral eigensolve "
-          f"across all stores and plans; pass store= to persist it "
-          f"across runs)")
+          f"across all plans; give the service a store= directory to "
+          f"persist it across runs)")
 
 
 if __name__ == "__main__":

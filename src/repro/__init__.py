@@ -9,17 +9,28 @@ regenerate every figure.
 
 Quick start::
 
-    from repro import Grid, spectral_order, mapping_by_name
+    from repro import SpectralIndex
 
-    grid = Grid((8, 8))
-    order = spectral_order(grid)            # the paper's algorithm
-    hilbert = mapping_by_name("hilbert")    # a fractal baseline
-    ranks = hilbert.ranks_for_grid(grid)
+    index = SpectralIndex.build((8, 8))      # the paper's algorithm
+    ranks = index.ranks                      # rank of every cell
+    hilbert = index.ranks_for("hilbert")     # a fractal baseline
+    hits = index.nn((3, 3), k=8)             # rank-window k-NN
 
-See the ``examples/`` directory and README for more.
+The :mod:`repro.api` facade above is the front door; every underlying
+layer (mappings, service, query engine, metrics) stays importable for
+surgical use.  See the ``examples/`` directory and README for more.
 """
 
 from repro._version import __version__
+from repro.api import (
+    JoinQuery,
+    NNQuery,
+    NNResult,
+    RangeQuery,
+    SpectralIndex,
+    as_domain,
+    make_mapping,
+)
 from repro.core import (
     FiedlerResult,
     LinearOrder,
@@ -42,13 +53,14 @@ from repro.errors import (
     InvalidParameterError,
     ReproError,
 )
-from repro.geometry import Box, Grid
+from repro.geometry import Box, Grid, PointSet
 from repro.graph import Graph, grid_graph
 from repro.mapping import (
     MAPPING_NAMES,
     PAPER_MAPPING_NAMES,
     CurveMapping,
     LocalityMapping,
+    MappingCapabilities,
     SpectralMapping,
     mapping_by_name,
     paper_mappings,
@@ -73,23 +85,32 @@ __all__ = [
     "GraphStructureError",
     "Grid",
     "InvalidParameterError",
+    "JoinQuery",
     "LinearOrder",
     "LocalityMapping",
     "MAPPING_NAMES",
+    "MappingCapabilities",
+    "NNQuery",
+    "NNResult",
     "OrderArtifact",
     "OrderRequest",
     "OrderingService",
     "PAPER_MAPPING_NAMES",
+    "PointSet",
+    "RangeQuery",
     "ReproError",
     "SpectralConfig",
+    "SpectralIndex",
     "SpectralLPM",
     "SpectralMapping",
     "__version__",
     "add_access_pattern",
+    "as_domain",
     "correlated_pairs_from_trace",
     "fiedler_value",
     "fiedler_vector",
     "grid_graph",
+    "make_mapping",
     "mapping_by_name",
     "order_by_values",
     "paper_mappings",

@@ -1,0 +1,63 @@
+"""repro.api — the unified, typed, batch-first public API.
+
+One import gives the whole pipeline behind one front door::
+
+    from repro.api import SpectralIndex
+
+    index = SpectralIndex.build((32, 32))        # domain -> index
+    execution = index.range(((4, 4), (9, 9)))    # B+-tree range query
+    result = index.nn((5, 5), k=8)               # rank-window k-NN
+
+The pieces, in dependency order:
+
+* **Domain** (:mod:`~repro.api.domains`) — what gets ordered: a grid,
+  a sparse :class:`~repro.geometry.PointSet`, or a graph.
+* **Mapping** (:mod:`~repro.api.mappings`) — how it gets ordered: one
+  protocol with declared capabilities, implemented by both the curve
+  and spectral families; :func:`make_mapping` is the one resolver.
+* **Service** (:class:`~repro.service.OrderingService`) — who pays for
+  eigensolves: two cache tiers, request coalescing (concurrent misses
+  on one fingerprint run exactly one solve), and topology-amortized
+  batching.
+* **Index** (:class:`SpectralIndex`) — the facade composing all of the
+  above with the page layout and query engine: ``range``, ``nn``,
+  ``join``, and the vectorized ``query_many``.
+
+The pre-facade entry points (:func:`repro.mapping.mapping_by_name`,
+direct :class:`~repro.query.LinearStore` construction) keep working as
+deprecation shims and produce bit-identical results.
+"""
+
+from repro.api.domains import Domain, DomainLike, as_domain
+from repro.api.index import SpectralIndex
+from repro.api.mappings import Mapping, MappingSpec, make_mapping
+from repro.api.queries import (
+    JoinQuery,
+    NNQuery,
+    NNResult,
+    Query,
+    RangeQuery,
+)
+from repro.core.spectral import SpectralConfig
+from repro.geometry.pointset import PointSet
+from repro.mapping.interface import MappingCapabilities
+from repro.service.ordering import OrderingService
+
+__all__ = [
+    "Domain",
+    "DomainLike",
+    "JoinQuery",
+    "Mapping",
+    "MappingCapabilities",
+    "MappingSpec",
+    "NNQuery",
+    "NNResult",
+    "OrderingService",
+    "PointSet",
+    "Query",
+    "RangeQuery",
+    "SpectralConfig",
+    "SpectralIndex",
+    "as_domain",
+    "make_mapping",
+]

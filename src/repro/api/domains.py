@@ -1,0 +1,50 @@
+"""The ``Domain`` union: everything a mapping can linearize.
+
+The paper's pipeline starts from "a set of multi-dimensional points";
+this library serves three concrete shapes of that set:
+
+* :class:`~repro.geometry.Grid` — every cell of a finite grid (the
+  paper's experimental setting);
+* :class:`~repro.geometry.PointSet` — a sparse subset of a grid's cells
+  (R-tree packing, spatial joins);
+* :class:`~repro.graph.Graph` — arbitrary vertices with explicit
+  affinities (Section 4's "any graph type" claim, access-pattern
+  edges).
+
+:func:`as_domain` is the single coercion point the facade uses: it
+accepts any union member unchanged and promotes a plain shape tuple to a
+:class:`~repro.geometry.Grid`, so ``SpectralIndex.build((8, 8))`` works.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+from repro.errors import InvalidParameterError
+from repro.geometry.grid import Grid
+from repro.geometry.pointset import PointSet
+from repro.graph.adjacency import Graph
+
+#: The union of domain kinds the unified API accepts.
+Domain = Union[Grid, PointSet, Graph]
+
+#: What callers may pass where a domain is expected: a union member or a
+#: plain shape sequence (promoted to a :class:`Grid`).
+DomainLike = Union[Grid, PointSet, Graph, Sequence[int]]
+
+
+def as_domain(domain: DomainLike) -> Domain:
+    """Coerce ``domain`` to a member of the :data:`Domain` union.
+
+    Grids, point sets, and graphs pass through unchanged; a sequence of
+    positive integers becomes ``Grid(domain)``.  Anything else raises
+    :class:`~repro.errors.InvalidParameterError`.
+    """
+    if isinstance(domain, (Grid, PointSet, Graph)):
+        return domain
+    if isinstance(domain, (tuple, list)):
+        return Grid(domain)
+    raise InvalidParameterError(
+        "domain must be a Grid, PointSet, Graph, or a shape sequence, "
+        f"got {type(domain).__name__}"
+    )

@@ -1,0 +1,455 @@
+"""SpectralIndex: the one front door over the whole pipeline.
+
+The paper's pitch is that the spectral order is a drop-in replacement
+for fractal orders; this facade makes the drop-in literal.  One call —
+
+    index = SpectralIndex.build((32, 32))
+
+— composes the domain (:mod:`repro.api.domains`), the mapping
+(:mod:`repro.api.mappings`), the caching/batching
+:class:`~repro.service.OrderingService`, the page layout and B+-tree
+(:class:`~repro.query.LinearStore`), and the query machinery behind one
+object with ``range(...)``, ``nn(...)``, ``join(...)``, and the
+vectorized ``query_many([...])``.
+
+Batch-first by construction: every order the index needs flows through
+the service (concurrent misses on one fingerprint coalesce into a
+single eigensolve), and ``query_many`` routes order acquisition through
+:meth:`~repro.service.OrderingService.order_many`, so a batch spanning
+K same-topology spectral configurations pays one graph build instead of
+K.  Non-default mappings are materialized lazily and cached per index,
+so comparing mappings over one domain — the shape of every figure
+harness — is a loop over ``ranks_for(name)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.api.domains import Domain, DomainLike, as_domain
+from repro.api.mappings import MappingSpec, make_mapping
+from repro.api.queries import (
+    JoinQuery,
+    NNQuery,
+    NNResult,
+    Query,
+    RangeQuery,
+)
+from repro.core.ordering import LinearOrder
+from repro.core.spectral import SpectralConfig
+from repro.errors import DomainError, InvalidParameterError
+from repro.geometry.boxes import Box
+from repro.geometry.grid import Grid
+from repro.graph.adjacency import Graph
+from repro.mapping.interface import LocalityMapping, SpectralMapping
+from repro.query.engine import LinearStore, QueryExecution, WorkloadReport
+from repro.query.join import JoinReport, window_join_report
+from repro.query.nn import window_candidates
+from repro.service.artifacts import OrderArtifact
+from repro.service.ordering import OrderingService, OrderRequest
+from repro.storage.disk import DiskCostModel
+
+
+@dataclass
+class _MappingView:
+    """One mapping materialized against the index's domain."""
+
+    mapping: LocalityMapping
+    order: LinearOrder
+    artifact: Optional[OrderArtifact] = None
+    store: Optional[LinearStore] = None
+
+    @property
+    def ranks(self) -> np.ndarray:
+        return self.order.ranks
+
+
+class SpectralIndex:
+    """A built index over one domain: ordering, layout, and queries.
+
+    Construct with :meth:`build`; the constructor itself is the worker
+    behind it and expects pre-coerced arguments.
+
+    Examples
+    --------
+    >>> index = SpectralIndex.build((6, 6))
+    >>> int(index.ranks.shape[0])
+    36
+    >>> index.mapping.name
+    'spectral'
+    """
+
+    def __init__(self, domain: Domain, mapping: LocalityMapping,
+                 service: OrderingService,
+                 config: Optional[SpectralConfig],
+                 page_size: int, tree_order: int,
+                 buffer_capacity: Optional[int],
+                 cost_model: Optional[DiskCostModel]):
+        self._domain = domain
+        self._service = service
+        self._config = config
+        self._page_size = int(page_size)
+        self._tree_order = int(tree_order)
+        self._buffer_capacity = buffer_capacity
+        self._cost_model = cost_model
+        self._views: Dict[Tuple, _MappingView] = {}
+        self._coords: Optional[np.ndarray] = None
+        # The default order is materialized on first access, not here:
+        # an index used only to compare curve mappings must not pay a
+        # spectral eigensolve at build time.
+        self._default = mapping
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, domain: DomainLike, mapping: MappingSpec = "spectral",
+              *, config: Optional[SpectralConfig] = None,
+              service: Optional[OrderingService] = None,
+              page_size: int = 16, tree_order: int = 32,
+              buffer_capacity: Optional[int] = None,
+              cost_model: Optional[DiskCostModel] = None
+              ) -> "SpectralIndex":
+        """Build an index over ``domain`` — the unified entry point.
+
+        Parameters
+        ----------
+        domain:
+            A :class:`~repro.geometry.Grid`, a
+            :class:`~repro.geometry.PointSet`, a
+            :class:`~repro.graph.Graph`, or a plain shape tuple
+            (promoted to a grid).
+        mapping:
+            The default mapping: a registry name, a
+            :class:`~repro.core.spectral.SpectralConfig`, or a mapping
+            instance.  Defaults to the paper's spectral mapping.
+        config:
+            Spectral configuration applied to every spectral-family
+            mapping this index resolves by name (including per-query
+            mappings in :meth:`query_many`); curve names ignore it.
+        service:
+            The :class:`~repro.service.OrderingService` to route
+            eigensolves through.  ``None`` creates a private
+            memory-only service; pass a shared one to pool solves
+            across indexes (and give it a store for persistence).
+        page_size, tree_order, buffer_capacity, cost_model:
+            Storage-engine knobs, forwarded to the underlying
+            :class:`~repro.query.LinearStore` (grid domains only; they
+            are never touched unless a range query runs).
+        """
+        return cls(
+            domain=as_domain(domain),
+            mapping=(mapping if isinstance(mapping, LocalityMapping)
+                     else make_mapping(mapping, config=config)),
+            service=service if service is not None else OrderingService(),
+            config=config,
+            page_size=page_size,
+            tree_order=tree_order,
+            buffer_capacity=buffer_capacity,
+            cost_model=cost_model,
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def domain(self) -> Domain:
+        """The indexed domain."""
+        return self._domain
+
+    @property
+    def service(self) -> OrderingService:
+        """The ordering service every spectral solve routes through."""
+        return self._service
+
+    @property
+    def mapping(self) -> LocalityMapping:
+        """The default mapping."""
+        return self._default
+
+    @property
+    def order(self) -> LinearOrder:
+        """The default mapping's order over the domain (lazy)."""
+        return self._materialize(self._default).order
+
+    @property
+    def ranks(self) -> np.ndarray:
+        """The default mapping's rank array.
+
+        For grids, indexed by flat cell index; for point sets, by
+        position in :attr:`~repro.geometry.PointSet.cells`; for graphs,
+        by vertex id.
+        """
+        return self.order.ranks
+
+    @property
+    def provenance(self) -> Optional[OrderArtifact]:
+        """Solve provenance of the default order, when available.
+
+        Populated for cacheable spectral mappings served through the
+        service (``capabilities.provenance``); ``None`` otherwise.
+        """
+        view = self._materialize(self._default)
+        if view.artifact is None:
+            view.artifact = self._artifact_for(view.mapping)
+        return view.artifact
+
+    @property
+    def stats(self):
+        """The service's :class:`~repro.service.ordering.ServiceStats`."""
+        return self._service.stats
+
+    def order_for(self, mapping: MappingSpec) -> LinearOrder:
+        """The order of any mapping over this domain (cached per index).
+
+        Resolution follows :func:`~repro.api.mappings.make_mapping` with
+        the index's ``config`` applied to spectral names — so comparing
+        mappings over one domain is a loop over names.
+        """
+        mapping = self._resolve(mapping)
+        return self._materialize(mapping).order
+
+    def ranks_for(self, mapping: MappingSpec) -> np.ndarray:
+        """:meth:`order_for` as a rank array."""
+        return self.order_for(mapping).ranks
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def range(self, box, *, plan: str = "span-scan",
+              mapping: Optional[MappingSpec] = None) -> QueryExecution:
+        """Execute one axis-aligned range query (grid domains).
+
+        ``box`` is a :class:`~repro.geometry.Box` or a ``(lo, hi)``
+        corner pair.  See :meth:`~repro.query.LinearStore.range_query`
+        for plans and accounting.
+        """
+        view = self._view_for(mapping)
+        return self._range_on(view, box, plan)
+
+    def workload(self, boxes: Sequence, *, plan: str = "span-scan",
+                 mapping: Optional[MappingSpec] = None) -> WorkloadReport:
+        """Run a range-query stream and aggregate the I/O accounting."""
+        view = self._view_for(mapping)
+        store = self._store_for(view)
+        return store.execute_workload([self._as_box(b) for b in boxes],
+                                      plan=plan)
+
+    def nn(self, cell, k: int, *, window: Optional[int] = None,
+           mapping: Optional[MappingSpec] = None) -> NNResult:
+        """k-nearest-neighbour search through the rank window (grids).
+
+        ``cell`` is a flat index or coordinate tuple.  With
+        ``window=None`` the examined window doubles until it holds at
+        least ``k`` candidates; candidates are re-ranked by true
+        Manhattan distance and the nearest ``k`` returned.
+        """
+        view = self._view_for(mapping)
+        return self._nn_on(view, cell, k, window)
+
+    def join(self, cells_a: Sequence[int], cells_b: Sequence[int], *,
+             epsilon: int, window: int,
+             mapping: Optional[MappingSpec] = None) -> JoinReport:
+        """Window spatial join of two cell sets, scored against truth."""
+        view = self._view_for(mapping)
+        return self._join_on(view, cells_a, cells_b, epsilon, window)
+
+    def query_many(self, queries: Sequence[Query]) -> List:
+        """Execute a heterogeneous query batch; results align with input.
+
+        Order acquisition is batched: every not-yet-materialized
+        cacheable spectral mapping the batch references goes through
+        :meth:`~repro.service.OrderingService.order_many` in one call,
+        so K same-topology configurations share a single graph build
+        (and cache hits skip even that).
+        """
+        queries = list(queries)
+        mappings: List[LocalityMapping] = []
+        for query in queries:
+            if not isinstance(query, (RangeQuery, NNQuery, JoinQuery)):
+                raise InvalidParameterError(
+                    f"unknown query type {type(query).__name__}; expected "
+                    "RangeQuery, NNQuery or JoinQuery"
+                )
+            mappings.append(self._default if query.mapping is None
+                            else self._resolve(query.mapping))
+        self._materialize_many(mappings)
+        results = []
+        for query, mapping in zip(queries, mappings):
+            view = self._views[self._view_key(mapping)]
+            if isinstance(query, RangeQuery):
+                results.append(self._range_on(view, query.box, query.plan))
+            elif isinstance(query, NNQuery):
+                results.append(self._nn_on(view, query.cell, query.k,
+                                           query.window))
+            else:
+                results.append(self._join_on(view, query.cells_a,
+                                             query.cells_b, query.epsilon,
+                                             query.window))
+        return results
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _resolve(self, spec: MappingSpec) -> LocalityMapping:
+        if isinstance(spec, LocalityMapping):
+            return spec
+        if isinstance(spec, SpectralConfig):
+            # The spec *is* the full spectral configuration; the
+            # index-level config only fills in for bare names.
+            return make_mapping(spec)
+        return make_mapping(spec, config=self._config)
+
+    def _view_key(self, mapping: LocalityMapping) -> Tuple:
+        identity = mapping.cache_identity()
+        if identity is not None:
+            return identity
+        return ("instance", id(mapping))
+
+    def _artifact_for(self, mapping: LocalityMapping
+                      ) -> Optional[OrderArtifact]:
+        """Provenance for a cacheable spectral mapping, else ``None``."""
+        if not (isinstance(mapping, SpectralMapping)
+                and mapping.algorithm.cacheable):
+            return None
+        service = mapping.service or self._service
+        if isinstance(self._domain, Grid):
+            return service.grid_artifact(self._domain, mapping.algorithm)
+        if isinstance(self._domain, Graph):
+            return service.graph_artifact(self._domain, mapping.algorithm)
+        return None
+
+    def _materialize(self, mapping: LocalityMapping) -> _MappingView:
+        key = self._view_key(mapping)
+        view = self._views.get(key)
+        if view is not None:
+            return view
+        artifact = self._artifact_for(mapping)
+        if artifact is not None:
+            order = artifact.order
+        else:
+            order = mapping.order_domain(self._domain,
+                                         service=self._service)
+        view = _MappingView(mapping=mapping, order=order,
+                            artifact=artifact)
+        self._views[key] = view
+        return view
+
+    def _materialize_many(self, mappings: Sequence[LocalityMapping]
+                          ) -> None:
+        pending: Dict[Tuple, LocalityMapping] = {}
+        for mapping in mappings:
+            key = self._view_key(mapping)
+            if key not in self._views and key not in pending:
+                pending[key] = mapping
+        # Batch every cacheable spectral mapping the service can serve
+        # through one order_many call (one graph build per topology).
+        batch: List[Tuple[Tuple, LocalityMapping]] = []
+        if isinstance(self._domain, (Grid, Graph)):
+            batch = [
+                (key, m) for key, m in pending.items()
+                if isinstance(m, SpectralMapping)
+                and m.algorithm.cacheable and m.service is None
+            ]
+        if len(batch) > 1:
+            requests = [OrderRequest(self._domain, m.algorithm.config)
+                        for _, m in batch]
+            orders = self._service.order_many(requests)
+            for (key, m), order in zip(batch, orders):
+                self._views[key] = _MappingView(mapping=m, order=order)
+                del pending[key]
+        for mapping in pending.values():
+            self._materialize(mapping)
+
+    def _view_for(self, spec: Optional[MappingSpec]) -> _MappingView:
+        mapping = (self._default if spec is None else self._resolve(spec))
+        return self._materialize(mapping)
+
+    def _grid_coordinates(self, grid: Grid) -> np.ndarray:
+        # Cached: the domain is immutable and a batch of nn queries
+        # must not rebuild the (n, ndim) coordinate matrix per query.
+        if self._coords is None:
+            self._coords = grid.coordinates()
+        return self._coords
+
+    def _require_grid(self, operation: str) -> Grid:
+        if not isinstance(self._domain, Grid):
+            raise DomainError(
+                f"{operation} queries require a Grid domain; this index "
+                f"holds a {type(self._domain).__name__} (order/ranks are "
+                "still available)"
+            )
+        return self._domain
+
+    @staticmethod
+    def _as_box(box) -> Box:
+        if isinstance(box, Box):
+            return box
+        if isinstance(box, (tuple, list)) and len(box) == 2:
+            lo, hi = box
+            return Box(lo, hi)
+        raise InvalidParameterError(
+            "box must be a Box or a (lo, hi) corner pair, "
+            f"got {type(box).__name__}"
+        )
+
+    def _store_for(self, view: _MappingView) -> LinearStore:
+        grid = self._require_grid("range")
+        if view.store is None:
+            view.store = LinearStore._from_api(
+                grid, view.mapping, order=view.order,
+                page_size=self._page_size, tree_order=self._tree_order,
+                buffer_capacity=self._buffer_capacity,
+                cost_model=self._cost_model,
+            )
+        return view.store
+
+    def _range_on(self, view: _MappingView, box, plan: str
+                  ) -> QueryExecution:
+        store = self._store_for(view)
+        return store.range_query(self._as_box(box), plan=plan)
+
+    def _nn_on(self, view: _MappingView, cell, k: int,
+               window: Optional[int]) -> NNResult:
+        grid = self._require_grid("nn")
+        if not isinstance(cell, (int, np.integer)):
+            cell = grid.index_of(cell)
+        cell = int(cell)
+        if not 0 <= cell < grid.size:
+            raise DomainError(
+                f"cell {cell} outside grid of size {grid.size}"
+            )
+        if not 1 <= k < grid.size:
+            raise InvalidParameterError(
+                f"k must be in [1, {grid.size - 1}], got {k}"
+            )
+        ranks = view.ranks
+        if window is None:
+            width = max(int(k), 1)
+            candidates = window_candidates(ranks, cell, width)
+            while len(candidates) < k and width < grid.size:
+                width *= 2
+                candidates = window_candidates(ranks, cell, width)
+        else:
+            width = int(window)
+            candidates = window_candidates(ranks, cell, width)
+        coords = self._grid_coordinates(grid)
+        distances = np.abs(coords[candidates] - coords[cell]).sum(axis=1)
+        nearest = candidates[np.lexsort((candidates, distances))][:k]
+        return NNResult(neighbors=nearest, window=width,
+                        candidates=len(candidates))
+
+    def _join_on(self, view: _MappingView, cells_a, cells_b,
+                 epsilon: int, window: int) -> JoinReport:
+        grid = self._require_grid("join")
+        return window_join_report(grid, view.ranks, cells_a, cells_b,
+                                  epsilon, window)
+
+    def __repr__(self) -> str:
+        domain = (f"grid{self._domain.shape}"
+                  if isinstance(self._domain, Grid)
+                  else type(self._domain).__name__)
+        return (f"SpectralIndex(domain={domain}, "
+                f"mapping={self._default.name!r}, "
+                f"views={len(self._views)})")

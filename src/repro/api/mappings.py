@@ -1,0 +1,149 @@
+"""The ``Mapping`` protocol and the one resolver that builds mappings.
+
+Every mapping family in the library satisfies one structural protocol:
+a ``name``, declared :class:`~repro.mapping.MappingCapabilities`, and
+``order_domain(domain, service=None)`` over the full ``Domain`` union.
+Consumers — the :class:`~repro.api.SpectralIndex` facade, the figure
+harnesses, user code — never need to know which family they hold.
+
+:func:`make_mapping` is the single construction point (the successor of
+the deprecated :func:`repro.mapping.mapping_by_name`).  It accepts:
+
+* a registry name (``"hilbert"``, ``"spectral"``, ``"spectral-rb"``,
+  ...);
+* a :class:`~repro.core.spectral.SpectralConfig` (implies the spectral
+  family);
+* a ready mapping instance (returned unchanged).
+
+The ``config=`` keyword carries spectral configuration *alongside* a
+name: the spectral families consume it, pure curve names ignore it.
+That asymmetry is deliberate — it is what lets a harness loop over
+``("sweep", ..., "spectral")`` with one call per name instead of
+special-casing the spectral member (the exact boilerplate this module
+replaces).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Protocol, Union, runtime_checkable
+
+import numpy as np
+
+from repro.core.ordering import LinearOrder
+from repro.core.spectral import SpectralConfig
+from repro.errors import InvalidParameterError
+from repro.mapping.interface import (
+    CurveMapping,
+    LocalityMapping,
+    MappingCapabilities,
+    SpectralBisectionMapping,
+    SpectralMapping,
+    SpectralMultilevelMapping,
+)
+
+#: What callers may pass where a mapping is expected.
+MappingSpec = Union[str, SpectralConfig, LocalityMapping]
+
+
+@runtime_checkable
+class Mapping(Protocol):
+    """Structural protocol every mapping family satisfies.
+
+    The concrete classes live in :mod:`repro.mapping`; this protocol is
+    what the facade and any user extension code against.  A conforming
+    object provides a display ``name``, declared ``capabilities``, and
+    ``order_domain`` over grids, point sets, and graphs.
+    """
+
+    @property
+    def name(self) -> str:
+        """Registry / display name."""
+        ...
+
+    @property
+    def capabilities(self) -> MappingCapabilities:
+        """Declared capabilities (batch encode, cacheable, provenance)."""
+        ...
+
+    def order_domain(self, domain, service=None) -> LinearOrder:
+        """Order any member of the ``Domain`` union."""
+        ...
+
+    def ranks_for_grid(self, grid) -> np.ndarray:
+        """Rank array over a grid's flat cell indices."""
+        ...
+
+
+def _spectral_kwargs(config: Optional[SpectralConfig], kwargs: dict) -> dict:
+    """Merge a config (as defaults) under explicit keyword overrides."""
+    merged = dict(dataclasses.asdict(config)) if config is not None else {}
+    merged.update(kwargs)
+    return merged
+
+
+def make_mapping(spec: MappingSpec, *, service=None,
+                 config: Optional[SpectralConfig] = None,
+                 **kwargs) -> LocalityMapping:
+    """Build (or pass through) a mapping from a :data:`MappingSpec`.
+
+    Parameters
+    ----------
+    spec:
+        A registry name from :data:`~repro.mapping.MAPPING_NAMES`, a
+        :class:`~repro.core.spectral.SpectralConfig` (implies
+        ``"spectral"``), or a ready mapping instance (returned as-is;
+        ``config``/``kwargs`` are then rejected rather than silently
+        dropped).
+    service:
+        Optional :class:`~repro.service.OrderingService` attached to
+        spectral mappings (curves are pure arithmetic and ignore it).
+    config:
+        Spectral configuration applied when ``spec`` names the spectral
+        family; ``"spectral-rb"`` / ``"spectral-ml"`` adopt its shared
+        fields (``backend``, ``connectivity``).  Ignored by curve names,
+        which is what keeps a mixed-name loop one call per name.
+    kwargs:
+        Per-family keyword overrides (they win over ``config``).  Curve
+        names accept none.
+    """
+    if isinstance(spec, LocalityMapping):
+        if config is not None or kwargs:
+            raise InvalidParameterError(
+                "a ready mapping instance accepts no config or keyword "
+                "overrides; construct a new one instead"
+            )
+        return spec
+    if isinstance(spec, SpectralConfig):
+        if config is not None:
+            raise InvalidParameterError(
+                "pass either a SpectralConfig spec or config=, not both"
+            )
+        config = spec
+        spec = "spectral"
+    if not isinstance(spec, str):
+        raise InvalidParameterError(
+            "mapping spec must be a name, a SpectralConfig, or a mapping "
+            f"instance, got {type(spec).__name__}"
+        )
+    lowered = spec.lower()
+    if lowered == "spectral":
+        return SpectralMapping(service=service,
+                               **_spectral_kwargs(config, kwargs))
+    if lowered == "spectral-rb":
+        base = ({"backend": config.backend,
+                 "connectivity": config.connectivity}
+                if config is not None else {})
+        base.update(kwargs)
+        return SpectralBisectionMapping(**base)
+    if lowered == "spectral-ml":
+        base = ({"backend": config.backend,
+                 "connectivity": config.connectivity}
+                if config is not None else {})
+        base.update(kwargs)
+        return SpectralMultilevelMapping(**base)
+    if kwargs:
+        raise InvalidParameterError(
+            f"curve mapping {spec!r} accepts no keyword arguments"
+        )
+    return CurveMapping(lowered)

@@ -1,0 +1,89 @@
+"""Typed query values for the batch-first facade.
+
+:meth:`repro.api.SpectralIndex.query_many` consumes a heterogeneous
+batch of these values and returns results aligned with the input.  Each
+query optionally carries its own ``mapping`` spec (any
+:data:`~repro.api.mappings.MappingSpec`); ``None`` means the index's
+default mapping.  Batching by value (rather than by method call) is what
+lets the facade pull every spectral order the batch needs through
+:meth:`~repro.service.OrderingService.order_many` in one shot, so K
+same-topology configurations pay a single graph build.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class RangeQuery:
+    """An axis-aligned range query (the paper's Section-5 workload).
+
+    ``box`` is a :class:`~repro.geometry.Box` or a ``(lo, hi)`` corner
+    pair; ``plan`` is one of :data:`repro.query.PLANS`.  Executes to a
+    :class:`~repro.query.QueryExecution`.
+    """
+
+    box: object
+    plan: str = "span-scan"
+    mapping: Optional[object] = None
+
+
+@dataclass(frozen=True)
+class NNQuery:
+    """A k-nearest-neighbour query through the rank window (Figure 5).
+
+    ``cell`` is a flat index or coordinate tuple.  ``window`` fixes the
+    half-width of the examined rank window; ``None`` grows it until at
+    least ``k`` candidates are found.  Executes to an :class:`NNResult`.
+    """
+
+    cell: Union[int, Sequence[int]]
+    k: int
+    window: Optional[int] = None
+    mapping: Optional[object] = None
+
+
+@dataclass(frozen=True)
+class JoinQuery:
+    """A window spatial join between two cell sets (Sections 1 and 6).
+
+    All pairs within Manhattan distance ``epsilon``, approximated by
+    pairs within rank distance ``window``.  Executes to a
+    :class:`~repro.query.JoinReport`.
+    """
+
+    cells_a: Sequence[int]
+    cells_b: Sequence[int]
+    epsilon: int
+    window: int
+    mapping: Optional[object] = None
+
+
+#: The query union :meth:`SpectralIndex.query_many` accepts.
+Query = Union[RangeQuery, NNQuery, JoinQuery]
+
+
+@dataclass(frozen=True)
+class NNResult:
+    """Result of an :class:`NNQuery`.
+
+    Attributes
+    ----------
+    neighbors:
+        The ``k`` returned cells (flat indices), nearest first —
+        candidates from the rank window re-ranked by true Manhattan
+        distance (ties broken by ascending flat index).
+    window:
+        The rank-window half-width actually examined.
+    candidates:
+        How many cells the window contained (the work a 1-D index would
+        fetch); locality quality is ``k / candidates``.
+    """
+
+    neighbors: np.ndarray
+    window: int
+    candidates: int

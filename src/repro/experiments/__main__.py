@@ -11,10 +11,13 @@ Usage::
 Each figure prints the same rows/series the paper plots, plus a shape
 comparison against the digitized published curves where available.
 
-All figures share one :class:`~repro.service.OrderingService`, so a
+All figures share one :class:`~repro.api.OrderingService`, so a
 domain that appears in several figures is eigensolved once per run —
 and, with ``--cache-dir``, once per *machine*: subsequent runs load the
 orders from the artifact store instead of recomputing them.
+``--cache-max-bytes`` bounds that store's footprint (LRU eviction, see
+the ``repro-orders`` CLI for manual inspection), and each harness runs
+on the unified :class:`~repro.api.SpectralIndex` facade.
 """
 
 from __future__ import annotations
@@ -39,7 +42,10 @@ from repro.experiments.paper_data import (
 )
 from repro.experiments.summary import run_summary
 from repro.experiments.tables import render_report, render_table
-from repro.service import OrderingService
+from repro.api import OrderingService
+from repro.errors import InvalidParameterError
+from repro.service.cli import parse_size
+from repro.service.store import ArtifactStore
 
 FIGURES = ("fig1", "fig3", "fig4", "fig5a", "fig5b", "fig6a", "fig6b",
            "summary")
@@ -106,9 +112,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="persist computed spectral orders under DIR; reruns load "
              "them instead of re-solving",
     )
+    parser.add_argument(
+        "--cache-max-bytes", default=None, metavar="SIZE",
+        help="bound the --cache-dir store (LRU eviction; accepts K/M/G "
+             "suffixes)",
+    )
     args = parser.parse_args(argv)
     figures = FIGURES if args.figure == "all" else (args.figure,)
-    service = OrderingService(store=args.cache_dir)
+    if args.cache_max_bytes is not None and args.cache_dir is None:
+        parser.error("--cache-max-bytes requires --cache-dir")
+    store = None
+    if args.cache_dir is not None:
+        try:
+            max_bytes = (parse_size(args.cache_max_bytes)
+                         if args.cache_max_bytes is not None else None)
+            store = ArtifactStore(args.cache_dir, max_bytes=max_bytes)
+        except InvalidParameterError as exc:
+            parser.error(str(exc))
+    service = OrderingService(store=store)
     outputs = []
     for figure in figures:
         outputs.append("=" * 72)

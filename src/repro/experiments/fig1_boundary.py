@@ -14,9 +14,10 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro.api.index import SpectralIndex
+from repro.core.spectral import SpectralConfig
 from repro.experiments.runner import ExperimentResult
 from repro.geometry.grid import Grid
-from repro.mapping.interface import mapping_by_name
 from repro.metrics.pairwise import adjacent_gap_stats, boundary_gap
 from repro.viz.ascii_art import render_order_path, render_ranks
 
@@ -49,10 +50,10 @@ def run_fig1(side: int = 4,
             "spectral do not."
         ),
     )
+    index = SpectralIndex.build(grid, service=service,
+                                config=SpectralConfig(backend=backend))
     for name in mapping_names:
-        mapping = (mapping_by_name(name, backend=backend, service=service)
-                   if name == "spectral" else mapping_by_name(name))
-        ranks = mapping.ranks_for_grid(grid)
+        ranks = index.ranks_for(name)
         row = [boundary_gap(grid, ranks, axis) for axis in range(grid.ndim)]
         worst, mean = adjacent_gap_stats(grid, ranks)
         row.extend([worst, mean])
@@ -65,11 +66,11 @@ def render_fig1_orders(side: int = 4, backend: str = "auto",
                        service=None) -> str:
     """The Figure-1 pictures, as text: rank matrix + path per mapping."""
     grid = Grid((side, side))
+    index = SpectralIndex.build(grid, service=service,
+                                config=SpectralConfig(backend=backend))
     blocks = []
     for name in mapping_names:
-        mapping = (mapping_by_name(name, backend=backend, service=service)
-                   if name == "spectral" else mapping_by_name(name))
-        ranks = mapping.ranks_for_grid(grid)
+        ranks = index.ranks_for(name)
         blocks.append(
             f"[{name}]\n{render_ranks(grid, ranks)}\n"
             f"{render_order_path(grid, ranks)}"

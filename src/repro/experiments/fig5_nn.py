@@ -13,13 +13,12 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro.api.index import SpectralIndex
+from repro.core.spectral import SpectralConfig
 from repro.experiments.paper_data import NN_PERCENTS
 from repro.experiments.runner import ExperimentResult
 from repro.geometry.grid import Grid
-from repro.mapping.interface import (
-    PAPER_MAPPING_NAMES,
-    mapping_by_name,
-)
+from repro.mapping.interface import PAPER_MAPPING_NAMES
 from repro.metrics.fairness import axis_rank_distance
 from repro.metrics.pairwise import (
     distances_for_percentages,
@@ -54,10 +53,10 @@ def run_fig5a(side: int = 4, ndim: int = 5,
         ),
     )
     scale = 100.0 / (grid.size - 1)
+    index = SpectralIndex.build(grid, service=service,
+                                config=SpectralConfig(backend=backend))
     for name in mapping_names:
-        mapping = (mapping_by_name(name, backend=backend, service=service)
-                   if name == "spectral" else mapping_by_name(name))
-        profile = rank_distance_profile(grid, mapping.ranks_for_grid(grid))
+        profile = rank_distance_profile(grid, index.ranks_for(name))
         result.add_series(
             name,
             [profile.at(int(d))[0] * scale for d in distances],
@@ -94,10 +93,10 @@ def run_fig5b(side: int = 16,
     )
     names = ["sweep", "spectral"] + (
         ["hilbert"] if include_hilbert else [])
+    index = SpectralIndex.build(grid, service=service,
+                                config=SpectralConfig(backend=backend))
     for name in names:
-        mapping = (mapping_by_name(name, backend=backend, service=service)
-                   if name == "spectral" else mapping_by_name(name))
-        ranks = mapping.ranks_for_grid(grid)
+        ranks = index.ranks_for(name)
         for axis, label in ((0, "X"), (1, "Y")):
             result.add_series(
                 f"{name}-{label}",

@@ -19,11 +19,13 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.api.index import SpectralIndex
+from repro.core.spectral import SpectralConfig
 from repro.experiments.paper_data import RANGE_PERCENTS
 from repro.experiments.runner import ExperimentResult
 from repro.geometry.boxes import extent_for_volume_fraction
 from repro.geometry.grid import Grid
-from repro.mapping.interface import PAPER_MAPPING_NAMES, mapping_by_name
+from repro.mapping.interface import PAPER_MAPPING_NAMES
 from repro.metrics.range_span import span_field, span_stats
 
 
@@ -53,10 +55,10 @@ def run_fig6a(side: int = 6, ndim: int = 4,
             "structurally minimal.  See EXPERIMENTS.md for the analysis."
         ),
     )
+    index = SpectralIndex.build(grid, service=service,
+                                config=SpectralConfig(backend=backend))
     for name in mapping_names:
-        mapping = (mapping_by_name(name, backend=backend, service=service)
-                   if name == "spectral" else mapping_by_name(name))
-        ranks = mapping.ranks_for_grid(grid)
+        ranks = index.ranks_for(name)
         result.add_series(
             name,
             [span_stats(grid, ranks, e).max for e in extents],
@@ -117,10 +119,10 @@ def run_fig6b(side: int = 6, ndim: int = 4,
             "placement)."
         ),
     )
+    index = SpectralIndex.build(grid, service=service,
+                                config=SpectralConfig(backend=backend))
     for name in mapping_names:
-        mapping = (mapping_by_name(name, backend=backend, service=service)
-                   if name == "spectral" else mapping_by_name(name))
-        ranks = mapping.ranks_for_grid(grid)
+        ranks = index.ranks_for(name)
         ys = []
         for p in size_percents:
             spans = partial_match_spans(grid, ranks, p / 100.0)

@@ -12,9 +12,11 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro.api.index import SpectralIndex
+from repro.core.spectral import SpectralConfig
 from repro.experiments.runner import ExperimentResult
 from repro.geometry.grid import Grid
-from repro.mapping.interface import PAPER_MAPPING_NAMES, mapping_by_name
+from repro.mapping.interface import PAPER_MAPPING_NAMES
 from repro.metrics.pairwise import adjacent_gap_stats
 
 #: (ndim, side) pairs with comparable cell counts (256..1024).
@@ -39,14 +41,13 @@ def run_scaling(domains: Sequence[tuple] = DEFAULT_DOMAINS,
             "pairs, normalized by the cell count of that domain."
         ),
     )
+    config = SpectralConfig(backend=backend)
+    indexes = [SpectralIndex.build(grid, service=service, config=config)
+               for grid in grids]
     for name in mapping_names:
-        mapping = (mapping_by_name(name, backend=backend, service=service)
-                   if name.startswith("spectral")
-                   else mapping_by_name(name))
         ys = []
-        for grid in grids:
-            worst, _ = adjacent_gap_stats(grid,
-                                          mapping.ranks_for_grid(grid))
+        for grid, index in zip(grids, indexes):
+            worst, _ = adjacent_gap_stats(grid, index.ranks_for(name))
             ys.append(worst / grid.size)
         result.add_series(name, ys)
     return result

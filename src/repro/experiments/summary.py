@@ -8,11 +8,13 @@ on a single 2-D grid.
 
 from __future__ import annotations
 
+from repro.api.index import SpectralIndex
+from repro.core.spectral import SpectralConfig
 from repro.experiments.runner import ExperimentResult
 from repro.geometry.boxes import extent_for_volume_fraction
 from repro.geometry.grid import Grid
 from repro.graph.builders import grid_graph
-from repro.mapping.interface import paper_mappings
+from repro.mapping.interface import PAPER_MAPPING_NAMES
 from repro.metrics.arrangement import arrangement_costs
 from repro.metrics.clustering import cluster_stats
 from repro.metrics.pairwise import adjacent_gap_stats
@@ -55,8 +57,10 @@ def run_summary(side: int = 16, backend: str = "auto",
         params={"side": side, "backend": backend,
                 "query_fraction": query_fraction},
     )
-    for mapping in paper_mappings(backend=backend, service=service):
-        order = mapping.order_for_grid(grid)
+    index = SpectralIndex.build(grid, service=service,
+                                config=SpectralConfig(backend=backend))
+    for name in PAPER_MAPPING_NAMES:
+        order = index.order_for(name)
         ranks = order.ranks
         worst_gap, mean_gap = adjacent_gap_stats(grid, ranks)
         spans = span_stats(grid, ranks, extent)
@@ -64,7 +68,7 @@ def run_summary(side: int = 16, backend: str = "auto",
         costs = arrangement_costs(graph, order)
         recall = knn_window_recall(grid, ranks, k=nn_k, window=nn_window,
                                    seed=29, sample=48).mean_recall
-        result.add_series(mapping.name, [
+        result.add_series(name, [
             worst_gap,
             mean_gap,
             spans.max,

@@ -8,11 +8,13 @@ from repro.geometry.boxes import (
     partial_match_boxes,
 )
 from repro.geometry.grid import CONNECTIVITIES, Grid, pairs_along_axis
+from repro.geometry.pointset import PointSet
 
 __all__ = [
     "Box",
     "CONNECTIVITIES",
     "Grid",
+    "PointSet",
     "boxes_with_extent",
     "count_boxes_with_extent",
     "extent_for_volume_fraction",

@@ -15,6 +15,7 @@ order and ties in edge weight break toward the smallest neighbour id.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import List, Tuple
 
@@ -282,6 +283,12 @@ class HierarchyCache:
     def __init__(self, max_entries: int = 32):
         self._projections: "LRUCache[Tuple, Tuple[np.ndarray, ...]]" = \
             LRUCache(max_entries)
+        # Guards the LRU only: a service running single-flight solves on
+        # *different* keys may enter concurrently; projections themselves
+        # are immutable once stored.  Concurrent misses on one structure
+        # may duplicate a matching (harmless: both chains are identical
+        # by determinism) rather than serialize the whole coarsening.
+        self._lock = threading.Lock()
 
     @property
     def hits(self) -> int:
@@ -311,7 +318,8 @@ class HierarchyCache:
         """
         key = (graph.structure_fingerprint(), int(min_size),
                int(max_levels))
-        projections = self._projections.get(key)
+        with self._lock:
+            projections = self._projections.get(key)
         if projections is None:
             indptr, indices, weights = graph.csr_arrays()
             unit = Graph(graph.num_vertices, indptr, indices,
@@ -320,7 +328,8 @@ class HierarchyCache:
                                             max_levels=max_levels)
             projections = tuple(level.fine_to_coarse
                                 for level in unit_levels)
-            self._projections.put(key, projections)
+            with self._lock:
+                self._projections.put(key, projections)
         levels: List[CoarseningLevel] = []
         current = graph
         for projection in projections:

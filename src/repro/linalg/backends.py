@@ -49,6 +49,7 @@ eigenvector columns; all are cross-validated in the test suite.
 from __future__ import annotations
 
 import os
+import threading
 from typing import Sequence, Tuple
 
 import numpy as np
@@ -105,6 +106,18 @@ BACKENDS = ("auto", "dense", "lanczos", "scipy", "multilevel")
 # the delta of this counter, which every backend path below increments.
 _SOLVER_INVOCATIONS = 0
 
+# Guards the global counter's read-modify-write: concurrent solves are
+# a supported mode (the ordering service's single-flight runs distinct
+# keys in parallel) and tests assert exact deltas.
+_COUNTER_LOCK = threading.Lock()
+
+# Per-thread tally, incremented in lock-step with the global counter.
+# Delta measurements taken *around a synchronous solve* must use this
+# one: under the ordering service's single-flight concurrency, solves on
+# distinct keys run in parallel, so a global-counter delta would charge
+# each computation with every other thread's invocations too.
+_THREAD_TALLY = threading.local()
+
 
 def solver_invocations() -> int:
     """How many :func:`smallest_eigenpairs` solves this process has run.
@@ -114,6 +127,16 @@ def solver_invocations() -> int:
     use it to *prove* a warm path never reached an eigensolver.
     """
     return _SOLVER_INVOCATIONS
+
+
+def thread_solver_invocations() -> int:
+    """Like :func:`solver_invocations`, but counting this thread only.
+
+    The right baseline for attributing invocations to one synchronous
+    computation when other threads may be solving concurrently (e.g.
+    the ordering service's per-artifact ``solver_calls`` provenance).
+    """
+    return getattr(_THREAD_TALLY, "count", 0)
 
 
 def scipy_available() -> bool:
@@ -275,7 +298,9 @@ def smallest_eigenpairs(matrix: CSRMatrix, k: int, backend: str = "auto",
         raise InvalidParameterError("deflate vectors must have length n")
 
     global _SOLVER_INVOCATIONS
-    _SOLVER_INVOCATIONS += 1
+    with _COUNTER_LOCK:
+        _SOLVER_INVOCATIONS += 1
+    _THREAD_TALLY.count = getattr(_THREAD_TALLY, "count", 0) + 1
 
     if backend == "auto":
         backend = resolve_auto(n, k)

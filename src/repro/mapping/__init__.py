@@ -6,6 +6,7 @@ from repro.mapping.interface import (
     CurveMapping,
     ExplicitMapping,
     LocalityMapping,
+    MappingCapabilities,
     SpectralBisectionMapping,
     SpectralMapping,
     SpectralMultilevelMapping,
@@ -19,6 +20,7 @@ __all__ = [
     "CurveMapping",
     "ExplicitMapping",
     "LocalityMapping",
+    "MappingCapabilities",
     "SpectralBisectionMapping",
     "SpectralMapping",
     "SpectralMultilevelMapping",

@@ -2,8 +2,8 @@
 
 Metrics, query engines, storage simulators, and experiment harnesses all
 consume a :class:`LocalityMapping`: something that can produce a
-:class:`~repro.core.ordering.LinearOrder` over the cells of a grid.  The
-two families —
+:class:`~repro.core.ordering.LinearOrder` over the cells of a domain.
+The two families —
 
 * :class:`CurveMapping` (Sweep, Snake, Peano/Z-order, Gray, Hilbert,
   Diagonal), and
@@ -11,6 +11,14 @@ two families —
 
 — are thereby interchangeable everywhere, which is what lets each figure
 harness be a single loop over mapping names.
+
+Every mapping implements the unified :mod:`repro.api` ``Mapping``
+protocol: it advertises :class:`MappingCapabilities` (batch encoding,
+cacheability, provenance) and orders any member of the ``Domain`` union
+— :class:`~repro.geometry.Grid`, :class:`~repro.geometry.PointSet`, or
+:class:`~repro.graph.Graph` — through :meth:`LocalityMapping.order_domain`
+(families that cannot serve a domain kind raise
+:class:`~repro.errors.DomainError` instead of guessing).
 
 Grids whose sides are not powers of two are handled the standard way for
 bit-interleaved curves: cells are keyed on the enclosing power-of-two
@@ -20,7 +28,9 @@ R-trees are built in practice).
 
 from __future__ import annotations
 
+import warnings
 from abc import ABC, abstractmethod
+from dataclasses import dataclass
 from typing import Dict, List
 
 import numpy as np
@@ -32,18 +42,49 @@ from repro.core.spectral import SpectralLPM
 from repro.curves.base import enclosing_bits
 from repro.curves.registry import CURVE_NAMES, make_curve
 from repro.curves.vectorized import batch_encoder
-from repro.errors import InvalidParameterError
+from repro.errors import DomainError, InvalidParameterError
 from repro.geometry.grid import Grid
+from repro.geometry.pointset import PointSet
+from repro.graph.adjacency import Graph
 
-#: Mapping names accepted by :func:`mapping_by_name`.
+#: Mapping names accepted by :func:`repro.api.make_mapping` (and the
+#: deprecated :func:`mapping_by_name` shim).
 MAPPING_NAMES = CURVE_NAMES + ("spectral", "spectral-rb", "spectral-ml")
 
 #: The five mappings compared in the paper's Section 5.
 PAPER_MAPPING_NAMES = ("sweep", "peano", "gray", "hilbert", "spectral")
 
 
+@dataclass(frozen=True)
+class MappingCapabilities:
+    """What a mapping can do, declared rather than duck-probed.
+
+    Attributes
+    ----------
+    batch_encode:
+        The mapping can compute every cell's key in one vectorized pass
+        (true for the bit-interleaved curves with a registered batch
+        encoder; false for eigensolver-based orders).
+    cacheable:
+        The mapping's output is a pure function of a value-typed
+        identity (a curve name, a :class:`~repro.core.spectral
+        .SpectralConfig`), so cache layers may store and share its
+        orders.  False for mappings carrying opaque state — callable
+        weights, explicit probe vectors, precomputed orders.
+    provenance:
+        Orders obtained through an
+        :class:`~repro.service.OrderingService` carry solve provenance
+        (backend, ``lambda_2``, residual) as an
+        :class:`~repro.service.OrderArtifact`.
+    """
+
+    batch_encode: bool = False
+    cacheable: bool = True
+    provenance: bool = False
+
+
 class LocalityMapping(ABC):
-    """A named way of linearizing grid cells.
+    """A named way of linearizing a domain's cells.
 
     Orders are cached per grid: spectral orders cost an eigensolve and
     experiment harnesses ask for the same grid repeatedly.
@@ -56,6 +97,22 @@ class LocalityMapping(ABC):
     @abstractmethod
     def name(self) -> str:
         """Registry / display name."""
+
+    @property
+    def capabilities(self) -> MappingCapabilities:
+        """Declared capabilities (see :class:`MappingCapabilities`)."""
+        return MappingCapabilities()
+
+    def cache_identity(self):
+        """A value-typed identity for order-sharing caches, or ``None``.
+
+        Two mappings with equal identities produce bit-identical orders
+        for every domain, so facades may share one materialized view
+        between them.  ``None`` (the default) means the mapping carries
+        state a value cannot represent — each instance must get its own
+        view.
+        """
+        return None
 
     @abstractmethod
     def _compute_order(self, grid: Grid) -> LinearOrder:
@@ -70,6 +127,47 @@ class LocalityMapping(ABC):
     def ranks_for_grid(self, grid: Grid) -> np.ndarray:
         """Read-only rank array: ``ranks[flat_cell_index] = rank``."""
         return self.order_for_grid(grid).ranks
+
+    # ------------------------------------------------------------------
+    # The unified Domain entry point (the repro.api Mapping protocol)
+    # ------------------------------------------------------------------
+    def order_domain(self, domain, service=None) -> LinearOrder:
+        """Order any member of the ``Domain`` union.
+
+        ``domain`` is a :class:`~repro.geometry.Grid` (orders every
+        cell), a :class:`~repro.geometry.PointSet` (orders positions in
+        its canonical cell array), or a :class:`~repro.graph.Graph`
+        (orders vertices).  ``service`` optionally routes cacheable
+        spectral computation through an
+        :class:`~repro.service.OrderingService`; families that have no
+        use for it (curves are pure arithmetic) ignore it.  Domain kinds
+        a family cannot serve raise
+        :class:`~repro.errors.DomainError`.
+        """
+        if isinstance(domain, Grid):
+            return self._order_grid_domain(domain, service)
+        if isinstance(domain, PointSet):
+            return self._order_point_set(domain, service)
+        if isinstance(domain, Graph):
+            return self._order_graph_domain(domain, service)
+        raise InvalidParameterError(
+            f"domain must be a Grid, PointSet or Graph, "
+            f"got {type(domain).__name__}"
+        )
+
+    def _order_grid_domain(self, grid: Grid, service) -> LinearOrder:
+        return self.order_for_grid(grid)
+
+    def _order_point_set(self, points: PointSet, service) -> LinearOrder:
+        raise DomainError(
+            f"mapping {self.name!r} cannot order point-set domains"
+        )
+
+    def _order_graph_domain(self, graph: Graph, service) -> LinearOrder:
+        raise DomainError(
+            f"mapping {self.name!r} cannot order graph domains "
+            "(it needs grid coordinates)"
+        )
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(name={self.name!r})"
@@ -90,21 +188,41 @@ class CurveMapping(LocalityMapping):
     def name(self) -> str:
         return self._curve_name
 
-    def _compute_order(self, grid: Grid) -> LinearOrder:
+    @property
+    def capabilities(self) -> MappingCapabilities:
+        return MappingCapabilities(
+            batch_encode=batch_encoder(self._curve_name) is not None,
+            cacheable=True,
+            provenance=False,
+        )
+
+    def cache_identity(self):
+        return ("curve", self._curve_name)
+
+    def _curve_keys(self, grid: Grid, coords: np.ndarray) -> np.ndarray:
+        """Curve keys of ``coords`` on the enclosing power-of-two cube."""
         bits = enclosing_bits(max(grid.shape))
-        coords = grid.coordinates()
         encoder = batch_encoder(self._curve_name)
         if encoder is not None and bits * grid.ndim <= 62:
-            keys = encoder(coords, bits)
-        else:
-            curve = make_curve(self._curve_name, grid.ndim, bits)
-            keys = np.fromiter(
-                (curve.point_to_key(tuple(point)) for point in coords),
-                dtype=np.int64, count=grid.size,
-            )
+            return encoder(coords, bits)
+        curve = make_curve(self._curve_name, grid.ndim, bits)
+        return np.fromiter(
+            (curve.point_to_key(tuple(point)) for point in coords),
+            dtype=np.int64, count=len(coords),
+        )
+
+    def _compute_order(self, grid: Grid) -> LinearOrder:
+        keys = self._curve_keys(grid, grid.coordinates())
         # Densify: distinct keys -> ranks 0..n-1 preserving key order.
         perm = np.argsort(keys, kind="stable")
         return LinearOrder(perm)
+
+    def _order_point_set(self, points: PointSet, service) -> LinearOrder:
+        # A curve orders any subset the way it orders the full grid:
+        # by key.  The induced order over subset positions is therefore
+        # consistent with the full-grid ranks restricted to the subset.
+        keys = self._curve_keys(points.grid, points.coordinates())
+        return LinearOrder(np.argsort(keys, kind="stable"))
 
 
 class SpectralMapping(LocalityMapping):
@@ -136,10 +254,52 @@ class SpectralMapping(LocalityMapping):
         """The attached ordering service, if any."""
         return self._service
 
+    @property
+    def capabilities(self) -> MappingCapabilities:
+        return MappingCapabilities(
+            batch_encode=False,
+            cacheable=self._algorithm.cacheable,
+            provenance=True,
+        )
+
+    def cache_identity(self):
+        if not self._algorithm.cacheable:
+            return None
+        return ("spectral", self._algorithm.config)
+
+    def _effective_service(self, service):
+        """The service to route through: the instance's own wins."""
+        if self._service is not None:
+            return self._service
+        if service is not None and self._algorithm.cacheable:
+            return service
+        return None
+
     def _compute_order(self, grid: Grid) -> LinearOrder:
         if self._service is not None:
             return self._service.order_grid(grid, self._algorithm)
         return self._algorithm.order_grid(grid)
+
+    def _order_grid_domain(self, grid: Grid, service) -> LinearOrder:
+        svc = self._effective_service(service)
+        if svc is not None and svc is not self._service:
+            return svc.order_grid(grid, self._algorithm)
+        return self.order_for_grid(grid)
+
+    def _order_point_set(self, points: PointSet, service) -> LinearOrder:
+        svc = self._effective_service(service)
+        if svc is not None:
+            order, _ = svc.order_points(points.grid, points.cells,
+                                        self._algorithm)
+            return order
+        order, _ = self._algorithm.order_points(points.grid, points.cells)
+        return order
+
+    def _order_graph_domain(self, graph: Graph, service) -> LinearOrder:
+        svc = self._effective_service(service)
+        if svc is not None:
+            return svc.order_graph(graph, self._algorithm)
+        return self._algorithm.order_graph(graph)
 
 
 class SpectralBisectionMapping(LocalityMapping):
@@ -160,11 +320,24 @@ class SpectralBisectionMapping(LocalityMapping):
     def name(self) -> str:
         return "spectral-rb"
 
+    def cache_identity(self):
+        return ("spectral-rb", self._backend, self._leaf_size,
+                str(self._connectivity))
+
     def _compute_order(self, grid: Grid) -> LinearOrder:
         from repro.graph.builders import grid_graph
         graph = grid_graph(grid, connectivity=self._connectivity)
+        return self._order_graph_domain(graph, None)
+
+    def _order_graph_domain(self, graph: Graph, service) -> LinearOrder:
         return spectral_bisection_order(graph, backend=self._backend,
                                         leaf_size=self._leaf_size)
+
+    def _order_point_set(self, points: PointSet, service) -> LinearOrder:
+        from repro.graph.builders import induced_grid_graph
+        graph, _ = induced_grid_graph(points.grid, points.cells,
+                                      connectivity=self._connectivity)
+        return self._order_graph_domain(graph, service)
 
 
 class SpectralMultilevelMapping(LocalityMapping):
@@ -187,14 +360,27 @@ class SpectralMultilevelMapping(LocalityMapping):
     def name(self) -> str:
         return "spectral-ml"
 
+    def cache_identity(self):
+        return ("spectral-ml", self._min_size, self._smoothing_steps,
+                str(self._connectivity), self._backend)
+
     def _compute_order(self, grid: Grid) -> LinearOrder:
         from repro.graph.builders import grid_graph
         graph = grid_graph(grid, connectivity=self._connectivity)
+        return self._order_graph_domain(graph, None)
+
+    def _order_graph_domain(self, graph: Graph, service) -> LinearOrder:
         return multilevel_order(
             graph, min_size=self._min_size,
             smoothing_steps=self._smoothing_steps,
             backend=self._backend,
         )
+
+    def _order_point_set(self, points: PointSet, service) -> LinearOrder:
+        from repro.graph.builders import induced_grid_graph
+        graph, _ = induced_grid_graph(points.grid, points.cells,
+                                      connectivity=self._connectivity)
+        return self._order_graph_domain(graph, service)
 
 
 class ExplicitMapping(LocalityMapping):
@@ -219,6 +405,11 @@ class ExplicitMapping(LocalityMapping):
     def name(self) -> str:
         return self._name
 
+    @property
+    def capabilities(self) -> MappingCapabilities:
+        return MappingCapabilities(batch_encode=False, cacheable=False,
+                                   provenance=False)
+
     def _compute_order(self, grid: Grid) -> LinearOrder:
         if grid != self._grid:
             raise InvalidParameterError(
@@ -228,34 +419,28 @@ class ExplicitMapping(LocalityMapping):
 
 
 def mapping_by_name(name: str, service=None, **kwargs) -> LocalityMapping:
-    """Instantiate a mapping from its registry name.
+    """Deprecated alias of :func:`repro.api.make_mapping`.
 
-    Keyword arguments are forwarded to :class:`SpectralMapping` (they are
-    rejected for curve mappings, which take none).  ``service``
-    optionally attaches an
-    :class:`~repro.service.ordering.OrderingService` to the spectral
-    mapping; it is ignored for every other name (curves are pure
-    arithmetic and need no cache).
+    This was the pre-``repro.api`` front door.  It forwards to the
+    unified resolver unchanged (orders are bit-identical), and exists
+    only so downstream code keeps working; new code should call
+    :func:`repro.api.make_mapping` or go through
+    :class:`repro.api.SpectralIndex`.
     """
-    lowered = name.lower()
-    if lowered == "spectral":
-        return SpectralMapping(service=service, **kwargs)
-    if lowered == "spectral-rb":
-        return SpectralBisectionMapping(**kwargs)
-    if lowered == "spectral-ml":
-        return SpectralMultilevelMapping(**kwargs)
-    if kwargs:
-        raise InvalidParameterError(
-            f"curve mapping {name!r} accepts no keyword arguments"
-        )
-    return CurveMapping(lowered)
+    warnings.warn(
+        "mapping_by_name() is deprecated; use repro.api.make_mapping() "
+        "or repro.api.SpectralIndex.build()",
+        DeprecationWarning, stacklevel=2,
+    )
+    from repro.api.mappings import make_mapping
+    return make_mapping(name, service=service, **kwargs)
 
 
 def paper_mappings(service=None, **spectral_kwargs) -> List[LocalityMapping]:
     """The five Section-5 mappings: Sweep, Peano, Gray, Hilbert, Spectral.
 
     ``service`` optionally attaches an ordering service to the spectral
-    member (see :func:`mapping_by_name`).
+    member (see :func:`repro.api.make_mapping`).
     """
     mappings: List[LocalityMapping] = [
         CurveMapping(name) for name in ("sweep", "peano", "gray", "hilbert")

@@ -17,20 +17,27 @@ pages.  Range queries run the way Section 5 models them:
 Both plans return identical result sets; the engine reports per-plan
 I/O so their trade-off is measurable per mapping, and an optional LRU
 buffer absorbs repeated pages across a query stream.
+
+Direct construction is deprecated in favour of the
+:class:`~repro.api.SpectralIndex` facade, which builds stores lazily
+behind its ``range(...)`` / ``query_many(...)`` methods; the old
+constructor keeps working (bit-identically) as a shim.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.ordering import LinearOrder
 from repro.errors import InvalidParameterError
 from repro.geometry.boxes import Box
 from repro.geometry.grid import Grid
 from repro.index.bplustree import BPlusTree
-from repro.mapping.interface import LocalityMapping, SpectralMapping
+from repro.mapping.interface import LocalityMapping
 from repro.storage.buffer import LRUBufferPool
 from repro.storage.disk import DiskCostModel
 from repro.storage.pages import PageLayout
@@ -70,16 +77,15 @@ class LinearStore:
     cost_model:
         Seek/transfer costs for the accounting.
     service:
-        Optional :class:`~repro.service.ordering.OrderingService`.  When
-        given and the mapping is a cacheable spectral mapping without a
-        service of its own, the store's order is obtained through the
-        service, so many stores over the same domain (and service
-        restarts backed by a disk store) share one eigensolve.  A
-        mapping that already carries a service keeps it, non-cacheable
-        spectral mappings keep their per-grid memo (re-solving through a
-        cache-bypassing service would be strictly slower), and
-        non-spectral mappings ignore it — curve orders are already
-        cheaper than a cache lookup is worth persisting.
+        Optional :class:`~repro.service.ordering.OrderingService`,
+        forwarded to :meth:`~repro.mapping.LocalityMapping.order_domain`:
+        cacheable spectral mappings without a service of their own route
+        the order through it (so many stores over one domain share an
+        eigensolve), every other mapping ignores it.
+
+    .. deprecated::
+        Construct through :meth:`repro.api.SpectralIndex.build` instead;
+        this constructor remains as a bit-identical shim.
     """
 
     def __init__(self, grid: Grid, mapping: LocalityMapping,
@@ -87,14 +93,36 @@ class LinearStore:
                  buffer_capacity: Optional[int] = None,
                  cost_model: Optional[DiskCostModel] = None,
                  service=None):
+        warnings.warn(
+            "direct LinearStore construction is deprecated; build a "
+            "repro.api.SpectralIndex and use its range()/workload() "
+            "methods",
+            DeprecationWarning, stacklevel=2,
+        )
+        self._setup(grid, mapping, None, page_size, tree_order,
+                    buffer_capacity, cost_model, service)
+
+    @classmethod
+    def _from_api(cls, grid: Grid, mapping: LocalityMapping,
+                  order: Optional[LinearOrder] = None,
+                  page_size: int = 16, tree_order: int = 32,
+                  buffer_capacity: Optional[int] = None,
+                  cost_model: Optional[DiskCostModel] = None,
+                  service=None) -> "LinearStore":
+        """Facade constructor: no deprecation, optional precomputed order."""
+        store = object.__new__(cls)
+        store._setup(grid, mapping, order, page_size, tree_order,
+                     buffer_capacity, cost_model, service)
+        return store
+
+    def _setup(self, grid: Grid, mapping: LocalityMapping,
+               order: Optional[LinearOrder], page_size: int,
+               tree_order: int, buffer_capacity: Optional[int],
+               cost_model: Optional[DiskCostModel], service) -> None:
         self._grid = grid
         self._mapping = mapping
-        if (service is not None and isinstance(mapping, SpectralMapping)
-                and mapping.service is None
-                and mapping.algorithm.cacheable):
-            order = service.order_grid(grid, mapping.algorithm)
-        else:
-            order = mapping.order_for_grid(grid)
+        if order is None:
+            order = mapping.order_domain(grid, service=service)
         self._ranks = order.ranks
         self._layout = PageLayout(order, page_size)
         # Key = rank; value = flat cell index.

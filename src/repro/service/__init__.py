@@ -24,7 +24,7 @@ from repro.service.ordering import (
     OrderRequest,
     ServiceStats,
 )
-from repro.service.store import STORE_VERSION, ArtifactStore
+from repro.service.store import STORE_VERSION, ArtifactStore, StoreEntry
 
 __all__ = [
     "ARTIFACT_SOURCES",
@@ -36,6 +36,7 @@ __all__ = [
     "OrderingService",
     "STORE_VERSION",
     "ServiceStats",
+    "StoreEntry",
     "config_fingerprint",
     "domain_fingerprint",
     "graph_fingerprint",

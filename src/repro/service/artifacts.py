@@ -20,8 +20,10 @@ from typing import Optional, Tuple
 from repro.core.ordering import LinearOrder
 from repro.core.spectral import SpectralConfig
 
-#: ``source`` values an artifact can carry.
-ARTIFACT_SOURCES = ("computed", "memory", "disk")
+#: ``source`` values an artifact can carry.  ``"coalesced"`` marks a
+#: copy served to a request that waited on a concurrent identical miss
+#: (single-flight) instead of computing or hitting a cache tier itself.
+ARTIFACT_SOURCES = ("computed", "memory", "disk", "coalesced")
 
 
 @dataclass(frozen=True)
@@ -51,8 +53,9 @@ class OrderArtifact:
         Eigensolver invocations spent computing the artifact (0 when it
         was served from a cache, by definition of a cache hit).
     source:
-        Where this copy came from: ``"computed"``, ``"memory"``, or
-        ``"disk"``.
+        Where this copy came from: ``"computed"``, ``"memory"``,
+        ``"disk"``, or ``"coalesced"`` (waited on a concurrent
+        identical computation).
     """
 
     key: str

@@ -1,0 +1,186 @@
+"""``repro-orders``: operate on an order-artifact store directory.
+
+Usage::
+
+    repro-orders ls CACHE_DIR [--sort age|size|key]
+    repro-orders inspect CACHE_DIR KEY_PREFIX
+    repro-orders evict CACHE_DIR --max-bytes 64M [--dry-run]
+    repro-orders evict CACHE_DIR --key KEY_PREFIX
+    python -m repro.service.cli ...         # equivalent
+
+The store directory is the one handed to
+:class:`~repro.service.OrderingService` (``store=``), the experiments
+CLI (``--cache-dir``), or :class:`~repro.service.ArtifactStore`
+directly.  ``ls`` lists footprint and provenance summaries (least
+recently used first); ``inspect`` dumps one artifact's full metadata;
+``evict`` applies the same LRU size-bounding policy a
+``max_bytes``-configured store enforces on every save.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import List, Optional
+
+from repro.errors import InvalidParameterError
+from repro.service.store import ArtifactStore
+
+_SIZE_SUFFIXES = {"": 1, "K": 1024, "M": 1024 ** 2, "G": 1024 ** 3}
+
+
+def parse_size(text: str) -> int:
+    """Parse a byte count with an optional K/M/G suffix (``"64M"``)."""
+    raw = text.strip().upper().removesuffix("B")
+    suffix = raw[-1:] if raw[-1:] in ("K", "M", "G") else ""
+    number = raw[:-1] if suffix else raw
+    try:
+        value = int(number)
+    except ValueError:
+        raise InvalidParameterError(
+            f"cannot parse size {text!r}; expected e.g. 4096, 64K, 16M, 2G"
+        ) from None
+    if value < 0:
+        raise InvalidParameterError(f"size must be >= 0, got {text!r}")
+    return value * _SIZE_SUFFIXES[suffix]
+
+
+def format_size(num_bytes: int) -> str:
+    """Render a byte count with a binary suffix (``"1.5M"``)."""
+    size = float(num_bytes)
+    for suffix in ("", "K", "M", "G"):
+        if size < 1024 or suffix == "G":
+            return (f"{int(size)}{suffix}" if size < 10 or suffix == ""
+                    else f"{size:.1f}{suffix}")
+        size /= 1024
+    return f"{num_bytes}"
+
+
+def _resolve_key(store: ArtifactStore, prefix: str) -> str:
+    matches = [key for key in store.keys() if key.startswith(prefix)]
+    if not matches:
+        raise InvalidParameterError(
+            f"no artifact key starts with {prefix!r}"
+        )
+    if len(matches) > 1:
+        raise InvalidParameterError(
+            f"key prefix {prefix!r} is ambiguous "
+            f"({len(matches)} matches); give more characters"
+        )
+    return matches[0]
+
+
+def _cmd_ls(store: ArtifactStore, sort: str) -> int:
+    entries = store.entries()
+    if sort == "size":
+        entries = sorted(entries, key=lambda e: (-e.bytes, e.key))
+    elif sort == "key":
+        entries = sorted(entries, key=lambda e: e.key)
+    now = time.time()
+    print(f"{'key':16s} {'size':>8s} {'age':>8s} {'n':>9s} "
+          f"{'backend':10s} domain")
+    for entry in entries:
+        age_s = max(0.0, now - entry.accessed)
+        age = (f"{age_s:.0f}s" if age_s < 120
+               else f"{age_s / 60:.0f}m" if age_s < 7200
+               else f"{age_s / 3600:.1f}h")
+        n = "?" if entry.n is None else str(entry.n)
+        backend = entry.backend or "?"
+        print(f"{entry.key[:16]:16s} {format_size(entry.bytes):>8s} "
+              f"{age:>8s} {n:>9s} {backend:10s} {entry.domain}")
+    print(f"total: {len(entries)} artifacts, "
+          f"{format_size(store.total_bytes())}")
+    return 0
+
+
+def _cmd_inspect(store: ArtifactStore, prefix: str) -> int:
+    key = _resolve_key(store, prefix)
+    print(store.meta_path(key).read_text().rstrip())
+    entry = store.entry(key)
+    if entry is not None:
+        print(f"# footprint: {format_size(entry.bytes)} "
+              f"({entry.bytes} bytes)")
+    return 0
+
+
+def _cmd_evict(store: ArtifactStore, max_bytes: Optional[int],
+               key_prefix: Optional[str], dry_run: bool) -> int:
+    if (max_bytes is None) == (key_prefix is None):
+        print("evict needs exactly one of --max-bytes or --key",
+              file=sys.stderr)
+        return 2
+    if key_prefix is not None:
+        key = _resolve_key(store, key_prefix)
+        if dry_run:
+            print(f"would evict {key}")
+        else:
+            store.delete(key)
+            print(f"evicted {key}")
+        return 0
+    if dry_run:
+        victims = store.evict_to(max_bytes, dry_run=True)
+        freed = 0
+        for key in victims:
+            entry = store.entry(key)
+            freed += entry.bytes if entry is not None else 0
+            print(f"would evict {key}")
+        print(f"would free {format_size(freed)}; "
+              f"{format_size(store.total_bytes() - freed)} would remain")
+        return 0
+    evicted = store.evict_to(max_bytes)
+    for key in evicted:
+        print(f"evicted {key}")
+    print(f"{len(evicted)} evicted; "
+          f"{format_size(store.total_bytes())} remain")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of the ``repro-orders`` console script."""
+    parser = argparse.ArgumentParser(
+        prog="repro-orders",
+        description="List, inspect, and evict cached spectral-order "
+                    "artifacts.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    ls = sub.add_parser("ls", help="list artifacts (LRU first)")
+    ls.add_argument("root", help="artifact store directory")
+    ls.add_argument("--sort", choices=("age", "size", "key"),
+                    default="age")
+
+    inspect = sub.add_parser("inspect",
+                             help="dump one artifact's metadata")
+    inspect.add_argument("root", help="artifact store directory")
+    inspect.add_argument("key", help="artifact key (unique prefix ok)")
+
+    evict = sub.add_parser("evict", help="delete artifacts")
+    evict.add_argument("root", help="artifact store directory")
+    evict.add_argument("--max-bytes", default=None, metavar="SIZE",
+                       help="evict LRU artifacts until the store fits "
+                            "(accepts K/M/G suffixes)")
+    evict.add_argument("--key", default=None, metavar="PREFIX",
+                       help="evict one artifact by key prefix")
+    evict.add_argument("--dry-run", action="store_true",
+                       help="report what would be deleted, delete "
+                            "nothing")
+
+    args = parser.parse_args(argv)
+    store = ArtifactStore(args.root)
+    try:
+        if args.command == "ls":
+            return _cmd_ls(store, args.sort)
+        if args.command == "inspect":
+            return _cmd_inspect(store, args.key)
+        max_bytes = (parse_size(args.max_bytes)
+                     if args.max_bytes is not None else None)
+        return _cmd_evict(store, max_bytes, args.key, args.dry_run)
+    except (InvalidParameterError, OSError, json.JSONDecodeError) as exc:
+        print(f"repro-orders: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,6 +23,16 @@ groups requests by graph topology so N weight configurations over one
 domain pay a single graph build (and, under the multilevel backend, a
 single coarsening) instead of N.
 
+The service is safe to share across threads, and misses are
+**single-flight**: concurrent requests for one order key elect a leader
+that runs the eigensolve while the rest wait and receive the leader's
+artifact (``source == "coalesced"``, counted in
+:attr:`ServiceStats.coalesced`).  N threads cold-missing the same
+(config, domain) fingerprint therefore cost exactly one solver
+invocation — the serving-layer contract the
+:func:`~repro.linalg.backends.solver_invocations` counter asserts in
+the test suite.
+
 Caching is only sound for requests a
 :class:`~repro.core.spectral.SpectralConfig` fully describes; algorithms
 carrying callable weights or explicit probe vectors
@@ -33,8 +43,9 @@ stored, so distinct algorithms can never collide on a key.
 from __future__ import annotations
 
 import dataclasses
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+import threading
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -49,7 +60,7 @@ from repro.graph.builders import grid_graph_from_topology, \
 from repro.graph.coarsening import HierarchyCache
 from repro.graph.laplacian import laplacian
 from repro.graph.weights import weight_names
-from repro.linalg.backends import solver_invocations
+from repro.linalg.backends import thread_solver_invocations
 from repro.caching import LRUCache
 from repro.service.artifacts import OrderArtifact
 from repro.service.fingerprint import (
@@ -88,10 +99,12 @@ class OrderRequest:
 class ServiceStats:
     """Counters of where the service's answers came from.
 
-    ``memory_hits`` / ``disk_hits`` / ``computed`` partition the cacheable
-    requests; ``uncacheable`` counts direct computations on behalf of
-    algorithms a config cannot represent.  ``topology_builds`` counts
-    grid-graph topology constructions (the quantity
+    ``memory_hits`` / ``disk_hits`` / ``computed`` / ``coalesced``
+    partition the cacheable requests (``coalesced`` are requests that
+    waited on a concurrent identical miss instead of solving);
+    ``uncacheable`` counts direct computations on behalf of algorithms a
+    config cannot represent.  ``topology_builds`` counts grid-graph
+    topology constructions (the quantity
     :meth:`~OrderingService.order_many` amortizes) and ``solver_calls``
     accumulates the eigensolver invocations spent inside this service.
     """
@@ -99,6 +112,7 @@ class ServiceStats:
     memory_hits: int = 0
     disk_hits: int = 0
     computed: int = 0
+    coalesced: int = 0
     uncacheable: int = 0
     topology_builds: int = 0
     solver_calls: int = 0
@@ -115,6 +129,16 @@ class _Resolved:
     config: SpectralConfig
     algorithm: Optional[SpectralLPM]
     cacheable: bool
+
+
+class _Flight:
+    """One in-progress computation other threads can wait on."""
+
+    __slots__ = ("event", "artifact")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.artifact: Optional[OrderArtifact] = None
 
 
 class OrderingService:
@@ -151,6 +175,10 @@ class OrderingService:
         self._store: Optional[ArtifactStore] = store
         self._hierarchy = HierarchyCache(hierarchy_entries)
         self._stats = ServiceStats()
+        # Guards the memory tier, the stats, and the in-flight table;
+        # solves themselves run outside it (different keys in parallel).
+        self._lock = threading.RLock()
+        self._inflight: Dict[str, _Flight] = {}
 
     # ------------------------------------------------------------------
     @property
@@ -186,16 +214,18 @@ class OrderingService:
         """:meth:`order_grid` with full provenance attached."""
         resolved = self._resolve(config)
         if not resolved.cacheable:
-            self._stats.uncacheable += 1
+            with self._lock:
+                self._stats.uncacheable += 1
             order = resolved.algorithm.order_grid(grid)
             return OrderArtifact(key="", config=resolved.config,
                                  domain=_describe_grid(grid), order=order,
                                  source="computed")
         key = order_key(resolved.config, domain_fingerprint(grid))
-        cached = self._lookup(key)
-        if cached is not None:
-            return cached
-        return self._compute_grid(key, grid, resolved.config, graph=None)
+        return self._cached_or_compute(
+            key,
+            lambda: self._compute_grid(key, grid, resolved.config,
+                                       graph=None),
+        )
 
     def order_graph(self, graph: Graph,
                     config: ConfigLike = None) -> LinearOrder:
@@ -214,7 +244,8 @@ class OrderingService:
         """
         resolved = self._resolve(config)
         if not resolved.cacheable:
-            self._stats.uncacheable += 1
+            with self._lock:
+                self._stats.uncacheable += 1
             order = resolved.algorithm.order_graph(graph)
             return OrderArtifact(key="", config=resolved.config,
                                  domain=_describe_graph(graph),
@@ -224,12 +255,12 @@ class OrderingService:
         content = graph.content_fingerprint()
         key = order_key(resolved.config,
                         graph_fingerprint(graph, content=content))
-        cached = self._lookup(key)
-        if cached is not None:
-            return cached
-        return self._compute_graph(key, graph, resolved.config,
-                                   _describe_graph(graph, content),
-                                   probe=None)
+        return self._cached_or_compute(
+            key,
+            lambda: self._compute_graph(key, graph, resolved.config,
+                                        _describe_graph(graph, content),
+                                        probe=None),
+        )
 
     def order_points(self, grid: Grid, cell_indices: Sequence[int],
                      config: ConfigLike = None
@@ -243,21 +274,23 @@ class OrderingService:
         cells = np.unique(np.asarray(cell_indices, dtype=np.int64))
         resolved = self._resolve(config)
         if not resolved.cacheable:
-            self._stats.uncacheable += 1
+            with self._lock:
+                self._stats.uncacheable += 1
             return resolved.algorithm.order_points(grid, cells)
         key = order_key(resolved.config, points_fingerprint(grid, cells))
-        cached = self._lookup(key)
-        if cached is not None:
-            return cached.order, cells
-        graph, cells = induced_grid_graph(
-            grid, cells, connectivity=resolved.config.connectivity,
-            radius=resolved.config.radius, weight=resolved.config.weight,
-        )
-        artifact = self._compute_graph(
-            key, graph, resolved.config,
-            _describe_points(grid, cells), probe=None,
-        )
-        return artifact.order, cells
+
+        def compute() -> OrderArtifact:
+            graph, _ = induced_grid_graph(
+                grid, cells, connectivity=resolved.config.connectivity,
+                radius=resolved.config.radius,
+                weight=resolved.config.weight,
+            )
+            return self._compute_graph(
+                key, graph, resolved.config,
+                _describe_points(grid, cells), probe=None,
+            )
+
+        return self._cached_or_compute(key, compute).order, cells
 
     def order_many(self, requests: Sequence) -> List[LinearOrder]:
         """Order a batch of domains, amortizing shared work.
@@ -294,28 +327,37 @@ class OrderingService:
                                               request.config)
 
         for indices in groups.values():
-            topology = None
+            # Built lazily and shared by every miss in the group: a
+            # fully-warm (or fully-coalesced) group never builds it.
+            topology_box: List = [None]
             for i in indices:
                 request = normalized[i]
-                grid = request.domain
-                key = order_key(request.config, domain_fingerprint(grid))
-                cached = self._lookup(key)
-                if cached is not None:
-                    results[i] = cached.order
-                    continue
-                if topology is None:
-                    # Built lazily: a fully-warm group never builds it.
-                    topology = grid_graph_topology(
-                        grid, connectivity=request.config.connectivity,
-                        radius=request.config.radius,
-                    )
-                    self._stats.topology_builds += 1
-                graph = grid_graph_from_topology(topology,
-                                                 request.config.weight)
-                artifact = self._compute_grid(key, grid, request.config,
-                                              graph=graph)
-                results[i] = artifact.order
+                key = order_key(request.config,
+                                domain_fingerprint(request.domain))
+                compute = self._grouped_compute(key, request,
+                                                topology_box)
+                results[i] = self._cached_or_compute(key, compute).order
         return results
+
+    def _grouped_compute(self, key: str, request: OrderRequest,
+                         topology_box: List) -> Callable[[], OrderArtifact]:
+        """A compute closure sharing one topology across a batch group."""
+
+        def compute() -> OrderArtifact:
+            if topology_box[0] is None:
+                topology_box[0] = grid_graph_topology(
+                    request.domain,
+                    connectivity=request.config.connectivity,
+                    radius=request.config.radius,
+                )
+                with self._lock:
+                    self._stats.topology_builds += 1
+            graph = grid_graph_from_topology(topology_box[0],
+                                             request.config.weight)
+            return self._compute_grid(key, request.domain, request.config,
+                                      graph=graph)
+
+        return compute
 
     # ------------------------------------------------------------------
     # Internals
@@ -345,19 +387,62 @@ class OrderingService:
             f"got {type(config).__name__}"
         )
 
-    def _lookup(self, key: str) -> Optional[OrderArtifact]:
-        artifact = self._memory.get(key)
-        if artifact is not None:
-            self._stats.memory_hits += 1
-            return dataclasses.replace(artifact, solver_calls=0,
-                                       source="memory")
-        if self._store is not None:
-            artifact = self._store.load(key)
-            if artifact is not None:
-                self._stats.disk_hits += 1
-                self._memory.put(key, artifact)
-                return artifact
-        return None
+    def _cached_or_compute(self, key: str,
+                           compute: Callable[[], OrderArtifact]
+                           ) -> OrderArtifact:
+        """Serve ``key`` from cache, computing at most once concurrently.
+
+        Single-flight: the first thread to miss becomes the leader and
+        performs the disk lookup and (on a true miss) ``compute`` —
+        both *outside* the lock, so distinct keys load and solve in
+        parallel and memory hits never wait on another key's I/O.
+        Concurrent requests for the same key wait on the leader's
+        flight and receive its artifact with ``source="coalesced"``.
+        If the leader fails, waiters retry — one of them becomes the
+        next leader — so a transient failure never wedges the key.
+        """
+        while True:
+            with self._lock:
+                artifact = self._memory.get(key)
+                if artifact is not None:
+                    self._stats.memory_hits += 1
+                    return dataclasses.replace(artifact, solver_calls=0,
+                                               source="memory")
+                flight = self._inflight.get(key)
+                if flight is None:
+                    mine = _Flight()
+                    self._inflight[key] = mine
+            if flight is None:
+                try:
+                    artifact = self._disk_lookup(key)
+                    if artifact is None:
+                        artifact = compute()
+                    mine.artifact = artifact
+                    return artifact
+                finally:
+                    with self._lock:
+                        self._inflight.pop(key, None)
+                    mine.event.set()
+            flight.event.wait()
+            if flight.artifact is not None:
+                with self._lock:
+                    self._stats.coalesced += 1
+                return dataclasses.replace(flight.artifact,
+                                           solver_calls=0,
+                                           source="coalesced")
+
+    def _disk_lookup(self, key: str) -> Optional[OrderArtifact]:
+        """Disk-tier load; runs outside the lock (the single-flight
+        table already guarantees one load per key at a time)."""
+        if self._store is None:
+            return None
+        artifact = self._store.load(key)
+        if artifact is None:
+            return None
+        with self._lock:
+            self._stats.disk_hits += 1
+            self._memory.put(key, artifact)
+        return artifact
 
     def _algorithm(self, config: SpectralConfig) -> SpectralLPM:
         return SpectralLPM.from_config(config,
@@ -382,17 +467,20 @@ class OrderingService:
     def _finish(self, key: str, algorithm: SpectralLPM, graph: Graph,
                 domain: str, config: SpectralConfig,
                 probe: Optional[np.ndarray]) -> OrderArtifact:
-        before = solver_invocations()
+        # Thread-local delta: concurrent solves on other keys must not
+        # leak into this artifact's provenance (or double-count stats).
+        before = thread_solver_invocations()
         order, fiedlers = algorithm.order_graph_with_fiedler(graph, probe)
-        solver_calls = solver_invocations() - before
-        self._stats.computed += 1
-        self._stats.solver_calls += solver_calls
+        solver_calls = thread_solver_invocations() - before
         provenance = _provenance(graph, fiedlers)
         artifact = OrderArtifact(
             key=key, config=config, domain=domain, order=order,
             solver_calls=solver_calls, source="computed", **provenance,
         )
-        self._memory.put(key, artifact)
+        with self._lock:
+            self._stats.computed += 1
+            self._stats.solver_calls += solver_calls
+            self._memory.put(key, artifact)
         if self._store is not None:
             self._store.save(artifact)
         return artifact

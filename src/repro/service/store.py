@@ -17,6 +17,16 @@ missing half of the pair, or a corrupt permutation all count as a miss
 (``None``) rather than an error — a cache must degrade to recomputation,
 never take the service down.  This is what lets a restarted service pay
 zero eigensolves for every domain it has seen before.
+
+The store is also *size-bounded* on request: construct with
+``max_bytes=`` (every save then evicts least-recently-used artifacts
+beyond the bound, never the one just written) or call
+:meth:`ArtifactStore.evict_to` explicitly.  Recency is tracked through
+the metadata file's mtime, which successful loads refresh — so a
+long-lived cache directory sheds the orders nobody asks for anymore,
+not merely the oldest.  The ``repro-orders`` CLI
+(:mod:`repro.service.cli`) wraps ``ls`` / ``inspect`` / ``evict`` over
+the same primitives.
 """
 
 from __future__ import annotations
@@ -24,8 +34,11 @@ from __future__ import annotations
 import dataclasses
 import json
 import os
+import threading
+import time
+from dataclasses import dataclass
 from pathlib import Path
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -40,6 +53,25 @@ from repro.service.artifacts import OrderArtifact
 STORE_VERSION = 1
 
 
+@dataclass(frozen=True)
+class StoreEntry:
+    """One artifact's on-disk footprint and identity summary.
+
+    ``accessed`` is the metadata file's mtime — refreshed on every
+    successful load, so it approximates last use, not just write time.
+    ``domain`` / ``n`` / ``backend`` are best-effort reads of the
+    metadata (``"?"`` / ``None`` when the file is unreadable — listing
+    a corrupt store must still work, that is when it matters most).
+    """
+
+    key: str
+    bytes: int
+    accessed: float
+    domain: str = "?"
+    n: Optional[int] = None
+    backend: Optional[str] = None
+
+
 class ArtifactStore:
     """A directory-backed, versioned store of :class:`OrderArtifact`.
 
@@ -47,12 +79,35 @@ class ArtifactStore:
     ----------
     root:
         Directory holding the artifacts (created on first write).
+    max_bytes:
+        Optional size bound.  After every :meth:`save` the store evicts
+        least-recently-used artifacts until the total footprint fits
+        (the artifact just written is never evicted, even if it exceeds
+        the bound by itself — losing the order we were asked to persist
+        would turn a full cache into a broken one).
     """
 
-    def __init__(self, root) -> None:
+    def __init__(self, root, max_bytes: Optional[int] = None) -> None:
         self._root = Path(root).expanduser()
+        if max_bytes is not None and max_bytes < 1:
+            raise InvalidParameterError(
+                f"max_bytes must be a positive integer, got {max_bytes}"
+            )
+        self._max_bytes = max_bytes
+        # Serializes save/evict/delete within this process: a
+        # thread-safe OrderingService runs leader saves concurrently,
+        # and an eviction sweeping between another thread's meta and
+        # permutation writes would orphan the .npy half.  (Reentrant:
+        # evict_to calls delete.)
+        self._write_lock = threading.RLock()
         self.loads = 0
         self.load_failures = 0
+        self.evictions = 0
+
+    @property
+    def max_bytes(self) -> Optional[int]:
+        """The configured size bound, if any."""
+        return self._max_bytes
 
     @property
     def root(self) -> Path:
@@ -79,6 +134,10 @@ class ArtifactStore:
     # ------------------------------------------------------------------
     def save(self, artifact: OrderArtifact) -> None:
         """Persist an artifact (atomic per file; last writer wins)."""
+        with self._write_lock:
+            self._save_locked(artifact)
+
+    def _save_locked(self, artifact: OrderArtifact) -> None:
         self._root.mkdir(parents=True, exist_ok=True)
         meta = {
             "version": STORE_VERSION,
@@ -107,6 +166,8 @@ class ArtifactStore:
             np.save(handle, np.asarray(artifact.order.permutation,
                                        dtype=np.int64))
         os.replace(tmp, perm_path)
+        if self._max_bytes is not None:
+            self.evict_to(self._max_bytes, protect=(artifact.key,))
 
     def _atomic_write_bytes(self, path: Path, payload: bytes) -> None:
         tmp = path.with_suffix(path.suffix + ".tmp")
@@ -142,6 +203,12 @@ class ArtifactStore:
                 raise ValueError("permutation length mismatch")
             order = LinearOrder(permutation)
             eigenvalues = meta.get("eigenvalues")
+            # Refresh recency so size-bounded eviction is LRU, not
+            # oldest-written; failure (read-only store) is harmless.
+            try:
+                os.utime(meta_path, (time.time(), time.time()))
+            except OSError:
+                pass
             return OrderArtifact(
                 key=key,
                 config=config,
@@ -175,10 +242,112 @@ class ArtifactStore:
     def delete(self, key: str) -> bool:
         """Remove one artifact; returns whether anything was deleted."""
         removed = False
-        for path in (self._meta_path(key), self._perm_path(key)):
-            try:
-                path.unlink()
-                removed = True
-            except FileNotFoundError:
-                pass
+        with self._write_lock:
+            for path in (self._meta_path(key), self._perm_path(key)):
+                try:
+                    path.unlink()
+                    removed = True
+                except FileNotFoundError:
+                    pass
         return removed
+
+    # ------------------------------------------------------------------
+    # Size accounting and eviction
+    # ------------------------------------------------------------------
+    def meta_path(self, key: str) -> Path:
+        """Path of an artifact's metadata file (for external tooling).
+
+        The file layout is an implementation detail; tooling (the
+        ``repro-orders`` CLI) must come through here rather than
+        reconstructing names.
+        """
+        return self._meta_path(key)
+
+    def _footprint(self, key: str) -> Optional[Tuple[int, float]]:
+        """``(bytes, accessed)`` by ``stat`` alone, or ``None``.
+
+        The eviction hot path runs after *every* save on a bounded
+        store, so it must not parse metadata — sizes and mtimes are all
+        the policy needs.
+        """
+        try:
+            stat = self._meta_path(key).stat()
+        except FileNotFoundError:
+            return None
+        size = stat.st_size
+        try:
+            size += self._perm_path(key).stat().st_size
+        except FileNotFoundError:
+            pass
+        return size, stat.st_mtime
+
+    def _footprints(self) -> List[Tuple[str, int, float]]:
+        """``(key, bytes, accessed)`` triples, least recently used first."""
+        found = []
+        for key in self.keys():
+            footprint = self._footprint(key)
+            if footprint is not None:
+                found.append((key, footprint[0], footprint[1]))
+        return sorted(found, key=lambda item: (item[2], item[0]))
+
+    def entry(self, key: str) -> Optional[StoreEntry]:
+        """The :class:`StoreEntry` of one artifact, or ``None``.
+
+        Unlike the eviction path, this parses the metadata for the
+        display fields — it serves listing/inspection tooling.
+        """
+        footprint = self._footprint(key)
+        if footprint is None:
+            return None
+        domain, n, backend = "?", None, None
+        try:
+            meta = json.loads(self._meta_path(key).read_text())
+            domain = str(meta.get("domain", "?"))
+            n = meta.get("n")
+            backend = meta.get("backend")
+        except Exception:
+            pass
+        return StoreEntry(key=key, bytes=footprint[0],
+                          accessed=footprint[1], domain=domain, n=n,
+                          backend=backend)
+
+    def entries(self) -> List[StoreEntry]:
+        """Every artifact's footprint, least recently used first."""
+        found = (self.entry(key) for key in self.keys())
+        return sorted((e for e in found if e is not None),
+                      key=lambda e: (e.accessed, e.key))
+
+    def total_bytes(self) -> int:
+        """Total on-disk footprint of every artifact."""
+        return sum(size for _, size, _ in self._footprints())
+
+    def evict_to(self, max_bytes: int, protect=(),
+                 dry_run: bool = False) -> List[str]:
+        """Delete LRU artifacts until the store fits in ``max_bytes``.
+
+        Keys in ``protect`` are never deleted.  With ``dry_run`` the
+        same policy runs but nothing is deleted.  Returns the (would-be)
+        evicted keys, least recently used first.
+        """
+        if max_bytes < 0:
+            raise InvalidParameterError(
+                f"max_bytes must be >= 0, got {max_bytes}"
+            )
+        with self._write_lock:
+            footprints = self._footprints()
+            total = sum(size for _, size, _ in footprints)
+            protected = set(protect)
+            evicted: List[str] = []
+            for key, size, _ in footprints:
+                if total <= max_bytes:
+                    break
+                if key in protected:
+                    continue
+                if dry_run:
+                    total -= size
+                    evicted.append(key)
+                elif self.delete(key):
+                    total -= size
+                    evicted.append(key)
+                    self.evictions += 1
+        return evicted

@@ -1,0 +1,90 @@
+"""Deprecation shims: old entry points warn and stay bit-identical.
+
+The pre-``repro.api`` front doors — :func:`repro.mapping.mapping_by_name`
+and direct :class:`repro.query.LinearStore` construction — must keep
+working for downstream code: same orders, same query results, plus a
+:class:`DeprecationWarning` pointing at the replacement.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import mapping_by_name
+from repro.api import SpectralIndex, make_mapping
+from repro.core.spectral import SpectralConfig
+from repro.geometry import Box, Grid
+from repro.mapping import (
+    CurveMapping,
+    SpectralBisectionMapping,
+    SpectralMapping,
+)
+from repro.query import LinearStore
+from repro.service import OrderingService
+
+
+def test_mapping_by_name_warns():
+    with pytest.warns(DeprecationWarning, match="make_mapping"):
+        mapping_by_name("hilbert")
+
+
+def test_mapping_by_name_resolves_like_make_mapping():
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        assert isinstance(mapping_by_name("gray"), CurveMapping)
+        assert isinstance(mapping_by_name("spectral"), SpectralMapping)
+        assert isinstance(mapping_by_name("spectral-rb"),
+                          SpectralBisectionMapping)
+        spectral = mapping_by_name("spectral", backend="dense",
+                                   weight="gaussian")
+        assert spectral.algorithm.config.backend == "dense"
+        assert spectral.algorithm.config.weight == "gaussian"
+
+
+@pytest.mark.parametrize("name", ("sweep", "peano", "gray", "hilbert",
+                                  "spectral", "spectral-rb",
+                                  "spectral-ml"))
+def test_shim_orders_are_bit_identical_to_the_facade(name):
+    grid = Grid((7, 7))
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        old = mapping_by_name(name).ranks_for_grid(grid)
+    new = SpectralIndex.build(grid, mapping=name).ranks
+    assert np.array_equal(old, new)
+
+
+def test_linear_store_construction_warns(grid8):
+    with pytest.warns(DeprecationWarning, match="SpectralIndex"):
+        LinearStore(grid8, make_mapping("sweep"))
+
+
+def test_linear_store_results_match_the_facade(grid8):
+    service = OrderingService()
+    mapping = make_mapping("spectral", service=service)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        store = LinearStore(grid8, mapping, page_size=8, tree_order=8)
+    index = SpectralIndex.build(grid8, service=service,
+                                page_size=8, tree_order=8)
+    for box in (Box((0, 0), (3, 3)), Box((2, 1), (6, 5))):
+        for plan in ("span-scan", "page-fetch"):
+            old = store.range_query(box, plan=plan)
+            new = index.range(box, plan=plan)
+            assert np.array_equal(old.results, new.results)
+            assert old.pages_fetched == new.pages_fetched
+            assert old.seeks == new.seeks
+            assert old.cost == new.cost
+    # and the shared service solved exactly once for both stacks
+    assert service.stats.computed == 1
+
+
+def test_linear_store_service_routing_still_works(grid8):
+    """The old store-level service= parameter keeps its semantics."""
+    service = OrderingService()
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        LinearStore(grid8, make_mapping("spectral"), service=service)
+        LinearStore(grid8, make_mapping("spectral"), service=service)
+    assert service.stats.computed == 1
+    assert service.stats.memory_hits == 1

@@ -1,0 +1,71 @@
+"""Domain union: PointSet semantics and as_domain coercion."""
+
+import numpy as np
+import pytest
+
+from repro.api import PointSet, as_domain
+from repro.errors import DomainError, InvalidParameterError
+from repro.geometry import Grid
+from repro.graph import Graph, grid_graph
+
+
+def test_pointset_canonicalizes_cells():
+    ps = PointSet(Grid((4, 4)), [9, 2, 9, 5, 2])
+    assert list(ps.cells) == [2, 5, 9]
+    assert len(ps) == 3
+    assert ps.cells.dtype == np.int64
+
+
+def test_pointset_cells_are_read_only():
+    ps = PointSet(Grid((4, 4)), [1, 2])
+    with pytest.raises(ValueError):
+        ps.cells[0] = 3
+
+
+def test_pointset_equality_and_hash_ignore_input_order():
+    grid = Grid((5, 5))
+    a = PointSet(grid, [3, 1, 7])
+    b = PointSet(grid, [7, 3, 1, 1])
+    assert a == b
+    assert hash(a) == hash(b)
+    assert a != PointSet(grid, [3, 1, 8])
+    assert a != PointSet(Grid((5, 6)), [3, 1, 7])
+
+
+def test_pointset_coordinates_match_grid():
+    grid = Grid((3, 4))
+    ps = PointSet(grid, [0, 5, 11])
+    expected = np.array([grid.point_of(c) for c in ps.cells])
+    assert np.array_equal(ps.coordinates(), expected)
+
+
+def test_pointset_validates_inputs():
+    grid = Grid((3, 3))
+    with pytest.raises(InvalidParameterError):
+        PointSet(grid, [])
+    with pytest.raises(DomainError):
+        PointSet(grid, [0, 9])
+    with pytest.raises(DomainError):
+        PointSet(grid, [-1])
+    with pytest.raises(InvalidParameterError):
+        PointSet("not a grid", [0])
+
+
+def test_as_domain_passthrough_and_promotion():
+    grid = Grid((4, 4))
+    ps = PointSet(grid, [1, 2])
+    graph = grid_graph(Grid((2, 2)))
+    assert as_domain(grid) is grid
+    assert as_domain(ps) is ps
+    assert as_domain(graph) is graph
+    promoted = as_domain((3, 5))
+    assert isinstance(promoted, Grid)
+    assert promoted.shape == (3, 5)
+    assert as_domain([4, 4]) == Grid((4, 4))
+
+
+def test_as_domain_rejects_junk():
+    with pytest.raises(InvalidParameterError):
+        as_domain("8x8")
+    with pytest.raises(InvalidParameterError):
+        as_domain(64)

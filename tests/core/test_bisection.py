@@ -87,8 +87,8 @@ def test_global_spectral_beats_bisection_on_two_sum():
 
 
 def test_mapping_registry_integration():
-    from repro.mapping import mapping_by_name
-    mapping = mapping_by_name("spectral-rb", backend="dense")
+    from repro.api import make_mapping
+    mapping = make_mapping("spectral-rb", backend="dense")
     ranks = mapping.ranks_for_grid(Grid((5, 5)))
     assert sorted(ranks) == list(range(25))
     assert mapping.name == "spectral-rb"

@@ -17,7 +17,8 @@ from repro.datasets import dataset_by_name
 from repro.geometry import Grid
 from repro.graph import grid_graph
 from repro.linalg import scipy_available
-from repro.mapping import MAPPING_NAMES, mapping_by_name
+from repro.api import make_mapping
+from repro.mapping import MAPPING_NAMES
 from repro.query import knn_window_recall, random_boxes
 
 BACKENDS = ["dense", "lanczos"] + (["scipy"] if scipy_available() else [])
@@ -42,8 +43,8 @@ def test_weighted_and_moore_models_cross_backend(shape):
 @pytest.mark.parametrize("name", MAPPING_NAMES)
 def test_every_mapping_is_repeatable(name):
     grid = Grid((5, 5))
-    first = mapping_by_name(name).ranks_for_grid(grid)
-    second = mapping_by_name(name).ranks_for_grid(grid)
+    first = make_mapping(name).ranks_for_grid(grid)
+    second = make_mapping(name).ranks_for_grid(grid)
     assert np.array_equal(first, second)
 
 
@@ -70,7 +71,7 @@ def test_workloads_are_pure_functions_of_seed():
     grid = Grid((16, 16))
     assert random_boxes(grid, (4, 4), 10, seed=3) == \
         random_boxes(grid, (4, 4), 10, seed=3)
-    ranks = mapping_by_name("hilbert").ranks_for_grid(grid)
+    ranks = make_mapping("hilbert").ranks_for_grid(grid)
     assert knn_window_recall(grid, ranks, 4, 8, seed=2) == \
         knn_window_recall(grid, ranks, 4, 8, seed=2)
 

@@ -12,7 +12,7 @@ from repro import (
     Grid,
     LinearOrder,
     SpectralLPM,
-    mapping_by_name,
+    make_mapping,
     paper_mappings,
 )
 from repro.datasets import gaussian_cluster_cells
@@ -52,7 +52,7 @@ def test_all_paper_mappings_work_on_odd_grid():
 def test_spectral_order_feeds_rtree_and_queries():
     grid = Grid((16, 16))
     cells = gaussian_cluster_cells(grid, 80, seed=4)
-    mapping = mapping_by_name("spectral", backend="dense")
+    mapping = make_mapping("spectral", backend="dense")
     tree = PackedRTree.pack(grid, cells, mapping.ranks_for_grid(grid),
                             leaf_capacity=8, fanout=8)
     hits, visited = tree.window_query(Box((4, 4), (11, 11)))

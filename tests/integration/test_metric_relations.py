@@ -9,7 +9,8 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.geometry import Box, Grid, boxes_with_extent
-from repro.mapping import CurveMapping, mapping_by_name
+from repro.api import make_mapping
+from repro.mapping import CurveMapping
 from repro.metrics import (
     adjacent_gap_stats,
     bandwidth,
@@ -126,6 +127,6 @@ def test_spectral_consistency_across_entry_points():
     direct = lpm.order_grid(grid)
     via_graph = lpm.order_graph(lpm.build_grid_graph(grid),
                                 probe=symmetric_grid_probe(grid))
-    via_mapping = mapping_by_name(
+    via_mapping = make_mapping(
         "spectral", backend="dense").order_for_grid(grid)
     assert direct == via_graph == via_mapping

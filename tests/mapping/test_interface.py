@@ -16,6 +16,11 @@ from repro.mapping import (
     paper_mappings,
 )
 
+# These tests exercise the deprecated (but supported) pre-repro.api
+# entry points on purpose; the shim warnings are expected noise here.
+# Parity with the facade is pinned in tests/api/test_deprecation_shims.py.
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
 
 def test_every_registered_mapping_produces_a_permutation(grid4):
     for name in MAPPING_NAMES:

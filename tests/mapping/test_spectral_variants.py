@@ -4,10 +4,10 @@ import pytest
 
 from repro.geometry import Grid
 from repro.graph import grid_graph
+from repro.api import make_mapping
 from repro.mapping import (
     MAPPING_NAMES,
     SpectralMultilevelMapping,
-    mapping_by_name,
 )
 from repro.metrics import two_sum
 
@@ -21,7 +21,7 @@ def test_registry_includes_all_spectral_variants():
 @pytest.mark.parametrize("name", ["spectral-rb", "spectral-ml"])
 def test_variants_produce_permutations(name):
     grid = Grid((6, 6))
-    mapping = mapping_by_name(name, backend="dense")
+    mapping = make_mapping(name, backend="dense")
     ranks = mapping.ranks_for_grid(grid)
     assert sorted(ranks) == list(range(36))
     assert mapping.name == name
@@ -39,7 +39,7 @@ def test_variant_quality_ordering():
     graph = grid_graph(grid)
     costs = {}
     for name in ("spectral", "spectral-ml", "spectral-rb"):
-        mapping = mapping_by_name(name, backend="dense")
+        mapping = make_mapping(name, backend="dense")
         costs[name] = two_sum(graph, mapping.order_for_grid(grid))
     assert costs["spectral-ml"] <= 1.5 * costs["spectral"]
     assert costs["spectral-rb"] > 2.0 * costs["spectral"]

@@ -9,6 +9,11 @@ from repro.mapping import CurveMapping, mapping_by_name
 from repro.query import LinearStore
 from repro.storage import DiskCostModel
 
+# These tests exercise the deprecated (but supported) pre-repro.api
+# entry points on purpose; the shim warnings are expected noise here.
+# Parity with the facade is pinned in tests/api/test_deprecation_shims.py.
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
 
 @pytest.fixture
 def store():

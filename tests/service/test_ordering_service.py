@@ -12,6 +12,11 @@ from repro.mapping import SpectralMapping, mapping_by_name
 from repro.query import LinearStore
 from repro.service import ArtifactStore, OrderingService
 
+# These tests exercise the deprecated (but supported) pre-repro.api
+# entry points on purpose; the shim warnings are expected noise here.
+# Parity with the facade is pinned in tests/api/test_deprecation_shims.py.
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
 
 @pytest.fixture
 def grid():

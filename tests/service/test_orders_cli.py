@@ -1,0 +1,103 @@
+"""The repro-orders CLI: ls / inspect / evict over a store directory."""
+
+import json
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.geometry import Grid
+from repro.service import ArtifactStore, OrderingService
+from repro.service.cli import format_size, main, parse_size
+
+
+@pytest.fixture
+def store_dir(tmp_path):
+    service = OrderingService(store=str(tmp_path))
+    for side in (4, 5, 6):
+        service.grid_artifact(Grid((side, side)))
+    return tmp_path
+
+
+def test_parse_size_plain_and_suffixed():
+    assert parse_size("4096") == 4096
+    assert parse_size("64K") == 64 * 1024
+    assert parse_size("16M") == 16 * 1024 ** 2
+    assert parse_size("2G") == 2 * 1024 ** 3
+    assert parse_size("2g") == 2 * 1024 ** 3
+    assert parse_size("10KB") == 10 * 1024
+    with pytest.raises(InvalidParameterError):
+        parse_size("lots")
+    with pytest.raises(InvalidParameterError):
+        parse_size("-5")
+
+
+def test_format_size_round_trips_magnitudes():
+    assert format_size(512) == "512"
+    assert format_size(2048) == "2K"
+    assert "M" in format_size(3 * 1024 ** 2)
+
+
+def test_ls_lists_every_artifact(store_dir, capsys):
+    assert main(["ls", str(store_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "grid(4, 4)" in out
+    assert "grid(6, 6)" in out
+    assert "total: 3 artifacts" in out
+
+
+def test_ls_sorts(store_dir, capsys):
+    for sort in ("age", "size", "key"):
+        assert main(["ls", str(store_dir), "--sort", sort]) == 0
+    out = capsys.readouterr().out
+    assert "total: 3 artifacts" in out
+
+
+def test_inspect_by_unique_prefix(store_dir, capsys):
+    store = ArtifactStore(store_dir)
+    key = store.keys()[0]
+    assert main(["inspect", str(store_dir), key[:12]]) == 0
+    out = capsys.readouterr().out
+    meta = json.loads(out[:out.rindex("}") + 1])
+    assert meta["key"] == key
+    assert "# footprint:" in out
+
+
+def test_inspect_unknown_prefix_fails(store_dir, capsys):
+    assert main(["inspect", str(store_dir), "ffff_no_such"]) == 1
+    assert "repro-orders:" in capsys.readouterr().err
+
+
+def test_inspect_ambiguous_prefix_fails(store_dir, capsys):
+    assert main(["inspect", str(store_dir), ""]) == 1
+    assert "ambiguous" in capsys.readouterr().err
+
+
+def test_evict_to_size_bound(store_dir, capsys):
+    store = ArtifactStore(store_dir)
+    keep = store.total_bytes() - 1  # forces exactly one eviction
+    assert main(["evict", str(store_dir), "--max-bytes",
+                 str(keep)]) == 0
+    out = capsys.readouterr().out
+    assert "1 evicted" in out
+    assert len(ArtifactStore(store_dir).keys()) == 2
+
+
+def test_evict_dry_run_deletes_nothing(store_dir, capsys):
+    assert main(["evict", str(store_dir), "--max-bytes", "0",
+                 "--dry-run"]) == 0
+    out = capsys.readouterr().out
+    assert out.count("would evict") == 3
+    assert len(ArtifactStore(store_dir).keys()) == 3
+
+
+def test_evict_single_key(store_dir, capsys):
+    store = ArtifactStore(store_dir)
+    victim = store.keys()[1]
+    assert main(["evict", str(store_dir), "--key", victim[:10]]) == 0
+    assert victim not in ArtifactStore(store_dir).keys()
+
+
+def test_evict_requires_exactly_one_mode(store_dir, capsys):
+    assert main(["evict", str(store_dir)]) == 2
+    assert main(["evict", str(store_dir), "--max-bytes", "1",
+                 "--key", "ab"]) == 2

@@ -1,0 +1,96 @@
+"""Size-bounded eviction in the ArtifactStore."""
+
+import os
+import time
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.geometry import Grid
+from repro.service import ArtifactStore, OrderingService
+from repro.service.store import StoreEntry
+
+
+def _fill(store_dir, sides, max_bytes=None):
+    store = ArtifactStore(store_dir, max_bytes=max_bytes)
+    service = OrderingService(store=store)
+    keys = []
+    for side in sides:
+        artifact = service.grid_artifact(Grid((side, side)))
+        keys.append(artifact.key)
+    return store, keys
+
+
+def _age(store, key, seconds):
+    """Backdate an artifact's recency."""
+    path = store.root / f"{key}.json"
+    past = time.time() - seconds
+    os.utime(path, (past, past))
+
+
+def test_entries_and_total_bytes(tmp_path):
+    store, keys = _fill(tmp_path, (4, 5, 6))
+    entries = store.entries()
+    assert sorted(e.key for e in entries) == sorted(keys)
+    assert all(isinstance(e, StoreEntry) for e in entries)
+    assert all(e.bytes > 0 for e in entries)
+    assert store.total_bytes() == sum(e.bytes for e in entries)
+    assert {e.domain for e in entries} == {"grid(4, 4)", "grid(5, 5)",
+                                           "grid(6, 6)"}
+
+
+def test_evict_to_removes_least_recently_used_first(tmp_path):
+    store, keys = _fill(tmp_path, (4, 5, 6))
+    # Make the middle artifact the stalest, then the first, then last.
+    _age(store, keys[1], 300)
+    _age(store, keys[0], 200)
+    survivor_budget = store.entry(keys[2]).bytes
+    evicted = store.evict_to(survivor_budget)
+    assert evicted == [keys[1], keys[0]]
+    assert store.keys() == [keys[2]]
+    assert store.evictions == 2
+
+
+def test_evict_to_protects_keys(tmp_path):
+    store, keys = _fill(tmp_path, (4, 5))
+    _age(store, keys[0], 100)
+    evicted = store.evict_to(0, protect=keys)
+    assert evicted == []
+    assert len(store) == 2
+
+
+def test_evict_to_rejects_negative_budget(tmp_path):
+    store, _ = _fill(tmp_path, (4,))
+    with pytest.raises(InvalidParameterError):
+        store.evict_to(-1)
+
+
+def test_save_enforces_max_bytes_but_never_evicts_the_new_artifact(
+        tmp_path):
+    # A bound smaller than any single artifact: every save evicts all
+    # the *others* and keeps what it just wrote.
+    store = ArtifactStore(tmp_path, max_bytes=1)
+    service = OrderingService(store=store)
+    service.grid_artifact(Grid((4, 4)))
+    assert len(store) == 1
+    art = service.grid_artifact(Grid((5, 5)))
+    assert store.keys() == [art.key]
+
+
+def test_successful_load_refreshes_recency(tmp_path):
+    store, keys = _fill(tmp_path, (4, 5))
+    _age(store, keys[0], 500)
+    _age(store, keys[1], 100)
+    # Loading the stalest artifact rescues it from next eviction.
+    assert store.load(keys[0]) is not None
+    budget = store.entry(keys[0]).bytes
+    evicted = store.evict_to(budget)
+    assert evicted == [keys[1]]
+    assert store.keys() == [keys[0]]
+
+
+def test_max_bytes_validation(tmp_path):
+    with pytest.raises(InvalidParameterError):
+        ArtifactStore(tmp_path, max_bytes=0)
+    assert ArtifactStore(tmp_path).max_bytes is None
+    assert ArtifactStore(tmp_path, max_bytes=123).max_bytes == 123

@@ -16,6 +16,7 @@ import repro
 
 SUBPACKAGES = [
     "repro",
+    "repro.api",
     "repro.core",
     "repro.curves",
     "repro.datasets",
@@ -68,5 +69,23 @@ def test_public_api_covers_the_paper_pipeline():
     """The README's quickstart names must exist at top level."""
     for name in ("Grid", "Box", "Graph", "SpectralLPM", "spectral_order",
                  "mapping_by_name", "paper_mappings", "LinearOrder",
-                 "fiedler_vector", "add_access_pattern"):
+                 "fiedler_vector", "add_access_pattern",
+                 # the unified repro.api facade
+                 "SpectralIndex", "PointSet", "make_mapping",
+                 "as_domain", "RangeQuery", "NNQuery", "JoinQuery",
+                 "MappingCapabilities"):
         assert name in repro.__all__
+
+
+def test_api_package_is_typed_and_exported():
+    """repro.api ships py.typed and a curated __all__."""
+    import pathlib
+
+    import repro.api
+
+    assert repro.api.__all__, "repro.api lacks __all__"
+    package_root = pathlib.Path(repro.__file__).parent
+    assert (package_root / "py.typed").exists(), \
+        "py.typed marker missing from the repro package"
+    # The facade itself resolves through the package root too.
+    assert repro.SpectralIndex is repro.api.SpectralIndex

@@ -1,0 +1,95 @@
+"""The cutoff calibration script: measurements in, valid env file out."""
+
+import os
+
+import pytest
+
+from repro import calibrate
+from repro.linalg.backends import (
+    DENSE_CUTOFF,
+    MULTILEVEL_CUTOFF,
+    cutoff_from_env,
+)
+
+
+@pytest.fixture(scope="module")
+def quick_result():
+    return calibrate.calibrate(quick=True, repeats=1)
+
+
+def test_calibrate_produces_positive_cutoffs(quick_result):
+    assert quick_result.dense_cutoff >= 1
+    assert quick_result.multilevel_cutoff >= 1
+    assert quick_result.iterative_backend in ("scipy", "lanczos")
+
+
+def test_calibrate_measures_the_quick_ladder(quick_result):
+    expected_ns = [side * side for side in calibrate.QUICK_DENSE_SIDES]
+    assert [m.n for m in quick_result.dense_measurements] == expected_ns
+    assert all(m.cheap_s > 0 and m.expensive_s > 0
+               for m in quick_result.dense_measurements)
+    assert all(m.cheap_s > 0 and m.expensive_s > 0
+               for m in quick_result.multilevel_measurements)
+
+
+def test_cutoffs_are_grounded_in_measurements(quick_result):
+    measured = {m.n for m in quick_result.dense_measurements}
+    if quick_result.dense_crossed:
+        assert quick_result.dense_cutoff in measured
+    else:
+        # No observed crossover must never LOWER the shipped default.
+        assert quick_result.dense_cutoff == max(DENSE_CUTOFF,
+                                                max(measured))
+    if quick_result.multilevel_crossed:
+        assert quick_result.multilevel_cutoff in {
+            m.n for m in quick_result.multilevel_measurements}
+    else:
+        assert quick_result.multilevel_cutoff == MULTILEVEL_CUTOFF
+
+
+def test_env_file_round_trips_through_cutoff_from_env(
+        quick_result, tmp_path, monkeypatch):
+    text = calibrate.render_env_file(quick_result)
+    values = {}
+    for line in text.splitlines():
+        if line.startswith("#") or not line.strip():
+            continue
+        name, _, value = line.partition("=")
+        values[name] = value
+    assert set(values) == {"REPRO_DENSE_CUTOFF",
+                           "REPRO_MULTILEVEL_CUTOFF"}
+    monkeypatch.setenv("REPRO_DENSE_CUTOFF",
+                       values["REPRO_DENSE_CUTOFF"])
+    assert (cutoff_from_env("REPRO_DENSE_CUTOFF", 1)
+            == quick_result.dense_cutoff)
+    monkeypatch.setenv("REPRO_MULTILEVEL_CUTOFF",
+                       values["REPRO_MULTILEVEL_CUTOFF"])
+    assert (cutoff_from_env("REPRO_MULTILEVEL_CUTOFF", 1)
+            == quick_result.multilevel_cutoff)
+
+
+def test_main_writes_the_env_file(tmp_path, capsys):
+    out = tmp_path / "cutoffs.env"
+    assert calibrate.main(["--quick", "--repeats", "1",
+                           "--out", str(out)]) == 0
+    assert out.exists()
+    content = out.read_text()
+    assert "REPRO_DENSE_CUTOFF=" in content
+    assert "REPRO_MULTILEVEL_CUTOFF=" in content
+    assert "dense vs iterative" in content
+    printed = capsys.readouterr().out
+    assert "wrote" in printed
+    # every assignment line must be shell-sourceable (NAME=int)
+    for line in content.splitlines():
+        if line.startswith("#") or not line.strip():
+            continue
+        name, _, value = line.partition("=")
+        assert name.isidentifier()
+        assert int(value) >= 1
+        assert " " not in line
+
+
+def test_quick_ladders_are_subsets_of_full():
+    assert max(calibrate.QUICK_DENSE_SIDES) <= max(calibrate.DENSE_SIDES)
+    assert (max(calibrate.QUICK_MULTILEVEL_SIDES)
+            <= max(calibrate.MULTILEVEL_SIDES))
