@@ -21,14 +21,22 @@ The pieces, in dependency order:
   batching.
 * **Index** (:class:`SpectralIndex`) — the facade composing all of the
   above with the page layout and query engine: ``range``, ``nn``,
-  ``join``, and the vectorized ``query_many``.
+  ``join``, and the vectorized ``query_many`` (thread-pooled via
+  ``parallelism=`` / ``REPRO_QUERY_WORKERS``).
+* **Serving fronts** — :class:`AsyncSpectralIndex`
+  (:mod:`repro.api.aio`) runs the same surface as coroutines on an
+  executor for event-loop services, and
+  :class:`~repro.service.ShardedIndexFrontend` partitions traffic over
+  the fingerprint keyspace to per-shard services.
 
 The pre-facade entry points (:func:`repro.mapping.mapping_by_name`,
 direct :class:`~repro.query.LinearStore` construction) keep working as
 deprecation shims and produce bit-identical results.
 """
 
+from repro.api.aio import AsyncSpectralIndex
 from repro.api.domains import Domain, DomainLike, as_domain
+from repro.api.executor import WORKERS_ENV
 from repro.api.index import SpectralIndex
 from repro.api.mappings import Mapping, MappingSpec, make_mapping
 from repro.api.queries import (
@@ -44,6 +52,7 @@ from repro.mapping.interface import MappingCapabilities
 from repro.service.ordering import OrderingService
 
 __all__ = [
+    "AsyncSpectralIndex",
     "Domain",
     "DomainLike",
     "JoinQuery",
@@ -58,6 +67,7 @@ __all__ = [
     "RangeQuery",
     "SpectralConfig",
     "SpectralIndex",
+    "WORKERS_ENV",
     "as_domain",
     "make_mapping",
 ]

@@ -20,16 +20,27 @@ K same-topology spectral configurations pays one graph build instead of
 K.  Non-default mappings are materialized lazily and cached per index,
 so comparing mappings over one domain — the shape of every figure
 harness — is a loop over ``ranks_for(name)``.
+
+The index is safe to share across threads (and is what the
+thread-pooled ``query_many(parallelism=...)`` and the asyncio
+:class:`~repro.api.aio.AsyncSpectralIndex` front execute against): the
+lazily materialized per-mapping views are **single-flight** — two
+threads missing the same view elect one materializer, the other waits
+and reuses its result, so a non-cacheable mapping never pays a
+duplicate eigensolve — and the lazy store/coordinate state is built
+exactly once behind per-object locks.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import threading
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.api.domains import Domain, DomainLike, as_domain
+from repro.api.executor import map_in_threads, resolve_parallelism
 from repro.api.mappings import MappingSpec, make_mapping
 from repro.api.queries import (
     JoinQuery,
@@ -43,6 +54,7 @@ from repro.core.spectral import SpectralConfig
 from repro.errors import DomainError, InvalidParameterError
 from repro.geometry.boxes import Box
 from repro.geometry.grid import Grid
+from repro.geometry.pointset import PointSet
 from repro.graph.adjacency import Graph
 from repro.mapping.interface import LocalityMapping, SpectralMapping
 from repro.query.engine import LinearStore, QueryExecution, WorkloadReport
@@ -50,6 +62,7 @@ from repro.query.join import JoinReport, window_join_report
 from repro.query.nn import window_candidates
 from repro.service.artifacts import OrderArtifact
 from repro.service.ordering import OrderingService, OrderRequest
+from repro.storage.buffer import BufferStats
 from repro.storage.disk import DiskCostModel
 
 
@@ -61,10 +74,30 @@ class _MappingView:
     order: LinearOrder
     artifact: Optional[OrderArtifact] = None
     store: Optional[LinearStore] = None
+    # Guards the lazy store build only (the view itself is published
+    # fully formed); per-view so two mappings' stores never serialize.
+    store_lock: threading.Lock = field(default_factory=threading.Lock,
+                                       repr=False, compare=False)
 
     @property
     def ranks(self) -> np.ndarray:
         return self.order.ranks
+
+
+class _ViewFlight:
+    """One in-progress view materialization other threads can wait on.
+
+    The same single-flight shape as the service's ``_Flight``: the
+    leader computes with the lock released, waiters block on ``event``
+    and read ``view``; a ``None`` view after the event means the leader
+    failed and a waiter should retry (becoming the next leader).
+    """
+
+    __slots__ = ("event", "view")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.view: Optional[_MappingView] = None
 
 
 class SpectralIndex:
@@ -97,6 +130,10 @@ class SpectralIndex:
         self._cost_model = cost_model
         self._views: Dict[Tuple, _MappingView] = {}
         self._coords: Optional[np.ndarray] = None
+        # Guards _views / _view_flights / _coords.  Materialization
+        # itself (eigensolves, store builds) runs outside it.
+        self._lock = threading.RLock()
+        self._view_flights: Dict[Tuple, _ViewFlight] = {}
         # The default order is materialized on first access, not here:
         # an index used only to compare curve mappings must not pay a
         # spectral eigensolve at build time.
@@ -192,6 +229,8 @@ class SpectralIndex:
         """
         view = self._materialize(self._default)
         if view.artifact is None:
+            # Idempotent (the service coalesces identical requests), so
+            # a concurrent duplicate lookup resolves to the same value.
             view.artifact = self._artifact_for(view.mapping)
         return view.artifact
 
@@ -205,7 +244,9 @@ class SpectralIndex:
 
         Resolution follows :func:`~repro.api.mappings.make_mapping` with
         the index's ``config`` applied to spectral names — so comparing
-        mappings over one domain is a loop over names.
+        mappings over one domain is a loop over names.  Thread-safe:
+        concurrent first calls for one mapping materialize exactly one
+        view (and, for non-cacheable mappings, pay exactly one solve).
         """
         mapping = self._resolve(mapping)
         return self._materialize(mapping).order
@@ -213,6 +254,26 @@ class SpectralIndex:
     def ranks_for(self, mapping: MappingSpec) -> np.ndarray:
         """:meth:`order_for` as a rank array."""
         return self.order_for(mapping).ranks
+
+    def buffer_stats(self, mapping: Optional[MappingSpec] = None
+                     ) -> Optional[BufferStats]:
+        """Buffer-pool accounting of one mapping's store, if it exists.
+
+        ``None`` when the index was built without ``buffer_capacity``
+        or the mapping's store has not served a range query yet.  A
+        pure observer: it only *peeks* at the view table (never
+        materializes a view or store, so it can never trigger a
+        solve).  Under concurrent queries the snapshot obeys the
+        conservation law ``hits + misses == accesses`` exactly (the
+        pool is locked).
+        """
+        resolved = (self._default if mapping is None
+                    else self._resolve(mapping))
+        with self._lock:
+            view = self._views.get(self._view_key(resolved))
+        if view is None or view.store is None:
+            return None
+        return view.store.buffer_stats()
 
     # ------------------------------------------------------------------
     # Queries
@@ -229,18 +290,30 @@ class SpectralIndex:
         return self._range_on(view, box, plan)
 
     def workload(self, boxes: Sequence, *, plan: str = "span-scan",
-                 mapping: Optional[MappingSpec] = None) -> WorkloadReport:
-        """Run a range-query stream and aggregate the I/O accounting."""
+                 mapping: Optional[MappingSpec] = None,
+                 parallelism: Optional[int] = None) -> WorkloadReport:
+        """Run a range-query stream and aggregate the I/O accounting.
+
+        ``parallelism`` (default: ``REPRO_QUERY_WORKERS``, else
+        sequential) fans the stream across worker threads; see
+        :meth:`~repro.query.LinearStore.execute_workload` for the
+        accounting contract under concurrency.
+        """
         view = self._view_for(mapping)
         store = self._store_for(view)
-        return store.execute_workload([self._as_box(b) for b in boxes],
-                                      plan=plan)
+        return store.execute_workload(
+            [self._as_box(b) for b in boxes], plan=plan,
+            parallelism=resolve_parallelism(parallelism),
+        )
 
     def nn(self, cell, k: int, *, window: Optional[int] = None,
            mapping: Optional[MappingSpec] = None) -> NNResult:
-        """k-nearest-neighbour search through the rank window (grids).
+        """k-nearest-neighbour search through the rank window.
 
-        ``cell`` is a flat index or coordinate tuple.  With
+        Served on grid domains (``cell`` is a flat index or coordinate
+        tuple) and point-set domains (``cell`` must be one of the
+        occupied cells; neighbours are drawn from the occupied cells
+        only, and the returned indices are flat *grid* indices).  With
         ``window=None`` the examined window doubles until it holds at
         least ``k`` candidates; candidates are re-ranked by true
         Manhattan distance and the nearest ``k`` returned.
@@ -251,11 +324,17 @@ class SpectralIndex:
     def join(self, cells_a: Sequence[int], cells_b: Sequence[int], *,
              epsilon: int, window: int,
              mapping: Optional[MappingSpec] = None) -> JoinReport:
-        """Window spatial join of two cell sets, scored against truth."""
+        """Window spatial join of two cell sets, scored against truth.
+
+        Served on grid domains and point-set domains; on a point set
+        both cell lists must be subsets of the occupied cells (ranks
+        exist only for those).
+        """
         view = self._view_for(mapping)
         return self._join_on(view, cells_a, cells_b, epsilon, window)
 
-    def query_many(self, queries: Sequence[Query]) -> List:
+    def query_many(self, queries: Sequence[Query], *,
+                   parallelism: Optional[int] = None) -> List:
         """Execute a heterogeneous query batch; results align with input.
 
         Order acquisition is batched: every not-yet-materialized
@@ -263,31 +342,75 @@ class SpectralIndex:
         :meth:`~repro.service.OrderingService.order_many` in one call,
         so K same-topology configurations share a single graph build
         (and cache hits skip even that).
+
+        Parameters
+        ----------
+        parallelism:
+            Worker threads executing the batch after order acquisition.
+            ``None`` defers to the ``REPRO_QUERY_WORKERS`` environment
+            variable, else runs sequentially; an explicit integer >= 1
+            wins over both.  Query *results* are bit-identical to the
+            sequential path at any worker count (each query reads only
+            immutable orders and per-store structures).  The one
+            interleaving-dependent quantity is shared-buffer
+            attribution when the index was built with
+            ``buffer_capacity``: which query a buffer hit lands on
+            depends on execution order, while the pool totals stay
+            exact (``hits + misses == accesses``).
         """
+        queries = self._coerce_queries(queries)
+        workers = resolve_parallelism(parallelism)
+        views = self._views_for(queries, parallelism=workers)
+
+        def run(pair) -> object:
+            view, query = pair
+            return self._execute_query(view, query)
+
+        return map_in_threads(run, list(zip(views, queries)), workers)
+
+    # ------------------------------------------------------------------
+    # Batch internals (shared with the asyncio facade)
+    # ------------------------------------------------------------------
+    def _coerce_queries(self, queries: Sequence[Query]) -> List[Query]:
         queries = list(queries)
-        mappings: List[LocalityMapping] = []
         for query in queries:
             if not isinstance(query, (RangeQuery, NNQuery, JoinQuery)):
                 raise InvalidParameterError(
                     f"unknown query type {type(query).__name__}; expected "
                     "RangeQuery, NNQuery or JoinQuery"
                 )
-            mappings.append(self._default if query.mapping is None
-                            else self._resolve(query.mapping))
-        self._materialize_many(mappings)
-        results = []
-        for query, mapping in zip(queries, mappings):
-            view = self._views[self._view_key(mapping)]
+        return queries
+
+    def _views_for(self, queries: Sequence[Query],
+                   parallelism: int = 1) -> List[_MappingView]:
+        """Resolve and materialize every view a coerced batch needs.
+
+        Order acquisition batches through the service; stores backing
+        range queries are prebuilt here so worker threads execute pure
+        query code (first-touch store builds never serialize the pool).
+        ``parallelism`` also fans the *non-batchable* materializations
+        (non-cacheable mappings, per-mapping services, curve encodes)
+        across workers — eigensolves spend their time in GIL-releasing
+        BLAS kernels, so a batch spanning K independent mappings scales
+        with cores even though each solve is single-threaded Python.
+        """
+        mappings = [self._default if query.mapping is None
+                    else self._resolve(query.mapping)
+                    for query in queries]
+        self._materialize_many(mappings, parallelism=parallelism)
+        views = [self._materialize(mapping) for mapping in mappings]
+        for query, view in zip(queries, views):
             if isinstance(query, RangeQuery):
-                results.append(self._range_on(view, query.box, query.plan))
-            elif isinstance(query, NNQuery):
-                results.append(self._nn_on(view, query.cell, query.k,
-                                           query.window))
-            else:
-                results.append(self._join_on(view, query.cells_a,
-                                             query.cells_b, query.epsilon,
-                                             query.window))
-        return results
+                self._store_for(view)
+        return views
+
+    def _execute_query(self, view: _MappingView, query: Query):
+        if isinstance(query, RangeQuery):
+            return self._range_on(view, query.box, query.plan)
+        if isinstance(query, NNQuery):
+            return self._nn_on(view, query.cell, query.k, query.window)
+        return self._join_on(view, query.cells_a, query.cells_b,
+                             query.epsilon, query.window)
 
     # ------------------------------------------------------------------
     # Internals
@@ -320,58 +443,146 @@ class SpectralIndex:
             return service.graph_artifact(self._domain, mapping.algorithm)
         return None
 
-    def _materialize(self, mapping: LocalityMapping) -> _MappingView:
-        key = self._view_key(mapping)
-        view = self._views.get(key)
-        if view is not None:
-            return view
+    def _build_view(self, mapping: LocalityMapping) -> _MappingView:
+        """Compute one view (runs with the index lock released)."""
         artifact = self._artifact_for(mapping)
         if artifact is not None:
             order = artifact.order
         else:
             order = mapping.order_domain(self._domain,
                                          service=self._service)
-        view = _MappingView(mapping=mapping, order=order,
+        return _MappingView(mapping=mapping, order=order,
                             artifact=artifact)
-        self._views[key] = view
-        return view
 
-    def _materialize_many(self, mappings: Sequence[LocalityMapping]
-                          ) -> None:
-        pending: Dict[Tuple, LocalityMapping] = {}
-        for mapping in mappings:
-            key = self._view_key(mapping)
-            if key not in self._views and key not in pending:
-                pending[key] = mapping
-        # Batch every cacheable spectral mapping the service can serve
-        # through one order_many call (one graph build per topology).
-        batch: List[Tuple[Tuple, LocalityMapping]] = []
-        if isinstance(self._domain, (Grid, Graph)):
-            batch = [
-                (key, m) for key, m in pending.items()
-                if isinstance(m, SpectralMapping)
-                and m.algorithm.cacheable and m.service is None
-            ]
-        if len(batch) > 1:
-            requests = [OrderRequest(self._domain, m.algorithm.config)
-                        for _, m in batch]
-            orders = self._service.order_many(requests)
-            for (key, m), order in zip(batch, orders):
-                self._views[key] = _MappingView(mapping=m, order=order)
-                del pending[key]
-        for mapping in pending.values():
-            self._materialize(mapping)
+    def _materialize(self, mapping: LocalityMapping) -> _MappingView:
+        """The view for ``mapping``, materialized at most once.
+
+        Single-flight (the :class:`~repro.service.OrderingService`
+        pattern): concurrent first requests elect a leader that
+        computes outside the lock; waiters reuse its view.  This is
+        what keeps *non-cacheable* mappings — which the service cannot
+        coalesce — at exactly one solve per index, and prevents
+        duplicate :class:`~repro.query.LinearStore` materializations
+        for everything else.
+        """
+        key = self._view_key(mapping)
+        while True:
+            with self._lock:
+                view = self._views.get(key)
+                if view is not None:
+                    return view
+                flight = self._view_flights.get(key)
+                if flight is None:
+                    mine = _ViewFlight()
+                    self._view_flights[key] = mine
+            if flight is None:
+                try:
+                    view = self._build_view(mapping)
+                    mine.view = view
+                    with self._lock:
+                        self._views[key] = view
+                    return view
+                finally:
+                    with self._lock:
+                        self._view_flights.pop(key, None)
+                    mine.event.set()
+            flight.event.wait()
+            if flight.view is not None:
+                return flight.view
+            # Leader failed; loop to retry (one waiter becomes leader).
+
+    def _materialize_many(self, mappings: Sequence[LocalityMapping],
+                          parallelism: int = 1) -> None:
+        """Materialize a batch, claiming flights so threads coordinate.
+
+        Keys already materialized (or in flight elsewhere) are skipped;
+        the remainder are claimed as this thread's flights, solved —
+        cacheable spectral mappings through one
+        :meth:`~repro.service.OrderingService.order_many` call, the
+        rest directly (across ``parallelism`` workers) — and published
+        one by one, releasing each flight's waiters as soon as its view
+        exists.
+        """
+        claimed: Dict[Tuple, Tuple[LocalityMapping, _ViewFlight]] = {}
+        with self._lock:
+            for mapping in mappings:
+                key = self._view_key(mapping)
+                if (key in self._views or key in self._view_flights
+                        or key in claimed):
+                    continue
+                flight = _ViewFlight()
+                self._view_flights[key] = flight
+                claimed[key] = (mapping, flight)
+        if not claimed:
+            return
+        try:
+            # Batch every cacheable spectral mapping the service can
+            # serve through one order_many call (one graph build per
+            # topology).
+            batch: List[Tuple[Tuple, LocalityMapping]] = []
+            if isinstance(self._domain, (Grid, Graph)):
+                batch = [
+                    (key, m) for key, (m, _) in claimed.items()
+                    if isinstance(m, SpectralMapping)
+                    and m.algorithm.cacheable and m.service is None
+                ]
+            if len(batch) > 1:
+                requests = [OrderRequest(self._domain, m.algorithm.config)
+                            for _, m in batch]
+                orders = self._service.order_many(requests)
+                for (key, m), order in zip(batch, orders):
+                    self._publish_view(
+                        key, _MappingView(mapping=m, order=order),
+                        claimed[key][1])
+            with self._lock:
+                remaining = [(key, mapping, flight)
+                             for key, (mapping, flight) in claimed.items()
+                             if key not in self._views]
+
+            def build(item) -> None:
+                key, mapping, flight = item
+                self._publish_view(key, self._build_view(mapping),
+                                   flight)
+
+            map_in_threads(build, remaining, parallelism)
+        finally:
+            # Release any flight left unresolved (a failure above):
+            # waiters observe view=None and retry as leaders.
+            leftover = []
+            with self._lock:
+                for key, (_, flight) in claimed.items():
+                    if self._view_flights.get(key) is flight:
+                        self._view_flights.pop(key, None)
+                        leftover.append(flight)
+            for flight in leftover:
+                flight.event.set()
+
+    def _publish_view(self, key: Tuple, view: _MappingView,
+                      flight: _ViewFlight) -> None:
+        with self._lock:
+            self._views[key] = view
+            self._view_flights.pop(key, None)
+        flight.view = view
+        flight.event.set()
 
     def _view_for(self, spec: Optional[MappingSpec]) -> _MappingView:
         mapping = (self._default if spec is None else self._resolve(spec))
         return self._materialize(mapping)
 
-    def _grid_coordinates(self, grid: Grid) -> np.ndarray:
-        # Cached: the domain is immutable and a batch of nn queries
-        # must not rebuild the (n, ndim) coordinate matrix per query.
-        if self._coords is None:
-            self._coords = grid.coordinates()
-        return self._coords
+    def _coordinates(self) -> np.ndarray:
+        """The (n, ndim) coordinate matrix of the domain's cells.
+
+        Cached: the domain is immutable and a batch of nn queries must
+        not rebuild it per query.  Built under the index lock so
+        concurrent first queries compute it once.
+        """
+        coords = self._coords
+        if coords is None:
+            with self._lock:
+                if self._coords is None:
+                    self._coords = self._domain.coordinates()
+                coords = self._coords
+        return coords
 
     def _require_grid(self, operation: str) -> Grid:
         if not isinstance(self._domain, Grid):
@@ -396,14 +607,19 @@ class SpectralIndex:
 
     def _store_for(self, view: _MappingView) -> LinearStore:
         grid = self._require_grid("range")
-        if view.store is None:
-            view.store = LinearStore._from_api(
-                grid, view.mapping, order=view.order,
-                page_size=self._page_size, tree_order=self._tree_order,
-                buffer_capacity=self._buffer_capacity,
-                cost_model=self._cost_model,
-            )
-        return view.store
+        store = view.store
+        if store is None:
+            with view.store_lock:
+                if view.store is None:
+                    view.store = LinearStore._from_api(
+                        grid, view.mapping, order=view.order,
+                        page_size=self._page_size,
+                        tree_order=self._tree_order,
+                        buffer_capacity=self._buffer_capacity,
+                        cost_model=self._cost_model,
+                    )
+                store = view.store
+        return store
 
     def _range_on(self, view: _MappingView, box, plan: str
                   ) -> QueryExecution:
@@ -412,39 +628,91 @@ class SpectralIndex:
 
     def _nn_on(self, view: _MappingView, cell, k: int,
                window: Optional[int]) -> NNResult:
-        grid = self._require_grid("nn")
+        domain = self._domain
+        if isinstance(domain, Grid):
+            grid, cells = domain, None
+        elif isinstance(domain, PointSet):
+            grid, cells = domain.grid, domain.cells
+        else:
+            raise DomainError(
+                "nn queries require a Grid or PointSet domain; this "
+                f"index holds a {type(domain).__name__} (order/ranks "
+                "are still available)"
+            )
         if not isinstance(cell, (int, np.integer)):
             cell = grid.index_of(cell)
         cell = int(cell)
-        if not 0 <= cell < grid.size:
-            raise DomainError(
-                f"cell {cell} outside grid of size {grid.size}"
-            )
-        if not 1 <= k < grid.size:
+        if cells is None:
+            if not 0 <= cell < grid.size:
+                raise DomainError(
+                    f"cell {cell} outside grid of size {grid.size}"
+                )
+            pos, n = cell, grid.size
+        else:
+            pos = int(np.searchsorted(cells, cell))
+            if pos == len(cells) or int(cells[pos]) != cell:
+                raise DomainError(
+                    f"cell {cell} is not occupied in this point set"
+                )
+            n = len(cells)
+        if not 1 <= k < n:
             raise InvalidParameterError(
-                f"k must be in [1, {grid.size - 1}], got {k}"
+                f"k must be in [1, {n - 1}], got {k}"
             )
         ranks = view.ranks
         if window is None:
             width = max(int(k), 1)
-            candidates = window_candidates(ranks, cell, width)
-            while len(candidates) < k and width < grid.size:
+            candidates = window_candidates(ranks, pos, width)
+            while len(candidates) < k and width < n:
                 width *= 2
-                candidates = window_candidates(ranks, cell, width)
+                candidates = window_candidates(ranks, pos, width)
         else:
             width = int(window)
-            candidates = window_candidates(ranks, cell, width)
-        coords = self._grid_coordinates(grid)
-        distances = np.abs(coords[candidates] - coords[cell]).sum(axis=1)
+            candidates = window_candidates(ranks, pos, width)
+        coords = self._coordinates()
+        distances = np.abs(coords[candidates] - coords[pos]).sum(axis=1)
         nearest = candidates[np.lexsort((candidates, distances))][:k]
+        if cells is not None:
+            # Positions -> flat grid indices; ascending position equals
+            # ascending flat index (cells is sorted), so tie-breaking by
+            # position above is tie-breaking by cell id.
+            nearest = cells[nearest]
         return NNResult(neighbors=nearest, window=width,
                         candidates=len(candidates))
 
     def _join_on(self, view: _MappingView, cells_a, cells_b,
                  epsilon: int, window: int) -> JoinReport:
-        grid = self._require_grid("join")
-        return window_join_report(grid, view.ranks, cells_a, cells_b,
-                                  epsilon, window)
+        domain = self._domain
+        if isinstance(domain, Grid):
+            return window_join_report(domain, view.ranks, cells_a,
+                                      cells_b, epsilon, window)
+        if isinstance(domain, PointSet):
+            grid = domain.grid
+            occupied = domain.cells
+            full = np.full(grid.size, -1, dtype=np.int64)
+            full[occupied] = view.ranks
+            for name, arr in (("cells_a", cells_a), ("cells_b", cells_b)):
+                values = np.asarray(arr, dtype=np.int64)
+                pos = np.searchsorted(occupied, values)
+                member = ((pos < len(occupied))
+                          & (occupied[np.minimum(pos, len(occupied) - 1)]
+                             == values))
+                if not member.all():
+                    missing = values[~member]
+                    raise DomainError(
+                        f"{name} must be occupied cells of this point "
+                        f"set; {missing[:5].tolist()} are not"
+                    )
+            # The sentinel ranks of unoccupied cells are never read:
+            # both cell lists were just proven subsets of the occupied
+            # set, whose ranks were scattered above.
+            return window_join_report(grid, full, cells_a, cells_b,
+                                      epsilon, window)
+        raise DomainError(
+            "join queries require a Grid or PointSet domain; this "
+            f"index holds a {type(domain).__name__} (order/ranks are "
+            "still available)"
+        )
 
     def __repr__(self) -> str:
         domain = (f"grid{self._domain.shape}"

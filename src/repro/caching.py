@@ -9,11 +9,20 @@ implementation lives here next to :mod:`repro.errors`.  Capacity counts
 entries, not bytes: values of wildly different sizes each occupy one
 slot, which keeps the policy predictable for callers that know their
 workload mix.
+
+Thread contract: a private, single-threaded cache costs nothing extra;
+instances shared across threads (the ordering service's memory tier,
+the coarsening :class:`~repro.graph.coarsening.HierarchyCache`) pass
+``lock=True`` so the recency order and the hit/miss counters stay exact
+under concurrent ``get``/``put`` — the counters are asserted to exact
+deltas by the service-cache benchmarks, which now also run threaded.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
+from contextlib import nullcontext
 from typing import Generic, Hashable, Iterator, Optional, TypeVar
 
 from repro.errors import InvalidParameterError
@@ -23,15 +32,29 @@ V = TypeVar("V")
 
 
 class LRUCache(Generic[K, V]):
-    """A minimal ordered-dict LRU with hit/miss counters."""
+    """A minimal ordered-dict LRU with hit/miss counters.
 
-    def __init__(self, capacity: int = 128):
+    Parameters
+    ----------
+    capacity:
+        Maximum number of entries held.
+    lock:
+        ``True`` serializes every operation behind an internal
+        :class:`threading.RLock`, making recency updates and the
+        ``hits``/``misses`` counters exact under concurrency.  Default
+        ``False`` (no overhead for single-threaded use); any instance
+        shared across threads should enable it.
+    """
+
+    def __init__(self, capacity: int = 128, *, lock: bool = False):
         if capacity < 1:
             raise InvalidParameterError(
                 f"capacity must be >= 1, got {capacity}"
             )
         self._capacity = int(capacity)
         self._entries: "OrderedDict[K, V]" = OrderedDict()
+        self._lock = threading.RLock() if lock else nullcontext()
+        self._thread_safe = bool(lock)
         self.hits = 0
         self.misses = 0
 
@@ -40,32 +63,45 @@ class LRUCache(Generic[K, V]):
         """Maximum number of entries held."""
         return self._capacity
 
+    @property
+    def thread_safe(self) -> bool:
+        """Whether operations are serialized behind an internal lock."""
+        return self._thread_safe
+
     def get(self, key: K) -> Optional[V]:
         """The cached value, refreshed as most-recently-used; else None."""
-        value = self._entries.get(key)
-        if value is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return value
+        with self._lock:
+            value = self._entries.get(key)
+            if value is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return value
 
     def put(self, key: K, value: V) -> None:
         """Insert (or refresh) an entry, evicting the LRU beyond capacity."""
-        self._entries[key] = value
-        self._entries.move_to_end(key)
-        while len(self._entries) > self._capacity:
-            self._entries.popitem(last=False)
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self._capacity:
+                self._entries.popitem(last=False)
 
     def __contains__(self, key: K) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __iter__(self) -> Iterator[K]:
-        return iter(self._entries)
+        # Iterates a snapshot: a locked cache must not hand out a live
+        # OrderedDict iterator that a concurrent put() would invalidate.
+        with self._lock:
+            return iter(list(self._entries))
 
     def clear(self) -> None:
         """Drop every entry (counters are kept)."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()

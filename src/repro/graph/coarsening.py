@@ -15,7 +15,6 @@ order and ties in edge weight break toward the smallest neighbour id.
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass
 from typing import List, Tuple
 
@@ -281,14 +280,14 @@ class HierarchyCache:
     """
 
     def __init__(self, max_entries: int = 32):
+        # The LRU locks internally (lock=True): a service running
+        # single-flight solves on *different* keys may enter
+        # concurrently; projections themselves are immutable once
+        # stored.  Concurrent misses on one structure may duplicate a
+        # matching (harmless: both chains are identical by determinism)
+        # rather than serialize the whole coarsening.
         self._projections: "LRUCache[Tuple, Tuple[np.ndarray, ...]]" = \
-            LRUCache(max_entries)
-        # Guards the LRU only: a service running single-flight solves on
-        # *different* keys may enter concurrently; projections themselves
-        # are immutable once stored.  Concurrent misses on one structure
-        # may duplicate a matching (harmless: both chains are identical
-        # by determinism) rather than serialize the whole coarsening.
-        self._lock = threading.Lock()
+            LRUCache(max_entries, lock=True)
 
     @property
     def hits(self) -> int:
@@ -318,8 +317,7 @@ class HierarchyCache:
         """
         key = (graph.structure_fingerprint(), int(min_size),
                int(max_levels))
-        with self._lock:
-            projections = self._projections.get(key)
+        projections = self._projections.get(key)
         if projections is None:
             indptr, indices, weights = graph.csr_arrays()
             unit = Graph(graph.num_vertices, indptr, indices,
@@ -328,8 +326,7 @@ class HierarchyCache:
                                             max_levels=max_levels)
             projections = tuple(level.fine_to_coarse
                                 for level in unit_levels)
-            with self._lock:
-                self._projections.put(key, projections)
+            self._projections.put(key, projections)
         levels: List[CoarseningLevel] = []
         current = graph
         for projection in projections:

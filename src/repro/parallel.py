@@ -1,0 +1,62 @@
+"""Shared thread fan-out: one worker-count rule, one map implementation.
+
+Three layers fan work across threads — the facade's ``query_many``
+(:mod:`repro.api.executor` adds the env-var policy on top), the query
+engine's ``execute_workload``, and the sharded frontend's cross-shard
+``order_many``.  They must agree on what a valid worker count is and on
+the sequential-below-two fast path, so both live here, next to
+:mod:`repro.errors`, importable from any layer without cycles.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+from repro.errors import InvalidParameterError
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def ensure_workers(parallelism: Optional[int], *,
+                   name: str = "parallelism") -> int:
+    """Validate a worker count: ``None`` means 1, else an int >= 1.
+
+    Floats and bools are rejected rather than coerced — ``int(2.7)``
+    silently truncating or ``True`` meaning 1 would make the same knob
+    behave differently across entry points.
+    """
+    if parallelism is None:
+        return 1
+    if isinstance(parallelism, bool) or not isinstance(parallelism, int):
+        raise InvalidParameterError(
+            f"{name} must be an integer >= 1 or None, "
+            f"got {parallelism!r}"
+        )
+    if parallelism < 1:
+        raise InvalidParameterError(
+            f"{name} must be >= 1, got {parallelism}"
+        )
+    return parallelism
+
+
+def map_in_threads(fn: Callable[[T], R], items: Sequence[T],
+                   workers: int, *,
+                   thread_name_prefix: str = "repro-worker"
+                   ) -> List[R]:
+    """Apply ``fn`` over ``items``, results aligned with the input.
+
+    ``workers <= 1`` (or a batch of one) runs inline — the sequential
+    path stays byte-for-byte the pre-parallelism code path, with no pool
+    construction.  Otherwise a private thread pool executes the items;
+    ``ThreadPoolExecutor.map`` preserves input order, and the first
+    raising item's exception propagates after the pool drains.
+    """
+    items = list(items)
+    if workers <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    with ThreadPoolExecutor(
+            max_workers=min(int(workers), len(items)),
+            thread_name_prefix=thread_name_prefix) as pool:
+        return list(pool.map(fn, items))

@@ -16,7 +16,11 @@ pages.  Range queries run the way Section 5 models them:
 
 Both plans return identical result sets; the engine reports per-plan
 I/O so their trade-off is measurable per mapping, and an optional LRU
-buffer absorbs repeated pages across a query stream.
+buffer absorbs repeated pages across a query stream.  A built store is
+immutable (tree, layout, ranks) and its buffer pool locks per access,
+so one store may serve queries from many threads concurrently —
+``execute_workload(parallelism=...)`` and the facade's
+``query_many(parallelism=...)`` rely on exactly that.
 
 Direct construction is deprecated in favour of the
 :class:`~repro.api.SpectralIndex` facade, which builds stores lazily
@@ -34,11 +38,12 @@ import numpy as np
 
 from repro.core.ordering import LinearOrder
 from repro.errors import InvalidParameterError
+from repro.parallel import ensure_workers, map_in_threads
 from repro.geometry.boxes import Box
 from repro.geometry.grid import Grid
 from repro.index.bplustree import BPlusTree
 from repro.mapping.interface import LocalityMapping
-from repro.storage.buffer import LRUBufferPool
+from repro.storage.buffer import BufferStats, LRUBufferPool
 from repro.storage.disk import DiskCostModel
 from repro.storage.pages import PageLayout
 
@@ -205,10 +210,36 @@ class LinearStore:
         value, accesses = self._tree.search(int(self._ranks[cell]))
         return value is not None, accesses
 
+    def buffer_stats(self) -> Optional[BufferStats]:
+        """The buffer pool's accounting snapshot (``None`` unbuffered).
+
+        The pool locks each access, so the snapshot satisfies
+        ``hits + misses == accesses`` exactly even while queries are
+        executing on other threads.
+        """
+        if self._buffer is None:
+            return None
+        return self._buffer.stats()
+
     def execute_workload(self, boxes: Sequence[Box],
-                         plan: str = "span-scan") -> "WorkloadReport":
-        """Run a query stream and aggregate the accounting."""
-        executions = [self.range_query(box, plan=plan) for box in boxes]
+                         plan: str = "span-scan",
+                         parallelism: Optional[int] = None
+                         ) -> "WorkloadReport":
+        """Run a query stream and aggregate the accounting.
+
+        ``parallelism`` > 1 fans the queries across that many worker
+        threads (the store's structures are immutable after build and
+        the buffer pool locks per access, so this is safe).  Result
+        sets per query are identical to the sequential run; with a
+        buffer pool, *which* query absorbs a given buffer hit depends
+        on interleaving, but the aggregated report stays conservation-
+        exact: total buffer hits equal the pool's hit delta, and
+        ``pages_fetched`` equals the pool's access delta.
+        """
+        executions = map_in_threads(
+            lambda box: self.range_query(box, plan=plan), list(boxes),
+            ensure_workers(parallelism),
+            thread_name_prefix="repro-workload")
         return WorkloadReport(
             plan=plan,
             queries=len(executions),

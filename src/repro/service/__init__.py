@@ -24,6 +24,7 @@ from repro.service.ordering import (
     OrderRequest,
     ServiceStats,
 )
+from repro.service.sharding import ShardedIndexFrontend
 from repro.service.store import STORE_VERSION, ArtifactStore, StoreEntry
 
 __all__ = [
@@ -36,6 +37,7 @@ __all__ = [
     "OrderingService",
     "STORE_VERSION",
     "ServiceStats",
+    "ShardedIndexFrontend",
     "StoreEntry",
     "config_fingerprint",
     "domain_fingerprint",

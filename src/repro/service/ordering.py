@@ -168,8 +168,11 @@ class OrderingService:
     def __init__(self, memory_entries: int = 128,
                  store: Union[ArtifactStore, str, None] = None,
                  hierarchy_entries: int = 32):
+        # lock=True: the memory tier is the service's shared hot path;
+        # its own lock keeps hit/miss counters exact even for callers
+        # that reach the cache outside the service lock.
         self._memory: LRUCache[str, OrderArtifact] = \
-            LRUCache(memory_entries)
+            LRUCache(memory_entries, lock=True)
         if store is not None and not isinstance(store, ArtifactStore):
             store = ArtifactStore(store)
         self._store: Optional[ArtifactStore] = store

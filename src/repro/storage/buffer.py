@@ -4,10 +4,20 @@ Completes the storage stack: query streams hit the buffer first, and a
 mapping that clusters co-accessed items onto few pages gets a higher hit
 rate for the same buffer size.  The implementation is a textbook
 ordered-dict LRU with hit/miss/eviction accounting.
+
+One pool may be shared by every query running against one
+:class:`~repro.query.LinearStore` — including queries fanned out across
+worker threads by ``query_many(parallelism=...)`` — so each access is
+atomic: an internal lock guards the recency order and the counters,
+keeping the conservation law ``hits + misses == accesses`` exact under
+any interleaving.  Which *individual* accesses hit depends on the
+interleaving (that is inherent to a shared LRU), but the totals never
+drift.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Iterable, Sequence
@@ -42,6 +52,11 @@ class LRUBufferPool:
             )
         self._capacity = int(capacity)
         self._pages: OrderedDict[int, None] = OrderedDict()
+        # Each access mutates the recency dict and two counters as one
+        # transaction; the lock makes that atomic so pools shared by
+        # concurrent queries never corrupt the LRU order or the
+        # accounting (hits + misses == accesses always).
+        self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
         self._evictions = 0
@@ -53,45 +68,55 @@ class LRUBufferPool:
     @property
     def resident(self) -> int:
         """Pages currently buffered."""
-        return len(self._pages)
+        with self._lock:
+            return len(self._pages)
 
     def access(self, page: int) -> bool:
-        """Touch one page; returns True on a hit."""
+        """Touch one page; returns True on a hit.  Atomic."""
         page = int(page)
-        if page in self._pages:
-            self._pages.move_to_end(page)
-            self._hits += 1
-            return True
-        self._misses += 1
-        if len(self._pages) >= self._capacity:
-            self._pages.popitem(last=False)
-            self._evictions += 1
-        self._pages[page] = None
-        return False
+        with self._lock:
+            if page in self._pages:
+                self._pages.move_to_end(page)
+                self._hits += 1
+                return True
+            self._misses += 1
+            if len(self._pages) >= self._capacity:
+                self._pages.popitem(last=False)
+                self._evictions += 1
+            self._pages[page] = None
+            return False
 
     def access_many(self, pages: Iterable[int]) -> int:
-        """Touch a sequence of pages; returns the number of hits."""
+        """Touch a sequence of pages; returns the number of hits.
+
+        Each page access is individually atomic; the sequence as a whole
+        may interleave with other threads' accesses (a shared LRU has no
+        meaningful batch-atomic semantics — recency is global).
+        """
         return sum(1 for page in pages if self.access(page))
 
     def contains(self, page: int) -> bool:
         """Whether a page is resident (does not touch recency)."""
-        return int(page) in self._pages
+        with self._lock:
+            return int(page) in self._pages
 
     def stats(self) -> BufferStats:
-        """Accounting snapshot."""
-        return BufferStats(
-            accesses=self._hits + self._misses,
-            hits=self._hits,
-            misses=self._misses,
-            evictions=self._evictions,
-        )
+        """Accounting snapshot (internally consistent under threads)."""
+        with self._lock:
+            return BufferStats(
+                accesses=self._hits + self._misses,
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+            )
 
     def reset(self) -> None:
         """Empty the buffer and zero the counters."""
-        self._pages.clear()
-        self._hits = 0
-        self._misses = 0
-        self._evictions = 0
+        with self._lock:
+            self._pages.clear()
+            self._hits = 0
+            self._misses = 0
+            self._evictions = 0
 
 
 def replay_query_stream(capacity: int,

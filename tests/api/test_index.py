@@ -208,12 +208,20 @@ def test_point_set_domain_orders_positions():
     ps = PointSet(grid, np.arange(10))
     index = SpectralIndex.build(ps)
     assert sorted(index.order.permutation) == list(range(10))
+    # Range queries need a page layout over a full grid; nn/join are
+    # served directly from the point-set ranks.
     with pytest.raises(DomainError):
         index.range(((0, 0), (2, 2)))
+    result = index.nn(0, k=2)
+    assert len(result.neighbors) == 2
+    assert all(int(c) in range(10) for c in result.neighbors)
+    report = index.join([0], [1], epsilon=1, window=2)
+    assert report.true_pairs == 1
+    # Cells outside the occupied set are rejected, not mis-ranked.
     with pytest.raises(DomainError):
-        index.nn(0, k=2)
+        index.nn(35, k=2)
     with pytest.raises(DomainError):
-        index.join([0], [1], epsilon=1, window=2)
+        index.join([0], [35], epsilon=1, window=2)
 
 
 def test_graph_domain_orders_vertices():
