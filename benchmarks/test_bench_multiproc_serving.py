@@ -1,0 +1,98 @@
+"""Multi-process serving: dispatch overhead and restart-warm economics.
+
+Two numbers characterize the process-pool frontend against its
+in-process sibling:
+
+* **dispatch overhead** — the cost of the pickle/pipe round trip on a
+  warm request (the order is already in the worker's memory tier).
+  This is the price every request pays for process isolation; it bounds
+  the workloads where the pool makes sense (solve-heavy: yes;
+  microsecond cache hits: no).
+* **restart-warm solve count** — eigensolves performed by a freshly
+  restarted fleet over warm per-shard stores.  The serving harness'
+  core economic claim is that this is exactly zero; the benchmark
+  records it next to the timings so the trajectory file documents the
+  claim, not just the speed.
+
+Records append to ``BENCH_spectral.json`` via the shared ``save_json``
+fixture.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.api import ProcessPoolFrontend
+from repro.core.spectral import SpectralConfig
+from repro.geometry import Grid
+from repro.service import OrderRequest, ShardedIndexFrontend
+
+pytestmark = pytest.mark.multiproc
+
+SHARDS = 2
+GRIDS = [Grid((s, s)) for s in (12, 13, 14, 15)]
+WARM_ROUNDS = 25
+
+
+def _time_warm_hits(order_grid) -> float:
+    # One untimed pass warms every tier, then repeated hits.
+    for grid in GRIDS:
+        order_grid(grid)
+    started = time.perf_counter()
+    for _ in range(WARM_ROUNDS):
+        for grid in GRIDS:
+            order_grid(grid)
+    return (time.perf_counter() - started) / (WARM_ROUNDS * len(GRIDS))
+
+
+def test_bench_dispatch_overhead(benchmark, save_json):
+    local = ShardedIndexFrontend(shards=SHARDS)
+    local_hit = _time_warm_hits(local.order_grid)
+    with ProcessPoolFrontend(shards=SHARDS) as front:
+        remote_hit = benchmark.pedantic(
+            lambda: _time_warm_hits(front.order_grid),
+            iterations=1, rounds=1)
+    save_json({
+        "name": "multiproc_dispatch_overhead",
+        "shards": SHARDS,
+        "n": GRIDS[-1].size,
+        "backend": "process-pool",
+        "seconds": remote_hit,
+        "in_process_seconds": local_hit,
+        "overhead_seconds": remote_hit - local_hit,
+    })
+    # Sanity, not speed: IPC on a warm hit stays in the low-millisecond
+    # range even on a loaded CI box.
+    assert remote_hit < 0.25
+
+
+def test_bench_restart_warm_solve_counts(save_json, tmp_path):
+    cache = tmp_path / "fleet-cache"
+    started = time.perf_counter()
+    with ProcessPoolFrontend(shards=SHARDS, cache_dir=cache) as front:
+        front.order_many([OrderRequest(g) for g in GRIDS])
+        cold_stats = front.combined_stats()
+    cold_elapsed = time.perf_counter() - started
+
+    started = time.perf_counter()
+    with ProcessPoolFrontend(shards=SHARDS, cache_dir=cache) as front:
+        front.order_many([OrderRequest(g) for g in GRIDS])
+        warm_stats = front.combined_stats()
+    warm_elapsed = time.perf_counter() - started
+
+    save_json({
+        "name": "multiproc_restart_warm",
+        "shards": SHARDS,
+        "domains": len(GRIDS),
+        "backend": "process-pool",
+        "seconds": warm_elapsed,
+        "cold_seconds": cold_elapsed,
+        "cold_solver_calls": cold_stats.solver_calls,
+        "warm_solver_calls": warm_stats.solver_calls,
+        "warm_disk_hits": warm_stats.disk_hits,
+    })
+    assert cold_stats.computed == len(GRIDS)
+    assert warm_stats.solver_calls == 0
+    assert warm_stats.disk_hits == len(GRIDS)

@@ -25,9 +25,12 @@ The pieces, in dependency order:
   ``parallelism=`` / ``REPRO_QUERY_WORKERS``).
 * **Serving fronts** — :class:`AsyncSpectralIndex`
   (:mod:`repro.api.aio`) runs the same surface as coroutines on an
-  executor for event-loop services, and
+  executor for event-loop services,
   :class:`~repro.service.ShardedIndexFrontend` partitions traffic over
-  the fingerprint keyspace to per-shard services.
+  the fingerprint keyspace to per-shard services in-process, and
+  :class:`ProcessPoolFrontend` serves the identical surface over a
+  fleet of worker *processes* (:mod:`repro.serve`) with per-shard disk
+  stores that make fleet restarts eigensolve-free.
 
 The pre-facade entry points (:func:`repro.mapping.mapping_by_name`,
 direct :class:`~repro.query.LinearStore` construction) keep working as
@@ -38,6 +41,7 @@ from repro.api.aio import AsyncSpectralIndex
 from repro.api.domains import Domain, DomainLike, as_domain
 from repro.api.executor import WORKERS_ENV
 from repro.api.index import SpectralIndex
+from repro.api.process_pool import ProcessPoolFrontend
 from repro.api.mappings import Mapping, MappingSpec, make_mapping
 from repro.api.queries import (
     JoinQuery,
@@ -63,6 +67,7 @@ __all__ = [
     "NNResult",
     "OrderingService",
     "PointSet",
+    "ProcessPoolFrontend",
     "Query",
     "RangeQuery",
     "SpectralConfig",

@@ -135,6 +135,13 @@ class LinearOrder:
     def __len__(self) -> int:
         return self.n
 
+    def __reduce__(self):
+        # Rebuild through __init__: numpy does not preserve the
+        # read-only flag across pickling, and an order crossing a
+        # process boundary (the repro.serve IPC protocol) must arrive
+        # with its immutability invariant — and its validation — intact.
+        return (LinearOrder, (self._perm,))
+
     def __eq__(self, other) -> bool:
         return (isinstance(other, LinearOrder)
                 and np.array_equal(other._perm, self._perm))

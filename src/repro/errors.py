@@ -48,3 +48,21 @@ class ConvergenceError(ReproError, RuntimeError):
 
 class BackendUnavailableError(ReproError, ImportError):
     """A requested optional backend (e.g. scipy) cannot be imported."""
+
+
+class WorkerError(ReproError, RuntimeError):
+    """A serving worker process failed while handling a request.
+
+    Raised by the multi-process dispatcher (:mod:`repro.serve`) when a
+    worker reported a failure whose original exception could not be
+    re-raised in the dispatching process (it did not survive pickling);
+    carries the remote traceback text for diagnosis.
+    """
+
+    def __init__(self, message: str, remote_traceback: str | None = None):
+        super().__init__(message)
+        self.remote_traceback = remote_traceback
+
+
+class FleetShutdownError(ReproError, RuntimeError):
+    """A request was dispatched to a fleet that is already shut down."""

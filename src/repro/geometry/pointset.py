@@ -84,6 +84,12 @@ class PointSet:
         return self._grid.points_of(self._cells)
 
     # ------------------------------------------------------------------
+    def __reduce__(self):
+        # Rebuild through __init__ so the canonical cell array comes
+        # back *read-only* (numpy drops the flag across pickling) and
+        # re-validated — point sets are IPC payloads in repro.serve.
+        return (PointSet, (self._grid, self._cells))
+
     def __eq__(self, other) -> bool:
         if not isinstance(other, PointSet):
             return NotImplemented

@@ -10,7 +10,7 @@ the sequential-below-two fast path, so both live here, next to
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import FIRST_EXCEPTION, ThreadPoolExecutor, wait
 from typing import Callable, List, Optional, Sequence, TypeVar
 
 from repro.errors import InvalidParameterError
@@ -49,9 +49,14 @@ def map_in_threads(fn: Callable[[T], R], items: Sequence[T],
 
     ``workers <= 1`` (or a batch of one) runs inline — the sequential
     path stays byte-for-byte the pre-parallelism code path, with no pool
-    construction.  Otherwise a private thread pool executes the items;
-    ``ThreadPoolExecutor.map`` preserves input order, and the first
-    raising item's exception propagates after the pool drains.
+    construction.  Otherwise a private thread pool executes the items
+    and the call **fails fast**: as soon as any item raises, every
+    not-yet-started item is cancelled, and the raising item earliest in
+    submission order propagates (deterministic even when several items
+    fail concurrently).  Items already running are allowed to finish —
+    threads cannot be interrupted — but a poisoned batch of K slow
+    items no longer runs all K to completion before the caller hears
+    about the failure.
     """
     items = list(items)
     if workers <= 1 or len(items) <= 1:
@@ -59,4 +64,18 @@ def map_in_threads(fn: Callable[[T], R], items: Sequence[T],
     with ThreadPoolExecutor(
             max_workers=min(int(workers), len(items)),
             thread_name_prefix=thread_name_prefix) as pool:
-        return list(pool.map(fn, items))
+        futures = [pool.submit(fn, item) for item in items]
+        done, not_done = wait(futures, return_when=FIRST_EXCEPTION)
+        if any(not f.cancelled() and f.exception() is not None
+               for f in done):
+            # Fail fast: stop queued items, let running ones drain
+            # (threads cannot be interrupted), then report the failure
+            # earliest in submission order — deterministic even when
+            # several items fail concurrently.
+            for future in not_done:
+                future.cancel()
+            wait(futures)
+            raise next(f.exception() for f in futures
+                       if not f.cancelled()
+                       and f.exception() is not None)
+        return [future.result() for future in futures]

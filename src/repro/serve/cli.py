@@ -1,0 +1,126 @@
+"""``repro-serve`` — run a multi-process ordering fleet standalone.
+
+::
+
+    repro-serve --shards 4 --cache-dir /var/cache/repro-orders
+
+brings up the worker fleet over per-shard artifact stores, runs an
+optional warm-up/demo workload, prints per-shard statistics, and — with
+``--keep-alive`` — stays up until interrupted, restarting any worker
+that dies.  Because every worker hydrates from its shard's store, a
+restarted fleet (or worker) answers all previously-seen traffic with
+zero eigensolves; ``repro-serve`` over a warm cache directory is
+therefore cheap enough to bounce freely.
+
+The same binary doubles as a smoke test of a deployment's plumbing:
+``--demo-side N`` orders a small population of grids through the real
+IPC path and reports where every answer came from.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.core.spectral import SpectralConfig
+from repro.geometry.grid import Grid
+from repro.serve.supervisor import ProcessFleet
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Run a multi-process spectral-ordering fleet.",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=4,
+        help="keyspace partitions (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes; <= shards, each worker then owns every "
+             "shard congruent to its id (default: one per shard)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="root of the per-shard artifact stores "
+             "(<cache-dir>/shard-NNN); omitting it keeps the fleet "
+             "memory-only, so restarts start cold",
+    )
+    parser.add_argument(
+        "--demo-side", type=int, default=16, metavar="N",
+        help="warm-up workload: order grids (4,4)..(N,N) through the "
+             "fleet and report cache sources; 0 disables "
+             "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--keep-alive", action="store_true",
+        help="stay up after the warm-up, restarting dead workers, "
+             "until interrupted",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.demo_side and not 0 <= args.demo_side <= 256:
+        print("repro-serve: --demo-side must be in [0, 256]",
+              file=sys.stderr)
+        return 2
+    try:
+        fleet = ProcessFleet(args.shards, workers=args.workers,
+                             cache_dir=args.cache_dir)
+    except Exception as exc:
+        print(f"repro-serve: failed to start fleet: {exc}",
+              file=sys.stderr)
+        return 1
+    with fleet:
+        hellos = fleet.hellos()
+        store = args.cache_dir or "(memory-only)"
+        print(f"fleet up: {fleet.num_shards} shards on "
+              f"{fleet.num_workers} workers, stores under {store}")
+        for hello in hellos:
+            print(f"  worker {hello.worker_id} (pid {hello.pid}) "
+                  f"owns shards {list(hello.shard_ids)}")
+
+        if args.demo_side:
+            from repro.api.process_pool import ProcessPoolFrontend
+
+            front = ProcessPoolFrontend(fleet=fleet)
+            requests = [(Grid((s, s)), SpectralConfig())
+                        for s in range(4, args.demo_side + 1)]
+            started = time.perf_counter()
+            front.order_many(requests,
+                             parallelism=fleet.num_workers)
+            elapsed = time.perf_counter() - started
+            print(f"warm-up: ordered {len(requests)} grids "
+                  f"in {elapsed:.2f}s")
+            _print_stats(fleet)
+
+        if args.keep_alive:
+            print("serving; Ctrl-C to stop")
+            try:
+                while True:
+                    time.sleep(1.0)
+                    for worker_id in fleet.check_workers():
+                        print(f"restarted dead worker {worker_id} "
+                              "(rehydrated from its shard stores)")
+            except KeyboardInterrupt:
+                print("\nshutting down")
+    return 0
+
+
+def _print_stats(fleet: ProcessFleet) -> None:
+    for shard, stats in enumerate(fleet.shard_stats()):
+        row = stats.as_dict()
+        print(f"  shard {shard}: computed={row['computed']} "
+              f"disk={row['disk_hits']} memory={row['memory_hits']} "
+              f"solver_calls={row['solver_calls']}")
+    combined = fleet.combined_stats()
+    print(f"  total solver calls: {combined.solver_calls}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

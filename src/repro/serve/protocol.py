@@ -1,0 +1,172 @@
+"""The wire values of the multi-process serving harness.
+
+Dispatcher and workers exchange pickled dataclasses over
+``multiprocessing`` pipes — strictly request/response, one in flight
+per pipe.  The payloads lean entirely on the pickle contract pinned by
+``tests/service/test_ipc_pickle.py``: configs, domains, orders, and
+artifacts round-trip with equality, stable fingerprints, and routing
+agreement, so a worker can *independently* re-derive the cache key and
+shard of any request and cross-check the dispatcher's routing instead
+of trusting it.
+
+Failures travel as values, never as a dead pipe: a worker catches the
+exception, ships it back pickled when it survives pickling (the normal
+case — the library's exception types are plain), and otherwise ships
+its type name and traceback text inside a
+:class:`~repro.errors.WorkerError`.  The dispatcher re-raises either
+way, so a remote failure reads like a local one.
+"""
+
+from __future__ import annotations
+
+import pickle
+import traceback
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.errors import WorkerError
+
+#: Bumped on any incompatible protocol change; worker and dispatcher
+#: refuse to talk across versions (both sides are always deployed from
+#: one code base, so a mismatch means a stale worker binary).
+PROTOCOL_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# Requests (dispatcher -> worker)
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class PingRequest:
+    """Liveness probe; answered with the worker's identity payload."""
+
+
+@dataclass(frozen=True)
+class ShutdownRequest:
+    """Graceful stop: the worker acknowledges, then exits its loop."""
+
+
+@dataclass(frozen=True)
+class StatsRequest:
+    """Per-shard :class:`~repro.service.ServiceStats` snapshots."""
+
+
+@dataclass(frozen=True)
+class OrderRequestMessage:
+    """One ordering request: a domain (grid or graph) plus its config.
+
+    ``want_artifact`` selects the full provenance-carrying
+    :class:`~repro.service.OrderArtifact` over the bare
+    :class:`~repro.core.ordering.LinearOrder`.
+    """
+
+    domain: object
+    config: object = None
+    want_artifact: bool = False
+
+
+@dataclass(frozen=True)
+class OrderManyMessage:
+    """A batch of ``(domain, config)`` pairs, all owned by this worker.
+
+    The dispatcher groups a cross-shard batch by owning worker; inside
+    the worker the batch is re-grouped per owned shard so each shard's
+    :meth:`~repro.service.OrderingService.order_many` keeps its
+    one-topology-build amortization.
+    """
+
+    requests: Tuple[Tuple[object, object], ...]
+
+
+@dataclass(frozen=True)
+class IndexQueryMessage:
+    """A query against the worker-local index of one domain.
+
+    ``op`` is one of ``"range"`` / ``"nn"`` / ``"join"`` /
+    ``"query_many"`` / ``"workload"``, applied to the
+    :class:`~repro.api.SpectralIndex` the worker builds (and caches)
+    over its own shard service.
+    """
+
+    domain: object
+    op: str
+    args: Tuple = ()
+    kwargs: Dict = field(default_factory=dict)
+
+
+#: Operations :class:`IndexQueryMessage` accepts.
+INDEX_OPS = ("range", "nn", "join", "query_many", "workload")
+
+
+# ---------------------------------------------------------------------------
+# Responses (worker -> dispatcher)
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class OkResponse:
+    """A successful result; ``payload`` is the method's return value."""
+
+    payload: object = None
+
+
+@dataclass(frozen=True)
+class ErrorResponse:
+    """A failure shipped as a value.
+
+    ``exception`` carries the original exception when it pickles;
+    otherwise ``None``, with ``kind`` / ``message`` / ``remote_traceback``
+    preserving what can always be preserved.
+    """
+
+    kind: str
+    message: str
+    remote_traceback: str
+    exception: Optional[BaseException] = None
+
+    def raise_(self) -> None:
+        # Pickling drops __traceback__, so the re-raised exception
+        # alone would show no worker-side frames; chaining the shipped
+        # traceback text as the cause keeps them in the dispatcher's
+        # error output.
+        if self.exception is not None:
+            raise self.exception from WorkerError(
+                f"remote worker traceback:\n{self.remote_traceback}",
+                remote_traceback=self.remote_traceback,
+            )
+        raise WorkerError(
+            f"worker failed with {self.kind}: {self.message}",
+            remote_traceback=self.remote_traceback,
+        )
+
+
+def error_response(exc: BaseException) -> ErrorResponse:
+    """Wrap a worker-side exception for the wire.
+
+    The exception object itself is shipped only when it survives a
+    pickle round-trip *in the worker* — discovering unpicklability at
+    ``conn.send`` time would kill the reply entirely and surface as a
+    crash instead of an error.
+    """
+    shippable: Optional[BaseException] = None
+    try:
+        pickle.loads(pickle.dumps(exc))
+    except Exception:
+        pass
+    else:
+        shippable = exc
+    return ErrorResponse(
+        kind=type(exc).__name__,
+        message=str(exc),
+        remote_traceback="".join(traceback.format_exception(
+            type(exc), exc, exc.__traceback__)),
+        exception=shippable,
+    )
+
+
+@dataclass(frozen=True)
+class WorkerHello:
+    """The ping payload: who the worker is and what it owns."""
+
+    worker_id: int
+    shard_ids: Tuple[int, ...]
+    num_shards: int
+    protocol_version: int = PROTOCOL_VERSION
+    pid: int = 0

@@ -1,0 +1,241 @@
+"""The worker process: per-shard services behind one request loop.
+
+A worker owns one or more keyspace shards.  For each it hydrates an
+:class:`~repro.service.OrderingService` over that shard's on-disk
+:class:`~repro.service.ArtifactStore` directory — which is the whole
+restart story: a freshly spawned worker answers every previously-seen
+request from disk, paying **zero eigensolves** (the fleet test pins
+this through the services' ``solver_calls`` counters).
+
+The loop is deliberately single-threaded: one request in flight per
+pipe means no worker-side locking beyond what the services already
+provide, and a crash between requests can never corrupt a response.
+Routing is *verified, not trusted*: the worker re-derives the owning
+shard of every domain with the same
+:func:`~repro.service.routing.shard_of_domain` formula the dispatcher
+used and refuses domains it does not own — turning any router/worker
+disagreement into a loud error instead of a silently cold cache.
+
+``worker_main`` is a module-level function so the ``spawn`` context can
+import it by reference in the child process (required on Windows/macOS
+and under pytest).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.caching import LRUCache
+from repro.errors import InvalidParameterError
+from repro.service.ordering import OrderingService, normalize_requests
+from repro.service.routing import (
+    coerce_domain,
+    routing_fingerprint,
+    shard_of_domain,
+)
+from repro.serve.protocol import (
+    INDEX_OPS,
+    ErrorResponse,
+    IndexQueryMessage,
+    OkResponse,
+    OrderManyMessage,
+    OrderRequestMessage,
+    PingRequest,
+    ShutdownRequest,
+    StatsRequest,
+    WorkerHello,
+    error_response,
+)
+
+
+class ShardWorker:
+    """The in-process half of a worker: services, indexes, dispatch.
+
+    Factored out of the pipe loop so tests can drive it synchronously
+    (same code path, no processes) and so the CLI's in-process fallback
+    can reuse it.
+    """
+
+    def __init__(self, worker_id: int, shard_ids: Sequence[int],
+                 num_shards: int, store_dirs: Dict[int, str],
+                 memory_entries: int = 128, hierarchy_entries: int = 32,
+                 max_indexes: int = 16,
+                 index_defaults: Optional[dict] = None):
+        self.worker_id = int(worker_id)
+        self.shard_ids = tuple(int(s) for s in shard_ids)
+        self.num_shards = int(num_shards)
+        self._services: Dict[int, OrderingService] = {
+            shard: OrderingService(
+                memory_entries=memory_entries,
+                store=store_dirs.get(shard),
+                hierarchy_entries=hierarchy_entries,
+            )
+            for shard in self.shard_ids
+        }
+        self._index_defaults = dict(index_defaults or {})
+        # The defaults are fixed for the worker's lifetime; their key
+        # component is too.
+        self._defaults_key = tuple(sorted(
+            (name, repr(value))
+            for name, value in self._index_defaults.items()))
+        # Bounded, like the sharded frontend's table: a worker serving
+        # a stream of distinct domains must not hoard views forever.
+        self._indexes: LRUCache = LRUCache(max_indexes)
+
+    # ------------------------------------------------------------------
+    @property
+    def services(self) -> Dict[int, OrderingService]:
+        """The per-shard services, keyed by shard id."""
+        return self._services
+
+    def _service_for(self, domain) -> Tuple[int, OrderingService]:
+        domain = coerce_domain(domain)
+        shard = shard_of_domain(domain, self.num_shards)
+        service = self._services.get(shard)
+        if service is None:
+            raise InvalidParameterError(
+                f"worker {self.worker_id} owns shards {self.shard_ids}, "
+                f"not shard {shard} — dispatcher/worker routing disagree"
+            )
+        return shard, service
+
+    # ------------------------------------------------------------------
+    # Request handlers
+    # ------------------------------------------------------------------
+    def hello(self) -> WorkerHello:
+        return WorkerHello(worker_id=self.worker_id,
+                           shard_ids=self.shard_ids,
+                           num_shards=self.num_shards,
+                           pid=os.getpid())
+
+    def stats(self) -> Dict[int, object]:
+        return {shard: service.stats
+                for shard, service in self._services.items()}
+
+    def order_one(self, message: OrderRequestMessage):
+        from repro.geometry.grid import Grid
+
+        domain = coerce_domain(message.domain)
+        _, service = self._service_for(domain)
+        if isinstance(domain, Grid):
+            artifact = service.grid_artifact(domain, message.config)
+        else:
+            artifact = service.graph_artifact(domain, message.config)
+        return artifact if message.want_artifact else artifact.order
+
+    def order_many(self, message: OrderManyMessage) -> List:
+        """Batched orders, re-grouped per owned shard.
+
+        Each shard's service sees its sub-batch in one
+        :meth:`~repro.service.OrderingService.order_many` call, so the
+        one-topology-build amortization survives the process hop.
+        """
+        normalized = normalize_requests(
+            (coerce_domain(domain), config)
+            for domain, config in message.requests)
+        by_shard: Dict[int, List[int]] = {}
+        for i, request in enumerate(normalized):
+            shard, _ = self._service_for(request.domain)
+            by_shard.setdefault(shard, []).append(i)
+        results: List = [None] * len(normalized)
+        for shard, indices in by_shard.items():
+            orders = self._services[shard].order_many(
+                [normalized[i] for i in indices])
+            for i, order in zip(indices, orders):
+                results[i] = order
+        return results
+
+    def index_query(self, message: IndexQueryMessage):
+        if message.op not in INDEX_OPS:
+            raise InvalidParameterError(
+                f"op must be one of {INDEX_OPS}, got {message.op!r}"
+            )
+        index = self._index_for(message.domain)
+        return getattr(index, message.op)(*message.args,
+                                          **message.kwargs)
+
+    def _index_for(self, domain):
+        # Imported lazily, mirroring the sharded frontend: repro.serve
+        # must stay importable without pulling the whole facade in.
+        from repro.api.index import SpectralIndex
+
+        domain = coerce_domain(domain)
+        shard, service = self._service_for(domain)
+        key = (routing_fingerprint(domain), self._defaults_key)
+        index = self._indexes.get(key)
+        if index is None:
+            index = SpectralIndex.build(domain, service=service,
+                                        **self._index_defaults)
+            self._indexes.put(key, index)
+        return index
+
+    # ------------------------------------------------------------------
+    def handle(self, request) -> Tuple[object, bool]:
+        """Dispatch one request; returns ``(response, keep_running)``."""
+        try:
+            if isinstance(request, ShutdownRequest):
+                return OkResponse("bye"), False
+            if isinstance(request, PingRequest):
+                return OkResponse(self.hello()), True
+            if isinstance(request, StatsRequest):
+                return OkResponse(self.stats()), True
+            if isinstance(request, OrderRequestMessage):
+                return OkResponse(self.order_one(request)), True
+            if isinstance(request, OrderManyMessage):
+                return OkResponse(self.order_many(request)), True
+            if isinstance(request, IndexQueryMessage):
+                return OkResponse(self.index_query(request)), True
+            raise InvalidParameterError(
+                f"unknown request type {type(request).__name__}"
+            )
+        except BaseException as exc:  # ship the failure, keep serving
+            if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                raise
+            return self._as_error(exc), True
+
+    @staticmethod
+    def _as_error(exc: BaseException) -> ErrorResponse:
+        return error_response(exc)
+
+
+def worker_main(worker_id: int, shard_ids: Sequence[int],
+                num_shards: int, conn, store_dirs: Dict[int, str],
+                memory_entries: int = 128, hierarchy_entries: int = 32,
+                max_indexes: int = 16,
+                index_defaults: Optional[dict] = None) -> None:
+    """Entry point of a spawned worker process.
+
+    Hydrates the shard services (warm stores make that the *only* cost
+    of a restart) and answers requests until a
+    :class:`~repro.serve.protocol.ShutdownRequest` arrives or the
+    dispatcher's end of the pipe closes (EOF) — the latter covers a
+    crashed or impolite parent, so orphaned workers exit instead of
+    lingering.
+    """
+    worker = ShardWorker(
+        worker_id, shard_ids, num_shards, store_dirs,
+        memory_entries=memory_entries,
+        hierarchy_entries=hierarchy_entries,
+        max_indexes=max_indexes,
+        index_defaults=index_defaults,
+    )
+    try:
+        while True:
+            try:
+                request = conn.recv()
+            except EOFError:
+                break
+            response, keep_running = worker.handle(request)
+            try:
+                conn.send(response)
+            except Exception as exc:
+                # Connection.send pickles the whole payload before
+                # writing a byte, so a pickling failure leaves the pipe
+                # clean — ship the failure instead of leaving the
+                # dispatcher blocked on a reply that never comes.
+                conn.send(error_response(exc))
+            if not keep_running:
+                break
+    finally:
+        conn.close()

@@ -23,6 +23,14 @@ from repro.service.ordering import (
     OrderingService,
     OrderRequest,
     ServiceStats,
+    normalize_requests,
+)
+from repro.service.routing import (
+    ShardableDomain,
+    coerce_domain,
+    routing_fingerprint,
+    shard_index,
+    shard_of_domain,
 )
 from repro.service.sharding import ShardedIndexFrontend
 from repro.service.store import STORE_VERSION, ArtifactStore, StoreEntry
@@ -37,12 +45,18 @@ __all__ = [
     "OrderingService",
     "STORE_VERSION",
     "ServiceStats",
+    "ShardableDomain",
     "ShardedIndexFrontend",
     "StoreEntry",
+    "coerce_domain",
     "config_fingerprint",
     "domain_fingerprint",
     "graph_fingerprint",
     "grid_fingerprint",
+    "normalize_requests",
     "order_key",
     "points_fingerprint",
+    "routing_fingerprint",
+    "shard_index",
+    "shard_of_domain",
 ]

@@ -95,6 +95,29 @@ class OrderRequest:
             )
 
 
+def normalize_requests(requests: Sequence) -> List[OrderRequest]:
+    """Coerce a batch of :class:`OrderRequest` | ``(domain, config)``
+    pairs into validated requests (``config=None`` means the paper's
+    defaults).
+
+    The one normalization every batching front uses — the service, the
+    in-process sharded frontend, the process-pool dispatcher, and the
+    worker loop — so their accepted spellings can never drift apart.
+    """
+    normalized: List[OrderRequest] = []
+    for item in requests:
+        if isinstance(item, OrderRequest):
+            normalized.append(item)
+        else:
+            domain, config = item
+            if config is None:
+                normalized.append(OrderRequest(domain=domain))
+            else:
+                normalized.append(OrderRequest(domain=domain,
+                                               config=config))
+    return normalized
+
+
 @dataclass
 class ServiceStats:
     """Counters of where the service's answers came from.
@@ -307,14 +330,7 @@ class OrderingService:
         hits (memory or disk) skip even that.  Results align with the
         input order.
         """
-        normalized: List[OrderRequest] = []
-        for item in requests:
-            if isinstance(item, OrderRequest):
-                normalized.append(item)
-            else:
-                domain, config = item
-                normalized.append(OrderRequest(domain=domain,
-                                               config=config))
+        normalized = normalize_requests(requests)
         results: List[Optional[LinearOrder]] = [None] * len(normalized)
 
         # Partition: grid requests group by topology; graphs go direct.

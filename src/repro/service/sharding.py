@@ -30,30 +30,28 @@ index table and a pure routing function.
 from __future__ import annotations
 
 import threading
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.caching import LRUCache
 from repro.core.ordering import LinearOrder
 from repro.errors import InvalidParameterError
 from repro.parallel import ensure_workers, map_in_threads
 from repro.geometry.grid import Grid
-from repro.geometry.pointset import PointSet
 from repro.graph.adjacency import Graph
 from repro.service.artifacts import OrderArtifact
-from repro.service.fingerprint import (
-    graph_fingerprint,
-    grid_fingerprint,
-    points_fingerprint,
-)
 from repro.service.ordering import (
     ConfigLike,
     OrderingService,
-    OrderRequest,
     ServiceStats,
+    normalize_requests,
 )
-
-#: Routable domains (plain shape tuples are promoted to grids).
-ShardableDomain = Union[Grid, PointSet, Graph]
+from repro.service.routing import (
+    ShardableDomain,
+    coerce_domain,
+    routing_fingerprint,
+    shard_index,
+    shard_of_domain,
+)
 
 
 class ShardedIndexFrontend:
@@ -157,39 +155,23 @@ class ShardedIndexFrontend:
         """The per-shard services, in shard order."""
         return tuple(self._services)
 
-    @staticmethod
-    def _coerce_domain(domain) -> ShardableDomain:
-        if isinstance(domain, (Grid, PointSet, Graph)):
-            return domain
-        if isinstance(domain, (tuple, list)):
-            return Grid(domain)
-        raise InvalidParameterError(
-            "domain must be a Grid, PointSet, Graph, or a shape "
-            f"sequence, got {type(domain).__name__}"
-        )
-
-    @staticmethod
-    def _domain_fingerprint(domain: ShardableDomain) -> str:
-        if isinstance(domain, Grid):
-            return grid_fingerprint(domain)
-        if isinstance(domain, PointSet):
-            return points_fingerprint(domain.grid, domain.cells)
-        return graph_fingerprint(domain)
+    _coerce_domain = staticmethod(coerce_domain)
+    _domain_fingerprint = staticmethod(routing_fingerprint)
 
     def _shard_from_fingerprint(self, fingerprint: str) -> int:
-        # The one routing formula: leading 64 bits of the SHA-256
-        # fingerprint modulo the shard count.
-        return int(fingerprint[:16], 16) % len(self._services)
+        # The one routing formula, shared with repro.serve — see
+        # repro.service.routing.
+        return shard_index(fingerprint, len(self._services))
 
     def shard_of(self, domain) -> int:
         """The shard owning ``domain`` — a pure, stable function.
 
         The leading 64 bits of the domain's SHA-256 fingerprint modulo
-        the shard count: uniform over the keyspace, identical in every
-        process, and independent of request order.
+        the shard count (:func:`repro.service.routing.shard_of_domain`):
+        uniform over the keyspace, identical in every process, and
+        independent of request order.
         """
-        return self._shard_from_fingerprint(
-            self._domain_fingerprint(self._coerce_domain(domain)))
+        return shard_of_domain(domain, len(self._services))
 
     def service_for(self, domain) -> OrderingService:
         """The :class:`~repro.service.OrderingService` owning ``domain``."""
@@ -230,14 +212,7 @@ class ShardedIndexFrontend:
         sub-batches on that many threads — shards are independent
         services, so cross-shard batches scale with no shared locks.
         """
-        normalized: List[OrderRequest] = []
-        for item in requests:
-            if isinstance(item, OrderRequest):
-                normalized.append(item)
-            else:
-                domain, config = item
-                normalized.append(OrderRequest(domain=domain,
-                                               config=config))
+        normalized = normalize_requests(requests)
         groups: Dict[int, List[int]] = {}
         for i, request in enumerate(normalized):
             groups.setdefault(self.shard_of(request.domain),

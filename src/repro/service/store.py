@@ -47,10 +47,79 @@ from repro.core.spectral import SpectralConfig
 from repro.errors import InvalidParameterError
 from repro.service.artifacts import OrderArtifact
 
+try:  # POSIX; Windows has no fcntl — cross-process locking degrades
+    import fcntl
+except ImportError:  # pragma: no cover - exercised only on Windows
+    fcntl = None
+
 #: On-disk format version.  Bump on any incompatible layout change;
 #: artifacts written under another version are ignored (treated as
 #: misses), never misread.
 STORE_VERSION = 1
+
+#: Name of the advisory lock file inside a store directory.  Never
+#: matches an artifact glob (keys are hex digests, files ``*.json`` /
+#: ``*.npy``), so it is invisible to listing, accounting, and eviction.
+LOCK_FILENAME = ".repro-store.lock"
+
+#: Temp files older than this many seconds are presumed orphaned by a
+#: writer that died mid-save and are swept at store startup.  An
+#: in-flight save holds its temp file for milliseconds (one JSON dump or
+#: one ``np.save``), so minutes of age-gating can never reap a live one.
+STALE_TEMP_SECONDS = 300.0
+
+
+class _StoreLock:
+    """Thread- *and* process-level mutual exclusion for one store dir.
+
+    A ``threading.RLock`` serializes writers within the process (as
+    before), and — while the outermost level is held — an ``flock`` on
+    ``<root>/.repro-store.lock`` serializes writers *across* processes:
+    two workers sharing one shard directory can no longer interleave an
+    eviction sweep with the two file writes of a save.  Reentrant, so
+    ``save -> evict_to -> delete`` acquires once.
+
+    On Windows (no ``fcntl``) and on filesystems that refuse ``flock``
+    (some network mounts), the cross-process half degrades to a no-op
+    while the in-process half keeps working — the pre-existing
+    guarantee, never less.
+    """
+
+    def __init__(self, root: Path) -> None:
+        self._root = root
+        self._thread_lock = threading.RLock()
+        self._depth = 0
+        self._handle = None
+
+    def __enter__(self) -> "_StoreLock":
+        self._thread_lock.acquire()
+        self._depth += 1
+        if self._depth == 1 and fcntl is not None and self._root.is_dir():
+            handle = None
+            try:
+                handle = open(self._root / LOCK_FILENAME, "ab")
+                fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            except OSError:
+                # Degraded: in-process locking only (e.g. a filesystem
+                # refusing flock).  Close the handle, or every write
+                # would leak one fd until EMFILE.
+                if handle is not None:
+                    handle.close()
+            else:
+                self._handle = handle
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self._depth == 1 and self._handle is not None:
+            try:
+                fcntl.flock(self._handle.fileno(), fcntl.LOCK_UN)
+            except OSError:
+                pass
+            finally:
+                self._handle.close()
+                self._handle = None
+        self._depth -= 1
+        self._thread_lock.release()
 
 
 @dataclass(frozen=True)
@@ -94,15 +163,22 @@ class ArtifactStore:
                 f"max_bytes must be a positive integer, got {max_bytes}"
             )
         self._max_bytes = max_bytes
-        # Serializes save/evict/delete within this process: a
-        # thread-safe OrderingService runs leader saves concurrently,
-        # and an eviction sweeping between another thread's meta and
+        # Serializes save/evict/delete within this process *and*, via
+        # flock on a lock file in the store directory, across
+        # processes: a thread-safe OrderingService runs leader saves
+        # concurrently, two workers may share one shard directory, and
+        # an eviction sweeping between another writer's meta and
         # permutation writes would orphan the .npy half.  (Reentrant:
         # evict_to calls delete.)
-        self._write_lock = threading.RLock()
+        self._write_lock = _StoreLock(self._root)
         self.loads = 0
         self.load_failures = 0
         self.evictions = 0
+        self.temps_swept = 0
+        # A writer that died mid-save leaves a *.tmp behind; sweep the
+        # stale ones now so a long-lived directory never accretes them.
+        if self._root.is_dir():
+            self.sweep_stale_temps()
 
     @property
     def max_bytes(self) -> Optional[int]:
@@ -134,11 +210,13 @@ class ArtifactStore:
     # ------------------------------------------------------------------
     def save(self, artifact: OrderArtifact) -> None:
         """Persist an artifact (atomic per file; last writer wins)."""
+        # The directory must exist before the lock is taken: the
+        # cross-process flock lives inside it.
+        self._root.mkdir(parents=True, exist_ok=True)
         with self._write_lock:
             self._save_locked(artifact)
 
     def _save_locked(self, artifact: OrderArtifact) -> None:
-        self._root.mkdir(parents=True, exist_ok=True)
         meta = {
             "version": STORE_VERSION,
             "key": artifact.key,
@@ -162,17 +240,55 @@ class ArtifactStore:
         tmp = perm_path.with_suffix(".npy.tmp")
         # Write through a file handle: np.save() on a *path* appends
         # ".npy" when absent, which would break the temp-file rename.
-        with open(tmp, "wb") as handle:
-            np.save(handle, np.asarray(artifact.order.permutation,
-                                       dtype=np.int64))
-        os.replace(tmp, perm_path)
+        try:
+            with open(tmp, "wb") as handle:
+                np.save(handle, np.asarray(artifact.order.permutation,
+                                           dtype=np.int64))
+            os.replace(tmp, perm_path)
+        except BaseException:
+            tmp.unlink(missing_ok=True)
+            raise
         if self._max_bytes is not None:
             self.evict_to(self._max_bytes, protect=(artifact.key,))
 
     def _atomic_write_bytes(self, path: Path, payload: bytes) -> None:
         tmp = path.with_suffix(path.suffix + ".tmp")
-        tmp.write_bytes(payload)
-        os.replace(tmp, path)
+        try:
+            tmp.write_bytes(payload)
+            os.replace(tmp, path)
+        except BaseException:
+            tmp.unlink(missing_ok=True)
+            raise
+
+    def sweep_stale_temps(self,
+                          max_age: float = STALE_TEMP_SECONDS) -> List[Path]:
+        """Remove ``*.tmp`` files older than ``max_age`` seconds.
+
+        A worker killed between opening a temp file and the atomic
+        ``os.replace`` orphans the temp; nothing ever reads it (loads
+        and accounting see only ``*.json`` / ``*.npy``), but it would
+        hold disk space forever.  The age gate keeps a *concurrent*
+        in-flight save safe: its temp file is seconds old at most.
+        Runs automatically at store construction; returns the swept
+        paths.
+        """
+        if max_age < 0:
+            raise InvalidParameterError(
+                f"max_age must be >= 0, got {max_age}"
+            )
+        swept: List[Path] = []
+        cutoff = time.time() - max_age
+        for tmp in self._root.glob("*.tmp"):
+            try:
+                if tmp.stat().st_mtime <= cutoff:
+                    tmp.unlink()
+                    swept.append(tmp)
+            except OSError:
+                # Raced with the writer completing (rename) or another
+                # sweeper; either way the orphan is gone.
+                continue
+        self.temps_swept += len(swept)
+        return swept
 
     # ------------------------------------------------------------------
     def load(self, key: str) -> Optional[OrderArtifact]:

@@ -1,0 +1,50 @@
+"""``repro-serve``: the standalone fleet runner.
+
+The CLI is the deployment face of the harness, so the test drives the
+real thing — a spawned fleet over a real cache directory — and pins the
+restart-warm story end to end: the second run over the same
+``--cache-dir`` reports zero solver calls.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.cli import build_parser, main
+
+pytestmark = pytest.mark.multiproc
+
+
+def test_demo_run_and_restart_warm(tmp_path, capsys):
+    args = ["--shards", "2", "--cache-dir", str(tmp_path / "cache"),
+            "--demo-side", "8"]
+    assert main(args) == 0
+    cold = capsys.readouterr().out
+    assert "fleet up: 2 shards on 2 workers" in cold
+    assert "warm-up: ordered 5 grids" in cold
+
+    assert main(args) == 0
+    warm = capsys.readouterr().out
+    assert "total solver calls: 0" in warm
+
+
+def test_memory_only_run(capsys):
+    assert main(["--shards", "1", "--demo-side", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "(memory-only)" in out
+    assert "worker 0" in out
+
+
+def test_parser_defaults_and_validation(capsys):
+    parser = build_parser()
+    args = parser.parse_args([])
+    assert args.shards == 4 and args.workers is None
+    assert args.demo_side == 16 and not args.keep_alive
+    assert main(["--demo-side", "-3"]) == 2
+    assert "demo-side" in capsys.readouterr().err
+
+
+def test_bad_fleet_configuration_is_a_clean_failure(capsys):
+    assert main(["--shards", "2", "--workers", "5",
+                 "--demo-side", "0"]) == 1
+    assert "failed to start fleet" in capsys.readouterr().err

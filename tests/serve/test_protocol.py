@@ -1,0 +1,63 @@
+"""Wire-value contracts: failures travel as values, and survive pickling."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.errors import GraphStructureError, WorkerError
+from repro.serve.protocol import (
+    ErrorResponse,
+    OkResponse,
+    OrderManyMessage,
+    OrderRequestMessage,
+    error_response,
+)
+from repro.geometry import Grid
+
+
+def test_requests_pickle_roundtrip():
+    message = OrderRequestMessage(domain=Grid((5, 5)),
+                                  want_artifact=True)
+    back = pickle.loads(pickle.dumps(message))
+    assert back.domain == Grid((5, 5))
+    assert back.want_artifact
+    batch = OrderManyMessage(((Grid((4, 4)), None),))
+    back = pickle.loads(pickle.dumps(batch))
+    assert back.requests[0][0] == Grid((4, 4))
+
+
+def test_error_response_carries_library_exceptions():
+    try:
+        raise GraphStructureError("graph is disconnected")
+    except GraphStructureError as exc:
+        response = error_response(exc)
+    response = pickle.loads(pickle.dumps(response))  # crosses the pipe
+    assert response.kind == "GraphStructureError"
+    with pytest.raises(GraphStructureError, match="disconnected") as info:
+        response.raise_()
+    # The worker-side frames survive as the chained cause (pickling
+    # drops __traceback__ from the exception itself).
+    assert isinstance(info.value.__cause__, WorkerError)
+    assert "test_protocol" in info.value.__cause__.remote_traceback
+
+
+def test_error_response_falls_back_for_unpicklable_exceptions():
+    class Unpicklable(Exception):  # local class: cannot be re-imported
+        pass
+
+    try:
+        raise Unpicklable("worker-local failure")
+    except Unpicklable as exc:
+        response = error_response(exc)
+    assert response.exception is None
+    assert "Unpicklable" in response.kind
+    with pytest.raises(WorkerError, match="worker-local failure") as info:
+        response.raise_()
+    assert "Unpicklable" in info.value.remote_traceback
+
+
+def test_ok_response_is_transparent():
+    assert OkResponse(41).payload == 41
+    assert ErrorResponse("K", "m", "tb").exception is None

@@ -1,0 +1,144 @@
+"""ShardWorker driven synchronously: the worker logic without processes.
+
+Everything a spawned worker does — routing verification, per-shard
+re-grouping, index caching, failure-as-value — runs through
+:class:`~repro.serve.worker.ShardWorker.handle` identically whether a
+pipe or a test calls it; these tests pin the logic at full speed so the
+``multiproc``-marked fleet tests only need to cover the *process*
+concerns (spawn, crash, restart, IPC).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import NNQuery, SpectralIndex
+from repro.core.spectral import SpectralConfig
+from repro.errors import InvalidParameterError
+from repro.geometry import Grid
+from repro.service import OrderingService, shard_of_domain
+from repro.serve.protocol import (
+    ErrorResponse,
+    IndexQueryMessage,
+    OkResponse,
+    OrderManyMessage,
+    OrderRequestMessage,
+    PingRequest,
+    ShutdownRequest,
+    StatsRequest,
+)
+from repro.serve.worker import ShardWorker
+
+
+def all_shards_worker(num_shards: int = 2, **kwargs) -> ShardWorker:
+    return ShardWorker(0, tuple(range(num_shards)), num_shards, {},
+                       **kwargs)
+
+
+def test_hello_and_shutdown():
+    worker = all_shards_worker()
+    response, keep = worker.handle(PingRequest())
+    assert keep and response.payload.num_shards == 2
+    response, keep = worker.handle(ShutdownRequest())
+    assert not keep and isinstance(response, OkResponse)
+
+
+def test_order_one_matches_plain_service():
+    worker = all_shards_worker()
+    grid = Grid((7, 7))
+    response, _ = worker.handle(OrderRequestMessage(grid))
+    assert response.payload == OrderingService().order_grid(grid)
+    response, _ = worker.handle(
+        OrderRequestMessage(grid, SpectralConfig(weight="gaussian"),
+                            want_artifact=True))
+    artifact = response.payload
+    assert artifact.config.weight == "gaussian"
+    assert artifact.key
+
+
+def test_worker_refuses_unowned_shard():
+    """Routing is verified, not trusted: a mis-routed domain errors."""
+    grids = [Grid((s, s)) for s in range(4, 12)]
+    owned = next(g for g in grids if shard_of_domain(g, 2) == 0)
+    foreign = next(g for g in grids if shard_of_domain(g, 2) == 1)
+    worker = ShardWorker(0, (0,), 2, {})
+    ok, _ = worker.handle(OrderRequestMessage(owned))
+    assert isinstance(ok, OkResponse)
+    err, keep = worker.handle(OrderRequestMessage(foreign))
+    assert keep  # a routing error must not kill the worker
+    assert isinstance(err, ErrorResponse)
+    with pytest.raises(InvalidParameterError, match="routing disagree"):
+        err.raise_()
+
+
+def test_order_many_regroups_per_shard():
+    worker = all_shards_worker()
+    grid = Grid((10, 10))
+    weights = ("unit", "inverse_manhattan", "gaussian")
+    message = OrderManyMessage(tuple(
+        (grid, SpectralConfig(weight=w)) for w in weights))
+    response, _ = worker.handle(message)
+    plain = OrderingService()
+    for w, order in zip(weights, response.payload):
+        assert order == plain.order_grid(grid,
+                                         SpectralConfig(weight=w))
+    # One topology build on the owning shard: the amortization survived.
+    shard = shard_of_domain(grid, 2)
+    assert worker.services[shard].stats.topology_builds == 1
+
+
+def test_order_many_mixed_shards_aligns_results():
+    worker = all_shards_worker()
+    grids = [Grid((s, s)) for s in range(4, 9)]
+    response, _ = worker.handle(
+        OrderManyMessage(tuple((g, None) for g in grids)))
+    plain = OrderingService()
+    for grid, order in zip(grids, response.payload):
+        assert order == plain.order_grid(grid)
+
+
+def test_index_query_ops_and_cache():
+    worker = all_shards_worker(index_defaults={"buffer_capacity": 8})
+    grid = Grid((8, 8))
+    direct = SpectralIndex.build(grid, buffer_capacity=8)
+
+    response, _ = worker.handle(IndexQueryMessage(grid, "nn", (10, 3)))
+    assert np.array_equal(response.payload.neighbors,
+                          direct.nn(10, 3).neighbors)
+    response, _ = worker.handle(
+        IndexQueryMessage(grid, "query_many", ([NNQuery(5, k=4)],)))
+    assert np.array_equal(response.payload[0].neighbors,
+                          direct.nn(5, 4).neighbors)
+    response, _ = worker.handle(
+        IndexQueryMessage(grid, "range", (((1, 1), (4, 4)),)))
+    assert np.array_equal(response.payload.results,
+                          direct.range(((1, 1), (4, 4))).results)
+    # Same domain -> same cached index object.
+    assert worker._index_for(grid) is worker._index_for(grid)
+
+
+def test_index_query_rejects_unknown_op():
+    worker = all_shards_worker()
+    response, keep = worker.handle(
+        IndexQueryMessage(Grid((6, 6)), "drop_tables", ()))
+    assert keep and isinstance(response, ErrorResponse)
+    with pytest.raises(InvalidParameterError):
+        response.raise_()
+
+
+def test_unknown_request_type_is_an_error_value():
+    response, keep = all_shards_worker().handle(StatsRequest())
+    assert keep and isinstance(response, OkResponse)
+    response, keep = all_shards_worker().handle(object())
+    assert keep and isinstance(response, ErrorResponse)
+
+
+def test_stats_are_per_owned_shard():
+    worker = all_shards_worker()
+    grid = Grid((6, 6))
+    worker.handle(OrderRequestMessage(grid))
+    response, _ = worker.handle(StatsRequest())
+    stats = response.payload
+    assert set(stats) == {0, 1}
+    assert stats[shard_of_domain(grid, 2)].computed == 1

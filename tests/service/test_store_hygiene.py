@@ -1,0 +1,112 @@
+"""Temp-file hygiene: orphaned ``*.tmp`` files are swept, never counted.
+
+Atomic writes go through ``<name>.tmp`` + ``os.replace``; a worker
+killed between the two leaves the temp behind.  The contracts pinned
+here: store startup sweeps temps older than the age gate (and *only*
+those — a concurrent in-flight save's fresh temp survives), accounting
+and eviction never see temps, and a failed write cleans up after
+itself.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.ordering import LinearOrder
+from repro.core.spectral import SpectralConfig
+from repro.errors import InvalidParameterError
+from repro.service.artifacts import OrderArtifact
+from repro.service.store import STALE_TEMP_SECONDS, ArtifactStore
+
+
+def _key(tag: str) -> str:
+    return hashlib.sha256(tag.encode()).hexdigest()
+
+
+def _artifact(tag: str, n: int = 32) -> OrderArtifact:
+    rng = np.random.default_rng(abs(hash(tag)) % 2**32)
+    return OrderArtifact(key=_key(tag), config=SpectralConfig(),
+                         domain=tag, order=LinearOrder(rng.permutation(n)))
+
+
+def _age(path, seconds: float) -> None:
+    old = time.time() - seconds
+    os.utime(path, (old, old))
+
+
+def test_startup_sweeps_stale_temps_only(tmp_path):
+    root = tmp_path / "s"
+    root.mkdir()
+    stale_meta = root / f"{_key('a')}.json.tmp"
+    stale_perm = root / f"{_key('a')}.npy.tmp"
+    fresh = root / f"{_key('b')}.json.tmp"
+    for p in (stale_meta, stale_perm, fresh):
+        p.write_bytes(b"partial write")
+    _age(stale_meta, STALE_TEMP_SECONDS + 60)
+    _age(stale_perm, STALE_TEMP_SECONDS + 60)
+
+    store = ArtifactStore(root)
+    assert not stale_meta.exists()
+    assert not stale_perm.exists()
+    assert fresh.exists()  # in-flight save is never reaped
+    assert store.temps_swept == 2
+
+
+def test_explicit_sweep_with_zero_age_gate(tmp_path):
+    root = tmp_path / "s"
+    root.mkdir()
+    tmp = root / f"{_key('a')}.npy.tmp"
+    tmp.write_bytes(b"x")
+    _age(tmp, 5)
+    store = ArtifactStore(root)
+    assert tmp.exists()  # 5 s old: under the default gate
+    swept = store.sweep_stale_temps(max_age=0)
+    assert swept == [tmp]
+    assert not tmp.exists()
+    with pytest.raises(InvalidParameterError):
+        store.sweep_stale_temps(max_age=-1)
+
+
+def test_accounting_and_eviction_ignore_temps(tmp_path):
+    store = ArtifactStore(tmp_path / "s")
+    store.save(_artifact("kept"))
+    clean_total = store.total_bytes()
+
+    orphan = tmp_path / "s" / f"{_key('dead')}.npy.tmp"
+    orphan.write_bytes(b"z" * 10_000)
+    assert store.total_bytes() == clean_total
+    assert store.keys() == [_key("kept")]
+
+    # Eviction neither counts nor deletes the temp: the store already
+    # fits, so nothing is evicted despite the 10 kB orphan on disk.
+    assert store.evict_to(clean_total) == []
+    assert (tmp_path / "s" / f"{_key('kept')}.json").exists()
+    assert orphan.exists()
+
+
+def test_missing_store_dir_needs_no_sweep(tmp_path):
+    # Construction must not create the directory just to sweep it.
+    store = ArtifactStore(tmp_path / "never-written")
+    assert not (tmp_path / "never-written").exists()
+    assert store.temps_swept == 0
+
+
+def test_failed_save_leaves_no_temp(tmp_path, monkeypatch):
+    store = ArtifactStore(tmp_path / "s")
+    store.save(_artifact("first"))  # create the directory
+
+    def boom(*args, **kwargs):
+        raise OSError("disk full")
+
+    monkeypatch.setattr(np, "save", boom)
+    with pytest.raises(OSError):
+        store.save(_artifact("second"))
+    assert list((tmp_path / "s").glob("*.tmp")) == []
+    # The metadata half of the failed save was written before the
+    # permutation failed; a later load treats the pair defensively.
+    assert store.load(_key("second")) is None

@@ -1,0 +1,201 @@
+"""Cross-process ArtifactStore safety: the flock contract.
+
+The store's in-process ``RLock`` says nothing about a *second process*
+writing the same directory — exactly the deployment the multi-process
+serving harness allows (two workers configured onto one shard
+directory).  Without the flock tier, one process's eviction sweep can
+interleave with the other's two-file save and orphan a ``.npy`` half.
+These tests hammer one directory from two ``spawn``-context processes
+and assert the directory stays *consistent*: every surviving metadata
+file loads, no permutation file survives without its metadata, and no
+temp files are left behind.
+
+Helpers live at module top level so the ``spawn`` children can import
+them by reference.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.ordering import LinearOrder
+from repro.core.spectral import SpectralConfig
+from repro.service.artifacts import OrderArtifact
+from repro.service.store import ArtifactStore
+
+if os.name == "nt":  # pragma: no cover
+    pytest.skip("flock tests are POSIX-only", allow_module_level=True)
+
+pytestmark = pytest.mark.multiproc
+
+#: Small shared key population so the two writers collide constantly.
+KEY_POPULATION = 4
+
+
+def _key(slot: int) -> str:
+    return hashlib.sha256(f"hammer-{slot}".encode()).hexdigest()
+
+
+def _artifact(slot: int, n: int = 64) -> OrderArtifact:
+    rng = np.random.default_rng(slot)
+    return OrderArtifact(
+        key=_key(slot),
+        config=SpectralConfig(),
+        domain=f"hammer[{slot}]",
+        order=LinearOrder(rng.permutation(n)),
+        backend="dense",
+    )
+
+
+def _hammer(root: str, seed: int, iterations: int) -> None:
+    """One writer: interleaved saves, deletes, and eviction sweeps."""
+    store = ArtifactStore(root, max_bytes=2_500)  # ~2-3 artifacts fit
+    rng = np.random.default_rng(seed)
+    for i in range(iterations):
+        slot = int(rng.integers(KEY_POPULATION))
+        action = int(rng.integers(10))
+        if action < 7:
+            store.save(_artifact(slot))
+        elif action < 9:
+            store.delete(_key(slot))
+        else:
+            store.evict_to(1_000)
+        if i % 5 == 0:
+            store.load(_key(int(rng.integers(KEY_POPULATION))))
+
+
+def _assert_consistent(root) -> None:
+    store = ArtifactStore(root)
+    for key in store.keys():
+        assert store.load(key) is not None, f"unloadable artifact {key}"
+    json_stems = {p.name[: -len(".json")] for p in root.glob("*.json")}
+    npy_stems = {p.name[: -len(".npy")] for p in root.glob("*.npy")}
+    assert npy_stems <= json_stems, (
+        f"orphaned permutations: {npy_stems - json_stems}"
+    )
+    assert list(root.glob("*.tmp")) == []
+
+
+def test_two_process_hammer_keeps_store_consistent(tmp_path):
+    root = tmp_path / "shared-shard"
+    root.mkdir()
+    ctx = multiprocessing.get_context("spawn")
+    procs = [
+        ctx.Process(target=_hammer, args=(str(root), seed, 40))
+        for seed in (1, 2)
+    ]
+    for p in procs:
+        p.start()
+    for p in procs:
+        p.join(timeout=120)
+    try:
+        for p in procs:
+            assert p.exitcode == 0, f"hammer process died: {p.exitcode}"
+    finally:
+        for p in procs:
+            if p.is_alive():  # pragma: no cover - hang diagnostics
+                p.kill()
+                p.join()
+    _assert_consistent(root)
+
+
+def test_hammer_against_in_process_threads(tmp_path):
+    """The flock tier must compose with the thread tier, not replace it."""
+    import threading
+
+    root = tmp_path / "shared-shard"
+    root.mkdir()
+    ctx = multiprocessing.get_context("spawn")
+    proc = ctx.Process(target=_hammer, args=(str(root), 3, 30))
+    proc.start()
+    store = ArtifactStore(root, max_bytes=2_500)
+    threads = [
+        threading.Thread(target=_hammer_thread, args=(store, seed))
+        for seed in (4, 5)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    proc.join(timeout=120)
+    assert proc.exitcode == 0
+    _assert_consistent(root)
+
+
+def _hammer_thread(store: ArtifactStore, seed: int) -> None:
+    rng = np.random.default_rng(seed)
+    for _ in range(30):
+        slot = int(rng.integers(KEY_POPULATION))
+        if rng.integers(3) < 2:
+            store.save(_artifact(slot))
+        else:
+            store.evict_to(1_000)
+
+
+def test_refused_flock_degrades_without_leaking_fds(tmp_path,
+                                                    monkeypatch):
+    """Filesystems that refuse flock (some NFS mounts) degrade to
+    in-process locking — without orphaning one fd per write."""
+    import repro.service.store as store_mod
+
+    def refuse(fd, op):
+        raise OSError("no locks on this filesystem")
+
+    monkeypatch.setattr(store_mod.fcntl, "flock", refuse)
+    store = ArtifactStore(tmp_path / "s")
+    fd_dir = "/proc/self/fd"
+    before = len(os.listdir(fd_dir)) if os.path.isdir(fd_dir) else None
+    for i in range(20):
+        store.save(_artifact(i % KEY_POPULATION))
+    assert store._write_lock._handle is None
+    if before is not None:
+        assert len(os.listdir(fd_dir)) <= before + 1
+    assert store.load(_key(0)) is not None
+
+
+def test_flock_degrades_to_noop_without_fcntl(tmp_path, monkeypatch):
+    """Windows path: no fcntl means in-process locking only, not a crash."""
+    import repro.service.store as store_mod
+
+    monkeypatch.setattr(store_mod, "fcntl", None)
+    store = ArtifactStore(tmp_path / "s")
+    store.save(_artifact(0))
+    assert store.load(_key(0)) is not None
+    assert store.delete(_key(0))
+
+
+def test_lock_file_is_invisible_to_accounting(tmp_path):
+    store = ArtifactStore(tmp_path / "s")
+    store.save(_artifact(0))
+    lock_files = [p for p in (tmp_path / "s").iterdir()
+                  if p.name.startswith(".")]
+    assert lock_files, "expected the flock lock file to exist"
+    assert store.keys() == [_key(0)]
+    meta = (tmp_path / "s" / f"{_key(0)}.json").stat().st_size
+    perm = (tmp_path / "s" / f"{_key(0)}.npy").stat().st_size
+    assert store.total_bytes() == meta + perm
+
+
+def test_child_process_sees_parent_saves(tmp_path):
+    """Smoke the actual cross-process read path, not just survival."""
+    root = tmp_path / "s"
+    parent = ArtifactStore(root)
+    parent.save(_artifact(1))
+    ctx = multiprocessing.get_context("spawn")
+    ok = ctx.Value("i", 0)
+    proc = ctx.Process(target=_load_probe, args=(str(root), _key(1), ok))
+    proc.start()
+    proc.join(timeout=120)
+    assert proc.exitcode == 0
+    assert ok.value == 1
+
+
+def _load_probe(root: str, key: str, ok) -> None:
+    artifact = ArtifactStore(root).load(key)
+    if artifact is not None and artifact.key == key:
+        ok.value = 1

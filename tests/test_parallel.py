@@ -1,0 +1,119 @@
+"""The shared thread fan-out: worker-count rule and fail-fast mapping.
+
+``map_in_threads`` is the one fan-out primitive under the facade, the
+query engine, the sharded frontend, and the multi-process dispatcher.
+The contract pinned here: results align with input, the sequential
+fast path stays inline, and — the regression — a poisoned batch fails
+fast: once one item raises, not-yet-started items are cancelled instead
+of running to completion behind the caller's back.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.parallel import ensure_workers, map_in_threads
+
+
+def test_ensure_workers_rules():
+    assert ensure_workers(None) == 1
+    assert ensure_workers(3) == 3
+    for bad in (0, -1, 2.5, True, "2"):
+        with pytest.raises(InvalidParameterError):
+            ensure_workers(bad)
+
+
+def test_results_align_with_input():
+    items = list(range(17))
+    assert map_in_threads(lambda x: x * x, items, 4) == \
+        [x * x for x in items]
+
+
+def test_sequential_path_runs_inline():
+    thread_ids = []
+
+    def record(x):
+        thread_ids.append(threading.get_ident())
+        return x
+
+    map_in_threads(record, [1, 2, 3], 1)
+    assert set(thread_ids) == {threading.get_ident()}
+
+
+def test_first_exception_propagates():
+    def poisoned(x):
+        if x == 2:
+            raise ValueError("item 2")
+        return x
+
+    with pytest.raises(ValueError, match="item 2"):
+        map_in_threads(poisoned, [0, 1, 2, 3], 2)
+
+
+def test_earliest_submitted_failure_wins():
+    """Two concurrent failures: the one earlier in the input propagates."""
+    barrier = threading.Barrier(2, timeout=10)
+
+    def poisoned(x):
+        barrier.wait()  # both failures in flight simultaneously
+        raise ValueError(f"item {x}")
+
+    with pytest.raises(ValueError, match="item 0"):
+        map_in_threads(poisoned, [0, 1], 2)
+
+
+def test_poisoned_batch_cancels_not_yet_started_items():
+    """The regression: one failure must not let all K slow items run.
+
+    Six items, two workers.  Item 0 raises immediately; items 1+ block
+    on an event a watchdog releases shortly after.  Before the fix the
+    pool drained the whole batch (all six executed); with cancellation
+    only the items already grabbed by a worker ever start.
+    """
+    release = threading.Event()
+    started = []
+    lock = threading.Lock()
+
+    def fn(x):
+        with lock:
+            started.append(x)
+        if x == 0:
+            raise RuntimeError("poison")
+        release.wait(timeout=10)
+        return x
+
+    watchdog = threading.Timer(0.3, release.set)
+    watchdog.start()
+    try:
+        began = time.monotonic()
+        with pytest.raises(RuntimeError, match="poison"):
+            map_in_threads(fn, list(range(6)), 2)
+        elapsed = time.monotonic() - began
+    finally:
+        release.set()
+        watchdog.cancel()
+
+    # At most the two workers' current items plus one re-grabbed before
+    # the cancellation won the race — never the full batch.
+    assert len(started) < 6, f"no early exit: {sorted(started)} all ran"
+    # And the call returned as soon as running items drained (one
+    # watchdog interval), not after 6/2 sequential blocking rounds.
+    assert elapsed < 5
+
+
+def test_successful_batch_unaffected_by_cancellation_path():
+    calls = []
+    lock = threading.Lock()
+
+    def fn(x):
+        with lock:
+            calls.append(x)
+        return -x
+
+    assert map_in_threads(fn, list(range(8)), 3) == \
+        [-x for x in range(8)]
+    assert sorted(calls) == list(range(8))
