@@ -37,18 +37,26 @@ def save_json(results_dir):
     """Append machine-readable benchmark records to BENCH_spectral.json.
 
     Each record is a flat dict — by convention at least ``name``, ``n``,
-    ``backend`` and ``seconds``.  Appending (rather than rewriting)
-    preserves the perf trajectory across runs; consumers can group by
-    ``name``/``backend`` and plot ``seconds`` over time.  Records land
-    in the committed ``results/BENCH_spectral.json`` only under
-    ``REPRO_BENCH_RECORD=1``; default runs append to the untracked
-    ``.local`` sibling.
+    ``backend`` and ``seconds``.  Records land in the committed
+    ``results/BENCH_spectral.json`` only under ``REPRO_BENCH_RECORD=1``;
+    default runs append to the untracked ``.local`` sibling.
+
+    Re-running a benchmark replaces its previous record instead of
+    piling up duplicates: records are keyed on ``(name, n, backend,
+    phase)``, so each (bench, size, backend) combination appears once
+    and the file stays a per-configuration snapshot rather than an
+    append log.  Historical baselines survive because they use distinct
+    backend names (``seed-lanczos``).
     """
     import os
 
     target = (BENCH_JSON
               if os.environ.get("REPRO_BENCH_RECORD", "") == "1"
               else BENCH_JSON_LOCAL)
+
+    def _key(record: dict) -> tuple:
+        return (record.get("name"), record.get("n"),
+                record.get("backend"), record.get("phase"))
 
     def _save(record: dict) -> None:
         records = []
@@ -57,7 +65,9 @@ def save_json(results_dir):
                 records = json.loads(target.read_text())
             except json.JSONDecodeError:
                 records = []
-        records.append(dict(record))
+        record = dict(record)
+        records = [r for r in records if _key(r) != _key(record)]
+        records.append(record)
         target.write_text(json.dumps(records, indent=2) + "\n")
 
     return _save

@@ -62,7 +62,6 @@ from repro.mapping import (
     LocalityMapping,
     MappingCapabilities,
     SpectralMapping,
-    mapping_by_name,
     paper_mappings,
 )
 from repro.service import (
@@ -111,7 +110,6 @@ __all__ = [
     "fiedler_vector",
     "grid_graph",
     "make_mapping",
-    "mapping_by_name",
     "order_by_values",
     "paper_mappings",
     "spectral_order",

@@ -32,9 +32,10 @@ The pieces, in dependency order:
   fleet of worker *processes* (:mod:`repro.serve`) with per-shard disk
   stores that make fleet restarts eigensolve-free.
 
-The pre-facade entry points (:func:`repro.mapping.mapping_by_name`,
-direct :class:`~repro.query.LinearStore` construction) keep working as
-deprecation shims and produce bit-identical results.
+The pre-facade entry points (``repro.mapping.mapping_by_name``, direct
+``LinearStore`` construction) have completed their deprecation cycle
+and are gone: mappings come from :func:`make_mapping`, stores from
+:meth:`SpectralIndex.build`.
 """
 
 from repro.api.aio import AsyncSpectralIndex

@@ -6,8 +6,7 @@ a ``name``, declared :class:`~repro.mapping.MappingCapabilities`, and
 Consumers — the :class:`~repro.api.SpectralIndex` facade, the figure
 harnesses, user code — never need to know which family they hold.
 
-:func:`make_mapping` is the single construction point (the successor of
-the deprecated :func:`repro.mapping.mapping_by_name`).  It accepts:
+:func:`make_mapping` is the single construction point.  It accepts:
 
 * a registry name (``"hilbert"``, ``"spectral"``, ``"spectral-rb"``,
   ...);

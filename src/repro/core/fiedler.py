@@ -142,6 +142,7 @@ def fiedler_vector(graph: Graph, backend: str = "auto",
                    probe: np.ndarray | None = None,
                    rtol: float = 1e-6,
                    multilevel_tol: float = MULTILEVEL_QUALITY_RTOL,
+                   solver_tol: float | None = None,
                    hierarchy_cache=None) -> FiedlerResult:
     """The canonical Fiedler pair of a connected graph.
 
@@ -167,6 +168,14 @@ def fiedler_vector(graph: Graph, backend: str = "auto",
         ``backend="auto"`` (``||L y - theta y|| <= multilevel_tol *
         theta``).  Ignored for other backends; an explicit
         ``backend="multilevel"`` always returns the approximation.
+    solver_tol:
+        Residual tolerance handed to the exact eigensolver backends
+        (:func:`repro.linalg.backends.smallest_eigenpairs`'s ``tol``).
+        ``None`` keeps the registry default
+        (:data:`~repro.linalg.backends.DEFAULT_SOLVER_TOL`); looser
+        values trade accuracy for iteration count on the preconditioned
+        backends.  Ignored by the multilevel path, whose accuracy knob
+        is ``multilevel_tol``.
     hierarchy_cache:
         Optional :class:`~repro.graph.coarsening.HierarchyCache` used by
         the multilevel path to reuse matching/prolongation chains across
@@ -217,7 +226,7 @@ def fiedler_vector(graph: Graph, backend: str = "auto",
     # computed eigenvalue rises above it.
     k = min(n - 1, 4)
     values, vectors = smallest_eigenpairs(lap, k, backend=exact_backend,
-                                          deflate=[ones])
+                                          deflate=[ones], tol=solver_tol)
     lambda2 = float(values[0])
     tol = max(rtol * max(abs(lambda2), 1.0), 1e-10)
     # Window entirely inside the group means multiplicity >= k (stars,
@@ -231,7 +240,7 @@ def fiedler_vector(graph: Graph, backend: str = "auto",
     while (values <= lambda2 + tol).all() and k < n - 1:
         k = min(n - 1, 2 * k)
         values, vectors = smallest_eigenpairs(
-            lap, k, backend=exact_backend, deflate=[ones])
+            lap, k, backend=exact_backend, deflate=[ones], tol=solver_tol)
         lambda2 = float(values[0])
         tol = max(rtol * max(abs(lambda2), 1.0), 1e-10)
     group = np.flatnonzero(values <= lambda2 + tol)
@@ -247,11 +256,18 @@ def fiedler_vector(graph: Graph, backend: str = "auto",
         # eigenpair with everything found so far projected out, until the
         # answer rises above lambda_2.  This covers both an unclosed
         # window (all computed values still inside the group) and
-        # degenerate copies a single Krylov sequence cannot see.
+        # degenerate copies a single Krylov sequence cannot see.  The
+        # window solve's above-group Ritz vectors warm-start each
+        # certificate: they already converged to the pairs the deflated
+        # solve is about to look for, so a supporting backend (lobpcg)
+        # certifies in a handful of iterations instead of a cold run.
+        above = np.flatnonzero(values > lambda2 + tol)
+        guess = vectors[:, above] if above.size else None
         while basis.shape[1] < n - 1:
             deflate = [ones] + [basis[:, j] for j in range(basis.shape[1])]
             extra_values, extra_vectors = smallest_eigenpairs(
-                lap, 1, backend=exact_backend, deflate=deflate)
+                lap, 1, backend=exact_backend, deflate=deflate,
+                tol=solver_tol, x0=guess)
             extra_seen.append(float(extra_values[0]))
             if extra_values[0] > lambda2 + tol:
                 break

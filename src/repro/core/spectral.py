@@ -100,6 +100,11 @@ class SpectralConfig:
     on_disconnected: str = "per-component"
     component_arrangement: str = "by_min_vertex"
     snap_tol: float = 1e-9
+    # Extension fields (added after the v1 fingerprint schema froze):
+    # the service fingerprint serializes them only at non-default values,
+    # so configs that never touch them keep their v1 identity.
+    solver_tol: float = 1e-9
+    multilevel_tol: float = 0.05
 
 
 class SpectralLPM:
@@ -120,18 +125,28 @@ class SpectralLPM:
         ``"inverse_manhattan"``.
     backend:
         Eigensolver backend: ``"auto"``, ``"dense"``, ``"lanczos"``,
-        ``"scipy"``, or ``"multilevel"``.  Guidance:
+        ``"shift_invert"``, ``"lobpcg"``, ``"scipy"``, or
+        ``"multilevel"``.  Guidance:
 
         * ``"auto"`` (default) — dense up to
           :data:`~repro.linalg.backends.DENSE_CUTOFF` vertices, then
-          scipy shift-invert (falling back to the in-house Lanczos when
-          scipy is absent), then the multilevel approximation above
+          scipy shift-invert; without scipy, preconditioned LOBPCG
+          above :data:`~repro.linalg.backends.LOBPCG_CUTOFF` vertices
+          and the in-house Lanczos in between; the multilevel
+          approximation above
           :data:`~repro.linalg.backends.MULTILEVEL_CUTOFF` vertices
           whenever it meets its relative-residual quality bound.
         * ``"dense"`` — exact and simple; the oracle the others are
           tested against.  O(n^3), so only for small graphs.
         * ``"lanczos"`` — thick-restart Lanczos, pure numpy.  Exact (to
           solver tolerance) and dependency-free at any size.
+        * ``"shift_invert"`` — inner-outer shift-invert Lanczos, pure
+          numpy: few outer iterations, each an inner deflated-CG solve
+          preconditioned by the multilevel V-cycle.
+        * ``"lobpcg"`` — blocked LOBPCG with the same multilevel
+          V-cycle preconditioner; the fastest pure-numpy option on
+          large graphs.  Both preconditioned backends fall back to
+          ``"lanczos"`` when a solve misses its residual tolerance.
         * ``"scipy"`` — fastest exact option for large graphs; requires
           the ``[perf]`` extra.
         * ``"multilevel"`` — coarsen-solve-refine approximation: orders
@@ -153,6 +168,15 @@ class SpectralLPM:
     snap_tol:
         Fiedler entries closer than this are treated as exact ties (see
         :func:`snap_ties`); 0 disables snapping.
+    solver_tol:
+        Residual tolerance handed to the exact eigensolver backends
+        (see :func:`repro.core.fiedler.fiedler_vector`); must be > 0.
+        The default matches
+        :data:`~repro.linalg.backends.DEFAULT_SOLVER_TOL`.
+    multilevel_tol:
+        Relative-residual quality bound for accepting a multilevel
+        answer under ``backend="auto"``; must be > 0.  The default
+        matches :data:`~repro.linalg.backends.MULTILEVEL_QUALITY_RTOL`.
     hierarchy_cache:
         Optional :class:`~repro.graph.coarsening.HierarchyCache` shared
         with other instances: the multilevel backend then reuses
@@ -174,6 +198,8 @@ class SpectralLPM:
                  on_disconnected: str = "per-component",
                  component_arrangement: str = "by_min_vertex",
                  snap_tol: float = 1e-9,
+                 solver_tol: float = 1e-9,
+                 multilevel_tol: float = 0.05,
                  hierarchy_cache=None):
         if tie_break not in TIE_BREAK_STRATEGIES:
             raise InvalidParameterError(
@@ -203,6 +229,16 @@ class SpectralLPM:
                 f"snap_tol must be >= 0, got {snap_tol}"
             )
         self._snap_tol = float(snap_tol)
+        if not solver_tol > 0:
+            raise InvalidParameterError(
+                f"solver_tol must be > 0, got {solver_tol}"
+            )
+        self._solver_tol = float(solver_tol)
+        if not multilevel_tol > 0:
+            raise InvalidParameterError(
+                f"multilevel_tol must be > 0, got {multilevel_tol}"
+            )
+        self._multilevel_tol = float(multilevel_tol)
         self._hierarchy_cache = hierarchy_cache
 
     # ------------------------------------------------------------------
@@ -225,6 +261,8 @@ class SpectralLPM:
             on_disconnected=config.on_disconnected,
             component_arrangement=config.component_arrangement,
             snap_tol=config.snap_tol,
+            solver_tol=config.solver_tol,
+            multilevel_tol=config.multilevel_tol,
             hierarchy_cache=hierarchy_cache,
         )
 
@@ -250,6 +288,8 @@ class SpectralLPM:
             on_disconnected=self._on_disconnected,
             component_arrangement=self._component_arrangement,
             snap_tol=self._snap_tol,
+            solver_tol=self._solver_tol,
+            multilevel_tol=self._multilevel_tol,
         )
 
     @property
@@ -360,6 +400,8 @@ class SpectralLPM:
         """Expose the Fiedler pair for a connected graph (diagnostics)."""
         return fiedler_vector(graph, backend=self._backend,
                               probe=self._probe,
+                              multilevel_tol=self._multilevel_tol,
+                              solver_tol=self._solver_tol,
                               hierarchy_cache=self._hierarchy_cache)
 
     def build_grid_graph(self, grid: Grid) -> Graph:
@@ -379,6 +421,8 @@ class SpectralLPM:
             # items the stable order is by vertex id.
             return LinearOrder(np.array([0, 1]))
         result = fiedler_vector(graph, backend=self._backend, probe=probe,
+                                multilevel_tol=self._multilevel_tol,
+                                solver_tol=self._solver_tol,
                                 hierarchy_cache=self._hierarchy_cache)
         if recorder is not None:
             recorder.append(result)

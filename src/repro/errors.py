@@ -16,6 +16,16 @@ class InvalidParameterError(ReproError, ValueError):
     """A function argument is outside its documented domain."""
 
 
+class ConfigurationError(InvalidParameterError):
+    """A deployment-level configuration value is invalid.
+
+    Raised for malformed environment overrides (e.g. the
+    ``REPRO_*_CUTOFF`` tuning knobs) rather than bad function arguments:
+    the fix is in the deployment, not the calling code.  Subclasses
+    :class:`InvalidParameterError` so existing handlers keep working.
+    """
+
+
 class DimensionError(InvalidParameterError):
     """Operands have incompatible dimensionality."""
 

@@ -53,6 +53,47 @@ def laplacian(graph: Graph) -> CSRMatrix:
     return CSRMatrix(n, new_indptr, out_indices, out_data)
 
 
+def graph_from_laplacian(matrix: CSRMatrix,
+                         rtol: float = 1e-8) -> Graph | None:
+    """Reconstruct the graph whose combinatorial Laplacian is ``matrix``.
+
+    The inverse of :func:`laplacian`, used by the preconditioned
+    eigensolver backends: they receive only the matrix, but building the
+    multilevel preconditioner needs the graph.  Returns ``None`` when the
+    matrix is not Laplacian-like — any significantly positive
+    off-diagonal entry, or a diagonal that is not the weighted degree of
+    the recovered edges (row sums must vanish) — so callers can degrade
+    to an unpreconditioned solve instead of misusing the hierarchy.
+
+    Off-diagonal entries within ``rtol`` of zero (relative to the largest
+    entry) are treated as structural zeros; the matrix is assumed
+    symmetric, as everywhere in the solver stack.
+    """
+    n = matrix.n
+    rows = np.repeat(np.arange(n, dtype=np.int64),
+                     np.diff(matrix.indptr))
+    cols = matrix.indices
+    data = matrix.data
+    scale = float(np.abs(data).max()) if len(data) else 0.0
+    if scale == 0.0:
+        return Graph.from_edges(n, [])
+    off = rows != cols
+    cutoff = rtol * scale
+    if (data[off] > cutoff).any():
+        return None
+    edge_mask = off & (data < -cutoff) & (rows < cols)
+    u = rows[edge_mask]
+    v = cols[edge_mask]
+    w = -data[edge_mask]
+    degrees = np.zeros(n)
+    np.add.at(degrees, u, w)
+    np.add.at(degrees, v, w)
+    if not np.allclose(matrix.diagonal(), degrees,
+                       rtol=1e-6, atol=cutoff):
+        return None
+    return Graph.from_edges(n, np.column_stack([u, v]), weights=w)
+
+
 def laplacian_dense(graph: Graph) -> np.ndarray:
     """The combinatorial Laplacian as a dense array."""
     adjacency = graph.to_dense_adjacency()

@@ -2,18 +2,28 @@
 
 from repro.linalg.backends import (
     BACKENDS,
+    DEFAULT_SOLVER_TOL,
     DENSE_CUTOFF,
+    LOBPCG_CUTOFF,
     MULTILEVEL_CUTOFF,
     MULTILEVEL_QUALITY_RTOL,
     cutoff_from_env,
+    multilevel_preconditioner_for,
     scipy_available,
     smallest_eigenpairs,
     solver_invocations,
 )
+from repro.linalg.cg import CGResult, conjugate_gradient
 from repro.linalg.lanczos import (
     LanczosResult,
     lanczos_symmetric,
+    smallest_eigenpairs_shift_invert,
     smallest_eigenpairs_shifted,
+)
+from repro.linalg.lobpcg import (
+    LOBPCGResult,
+    lobpcg_smallest,
+    smallest_eigenpairs_lobpcg,
 )
 from repro.linalg.operators import (
     DeflatedOperator,
@@ -28,22 +38,31 @@ from repro.linalg.tridiagonal import tridiagonal_eigh
 
 __all__ = [
     "BACKENDS",
+    "CGResult",
     "CSRMatrix",
+    "DEFAULT_SOLVER_TOL",
     "DENSE_CUTOFF",
     "DeflatedOperator",
+    "LOBPCGResult",
+    "LOBPCG_CUTOFF",
     "LanczosResult",
     "MULTILEVEL_CUTOFF",
     "MULTILEVEL_QUALITY_RTOL",
     "ShiftedOperator",
     "canonical_in_span",
+    "conjugate_gradient",
     "cutoff_from_env",
     "deflation_matrix",
     "deterministic_start",
     "lanczos_symmetric",
+    "lobpcg_smallest",
+    "multilevel_preconditioner_for",
     "orthonormalize_block",
     "power_iteration",
     "scipy_available",
     "smallest_eigenpairs",
+    "smallest_eigenpairs_lobpcg",
+    "smallest_eigenpairs_shift_invert",
     "smallest_eigenpairs_shifted",
     "solver_invocations",
     "tridiagonal_eigh",

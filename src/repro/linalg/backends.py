@@ -1,7 +1,7 @@
 """Eigensolver backend registry.
 
 The Fiedler pipeline needs "the ``k`` smallest eigenpairs of a symmetric
-PSD sparse matrix".  Four interchangeable backends provide it:
+PSD sparse matrix".  Six interchangeable backends provide it:
 
 ``dense``
     ``numpy.linalg.eigh`` on the dense matrix.  Exact and simple; the
@@ -10,7 +10,20 @@ PSD sparse matrix".  Four interchangeable backends provide it:
 ``lanczos``
     Our thick-restart Lanczos (:mod:`repro.linalg.lanczos`).  Pure
     numpy, BLAS-level reorthogonalization, scales to large sparse
-    graphs.
+    graphs; iteration count grows like ``O(sqrt(lambda_max/lambda_2))``
+    on the clustered bottom spectra Laplacians have.
+``shift_invert``
+    Inner-outer shift-invert Lanczos, pure numpy: the outer Lanczos
+    iterates ``(A - sigma I)^{-1}`` with each application an inner
+    deflated-CG solve (:mod:`repro.linalg.cg`), preconditioned by the
+    multilevel V-cycle when the matrix is recognisably a graph
+    Laplacian.  ``O(1)``-ish outer iterations; the ARPACK trick without
+    ARPACK.
+``lobpcg``
+    Blocked LOBPCG (:mod:`repro.linalg.lobpcg`) preconditioned by the
+    same multilevel V-cycle
+    (:class:`repro.core.multilevel.MultilevelPreconditioner`).  The
+    fastest pure-numpy option on large Laplacians.
 ``scipy``
     ``scipy.sparse.linalg.eigsh`` in shift-invert mode, when scipy is
     importable.  Fastest exact option for large graphs.  Deflation is
@@ -26,21 +39,31 @@ PSD sparse matrix".  Four interchangeable backends provide it:
     pointer to the right entry point.  Results carry a documented
     quality tolerance instead of solver-precision guarantees.
 
+``shift_invert`` and ``lobpcg`` are exact-accuracy backends with a
+safety net: when a solve misses its residual tolerance (bad
+preconditioner fit, non-Laplacian input, loss of definiteness in the
+inner CG) they *fall back to the plain Lanczos path* instead of
+returning an unverified pair — the same miss-tolerance-then-fall-back
+contract the multilevel quality gate implements at the Fiedler level.
+
 Backend selection under ``auto``
 --------------------------------
 * ``n <= DENSE_CUTOFF`` (or ``k`` close to ``n``): ``dense``.
-* larger matrices: ``scipy`` when importable, else ``lanczos``.
+* larger matrices: ``scipy`` when importable; otherwise ``lobpcg``
+  above ``LOBPCG_CUTOFF`` (where preconditioned iteration beats the
+  flat Lanczos sweep) and ``lanczos`` in between.
 * graphs above ``MULTILEVEL_CUTOFF`` vertices (only via
   :func:`~repro.core.fiedler.fiedler_vector`, which sees the graph):
   ``multilevel`` with a quality check — the approximate pair is accepted
   only when its relative residual is within the configured tolerance,
   otherwise the exact path runs.
 
-Both cutoffs are hardware policy, not algorithmic constants — the
+The cutoffs are hardware policy, not algorithmic constants — the
 crossover points move with BLAS quality, core count, and whether scipy
 is installed.  They can be overridden per deployment through the
-environment variables ``REPRO_DENSE_CUTOFF`` and
-``REPRO_MULTILEVEL_CUTOFF`` (positive integers, validated at import).
+environment variables ``REPRO_DENSE_CUTOFF``,
+``REPRO_LOBPCG_CUTOFF`` and ``REPRO_MULTILEVEL_CUTOFF`` (positive
+integers, validated at import).
 
 All backends return eigenvalues in ascending order with orthonormal
 eigenvector columns; all are cross-validated in the test suite.
@@ -54,8 +77,17 @@ from typing import Sequence, Tuple
 
 import numpy as np
 
-from repro.errors import BackendUnavailableError, InvalidParameterError
-from repro.linalg.lanczos import smallest_eigenpairs_shifted
+from repro.errors import (
+    BackendUnavailableError,
+    ConfigurationError,
+    ConvergenceError,
+    InvalidParameterError,
+)
+from repro.linalg.lanczos import (
+    smallest_eigenpairs_shift_invert,
+    smallest_eigenpairs_shifted,
+)
+from repro.linalg.lobpcg import smallest_eigenpairs_lobpcg
 from repro.linalg.operators import DeflatedOperator, deflation_matrix
 from repro.linalg.sparse import CSRMatrix
 
@@ -64,7 +96,7 @@ def cutoff_from_env(name: str, default: int) -> int:
     """Resolve a backend cutoff from the environment, with validation.
 
     Absent or empty variables yield ``default``; anything else must parse
-    as a positive integer or :class:`~repro.errors.InvalidParameterError`
+    as a positive integer or :class:`~repro.errors.ConfigurationError`
     is raised (a silently ignored typo in a tuning knob is worse than a
     loud startup failure).
     """
@@ -74,11 +106,11 @@ def cutoff_from_env(name: str, default: int) -> int:
     try:
         value = int(raw.strip())
     except ValueError:
-        raise InvalidParameterError(
+        raise ConfigurationError(
             f"{name} must be a positive integer, got {raw!r}"
         ) from None
     if value < 1:
-        raise InvalidParameterError(
+        raise ConfigurationError(
             f"{name} must be a positive integer, got {value}"
         )
     return value
@@ -87,6 +119,14 @@ def cutoff_from_env(name: str, default: int) -> int:
 #: Matrices at or below this size use the dense path under ``auto``.
 #: Overridable via the ``REPRO_DENSE_CUTOFF`` environment variable.
 DENSE_CUTOFF = cutoff_from_env("REPRO_DENSE_CUTOFF", 1024)
+
+#: Without scipy, matrices above this size use the preconditioned LOBPCG
+#: backend under ``auto`` instead of plain Lanczos: that is the regime
+#: where the multilevel preconditioner's O(1) iteration count beats the
+#: flat Lanczos sweep by more than the hierarchy-construction overhead
+#: costs.  Overridable via the ``REPRO_LOBPCG_CUTOFF`` environment
+#: variable.
+LOBPCG_CUTOFF = cutoff_from_env("REPRO_LOBPCG_CUTOFF", 4096)
 
 #: Graphs above this many vertices use the multilevel approximation under
 #: ``auto`` (subject to its quality check).  Only meaningful at the
@@ -99,7 +139,12 @@ MULTILEVEL_CUTOFF = cutoff_from_env("REPRO_MULTILEVEL_CUTOFF", 131_072)
 #: under ``auto`` (``||L y - theta y|| <= tol * theta``).
 MULTILEVEL_QUALITY_RTOL = 0.05
 
-BACKENDS = ("auto", "dense", "lanczos", "scipy", "multilevel")
+#: Default residual tolerance of the iterative exact backends (relative
+#: to the spectrum's Gershgorin scale) when no explicit ``tol`` is given.
+DEFAULT_SOLVER_TOL = 1e-9
+
+BACKENDS = ("auto", "dense", "lanczos", "shift_invert", "lobpcg",
+            "scipy", "multilevel")
 
 # Process-wide count of eigensolver invocations.  The ordering service's
 # contract — "a warm cache pays zero eigensolves" — is asserted against
@@ -160,6 +205,8 @@ def resolve_auto(n: int, k: int = 1) -> str:
         return "dense"
     if scipy_available():
         return "scipy"
+    if n > LOBPCG_CUTOFF:
+        return "lobpcg"
     return "lanczos"
 
 
@@ -178,12 +225,113 @@ def _smallest_dense(matrix: CSRMatrix, k: int,
 
 
 def _smallest_lanczos(matrix: CSRMatrix, k: int,
-                      deflate: Sequence[np.ndarray]
+                      deflate: Sequence[np.ndarray],
+                      tol: float = DEFAULT_SOLVER_TOL
                       ) -> Tuple[np.ndarray, np.ndarray]:
     bound = matrix.gershgorin_upper_bound()
     return smallest_eigenpairs_shifted(
-        matrix.matvec, matrix.n, k, upper_bound=bound, deflate=deflate
+        matrix.matvec, matrix.n, k, upper_bound=bound, deflate=deflate,
+        tol=tol
     )
+
+
+# Hierarchy construction costs ~1s at 256^2 while a Fiedler solve calls
+# smallest_eigenpairs several times on the *same* Laplacian (the k=4
+# probe solve plus one deflated k=1 solve per degenerate direction), so
+# preconditioners are memoized on matrix content.  Keyed by a digest of
+# the CSR arrays rather than object identity: CSRMatrix is slotted
+# (no weakrefs), id() recycles, and content keys also share work across
+# equal matrices built independently.  Bounded FIFO; guarded by its own
+# lock (hierarchies are immutable once built, so sharing is safe).
+_PRECONDITIONER_CACHE: "dict[tuple, object]" = {}
+_PRECONDITIONER_CACHE_SIZE = 4
+_PRECONDITIONER_LOCK = threading.Lock()
+_PRECONDITIONER_MISS = object()
+
+
+def _matrix_content_key(matrix: CSRMatrix) -> tuple:
+    import hashlib
+
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(np.ascontiguousarray(matrix.indptr).tobytes())
+    digest.update(np.ascontiguousarray(matrix.indices).tobytes())
+    digest.update(np.ascontiguousarray(matrix.data).tobytes())
+    return (matrix.n, matrix.nnz, digest.hexdigest())
+
+
+def multilevel_preconditioner_for(matrix: CSRMatrix):
+    """A multilevel V-cycle preconditioner for ``matrix``, when it is one.
+
+    Recognises graph Laplacians
+    (:func:`repro.graph.laplacian.graph_from_laplacian`) and builds the
+    :class:`~repro.core.multilevel.MultilevelPreconditioner` on the
+    recovered graph; returns ``None`` for anything else, so the
+    preconditioned backends degrade gracefully to unpreconditioned
+    iteration on general SPD input.  Results (including the ``None``
+    verdict) are cached on matrix content, so the repeated solves of a
+    single Fiedler computation pay the hierarchy construction once.
+    """
+    key = _matrix_content_key(matrix)
+    with _PRECONDITIONER_LOCK:
+        cached = _PRECONDITIONER_CACHE.get(key, _PRECONDITIONER_MISS)
+    if cached is not _PRECONDITIONER_MISS:
+        return cached
+
+    # Lazy imports: repro.core.multilevel imports this module at load
+    # time, and the graph package is above linalg in the layer order.
+    from repro.graph.laplacian import graph_from_laplacian
+
+    graph = graph_from_laplacian(matrix)
+    if graph is None or graph.num_vertices < 2:
+        preconditioner = None
+    else:
+        from repro.core.multilevel import MultilevelPreconditioner
+
+        try:
+            preconditioner = MultilevelPreconditioner(graph)
+        except (InvalidParameterError, np.linalg.LinAlgError):
+            preconditioner = None
+    with _PRECONDITIONER_LOCK:
+        while len(_PRECONDITIONER_CACHE) >= _PRECONDITIONER_CACHE_SIZE:
+            _PRECONDITIONER_CACHE.pop(next(iter(_PRECONDITIONER_CACHE)))
+        _PRECONDITIONER_CACHE[key] = preconditioner
+    return preconditioner
+
+
+def _smallest_shift_invert(matrix: CSRMatrix, k: int,
+                           deflate: Sequence[np.ndarray],
+                           tol: float = DEFAULT_SOLVER_TOL
+                           ) -> Tuple[np.ndarray, np.ndarray]:
+    bound = matrix.gershgorin_upper_bound()
+    try:
+        return smallest_eigenpairs_shift_invert(
+            matrix.matvec, matrix.n, k, upper_bound=bound,
+            deflate=deflate, tol=tol,
+            preconditioner=multilevel_preconditioner_for(matrix),
+        )
+    except ConvergenceError:
+        # Miss-tolerance-falls-back contract: the inner-outer iteration
+        # could not certify the pairs (singular unprojected nullspace,
+        # indefinite shift, inexact inner solves); the flat Lanczos
+        # sweep is slower but assumption-free.
+        return _smallest_lanczos(matrix, k, deflate, tol)
+
+
+def _smallest_lobpcg(matrix: CSRMatrix, k: int,
+                     deflate: Sequence[np.ndarray],
+                     tol: float = DEFAULT_SOLVER_TOL,
+                     x0: np.ndarray | None = None
+                     ) -> Tuple[np.ndarray, np.ndarray]:
+    bound = matrix.gershgorin_upper_bound()
+    try:
+        return smallest_eigenpairs_lobpcg(
+            matrix.matvec, matrix.n, k, upper_bound=bound,
+            deflate=deflate, tol=tol, matmat=matrix.matmat, x0=x0,
+            preconditioner=multilevel_preconditioner_for(matrix),
+        )
+    except ConvergenceError:
+        # Same fall-back contract as _smallest_shift_invert.
+        return _smallest_lanczos(matrix, k, deflate, tol)
 
 
 def _smallest_scipy(matrix: CSRMatrix, k: int,
@@ -253,7 +401,9 @@ def _smallest_scipy(matrix: CSRMatrix, k: int,
 
 
 def smallest_eigenpairs(matrix: CSRMatrix, k: int, backend: str = "auto",
-                        deflate: Sequence[np.ndarray] = ()
+                        deflate: Sequence[np.ndarray] = (),
+                        tol: float | None = None,
+                        x0: np.ndarray | None = None
                         ) -> Tuple[np.ndarray, np.ndarray]:
     """The ``k`` smallest eigenpairs of a symmetric PSD CSR matrix.
 
@@ -273,6 +423,18 @@ def smallest_eigenpairs(matrix: CSRMatrix, k: int, backend: str = "auto",
         vector, for connected-Laplacian Fiedler computations).  Deflated
         directions are pushed above the returned window, so the result is
         the bottom of the spectrum *of the deflated operator*.
+    tol:
+        Residual tolerance of the iterative in-house backends
+        (``lanczos``, ``shift_invert``, ``lobpcg``), relative to the
+        spectrum's Gershgorin scale; ``None`` means
+        :data:`DEFAULT_SOLVER_TOL`.  The ``dense`` and ``scipy``
+        backends solve to machine/ARPACK precision regardless, so
+        passing a tolerance never perturbs their bit-exact results.
+    x0:
+        Optional warm-start columns for the ``lobpcg`` backend (an
+        advisory hint: good guesses collapse the iteration count, bad
+        ones cost nothing but the projection).  The other backends
+        solve from their own deterministic starts and ignore it.
 
     Returns
     -------
@@ -296,6 +458,10 @@ def smallest_eigenpairs(matrix: CSRMatrix, k: int, backend: str = "auto",
         raise InvalidParameterError(f"k must be in [1, {n}], got {k}")
     if len(deflate) and any(d.shape != (n,) for d in deflate):
         raise InvalidParameterError("deflate vectors must have length n")
+    if tol is None:
+        tol = DEFAULT_SOLVER_TOL
+    elif tol <= 0:
+        raise InvalidParameterError(f"tol must be > 0, got {tol}")
 
     global _SOLVER_INVOCATIONS
     with _COUNTER_LOCK:
@@ -307,8 +473,12 @@ def smallest_eigenpairs(matrix: CSRMatrix, k: int, backend: str = "auto",
 
     if backend == "dense":
         return _smallest_dense(matrix, k, deflate)
-    if backend == "lanczos":
+    if backend in ("lanczos", "shift_invert", "lobpcg"):
         if k > n - len(deflate):
             return _smallest_dense(matrix, k, deflate)
-        return _smallest_lanczos(matrix, k, deflate)
+        if backend == "lanczos":
+            return _smallest_lanczos(matrix, k, deflate, tol)
+        if backend == "shift_invert":
+            return _smallest_shift_invert(matrix, k, deflate, tol)
+        return _smallest_lobpcg(matrix, k, deflate, tol, x0=x0)
     return _smallest_scipy(matrix, k, deflate)

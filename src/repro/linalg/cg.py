@@ -1,0 +1,177 @@
+"""Matrix-free preconditioned conjugate gradients with deflation.
+
+The inner solver of the shift-invert eigensolve path: every outer
+Lanczos step needs one solution of ``(A - sigma I) x = b`` restricted to
+the complement of the deflated directions.  For the Fiedler pipeline
+that system is the *singular* graph Laplacian with the constant vector
+(and any previously converged eigenvectors) projected out — a textbook
+deflated-CG setting: the operator is SPD on the projected subspace, and
+keeping every iterate inside that subspace is what makes the singular
+system consistent and the iteration well defined.
+
+Design notes
+------------
+* **Projection, not augmentation.**  The deflated directions are removed
+  by an explicit orthogonal projection (the caller passes ``project``,
+  typically :meth:`repro.linalg.operators.DeflatedOperator.project`)
+  applied to the right-hand side and to every preconditioned residual.
+  In exact arithmetic once the initial residual is projected the Krylov
+  space never leaves the subspace; re-projecting ``z`` each step stops
+  the slow drift that floating point otherwise accumulates over hundreds
+  of iterations.
+* **Preconditioning.**  ``preconditioner`` is any SPD operator
+  ``r -> M r`` approximating ``A^{-1}`` on the projected subspace — the
+  multilevel V-cycle of
+  :class:`repro.core.multilevel.MultilevelPreconditioner` in production.
+* **Failure is loud.**  Reaching ``maxiter``, or detecting a direction
+  of non-positive curvature (the operator was not SPD on the subspace),
+  raises :class:`~repro.errors.ConvergenceError` with iteration and
+  residual diagnostics; callers fall back to a slower exact solver
+  rather than silently using a bad solution.
+
+A MINRES variant was considered for indefinite shifts and rejected: the
+production path only ever solves definite systems (``sigma`` at or below
+the spectrum bottom), and CG's three-term recurrence is both cheaper and
+easier to reason about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ConvergenceError, InvalidParameterError
+
+MatVec = Callable[[np.ndarray], np.ndarray]
+
+
+@dataclass(frozen=True)
+class CGResult:
+    """Solution and iteration diagnostics of one CG solve."""
+
+    x: np.ndarray
+    iterations: int
+    residual: float     # final true-residual norm ||b - A x||
+    converged: bool
+
+
+def conjugate_gradient(matvec: MatVec, b: np.ndarray,
+                       rtol: float = 1e-10, atol: float = 0.0,
+                       maxiter: int | None = None,
+                       preconditioner: Callable[[np.ndarray], np.ndarray]
+                       | None = None,
+                       project: Callable[[np.ndarray], np.ndarray]
+                       | None = None,
+                       x0: np.ndarray | None = None) -> CGResult:
+    """Solve ``A x = b`` for a symmetric positive-definite operator.
+
+    Parameters
+    ----------
+    matvec:
+        The operator ``x -> A x``; must be SPD on the subspace the
+        iteration runs in (the range of ``project`` when given, the full
+        space otherwise).
+    b:
+        Right-hand side.  Projected before use when ``project`` is given,
+        so singular-but-consistent systems (deflated Laplacians) work.
+    rtol, atol:
+        Stop when ``||b - A x|| <= max(rtol * ||b||, atol)`` (norms taken
+        after projection).
+    maxiter:
+        Iteration cap; defaults to ``10 * n``.  Exceeding it raises
+        :class:`~repro.errors.ConvergenceError`.
+    preconditioner:
+        Optional SPD approximation of ``A^{-1}`` applied to each
+        residual.
+    project:
+        Optional orthogonal projection onto the subspace the system
+        lives in (removes deflated directions / the operator nullspace).
+    x0:
+        Optional start vector (projected before use); defaults to zero.
+
+    Raises
+    ------
+    ConvergenceError
+        On hitting ``maxiter``, or when a search direction exposes
+        non-positive curvature (operator not SPD on the subspace).
+    """
+    b = np.asarray(b, dtype=np.float64)
+    if b.ndim != 1:
+        raise InvalidParameterError(
+            f"b must be a vector, got shape {b.shape}"
+        )
+    n = b.shape[0]
+    if maxiter is None:
+        maxiter = 10 * n
+    if project is not None:
+        b = project(b)
+    b_norm = float(np.linalg.norm(b))
+    target = max(rtol * b_norm, atol)
+    if b_norm == 0.0:
+        return CGResult(x=np.zeros(n), iterations=0, residual=0.0,
+                        converged=True)
+
+    if x0 is None:
+        x = np.zeros(n)
+        r = b.copy()
+    else:
+        x = np.asarray(x0, dtype=np.float64).copy()
+        if project is not None:
+            x = project(x)
+        r = b - matvec(x)
+        if project is not None:
+            r = project(r)
+
+    z = r if preconditioner is None else preconditioner(r)
+    if project is not None:
+        z = project(z)
+    p = z.copy()
+    rz = float(r @ z)
+    residual = float(np.linalg.norm(r))
+    if residual <= target:
+        return CGResult(x=x, iterations=0, residual=residual,
+                        converged=True)
+
+    for iteration in range(1, maxiter + 1):
+        ap = matvec(p)
+        if project is not None:
+            ap = project(ap)
+        p_ap = float(p @ ap)
+        if p_ap <= 0.0:
+            raise ConvergenceError(
+                "CG found a direction of non-positive curvature "
+                f"(p.A p = {p_ap:.3e}); the operator is not SPD on the "
+                "iteration subspace",
+                iterations=iteration,
+                residual=residual,
+            )
+        alpha = rz / p_ap
+        x = x + alpha * p
+        r = r - alpha * ap
+        residual = float(np.linalg.norm(r))
+        if residual <= target:
+            return CGResult(x=x, iterations=iteration, residual=residual,
+                            converged=True)
+        z = r if preconditioner is None else preconditioner(r)
+        if project is not None:
+            z = project(z)
+        rz_new = float(r @ z)
+        if rz_new <= 0.0:
+            raise ConvergenceError(
+                "CG preconditioned residual norm lost positivity "
+                f"(r.z = {rz_new:.3e}); the preconditioner is not SPD "
+                "on the iteration subspace",
+                iterations=iteration,
+                residual=residual,
+            )
+        p = z + (rz_new / rz) * p
+        rz = rz_new
+
+    raise ConvergenceError(
+        f"CG did not reach ||r|| <= {target:.3e} within {maxiter} "
+        f"iterations (residual {residual:.3e})",
+        iterations=maxiter,
+        residual=residual,
+    )

@@ -10,7 +10,6 @@ from repro.mapping.interface import (
     SpectralBisectionMapping,
     SpectralMapping,
     SpectralMultilevelMapping,
-    mapping_by_name,
     paper_mappings,
 )
 
@@ -24,6 +23,5 @@ __all__ = [
     "SpectralBisectionMapping",
     "SpectralMapping",
     "SpectralMultilevelMapping",
-    "mapping_by_name",
     "paper_mappings",
 ]

@@ -28,7 +28,6 @@ R-trees are built in practice).
 
 from __future__ import annotations
 
-import warnings
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Dict, List
@@ -47,8 +46,7 @@ from repro.geometry.grid import Grid
 from repro.geometry.pointset import PointSet
 from repro.graph.adjacency import Graph
 
-#: Mapping names accepted by :func:`repro.api.make_mapping` (and the
-#: deprecated :func:`mapping_by_name` shim).
+#: Mapping names accepted by :func:`repro.api.make_mapping`.
 MAPPING_NAMES = CURVE_NAMES + ("spectral", "spectral-rb", "spectral-ml")
 
 #: The five mappings compared in the paper's Section 5.
@@ -416,24 +414,6 @@ class ExplicitMapping(LocalityMapping):
                 f"this mapping is defined only for {self._grid!r}"
             )
         return self._order
-
-
-def mapping_by_name(name: str, service=None, **kwargs) -> LocalityMapping:
-    """Deprecated alias of :func:`repro.api.make_mapping`.
-
-    This was the pre-``repro.api`` front door.  It forwards to the
-    unified resolver unchanged (orders are bit-identical), and exists
-    only so downstream code keeps working; new code should call
-    :func:`repro.api.make_mapping` or go through
-    :class:`repro.api.SpectralIndex`.
-    """
-    warnings.warn(
-        "mapping_by_name() is deprecated; use repro.api.make_mapping() "
-        "or repro.api.SpectralIndex.build()",
-        DeprecationWarning, stacklevel=2,
-    )
-    from repro.api.mappings import make_mapping
-    return make_mapping(name, service=service, **kwargs)
 
 
 def paper_mappings(service=None, **spectral_kwargs) -> List[LocalityMapping]:

@@ -22,15 +22,14 @@ so one store may serve queries from many threads concurrently —
 ``execute_workload(parallelism=...)`` and the facade's
 ``query_many(parallelism=...)`` rely on exactly that.
 
-Direct construction is deprecated in favour of the
-:class:`~repro.api.SpectralIndex` facade, which builds stores lazily
-behind its ``range(...)`` / ``query_many(...)`` methods; the old
-constructor keeps working (bit-identically) as a shim.
+Stores are built through the :class:`~repro.api.SpectralIndex`
+facade, which constructs them lazily behind its ``range(...)`` /
+``query_many(...)`` methods; the pre-facade direct constructor has
+completed its deprecation cycle and now raises.
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
@@ -88,24 +87,17 @@ class LinearStore:
         the order through it (so many stores over one domain share an
         eigensolve), every other mapping ignores it.
 
-    .. deprecated::
-        Construct through :meth:`repro.api.SpectralIndex.build` instead;
-        this constructor remains as a bit-identical shim.
+    Stores are built through :meth:`repro.api.SpectralIndex.build`
+    (which owns request coalescing, caching, and provenance); the
+    direct constructor completed its deprecation cycle and now raises.
     """
 
-    def __init__(self, grid: Grid, mapping: LocalityMapping,
-                 page_size: int = 16, tree_order: int = 32,
-                 buffer_capacity: Optional[int] = None,
-                 cost_model: Optional[DiskCostModel] = None,
-                 service=None):
-        warnings.warn(
-            "direct LinearStore construction is deprecated; build a "
+    def __init__(self, *args, **kwargs):
+        raise TypeError(
+            "direct LinearStore construction has been removed; build a "
             "repro.api.SpectralIndex and use its range()/workload() "
-            "methods",
-            DeprecationWarning, stacklevel=2,
+            "methods instead"
         )
-        self._setup(grid, mapping, None, page_size, tree_order,
-                    buffer_capacity, cost_model, service)
 
     @classmethod
     def _from_api(cls, grid: Grid, mapping: LocalityMapping,

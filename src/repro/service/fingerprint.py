@@ -39,6 +39,16 @@ FINGERPRINT_VERSION = 1
 
 Domain = Union[Grid, Graph]
 
+#: The :class:`SpectralConfig` fields that existed when the v1 digest
+#: schema froze.  They are always serialized; fields added later are
+#: serialized only when set to a non-default value, so configs that do
+#: not use them keep their original fingerprint (and every artifact
+#: cached under it) while any explicit override still changes the key.
+_V1_CONFIG_FIELDS = frozenset({
+    "connectivity", "radius", "weight", "backend", "tie_break",
+    "on_disconnected", "component_arrangement", "snap_tol",
+})
+
 
 def _digest(kind: str, *parts: bytes) -> str:
     h = hashlib.sha256(f"repro-{kind}-v{FINGERPRINT_VERSION}"
@@ -57,6 +67,13 @@ def config_fingerprint(config: SpectralConfig) -> str:
     Python 3), so two configs share a fingerprint iff they are equal —
     across processes, interpreter restarts, and ``PYTHONHASHSEED``
     values.
+
+    One refinement: fields added to :class:`SpectralConfig` *after* the
+    v1 schema froze (:data:`_V1_CONFIG_FIELDS`) are serialized only when
+    they differ from their declared default.  Two configs are still
+    fingerprint-equal iff dataclass-equal, but a config that leaves the
+    new knobs alone hashes exactly as it did before they existed —
+    default-config artifacts cached by earlier releases stay valid.
     """
     if not isinstance(config, SpectralConfig):
         raise InvalidParameterError(
@@ -65,6 +82,8 @@ def config_fingerprint(config: SpectralConfig) -> str:
     parts = []
     for field in dataclasses.fields(config):
         value = getattr(config, field.name)
+        if field.name not in _V1_CONFIG_FIELDS and value == field.default:
+            continue
         parts.append(f"{field.name}={value!r}".encode("utf-8"))
     return _digest("config", *parts)
 

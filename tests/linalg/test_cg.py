@@ -1,0 +1,190 @@
+"""Unit tests for the deflation-aware conjugate-gradient inner solver.
+
+The CG module is the inner loop of the shift-invert eigensolve path;
+these tests pin its contracts in isolation: exact solutions on known
+SPD systems, deflated consistency on the singular graph Laplacian, and
+loud :class:`~repro.errors.ConvergenceError` failures on non-SPD input
+and iteration exhaustion (the signal the backend registry's fall-back
+logic keys on).
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConvergenceError, InvalidParameterError
+from repro.graph import laplacian, path_graph
+from repro.linalg.cg import CGResult, conjugate_gradient
+
+
+def dense_matvec(a):
+    return lambda x: a @ x
+
+
+# ----------------------------------------------------------------------
+# Known SPD systems
+# ----------------------------------------------------------------------
+def test_identity_system_converges_immediately():
+    b = np.array([3.0, -1.0, 2.0])
+    result = conjugate_gradient(dense_matvec(np.eye(3)), b)
+    assert result.converged
+    assert result.iterations <= 1
+    np.testing.assert_allclose(result.x, b, atol=1e-12)
+
+
+def test_small_spd_system_exact():
+    a = np.array([[4.0, 1.0], [1.0, 3.0]])
+    b = np.array([1.0, 2.0])
+    result = conjugate_gradient(dense_matvec(a), b, rtol=1e-12)
+    assert result.converged
+    np.testing.assert_allclose(result.x, np.linalg.solve(a, b),
+                               atol=1e-10)
+    assert result.residual <= 1e-12 * np.linalg.norm(b)
+
+
+def test_diagonal_system_n_step_convergence():
+    # CG terminates in at most (#distinct eigenvalues) iterations in
+    # exact arithmetic; a diagonal with 3 distinct entries needs <= 3.
+    diag = np.array([1.0, 1.0, 4.0, 4.0, 9.0, 9.0])
+    a = np.diag(diag)
+    rng = np.random.default_rng(7)
+    b = rng.standard_normal(6)
+    result = conjugate_gradient(dense_matvec(a), b, rtol=1e-12)
+    assert result.converged
+    assert result.iterations <= 4  # 3 + float-noise slack
+    np.testing.assert_allclose(result.x, b / diag, atol=1e-9)
+
+
+def test_random_spd_system_matches_direct_solve():
+    rng = np.random.default_rng(0)
+    m = rng.standard_normal((40, 40))
+    a = m @ m.T + 40 * np.eye(40)
+    b = rng.standard_normal(40)
+    result = conjugate_gradient(dense_matvec(a), b, rtol=1e-12)
+    assert result.converged
+    np.testing.assert_allclose(result.x, np.linalg.solve(a, b),
+                               atol=1e-8)
+
+
+def test_jacobi_preconditioner_cuts_iterations():
+    rng = np.random.default_rng(3)
+    diag = np.geomspace(1.0, 1e4, 60)
+    q, _ = np.linalg.qr(rng.standard_normal((60, 60)))
+    # Keep the matrix diagonally dominated so Jacobi helps.
+    a = np.diag(diag) + 1e-2 * (q @ np.diag(diag) @ q.T)
+    a = (a + a.T) / 2.0
+    b = rng.standard_normal(60)
+    plain = conjugate_gradient(dense_matvec(a), b, rtol=1e-10)
+    inv_diag = 1.0 / np.diag(a)
+    preconditioned = conjugate_gradient(
+        dense_matvec(a), b, rtol=1e-10,
+        preconditioner=lambda r: inv_diag * r)
+    assert preconditioned.converged
+    assert preconditioned.iterations < plain.iterations
+    np.testing.assert_allclose(preconditioned.x, plain.x, atol=1e-5)
+
+
+def test_warm_start_reduces_work():
+    a = np.diag(np.linspace(1.0, 50.0, 30))
+    b = np.ones(30)
+    exact = b / np.diag(a)
+    cold = conjugate_gradient(dense_matvec(a), b, rtol=1e-10)
+    warm = conjugate_gradient(dense_matvec(a), b, rtol=1e-10,
+                              x0=exact + 1e-8)
+    assert warm.iterations < cold.iterations
+    np.testing.assert_allclose(warm.x, exact, atol=1e-8)
+
+
+def test_zero_rhs_returns_zero():
+    result = conjugate_gradient(dense_matvec(np.eye(4)), np.zeros(4))
+    assert result.converged
+    assert result.iterations == 0
+    assert np.array_equal(result.x, np.zeros(4))
+
+
+def test_result_is_frozen_dataclass():
+    result = conjugate_gradient(dense_matvec(np.eye(2)), np.ones(2))
+    assert isinstance(result, CGResult)
+    with pytest.raises(AttributeError):
+        result.iterations = 99
+
+
+def test_matrix_rhs_rejected():
+    with pytest.raises(InvalidParameterError):
+        conjugate_gradient(dense_matvec(np.eye(2)), np.ones((2, 2)))
+
+
+# ----------------------------------------------------------------------
+# Deflated singular Laplacian (the production inner system)
+# ----------------------------------------------------------------------
+def test_deflated_singular_laplacian_consistent_solve():
+    n = 25
+    lap = laplacian(path_graph(n))
+    ones = np.ones(n) / np.sqrt(n)
+
+    def project(x):
+        return x - ones * (ones @ x)
+
+    rng = np.random.default_rng(1)
+    b = project(rng.standard_normal(n))  # consistent RHS
+    result = conjugate_gradient(lap.matvec, b, rtol=1e-11,
+                                project=project)
+    assert result.converged
+    # Solution stays in the complement of the nullspace...
+    assert abs(ones @ result.x) < 1e-9
+    # ...and genuinely solves the singular system.
+    assert np.linalg.norm(lap.matvec(result.x) - b) <= \
+        1e-9 * np.linalg.norm(b)
+
+
+def test_unprojected_rhs_is_projected_for_the_caller():
+    # The deflated system is only consistent after projection; the
+    # solver applies `project` to b itself, so callers may pass the raw
+    # right-hand side.
+    n = 16
+    lap = laplacian(path_graph(n))
+    ones = np.ones(n) / np.sqrt(n)
+
+    def project(x):
+        return x - ones * (ones @ x)
+
+    b = np.arange(n, dtype=np.float64)  # has a nullspace component
+    result = conjugate_gradient(lap.matvec, b, rtol=1e-11,
+                                project=project)
+    assert result.converged
+    assert np.linalg.norm(lap.matvec(result.x) - project(b)) <= 1e-8
+
+
+def test_singular_laplacian_without_projection_fails_loudly():
+    # Inconsistent singular system: CG must not pretend to converge.
+    n = 12
+    lap = laplacian(path_graph(n))
+    b = np.ones(n)  # entirely in the nullspace -> no solution
+    with pytest.raises(ConvergenceError):
+        conjugate_gradient(lap.matvec, b, rtol=1e-12, maxiter=200)
+
+
+# ----------------------------------------------------------------------
+# Non-convergence raises
+# ----------------------------------------------------------------------
+def test_maxiter_exhaustion_raises_with_diagnostics():
+    a = np.diag(np.geomspace(1.0, 1e8, 50))  # too ill-conditioned
+    b = np.ones(50)
+    with pytest.raises(ConvergenceError) as excinfo:
+        conjugate_gradient(dense_matvec(a), b, rtol=1e-14, maxiter=3)
+    assert excinfo.value.iterations == 3
+    assert excinfo.value.residual > 0.0
+
+
+def test_indefinite_operator_raises_curvature_error():
+    a = np.diag([1.0, -1.0, 2.0])
+    b = np.array([1.0, 1.0, 1.0])
+    with pytest.raises(ConvergenceError, match="curvature"):
+        conjugate_gradient(dense_matvec(a), b)
+
+
+def test_indefinite_preconditioner_raises():
+    a = np.diag([1.0, 2.0, 3.0])
+    b = np.array([1.0, 1.0, 1.0])
+    with pytest.raises(ConvergenceError, match="preconditioner"):
+        conjugate_gradient(dense_matvec(a), b,
+                           preconditioner=lambda r: -r)

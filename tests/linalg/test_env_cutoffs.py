@@ -5,7 +5,7 @@ import sys
 
 import pytest
 
-from repro.errors import InvalidParameterError
+from repro.errors import ConfigurationError, InvalidParameterError
 from repro.linalg import cutoff_from_env
 from repro.linalg import backends as backend_registry
 
@@ -25,11 +25,26 @@ def test_valid_override(monkeypatch):
     assert cutoff_from_env("REPRO_DENSE_CUTOFF", 1024) == 2048
 
 
-@pytest.mark.parametrize("bad", ["abc", "1.5", "-3", "0", "1e6"])
+@pytest.mark.parametrize("bad", ["abc", "1.5", "-3", "0", "1e6", "nan"])
 def test_invalid_values_rejected(monkeypatch, bad):
     monkeypatch.setenv("REPRO_DENSE_CUTOFF", bad)
-    with pytest.raises(InvalidParameterError):
+    with pytest.raises(ConfigurationError) as excinfo:
         cutoff_from_env("REPRO_DENSE_CUTOFF", 1024)
+    # The message names the offending variable and the requirement.
+    assert "REPRO_DENSE_CUTOFF" in str(excinfo.value)
+    assert "positive integer" in str(excinfo.value)
+
+
+def test_configuration_error_is_an_invalid_parameter_error(monkeypatch):
+    """Handlers written against the old exception type keep working."""
+    monkeypatch.setenv("REPRO_LOBPCG_CUTOFF", "-1")
+    with pytest.raises(InvalidParameterError):
+        cutoff_from_env("REPRO_LOBPCG_CUTOFF", 4096)
+
+
+def test_valid_lobpcg_override(monkeypatch):
+    monkeypatch.setenv("REPRO_LOBPCG_CUTOFF", "512")
+    assert cutoff_from_env("REPRO_LOBPCG_CUTOFF", 4096) == 512
 
 
 def _resolved_cutoffs(env_extra):
@@ -41,7 +56,8 @@ def _resolved_cutoffs(env_extra):
         os.path.join(os.path.dirname(__file__), "..", "..", "src"))
     env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
     snippet = ("from repro.linalg import backends as b; "
-               "print(b.DENSE_CUTOFF); print(b.MULTILEVEL_CUTOFF)")
+               "print(b.DENSE_CUTOFF); print(b.MULTILEVEL_CUTOFF); "
+               "print(b.LOBPCG_CUTOFF)")
     out = subprocess.run([sys.executable, "-c", snippet],
                          capture_output=True, text=True, env=env)
     return out
@@ -49,9 +65,10 @@ def _resolved_cutoffs(env_extra):
 
 def test_overrides_take_effect_at_import():
     out = _resolved_cutoffs({"REPRO_DENSE_CUTOFF": "77",
-                             "REPRO_MULTILEVEL_CUTOFF": "99999"})
+                             "REPRO_MULTILEVEL_CUTOFF": "99999",
+                             "REPRO_LOBPCG_CUTOFF": "2048"})
     assert out.returncode == 0, out.stderr
-    assert out.stdout.split() == ["77", "99999"]
+    assert out.stdout.split() == ["77", "99999", "2048"]
 
 
 def test_invalid_override_fails_loudly_at_import():

@@ -110,3 +110,23 @@ def test_smallest_eigenpairs_shifted_grid_degenerate():
     assert values[0] == pytest.approx(lambda2, abs=1e-8)
     assert values[1] == pytest.approx(lambda2, abs=1e-8)
     assert values[2] > lambda2 + 1e-6
+
+
+def test_full_spectrum_complete_graph_deflated():
+    # Complete graph: every non-null eigenvalue equals n, so the Krylov
+    # space from any start is one-dimensional and the solver must inject
+    # fresh directions repeatedly.  Requesting every deflated pair used
+    # to exhaust the quasi-random probes on tiny operators and crash
+    # with an IndexError; the canonical-basis fallback now fills the
+    # basis to n - 1 columns.
+    n = 9
+    dense = n * np.eye(n) - np.ones((n, n))
+    mat = CSRMatrix.from_dense(dense)
+    ones = np.ones(n) / np.sqrt(n)
+    values, vectors = smallest_eigenpairs_shifted(
+        mat.matvec, n, k=n - 1, upper_bound=mat.gershgorin_upper_bound(),
+        deflate=[ones],
+    )
+    assert np.allclose(values, float(n), atol=1e-7)
+    assert np.allclose(vectors.T @ vectors, np.eye(n - 1), atol=1e-7)
+    assert np.abs(ones @ vectors).max() < 1e-8

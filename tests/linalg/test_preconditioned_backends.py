@@ -1,0 +1,362 @@
+"""Tests for the preconditioned eigensolver backends.
+
+Covers the shift-invert and LOBPCG backends end to end: the multilevel
+V-cycle preconditioner (symmetry, Laplacian recognition, content-keyed
+caching), agreement with the dense reference on exact-arithmetic-hard
+inputs, iteration statistics, and the miss-tolerance-falls-back
+contract that keeps a bad preconditioned solve from shipping a bad
+order.  CI runs this module on both the scipy and the numpy-only leg —
+nothing here may import scipy.
+"""
+
+import numpy as np
+import pytest
+
+import repro.linalg.backends as backends
+from repro.core.multilevel import MultilevelPreconditioner
+from repro.errors import ConvergenceError, InvalidParameterError
+from repro.graph import (Graph, grid_graph, laplacian, path_graph)
+from repro.graph.laplacian import graph_from_laplacian
+from repro.geometry import Grid
+from repro.linalg import smallest_eigenpairs
+from repro.linalg.backends import multilevel_preconditioner_for
+from repro.linalg.lanczos import smallest_eigenpairs_shift_invert
+from repro.linalg.lobpcg import lobpcg_smallest, smallest_eigenpairs_lobpcg
+from repro.linalg.sparse import CSRMatrix
+
+
+@pytest.fixture(autouse=True)
+def clear_preconditioner_cache():
+    backends._PRECONDITIONER_CACHE.clear()
+    yield
+    backends._PRECONDITIONER_CACHE.clear()
+
+
+def path_deflate(n):
+    return [np.ones(n) / np.sqrt(n)]
+
+
+# ----------------------------------------------------------------------
+# graph_from_laplacian: the recognition gate
+# ----------------------------------------------------------------------
+def test_laplacian_round_trips_through_recognition():
+    graph = grid_graph(Grid((6, 5)))
+    lap = laplacian(graph)
+    recovered = graph_from_laplacian(lap)
+    assert recovered is not None
+    assert recovered.num_vertices == graph.num_vertices
+    assert np.allclose(laplacian(recovered).to_dense(), lap.to_dense())
+
+
+def test_weighted_laplacian_round_trips():
+    graph = Graph.from_edges(4, [(0, 1), (1, 2), (2, 3), (0, 3)],
+                             weights=[0.5, 2.0, 1.25, 3.0])
+    recovered = graph_from_laplacian(laplacian(graph))
+    assert recovered is not None
+    assert np.allclose(laplacian(recovered).to_dense(),
+                       laplacian(graph).to_dense())
+
+
+def test_positive_offdiagonal_rejected():
+    dense = np.array([[2.0, 1.0], [1.0, 2.0]])  # SPD, not a Laplacian
+    assert graph_from_laplacian(CSRMatrix.from_dense(dense)) is None
+
+
+def test_wrong_diagonal_rejected():
+    dense = np.array([[5.0, -1.0], [-1.0, 1.0]])  # row sums don't vanish
+    assert graph_from_laplacian(CSRMatrix.from_dense(dense)) is None
+
+
+def test_zero_matrix_recognized_as_edgeless_graph():
+    recovered = graph_from_laplacian(CSRMatrix.from_dense(np.zeros((3, 3))))
+    assert recovered is not None
+    assert recovered.num_edges == 0
+
+
+# ----------------------------------------------------------------------
+# MultilevelPreconditioner: the V-cycle itself
+# ----------------------------------------------------------------------
+def test_vcycle_is_symmetric():
+    # CG and LOBPCG both require a symmetric preconditioner:
+    # u.(M v) == v.(M u) to float accuracy.
+    graph = grid_graph(Grid((9, 8)))
+    m = MultilevelPreconditioner(graph)
+    rng = np.random.default_rng(5)
+    for _ in range(3):
+        u = rng.standard_normal(graph.num_vertices)
+        v = rng.standard_normal(graph.num_vertices)
+        left, right = u @ m.apply(v), v @ m.apply(u)
+        assert abs(left - right) <= 1e-10 * max(abs(left), abs(right), 1.0)
+
+
+def test_vcycle_approximates_inverse_on_complement():
+    # M should contract the error of L x = b far better than the raw
+    # residual: ||L M b - b|| << ||b|| on the nullspace complement.
+    graph = grid_graph(Grid((12, 12)))
+    lap = laplacian(graph)
+    m = MultilevelPreconditioner(graph)
+    n = graph.num_vertices
+    ones = np.ones(n) / np.sqrt(n)
+    rng = np.random.default_rng(11)
+    b = rng.standard_normal(n)
+    b -= ones * (ones @ b)
+    x = m.apply(b)
+    residual = lap.matvec(x) - b
+    residual -= ones * (ones @ residual)
+    assert np.linalg.norm(residual) < 0.5 * np.linalg.norm(b)
+
+
+def test_vcycle_matmat_matches_columnwise_apply():
+    graph = grid_graph(Grid((7, 6)))
+    m = MultilevelPreconditioner(graph)
+    rng = np.random.default_rng(2)
+    block = rng.standard_normal((graph.num_vertices, 3))
+    blocked = m.apply(block)
+    for j in range(3):
+        np.testing.assert_allclose(blocked[:, j], m.apply(block[:, j]),
+                                   atol=1e-12)
+
+
+# ----------------------------------------------------------------------
+# The preconditioner factory and its content cache
+# ----------------------------------------------------------------------
+def test_factory_builds_for_laplacian_and_caches_by_content():
+    lap = laplacian(grid_graph(Grid((8, 8))))
+    first = multilevel_preconditioner_for(lap)
+    assert isinstance(first, MultilevelPreconditioner)
+    # A *different object* with identical content hits the same entry.
+    twin = laplacian(grid_graph(Grid((8, 8))))
+    assert twin is not lap
+    assert multilevel_preconditioner_for(twin) is first
+
+
+def test_factory_returns_none_for_general_spd_and_caches_verdict():
+    dense = np.array([[2.0, 1.0, 0.0],
+                      [1.0, 2.0, 1.0],
+                      [0.0, 1.0, 2.0]])
+    matrix = CSRMatrix.from_dense(dense)
+    assert multilevel_preconditioner_for(matrix) is None
+    # The None verdict is cached too (no rebuild attempt).
+    key = backends._matrix_content_key(matrix)
+    assert key in backends._PRECONDITIONER_CACHE
+    assert backends._PRECONDITIONER_CACHE[key] is None
+
+
+def test_factory_cache_evicts_fifo():
+    for side in (5, 6, 7, 8, 9):
+        multilevel_preconditioner_for(laplacian(path_graph(side)))
+    assert len(backends._PRECONDITIONER_CACHE) == \
+        backends._PRECONDITIONER_CACHE_SIZE
+
+
+def test_distinct_weights_get_distinct_preconditioners():
+    base = Graph.from_edges(30, [(i, i + 1) for i in range(29)])
+    heavy = Graph.from_edges(30, [(i, i + 1) for i in range(29)],
+                             weights=[2.0] * 29)
+    first = multilevel_preconditioner_for(laplacian(base))
+    second = multilevel_preconditioner_for(laplacian(heavy))
+    assert first is not second
+
+
+# ----------------------------------------------------------------------
+# Shift-invert backend
+# ----------------------------------------------------------------------
+def test_shift_invert_matches_dense_on_path():
+    n = 120
+    lap = laplacian(path_graph(n))
+    values, vectors = smallest_eigenpairs(lap, 3, backend="shift_invert",
+                                          deflate=path_deflate(n))
+    exact = 2 * (1 - np.cos(np.pi * np.arange(1, 4) / n))
+    np.testing.assert_allclose(values, exact, atol=1e-8)
+    for j in range(3):
+        y = vectors[:, j]
+        assert np.linalg.norm(lap.matvec(y) - values[j] * y) < 1e-6
+
+
+def test_shift_invert_stats_report_inner_outer_iterations():
+    n = 80
+    lap = laplacian(path_graph(n))
+    stats = {}
+    smallest_eigenpairs_shift_invert(
+        lap.matvec, n, 2, upper_bound=lap.gershgorin_upper_bound(),
+        deflate=path_deflate(n), tol=1e-9,
+        preconditioner=multilevel_preconditioner_for(lap),
+        stats=stats)
+    assert stats["outer_iterations"] >= 2
+    assert stats["inner_iterations"] >= stats["outer_iterations"]
+    assert stats["max_inner_iterations"] >= 1
+
+
+def test_preconditioner_reduces_inner_iterations():
+    n = 400
+    lap = laplacian(path_graph(n))
+    bound = lap.gershgorin_upper_bound()
+    plain, preconditioned = {}, {}
+    smallest_eigenpairs_shift_invert(
+        lap.matvec, n, 1, upper_bound=bound, deflate=path_deflate(n),
+        stats=plain)
+    smallest_eigenpairs_shift_invert(
+        lap.matvec, n, 1, upper_bound=bound, deflate=path_deflate(n),
+        preconditioner=multilevel_preconditioner_for(lap),
+        stats=preconditioned)
+    assert preconditioned["inner_iterations"] < plain["inner_iterations"]
+
+
+def test_shift_invert_falls_back_on_non_laplacian_spd():
+    # General SPD input: no preconditioner, and the clustered-at-zero
+    # assumption may not hold — the registry path must still return the
+    # right answer (via the inner-outer solve or the Lanczos fallback).
+    rng = np.random.default_rng(4)
+    q, _ = np.linalg.qr(rng.standard_normal((40, 40)))
+    spectrum = np.linspace(1.0, 10.0, 40)
+    dense = (q * spectrum) @ q.T
+    matrix = CSRMatrix.from_dense((dense + dense.T) / 2.0)
+    values, _ = smallest_eigenpairs(matrix, 2, backend="shift_invert")
+    np.testing.assert_allclose(values, spectrum[:2], atol=1e-6)
+
+
+# ----------------------------------------------------------------------
+# LOBPCG backend
+# ----------------------------------------------------------------------
+def test_lobpcg_matches_dense_on_grid():
+    grid = Grid((11, 10))
+    lap = laplacian(grid_graph(grid))
+    n = grid.size
+    deflate = path_deflate(n)
+    got, got_vecs = smallest_eigenpairs(lap, 3, backend="lobpcg",
+                                        deflate=deflate)
+    want, _ = smallest_eigenpairs(lap, 3, backend="dense",
+                                  deflate=deflate)
+    np.testing.assert_allclose(got, want, atol=1e-8)
+    for j in range(3):
+        y = got_vecs[:, j]
+        assert np.linalg.norm(lap.matvec(y) - got[j] * y) < 1e-6
+
+
+def test_lobpcg_handles_degenerate_eigenspace():
+    # Square grid: lambda_2 has multiplicity 2; the block must resolve
+    # both without mixing in lambda_4.
+    grid = Grid((10, 10))
+    lap = laplacian(grid_graph(grid))
+    deflate = path_deflate(grid.size)
+    values, _ = smallest_eigenpairs(lap, 3, backend="lobpcg",
+                                    deflate=deflate)
+    assert values[0] == pytest.approx(values[1], rel=1e-8)
+    assert values[2] > values[1] * (1 + 1e-6)
+
+
+def test_lobpcg_stats_and_soft_locking():
+    n = 200
+    lap = laplacian(path_graph(n))
+    stats = {}
+    smallest_eigenpairs_lobpcg(
+        lap.matvec, n, 2, upper_bound=lap.gershgorin_upper_bound(),
+        deflate=path_deflate(n), tol=1e-9, matmat=lap.matmat,
+        preconditioner=multilevel_preconditioner_for(lap), stats=stats)
+    assert stats["iterations"] >= 1
+    assert stats["operator_columns"] >= stats["iterations"]
+
+
+def test_lobpcg_preconditioner_cuts_iterations():
+    n = 600
+    lap = laplacian(path_graph(n))
+    bound = lap.gershgorin_upper_bound()
+    plain, preconditioned = {}, {}
+    try:
+        lobpcg_smallest(lap.matvec, n, 1, deflate=path_deflate(n),
+                        upper_bound=bound, tol=1e-9, matmat=lap.matmat,
+                        stats=plain)
+    except ConvergenceError:
+        plain["iterations"] = 500  # hit the cap: worst case
+    lobpcg_smallest(lap.matvec, n, 1, deflate=path_deflate(n),
+                    upper_bound=bound, tol=1e-9, matmat=lap.matmat,
+                    preconditioner=multilevel_preconditioner_for(lap),
+                    stats=preconditioned)
+    assert preconditioned["iterations"] < plain["iterations"]
+
+
+def test_lobpcg_nonconvergence_raises():
+    n = 50
+    lap = laplacian(path_graph(n))
+    with pytest.raises(ConvergenceError):
+        lobpcg_smallest(lap.matvec, n, 1, deflate=path_deflate(n),
+                        upper_bound=lap.gershgorin_upper_bound(),
+                        tol=1e-13, maxiter=1)
+
+
+def test_lobpcg_rejects_bad_k():
+    lap = laplacian(path_graph(5))
+    with pytest.raises(InvalidParameterError):
+        lobpcg_smallest(lap.matvec, 5, 6)
+    with pytest.raises(InvalidParameterError):
+        lobpcg_smallest(lap.matvec, 5, 0)
+
+
+# ----------------------------------------------------------------------
+# Registry-level contracts
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend", ["shift_invert", "lobpcg"])
+def test_registry_backends_agree_with_dense(backend):
+    lap = laplacian(grid_graph(Grid((7, 9))))
+    deflate = path_deflate(lap.n)
+    got, _ = smallest_eigenpairs(lap, 2, backend=backend,
+                                 deflate=deflate)
+    want, _ = smallest_eigenpairs(lap, 2, backend="dense",
+                                  deflate=deflate)
+    np.testing.assert_allclose(got, want, atol=1e-8)
+
+
+@pytest.mark.parametrize("backend", ["shift_invert", "lobpcg"])
+def test_tiny_systems_work(backend):
+    lap = laplacian(path_graph(3))
+    values, _ = smallest_eigenpairs(lap, 1, backend=backend,
+                                    deflate=path_deflate(3))
+    assert values[0] == pytest.approx(1.0, abs=1e-8)
+
+
+@pytest.mark.parametrize("backend", ["shift_invert", "lobpcg"])
+def test_custom_tol_is_respected(backend):
+    # A loose tolerance must still produce residuals within its own
+    # bound; the pipeline threads SpectralConfig.solver_tol through
+    # this parameter.
+    n = 64
+    lap = laplacian(path_graph(n))
+    values, vectors = smallest_eigenpairs(lap, 1, backend=backend,
+                                          deflate=path_deflate(n),
+                                          tol=1e-6)
+    y = vectors[:, 0]
+    scale = max(lap.gershgorin_upper_bound(), 1.0)
+    assert np.linalg.norm(lap.matvec(y) - values[0] * y) <= \
+        1e-4 * scale  # the documented 100x acceptance slack
+
+
+def test_fallback_contract_on_forced_failure(monkeypatch):
+    # Break the preconditioned path; the registry must silently deliver
+    # the Lanczos answer rather than propagate the failure.
+    def explode(*args, **kwargs):
+        raise ConvergenceError("forced", iterations=0, residual=1.0)
+
+    monkeypatch.setattr(backends, "smallest_eigenpairs_shift_invert",
+                        explode)
+    monkeypatch.setattr(backends, "smallest_eigenpairs_lobpcg", explode)
+    n = 40
+    lap = laplacian(path_graph(n))
+    exact = 2 * (1 - np.cos(np.pi / n))
+    for backend in ("shift_invert", "lobpcg"):
+        values, _ = smallest_eigenpairs(lap, 1, backend=backend,
+                                        deflate=path_deflate(n))
+        assert values[0] == pytest.approx(exact, abs=1e-8)
+
+
+def test_resolve_auto_picks_lobpcg_where_it_wins():
+    # Above the LOBPCG cutoff the numpy-only leg switches from flat
+    # Lanczos to the preconditioned block solver; scipy still wins when
+    # importable.
+    assert backends.resolve_auto(backends.DENSE_CUTOFF) == "dense"
+    large = backends.resolve_auto(backends.LOBPCG_CUTOFF + 1)
+    medium = backends.resolve_auto(backends.DENSE_CUTOFF + 1)
+    if backends.scipy_available():
+        assert large == medium == "scipy"
+    else:
+        assert large == "lobpcg"
+        assert medium == "lanczos"

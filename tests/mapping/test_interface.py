@@ -6,26 +6,21 @@ import pytest
 from repro.core import LinearOrder
 from repro.errors import InvalidParameterError
 from repro.geometry import Grid
+from repro.api import make_mapping
 from repro.mapping import (
     MAPPING_NAMES,
     PAPER_MAPPING_NAMES,
     CurveMapping,
     ExplicitMapping,
     SpectralMapping,
-    mapping_by_name,
     paper_mappings,
 )
-
-# These tests exercise the deprecated (but supported) pre-repro.api
-# entry points on purpose; the shim warnings are expected noise here.
-# Parity with the facade is pinned in tests/api/test_deprecation_shims.py.
-pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
 
 
 def test_every_registered_mapping_produces_a_permutation(grid4):
     for name in MAPPING_NAMES:
-        mapping = mapping_by_name(name, backend="dense") \
-            if name == "spectral" else mapping_by_name(name)
+        mapping = make_mapping(name, backend="dense") \
+            if name == "spectral" else make_mapping(name)
         ranks = mapping.ranks_for_grid(grid4)
         assert sorted(ranks) == list(range(grid4.size))
 
@@ -76,11 +71,11 @@ def test_spectral_mapping_forwards_kwargs(grid4):
     assert mapping.name == "spectral"
 
 
-def test_mapping_by_name_validation():
+def test_make_mapping_validation():
     with pytest.raises(InvalidParameterError):
-        mapping_by_name("voronoi")
+        make_mapping("voronoi")
     with pytest.raises(InvalidParameterError):
-        mapping_by_name("hilbert", backend="dense")
+        make_mapping("hilbert", backend="dense")
 
 
 def test_paper_mappings_roster():

@@ -8,14 +8,10 @@ from repro.errors import InvalidParameterError
 from repro.geometry import Grid
 from repro.graph import path_graph
 from repro.linalg import solver_invocations
-from repro.mapping import SpectralMapping, mapping_by_name
+from repro.api import make_mapping
+from repro.mapping import SpectralMapping
 from repro.query import LinearStore
 from repro.service import ArtifactStore, OrderingService
-
-# These tests exercise the deprecated (but supported) pre-repro.api
-# entry points on purpose; the shim warnings are expected noise here.
-# Parity with the facade is pinned in tests/api/test_deprecation_shims.py.
-pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
 
 
 @pytest.fixture
@@ -228,7 +224,7 @@ def test_invalid_config_rejected(grid):
 def test_spectral_mapping_routes_through_service(grid):
     service = OrderingService()
     m1 = SpectralMapping(service=service)
-    m2 = mapping_by_name("spectral", service=service)
+    m2 = make_mapping("spectral", service=service)
     a = m1.order_for_grid(grid)
     before = solver_invocations()
     b = m2.order_for_grid(grid)
@@ -238,9 +234,9 @@ def test_spectral_mapping_routes_through_service(grid):
     assert m2.service is service
 
 
-def test_mapping_by_name_ignores_service_for_curves(grid):
+def test_make_mapping_ignores_service_for_curves(grid):
     service = OrderingService()
-    mapping = mapping_by_name("hilbert", service=service)
+    mapping = make_mapping("hilbert", service=service)
     mapping.order_for_grid(grid)
     assert service.stats.computed == 0
 
@@ -248,10 +244,11 @@ def test_mapping_by_name_ignores_service_for_curves(grid):
 def test_linear_store_shares_service_orders(grid):
     service = OrderingService()
     mapping = SpectralMapping()  # no service of its own
-    store1 = LinearStore(grid, mapping, page_size=8, service=service)
+    store1 = LinearStore._from_api(grid, mapping, page_size=8,
+                                   service=service)
     before = solver_invocations()
-    store2 = LinearStore(grid, SpectralMapping(), page_size=4,
-                         service=service)
+    store2 = LinearStore._from_api(grid, SpectralMapping(), page_size=4,
+                                   service=service)
     assert solver_invocations() == before, \
         "stores sharing a service must share one eigensolve"
     assert np.array_equal(store1._ranks, store2._ranks)
@@ -264,9 +261,9 @@ def test_linear_store_keeps_memo_for_uncacheable_mapping(grid):
     cache-bypassing service re-solved per store)."""
     mapping = SpectralMapping(weight=lambda offset: 1.0)
     service = OrderingService()
-    LinearStore(grid, mapping, page_size=8, service=service)
+    LinearStore._from_api(grid, mapping, page_size=8, service=service)
     before = solver_invocations()
-    LinearStore(grid, mapping, page_size=4, service=service)
+    LinearStore._from_api(grid, mapping, page_size=4, service=service)
     assert solver_invocations() == before, \
         "the second store must reuse the mapping's memoized order"
     assert service.stats.uncacheable == 0  # service never consulted
@@ -276,6 +273,7 @@ def test_linear_store_respects_mapping_own_service(grid):
     mapping_service = OrderingService()
     store_service = OrderingService()
     mapping = SpectralMapping(service=mapping_service)
-    LinearStore(grid, mapping, page_size=8, service=store_service)
+    LinearStore._from_api(grid, mapping, page_size=8,
+                          service=store_service)
     assert mapping_service.stats.computed == 1
     assert store_service.stats.computed == 0

@@ -68,7 +68,7 @@ def test_version_consistency():
 def test_public_api_covers_the_paper_pipeline():
     """The README's quickstart names must exist at top level."""
     for name in ("Grid", "Box", "Graph", "SpectralLPM", "spectral_order",
-                 "mapping_by_name", "paper_mappings", "LinearOrder",
+                 "paper_mappings", "LinearOrder",
                  "fiedler_vector", "add_access_pattern",
                  # the unified repro.api facade
                  "SpectralIndex", "PointSet", "make_mapping",
