@@ -74,6 +74,27 @@ def save_json(results_dir):
 
 
 @pytest.fixture(scope="session")
+def record_phases(save_json):
+    """Append one per-phase record from a traced benchmark run.
+
+    ``spans`` is a list of :class:`repro.obs.SpanRecord` (e.g. the
+    collector's ``drain()`` after running the benchmarked operation
+    under ``repro.obs.tracing``).  Each span name becomes one
+    ``BENCH_spectral.json`` record with ``phase`` set to the span name
+    and ``seconds`` its total duration, so the file carries not just
+    end-to-end timings but where inside the stack the time went.
+    """
+    from repro.obs import phase_totals
+
+    def _record(name: str, n: int, backend: str, spans) -> None:
+        for phase, seconds in sorted(phase_totals(spans).items()):
+            save_json({"name": name, "n": n, "backend": backend,
+                       "phase": phase, "seconds": seconds})
+
+    return _record
+
+
+@pytest.fixture(scope="session")
 def save_report(results_dir):
     """Write a rendered experiment report to results/<name>.txt."""
 

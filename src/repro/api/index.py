@@ -57,6 +57,7 @@ from repro.geometry.grid import Grid
 from repro.geometry.pointset import PointSet
 from repro.graph.adjacency import Graph
 from repro.mapping.interface import LocalityMapping, SpectralMapping
+from repro.obs import Timer, registry, span
 from repro.query.engine import LinearStore, QueryExecution, WorkloadReport
 from repro.query.join import JoinReport, window_join_report
 from repro.query.nn import window_candidates
@@ -64,6 +65,13 @@ from repro.service.artifacts import OrderArtifact
 from repro.service.ordering import OrderingService, OrderRequest
 from repro.storage.buffer import BufferStats
 from repro.storage.disk import DiskCostModel
+
+# Facade-level latency, labelled by query op.  Always on (a histogram
+# observation per query, the same order of cost as the pre-existing
+# buffer-pool counters); spans add detail only when tracing is enabled.
+_QUERY_SECONDS = registry().histogram(
+    "repro_query_seconds",
+    "Per-query facade latency by op (range/nn/join).")
 
 
 @dataclass
@@ -360,13 +368,16 @@ class SpectralIndex:
         """
         queries = self._coerce_queries(queries)
         workers = resolve_parallelism(parallelism)
-        views = self._views_for(queries, parallelism=workers)
+        with span("api.query_many", batch=len(queries),
+                  parallelism=workers):
+            views = self._views_for(queries, parallelism=workers)
 
-        def run(pair) -> object:
-            view, query = pair
-            return self._execute_query(view, query)
+            def run(pair) -> object:
+                view, query = pair
+                return self._execute_query(view, query)
 
-        return map_in_threads(run, list(zip(views, queries)), workers)
+            return map_in_threads(run, list(zip(views, queries)),
+                                  workers)
 
     # ------------------------------------------------------------------
     # Batch internals (shared with the asyncio facade)
@@ -445,14 +456,15 @@ class SpectralIndex:
 
     def _build_view(self, mapping: LocalityMapping) -> _MappingView:
         """Compute one view (runs with the index lock released)."""
-        artifact = self._artifact_for(mapping)
-        if artifact is not None:
-            order = artifact.order
-        else:
-            order = mapping.order_domain(self._domain,
-                                         service=self._service)
-        return _MappingView(mapping=mapping, order=order,
-                            artifact=artifact)
+        with span("api.materialize", mapping=mapping.name):
+            artifact = self._artifact_for(mapping)
+            if artifact is not None:
+                order = artifact.order
+            else:
+                order = mapping.order_domain(self._domain,
+                                             service=self._service)
+            return _MappingView(mapping=mapping, order=order,
+                                artifact=artifact)
 
     def _materialize(self, mapping: LocalityMapping) -> _MappingView:
         """The view for ``mapping``, materialized at most once.
@@ -611,23 +623,35 @@ class SpectralIndex:
         if store is None:
             with view.store_lock:
                 if view.store is None:
-                    view.store = LinearStore._from_api(
-                        grid, view.mapping, order=view.order,
-                        page_size=self._page_size,
-                        tree_order=self._tree_order,
-                        buffer_capacity=self._buffer_capacity,
-                        cost_model=self._cost_model,
-                    )
+                    with span("api.store_build",
+                              mapping=view.mapping.name):
+                        view.store = LinearStore._from_api(
+                            grid, view.mapping, order=view.order,
+                            page_size=self._page_size,
+                            tree_order=self._tree_order,
+                            buffer_capacity=self._buffer_capacity,
+                            cost_model=self._cost_model,
+                        )
                 store = view.store
         return store
 
     def _range_on(self, view: _MappingView, box, plan: str
                   ) -> QueryExecution:
         store = self._store_for(view)
-        return store.range_query(self._as_box(box), plan=plan)
+        with span("api.range", plan=plan), Timer() as timer:
+            execution = store.range_query(self._as_box(box), plan=plan)
+        _QUERY_SECONDS.observe(timer.seconds, op="range")
+        return execution
 
     def _nn_on(self, view: _MappingView, cell, k: int,
                window: Optional[int]) -> NNResult:
+        with span("api.nn", k=k), Timer() as timer:
+            result = self._nn_impl(view, cell, k, window)
+        _QUERY_SECONDS.observe(timer.seconds, op="nn")
+        return result
+
+    def _nn_impl(self, view: _MappingView, cell, k: int,
+                 window: Optional[int]) -> NNResult:
         domain = self._domain
         if isinstance(domain, Grid):
             grid, cells = domain, None
@@ -682,6 +706,15 @@ class SpectralIndex:
 
     def _join_on(self, view: _MappingView, cells_a, cells_b,
                  epsilon: int, window: int) -> JoinReport:
+        with span("api.join", epsilon=epsilon,
+                  window=window), Timer() as timer:
+            report = self._join_impl(view, cells_a, cells_b, epsilon,
+                                     window)
+        _QUERY_SECONDS.observe(timer.seconds, op="join")
+        return report
+
+    def _join_impl(self, view: _MappingView, cells_a, cells_b,
+                   epsilon: int, window: int) -> JoinReport:
         domain = self._domain
         if isinstance(domain, Grid):
             return window_join_report(domain, view.ranks, cells_a,

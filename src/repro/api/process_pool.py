@@ -30,6 +30,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.ordering import LinearOrder
 from repro.errors import InvalidParameterError
+from repro.obs import span
 from repro.parallel import ensure_workers, map_in_threads
 from repro.geometry.grid import Grid
 from repro.graph.adjacency import Graph
@@ -217,9 +218,11 @@ class ProcessPoolFrontend:
             for i, order in zip(indices, orders):
                 results[i] = order
 
-        map_in_threads(run_worker, list(groups.items()),
-                       ensure_workers(parallelism),
-                       thread_name_prefix="repro-pool")
+        with span("pool.order_many", batch=len(normalized),
+                  workers=len(groups)):
+            map_in_threads(run_worker, list(groups.items()),
+                           ensure_workers(parallelism),
+                           thread_name_prefix="repro-pool")
         return results
 
     # ------------------------------------------------------------------
@@ -250,11 +253,14 @@ class ProcessPoolFrontend:
 
     def _index_op(self, domain, op: str, args: Tuple, kwargs: dict):
         domain = coerce_domain(domain)
-        return self._fleet.request(
-            self.shard_of(domain),
-            IndexQueryMessage(domain=domain, op=op, args=tuple(args),
-                              kwargs=dict(kwargs)),
-        )
+        shard = self.shard_of(domain)
+        with span("pool.index_op", op=op, shard=shard):
+            return self._fleet.request(
+                shard,
+                IndexQueryMessage(domain=domain, op=op,
+                                  args=tuple(args),
+                                  kwargs=dict(kwargs)),
+            )
 
     # ------------------------------------------------------------------
     # Observability
@@ -266,6 +272,15 @@ class ProcessPoolFrontend:
     def combined_stats(self) -> ServiceStats:
         """All shards' counters summed into one snapshot."""
         return self._fleet.combined_stats()
+
+    def health(self) -> List:
+        """Per-worker :class:`~repro.serve.protocol.WorkerHealth`
+        payloads (identity, uptime, per-shard store probes)."""
+        return self._fleet.health()
+
+    def worker_metrics(self) -> List[str]:
+        """Per-worker Prometheus metric dumps, in worker order."""
+        return self._fleet.worker_metrics()
 
     def __repr__(self) -> str:
         return (f"ProcessPoolFrontend(shards={self.num_shards}, "

@@ -31,9 +31,8 @@ from __future__ import annotations
 import argparse
 import platform
 import sys
-import time
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.fiedler import fiedler_vector
 from repro.geometry.grid import Grid
@@ -43,6 +42,7 @@ from repro.linalg.backends import (
     MULTILEVEL_CUTOFF,
     scipy_available,
 )
+from repro.obs import best_of
 
 #: Grid sides timed for the dense-vs-iterative crossover.
 DENSE_SIDES = (16, 24, 32, 48, 64)
@@ -75,23 +75,15 @@ class CalibrationResult:
     multilevel_crossed: bool
 
 
-def _best_of(fn: Callable[[], object], repeats: int) -> float:
-    best = float("inf")
-    for _ in range(max(1, repeats)):
-        start = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - start)
-    return best
-
-
 def _time_backends(sides: Sequence[int], small_backend: str,
                    large_backend: str, repeats: int) -> List[Measurement]:
+    repeats = max(1, repeats)
     measurements = []
     for side in sides:
         graph = grid_graph(Grid((side, side)))
-        small = _best_of(
+        small = best_of(
             lambda: fiedler_vector(graph, backend=small_backend), repeats)
-        large = _best_of(
+        large = best_of(
             lambda: fiedler_vector(graph, backend=large_backend), repeats)
         measurements.append(Measurement(n=graph.num_vertices,
                                         cheap_s=small, expensive_s=large))

@@ -282,11 +282,20 @@ class MultilevelPreconditioner:
         self._coarse_inverse = (v * inv_w) @ v.T
         n = graph.num_vertices
         self._ones = np.ones(n) / np.sqrt(n)
+        self._cycles = 0
 
     @property
     def levels(self) -> int:
         """Coarsening levels below the finest (0 = direct dense solve)."""
         return len(self._maps)
+
+    @property
+    def cycles(self) -> int:
+        """V-cycles applied so far (one per :meth:`apply` call; a block
+        application counts once).  A monotone diagnostic counter — the
+        observability layer attributes preconditioner work to a solve
+        by taking its delta around the solve."""
+        return self._cycles
 
     def _smooth(self, level: int, b: np.ndarray,
                 return_residual: bool = False):
@@ -363,6 +372,7 @@ class MultilevelPreconditioner:
         its only intended nullspace — safe as a CG/LOBPCG
         preconditioner on the deflated subspace.
         """
+        self._cycles += 1
         b = np.asarray(b, dtype=np.float64)
         if b.ndim == 1:
             b = b - self._ones * (self._ones @ b)

@@ -90,6 +90,13 @@ from repro.linalg.lanczos import (
 from repro.linalg.lobpcg import smallest_eigenpairs_lobpcg
 from repro.linalg.operators import DeflatedOperator, deflation_matrix
 from repro.linalg.sparse import CSRMatrix
+from repro.obs import Timer, registry, span
+
+# Solve latency by *resolved* backend (``auto`` is resolved before the
+# observation, so the label always names the algorithm that ran).
+_SOLVE_SECONDS = registry().histogram(
+    "repro_linalg_solve_seconds",
+    "smallest_eigenpairs latency by resolved backend.")
 
 
 def cutoff_from_env(name: str, default: int) -> int:
@@ -226,12 +233,13 @@ def _smallest_dense(matrix: CSRMatrix, k: int,
 
 def _smallest_lanczos(matrix: CSRMatrix, k: int,
                       deflate: Sequence[np.ndarray],
-                      tol: float = DEFAULT_SOLVER_TOL
+                      tol: float = DEFAULT_SOLVER_TOL,
+                      stats: dict | None = None
                       ) -> Tuple[np.ndarray, np.ndarray]:
     bound = matrix.gershgorin_upper_bound()
     return smallest_eigenpairs_shifted(
         matrix.matvec, matrix.n, k, upper_bound=bound, deflate=deflate,
-        tol=tol
+        tol=tol, stats=stats
     )
 
 
@@ -300,38 +308,54 @@ def multilevel_preconditioner_for(matrix: CSRMatrix):
 
 def _smallest_shift_invert(matrix: CSRMatrix, k: int,
                            deflate: Sequence[np.ndarray],
-                           tol: float = DEFAULT_SOLVER_TOL
+                           tol: float = DEFAULT_SOLVER_TOL,
+                           stats: dict | None = None
                            ) -> Tuple[np.ndarray, np.ndarray]:
     bound = matrix.gershgorin_upper_bound()
+    preconditioner = multilevel_preconditioner_for(matrix)
+    cycles_before = getattr(preconditioner, "cycles", 0)
     try:
         return smallest_eigenpairs_shift_invert(
             matrix.matvec, matrix.n, k, upper_bound=bound,
             deflate=deflate, tol=tol,
-            preconditioner=multilevel_preconditioner_for(matrix),
+            preconditioner=preconditioner, stats=stats,
         )
     except ConvergenceError:
         # Miss-tolerance-falls-back contract: the inner-outer iteration
         # could not certify the pairs (singular unprojected nullspace,
         # indefinite shift, inexact inner solves); the flat Lanczos
         # sweep is slower but assumption-free.
-        return _smallest_lanczos(matrix, k, deflate, tol)
+        if stats is not None:
+            stats["fallback"] = "lanczos"
+        return _smallest_lanczos(matrix, k, deflate, tol, stats=stats)
+    finally:
+        if stats is not None and preconditioner is not None:
+            stats["v_cycles"] = preconditioner.cycles - cycles_before
 
 
 def _smallest_lobpcg(matrix: CSRMatrix, k: int,
                      deflate: Sequence[np.ndarray],
                      tol: float = DEFAULT_SOLVER_TOL,
-                     x0: np.ndarray | None = None
+                     x0: np.ndarray | None = None,
+                     stats: dict | None = None
                      ) -> Tuple[np.ndarray, np.ndarray]:
     bound = matrix.gershgorin_upper_bound()
+    preconditioner = multilevel_preconditioner_for(matrix)
+    cycles_before = getattr(preconditioner, "cycles", 0)
     try:
         return smallest_eigenpairs_lobpcg(
             matrix.matvec, matrix.n, k, upper_bound=bound,
             deflate=deflate, tol=tol, matmat=matrix.matmat, x0=x0,
-            preconditioner=multilevel_preconditioner_for(matrix),
+            preconditioner=preconditioner, stats=stats,
         )
     except ConvergenceError:
         # Same fall-back contract as _smallest_shift_invert.
-        return _smallest_lanczos(matrix, k, deflate, tol)
+        if stats is not None:
+            stats["fallback"] = "lanczos"
+        return _smallest_lanczos(matrix, k, deflate, tol, stats=stats)
+    finally:
+        if stats is not None and preconditioner is not None:
+            stats["v_cycles"] = preconditioner.cycles - cycles_before
 
 
 def _smallest_scipy(matrix: CSRMatrix, k: int,
@@ -471,14 +495,42 @@ def smallest_eigenpairs(matrix: CSRMatrix, k: int, backend: str = "auto",
     if backend == "auto":
         backend = resolve_auto(n, k)
 
+    # One span per solver invocation, attributed with the iterative
+    # backends' diagnostics.  The stats dict is only allocated (and
+    # threaded through the solver) while a trace is recording, so the
+    # disabled-tracing path pays a single boolean check.
+    sp = span("linalg.solve", backend=backend, n=n, k=k)
+    stats: dict | None = {} if sp.is_recording else None
+    with sp, Timer() as timer:
+        try:
+            pairs = _run_backend(matrix, k, backend, deflate, tol, x0,
+                                 stats)
+        finally:
+            if stats:
+                for name, value in stats.items():
+                    sp.set_attribute(name, value)
+    _SOLVE_SECONDS.observe(timer.seconds, backend=backend)
+    return pairs
+
+
+def _run_backend(matrix: CSRMatrix, k: int, backend: str,
+                 deflate: Sequence[np.ndarray], tol: float,
+                 x0: np.ndarray | None, stats: dict | None
+                 ) -> Tuple[np.ndarray, np.ndarray]:
+    n = matrix.n
     if backend == "dense":
         return _smallest_dense(matrix, k, deflate)
     if backend in ("lanczos", "shift_invert", "lobpcg"):
         if k > n - len(deflate):
+            if stats is not None:
+                stats["dense_fallback"] = True
             return _smallest_dense(matrix, k, deflate)
         if backend == "lanczos":
-            return _smallest_lanczos(matrix, k, deflate, tol)
+            return _smallest_lanczos(matrix, k, deflate, tol,
+                                     stats=stats)
         if backend == "shift_invert":
-            return _smallest_shift_invert(matrix, k, deflate, tol)
-        return _smallest_lobpcg(matrix, k, deflate, tol, x0=x0)
+            return _smallest_shift_invert(matrix, k, deflate, tol,
+                                          stats=stats)
+        return _smallest_lobpcg(matrix, k, deflate, tol, x0=x0,
+                                stats=stats)
     return _smallest_scipy(matrix, k, deflate)

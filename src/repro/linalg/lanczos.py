@@ -56,6 +56,11 @@ _MAX_CYCLES = 400
 #: this means the Krylov space itself is too small for the spectrum.
 _GROW_AFTER = 8
 
+#: Cap on the per-cycle residual trajectory recorded into a ``stats``
+#: dict — enough to see convergence shape, bounded so the record stays
+#: cheap to pickle/serialize as a span attribute.
+_HISTORY_CAP = 32
+
 
 @dataclass(frozen=True)
 class LanczosResult:
@@ -115,7 +120,8 @@ def lanczos_symmetric(matvec: MatVec, n: int, k: int,
                       deflate: Sequence[np.ndarray] = (),
                       max_dim: int | None = None,
                       tol: float = 1e-9,
-                      start: np.ndarray | None = None) -> LanczosResult:
+                      start: np.ndarray | None = None,
+                      stats: dict | None = None) -> LanczosResult:
     """The ``k`` largest eigenpairs of a symmetric operator.
 
     Parameters
@@ -140,6 +146,12 @@ def lanczos_symmetric(matvec: MatVec, n: int, k: int,
     start:
         Optional start vector (defaults to a fixed deterministic one, so
         results are reproducible run to run).
+    stats:
+        Optional dict receiving iteration diagnostics, updated in place
+        as the run progresses (so it is populated even when the solve
+        raises): ``restart_cycles``, ``basis_size``, and
+        ``residual_history`` — the worst wanted residual estimate per
+        cycle, capped at ``_HISTORY_CAP`` entries.
 
     Raises
     ------
@@ -191,8 +203,10 @@ def lanczos_symmetric(matvec: MatVec, n: int, k: int,
     ell = 0               # columns 0..ell-1 hold retained Ritz vectors
     scale_estimate = 0.0
     stagnant_cycles = 0
+    history = stats.setdefault("residual_history", []) \
+        if stats is not None else None
 
-    for _cycle in range(_MAX_CYCLES):
+    for cycle in range(_MAX_CYCLES):
         # --------------------------------------------------------------
         # Expansion: extend the basis to max_dim columns.  Columns
         # 0..ell-1 are retained Ritz vectors from the last restart and
@@ -247,6 +261,11 @@ def lanczos_symmetric(matvec: MatVec, n: int, k: int,
         wanted = np.arange(m - k, m)          # largest k, ascending
         scale = max(float(np.abs(theta).max()) if m else 1.0, 1.0)
         estimates = abs(beta) * np.abs(s[m - 1, wanted])
+        if stats is not None:
+            stats["restart_cycles"] = cycle + 1
+            stats["basis_size"] = m
+            if len(history) < _HISTORY_CAP:
+                history.append(float(estimates.max()))
         at_capacity = exhausted or m >= n_eff
         if at_capacity or (estimates <= tol * scale).all():
             vectors = q[:, :m] @ s[:, wanted]
@@ -344,21 +363,24 @@ def smallest_eigenpairs_shifted(matvec: MatVec, n: int, k: int,
                                 upper_bound: float,
                                 deflate: Sequence[np.ndarray] = (),
                                 max_dim: int | None = None,
-                                tol: float = 1e-9) -> Tuple[np.ndarray,
-                                                            np.ndarray]:
+                                tol: float = 1e-9,
+                                stats: dict | None = None
+                                ) -> Tuple[np.ndarray, np.ndarray]:
     """The ``k`` smallest eigenpairs of a symmetric PSD operator.
 
     Runs Lanczos on ``c I - A`` with ``c = upper_bound`` (any bound with
     ``c >= lambda_max`` works; Gershgorin is fine) and maps Ritz values
     back via ``lambda = c - theta``.  Returns ``(values, vectors)`` with
-    values ascending.
+    values ascending.  ``stats`` is forwarded to
+    :func:`lanczos_symmetric` (the recorded residual trajectory is of
+    the shifted operator — same norms, mirrored spectrum).
     """
     if upper_bound <= 0:
         upper_bound = 1.0
 
     shifted = ShiftedOperator(matvec, n, upper_bound)
     result = lanczos_symmetric(shifted.matvec, n, k, deflate=deflate,
-                               max_dim=max_dim, tol=tol)
+                               max_dim=max_dim, tol=tol, stats=stats)
     values = upper_bound - result.values[::-1]
     vectors = result.vectors[:, ::-1]
     return values, vectors

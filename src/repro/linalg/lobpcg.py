@@ -38,6 +38,11 @@ from repro.linalg.power import deterministic_start
 
 MatVec = Callable[[np.ndarray], np.ndarray]
 
+#: Cap on the per-iteration residual trajectory recorded into a
+#: ``stats`` dict — enough to see convergence shape, bounded so the
+#: record stays cheap to serialize as a span attribute.
+_HISTORY_CAP = 32
+
 
 @dataclass(frozen=True)
 class LOBPCGResult:
@@ -114,8 +119,10 @@ def lobpcg_smallest(matvec: MatVec, n: int, k: int,
         iteration count, which is how the Fiedler closure certificate
         reuses the leftover pairs of its initial window solve.
     stats:
-        Optional dict receiving ``iterations`` and
-        ``operator_columns`` (total operator applications, in columns).
+        Optional dict receiving ``iterations``, ``operator_columns``
+        (total operator applications, in columns) and
+        ``residual_history`` (worst wanted residual per iteration,
+        capped at ``_HISTORY_CAP`` entries).
 
     Raises
     ------
@@ -135,6 +142,9 @@ def lobpcg_smallest(matvec: MatVec, n: int, k: int,
         block_size = k + 2
     m = int(min(max(block_size, k), n_eff))
     counters = {"iterations": 0, "operator_columns": 0}
+    history: list | None = [] if stats is not None else None
+    if history is not None:
+        counters["residual_history"] = history
 
     def operate(block: np.ndarray) -> np.ndarray:
         counters["operator_columns"] += block.shape[1]
@@ -194,6 +204,8 @@ def lobpcg_smallest(matvec: MatVec, n: int, k: int,
         counters["iterations"] = iteration
         r = ax - x * theta[None, :]
         residuals = np.linalg.norm(r[:, :k], axis=0)
+        if history is not None and len(history) < _HISTORY_CAP:
+            history.append(float(residuals.max()))
         if (residuals <= tol * scale).all():
             if stats is not None:
                 stats.update(counters)

@@ -1,0 +1,81 @@
+"""``repro.obs`` — zero-dependency observability for the serving stack.
+
+Three pieces, all standard library only:
+
+- :mod:`repro.obs.metrics` — a process-wide :class:`MetricsRegistry` of
+  thread-safe counters, gauges, and fixed-bucket latency histograms,
+  rendered in Prometheus text format by :func:`dump_metrics`.
+- :mod:`repro.obs.tracing` — a context-manager :func:`span` API whose
+  trace context propagates across ``map_in_threads`` fan-out and the
+  pickle IPC boundary to ``repro.serve`` workers, producing stitched
+  traces with JSONL export.
+- :mod:`repro.obs.timers` — the shared monotonic :class:`Timer` used by
+  calibration, the serve CLI, and benchmarks.
+
+Tracing is off by default and free when off (one boolean check per span
+site); metric updates are always on and cost one lock + add, the same
+class of overhead as the ``ServiceStats`` counters they superseded.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    DEFAULT_LATENCY_BUCKETS,
+    registry,
+    dump_metrics,
+)
+from repro.obs.tracing import (
+    Span,
+    SpanRecord,
+    TraceContext,
+    TraceCollector,
+    span,
+    tracing,
+    tracing_enabled,
+    enable_tracing,
+    disable_tracing,
+    current_context,
+    use_context,
+    capture_spans,
+    remote_capture,
+    collector,
+    export_jsonl,
+    load_jsonl,
+    trace_tree,
+    format_trace,
+    phase_totals,
+)
+from repro.obs.timers import Timer, best_of
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS",
+    "registry",
+    "dump_metrics",
+    "Span",
+    "SpanRecord",
+    "TraceContext",
+    "TraceCollector",
+    "span",
+    "tracing",
+    "tracing_enabled",
+    "enable_tracing",
+    "disable_tracing",
+    "current_context",
+    "use_context",
+    "capture_spans",
+    "remote_capture",
+    "collector",
+    "export_jsonl",
+    "load_jsonl",
+    "trace_tree",
+    "format_trace",
+    "phase_totals",
+    "Timer",
+    "best_of",
+]

@@ -1,0 +1,148 @@
+"""``repro-stats``: inspect traces and metrics from the command line.
+
+Subcommands
+-----------
+``trace FILE.jsonl``
+    Render an exported trace file (``TraceCollector.export_jsonl`` /
+    ``repro.obs.export_jsonl``) as indented per-trace trees.
+``summary FILE.jsonl``
+    Aggregate the same file per span name: count, total, mean and max
+    duration — the quick "where did the time go" view.
+``metrics``
+    Print this process's metric registry in Prometheus text format.
+    Mostly useful as a format smoke check from a fresh process; live
+    serving metrics come from the ``repro-serve`` dispatcher's
+    ``stats`` request or ``ProcessPoolFrontend.worker_metrics()``.
+``demo [--size N] [--out FILE.jsonl]``
+    Build a small spectral index, run a traced query batch, and print
+    the resulting trace tree plus the metric dump — an end-to-end
+    smoke of the whole observability layer in one command.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.obs.metrics import dump_metrics
+from repro.obs.tracing import (
+    collector,
+    format_trace,
+    load_jsonl,
+    phase_totals,
+    tracing,
+)
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    records = load_jsonl(args.file)
+    if not records:
+        print("no spans in %s" % args.file, file=sys.stderr)
+        return 1
+    print(format_trace(records))
+    return 0
+
+
+def _cmd_summary(args: argparse.Namespace) -> int:
+    records = load_jsonl(args.file)
+    if not records:
+        print("no spans in %s" % args.file, file=sys.stderr)
+        return 1
+    by_name: dict = {}
+    for record in records:
+        entry = by_name.setdefault(record.name, [0, 0.0, 0.0])
+        entry[0] += 1
+        entry[1] += record.duration
+        entry[2] = max(entry[2], record.duration)
+    width = max(len(name) for name in by_name)
+    print("%-*s  %7s  %10s  %10s  %10s" % (
+        width, "span", "count", "total_ms", "mean_ms", "max_ms"))
+    for name in sorted(by_name, key=lambda n: -by_name[n][1]):
+        count, total, worst = by_name[name]
+        print("%-*s  %7d  %10.3f  %10.3f  %10.3f" % (
+            width, name, count, total * 1e3, total / count * 1e3,
+            worst * 1e3))
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    sys.stdout.write(dump_metrics())
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    # Imported here: the CLI module must stay importable without
+    # pulling the whole pipeline in (and numpy with it).
+    from repro.api import NNQuery, RangeQuery, SpectralIndex
+
+    size = int(args.size)
+    if size < 4:
+        print("--size must be >= 4", file=sys.stderr)
+        return 1
+    with tracing():
+        index = SpectralIndex.build((size, size))
+        span_hi = max(2, size // 3)
+        index.query_many([
+            RangeQuery(box=((1, 1), (span_hi, span_hi))),
+            NNQuery(cell=(1, 1), k=4),
+            RangeQuery(box=((0, 0), (size - 1, 1))),
+        ])
+        records = collector().drain()
+    print(format_trace(records))
+    print()
+    totals = phase_totals(records)
+    for name in sorted(totals, key=lambda n: -totals[n]):
+        print("%-24s %10.3f ms" % (name, totals[name] * 1e3))
+    print()
+    sys.stdout.write(dump_metrics())
+    if args.out:
+        from repro.obs.tracing import export_jsonl
+
+        count = export_jsonl(records, args.out)
+        print("\nwrote %d spans to %s" % (count, args.out))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-stats",
+        description="Inspect repro traces and metrics.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_trace = sub.add_parser(
+        "trace", help="render an exported JSONL trace as trees")
+    p_trace.add_argument("file", help="JSONL span export")
+    p_trace.set_defaults(func=_cmd_trace)
+
+    p_summary = sub.add_parser(
+        "summary", help="aggregate an exported JSONL trace per span name")
+    p_summary.add_argument("file", help="JSONL span export")
+    p_summary.set_defaults(func=_cmd_summary)
+
+    p_metrics = sub.add_parser(
+        "metrics", help="dump this process's metrics (Prometheus text)")
+    p_metrics.set_defaults(func=_cmd_metrics)
+
+    p_demo = sub.add_parser(
+        "demo", help="run a small traced workload and print the trace")
+    p_demo.add_argument("--size", default=12, type=int,
+                        help="grid side length (default 12)")
+    p_demo.add_argument("--out", default=None,
+                        help="also export the spans to this JSONL file")
+    p_demo.set_defaults(func=_cmd_demo)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except OSError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,66 @@
+"""Shared wall-clock timing utilities.
+
+Every user-facing timing in the repo (calibration, serve CLI warm-up,
+benchmarks) goes through this module so reported numbers come from one
+monotonic-clock code path (``time.perf_counter``).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+__all__ = ["Timer", "best_of"]
+
+
+class Timer:
+    """Context-manager stopwatch on the monotonic clock::
+
+        with Timer() as t:
+            work()
+        print(t.seconds)
+
+    ``seconds`` reads the elapsed time; inside the block it returns the
+    running elapsed time, after exit the frozen total.
+    """
+
+    __slots__ = ("_start", "_elapsed")
+
+    def __init__(self) -> None:
+        self._start = None
+        self._elapsed = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self._elapsed = time.perf_counter() - self._start
+        self._start = None
+        return False
+
+    @property
+    def seconds(self) -> float:
+        if self._start is not None:
+            return time.perf_counter() - self._start
+        return self._elapsed
+
+    @property
+    def millis(self) -> float:
+        return self.seconds * 1e3
+
+
+def best_of(fn: Callable[[], object], repeats: int = 3) -> float:
+    """Minimum wall time of ``fn`` over ``repeats`` runs, in seconds.
+
+    The minimum (not mean) estimates the noise-free cost — the same
+    convention ``repro-calibrate`` has always used.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    best = float("inf")
+    for _ in range(repeats):
+        with Timer() as t:
+            fn()
+        best = min(best, t.seconds)
+    return best

@@ -1,0 +1,513 @@
+"""Context-manager span tracing with cross-thread and cross-process
+propagation.
+
+The model is a trimmed-down OpenTelemetry: a *span* is a named, timed
+unit of work with attributes; spans nest via a thread-local stack; all
+spans sharing a ``trace_id`` form one *trace*.  The context propagates
+
+- across ``map_in_threads`` fan-out (``repro.parallel`` captures
+  :func:`current_context` at submit time and re-attaches it in worker
+  threads), and
+- across the pickle IPC boundary (``repro.serve`` ships a
+  :class:`TraceContext` wire tuple inside ``TracedRequest`` and returns
+  finished :class:`SpanRecord` tuples inside ``TracedResponse``),
+
+so a single ``ProcessPoolFrontend.query_many`` call yields one stitched
+trace from dispatcher to solver.
+
+Overhead contract
+-----------------
+Tracing is **off by default**.  When disabled, :func:`span` performs a
+single module-level boolean check and returns a shared no-op singleton
+whose ``__enter__``/``__exit__``/``set_attribute`` do nothing — no
+allocation, no clock read, no lock.  Instrumented hot paths therefore
+cost one predicate per span site when tracing is off; the query-path
+benchmark (``benchmarks/test_bench_tracing_overhead.py``) pins the
+end-to-end overhead below 5%.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "Span",
+    "SpanRecord",
+    "TraceContext",
+    "TraceCollector",
+    "span",
+    "tracing_enabled",
+    "enable_tracing",
+    "disable_tracing",
+    "tracing",
+    "current_context",
+    "use_context",
+    "capture_spans",
+    "remote_capture",
+    "collector",
+    "export_jsonl",
+    "load_jsonl",
+    "trace_tree",
+    "format_trace",
+    "phase_totals",
+]
+
+
+def _new_id() -> str:
+    # A per-thread 64-bit counter seeded once from os.urandom: the same
+    # uniqueness (random base per thread, monotone within it) without
+    # paying a syscall on every span — ID generation is on the traced
+    # hot path twice per root span.
+    count = getattr(_LOCAL, "id_count", None)
+    if count is None:
+        _LOCAL.id_base = int.from_bytes(os.urandom(8), "big")
+        count = 0
+    count += 1
+    _LOCAL.id_count = count
+    return "%016x" % ((_LOCAL.id_base + count) & 0xFFFFFFFFFFFFFFFF)
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """Identity of an in-progress span, used to parent remote work.
+
+    Picklable and tuple-convertible so it can ride inside the frozen
+    request dataclasses of ``repro.serve.protocol``.
+    """
+
+    trace_id: str
+    span_id: str
+
+    def as_wire(self) -> Tuple[str, str]:
+        return (self.trace_id, self.span_id)
+
+    @classmethod
+    def from_wire(cls, wire: Optional[Tuple[str, str]]) -> "Optional[TraceContext]":
+        if wire is None:
+            return None
+        return cls(trace_id=wire[0], span_id=wire[1])
+
+
+@dataclass
+class SpanRecord:
+    """A finished span.  Plain picklable data — this is both the
+    in-memory record and the IPC/JSONL wire format."""
+
+    trace_id: str
+    span_id: str
+    parent_id: Optional[str]
+    name: str
+    start_time: float          # epoch seconds (time.time)
+    duration: float            # seconds (perf_counter delta)
+    attributes: Dict[str, object] = field(default_factory=dict)
+    status: str = "ok"
+    error: Optional[str] = None
+    pid: int = 0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start_time": self.start_time,
+            "duration": self.duration,
+            "attributes": self.attributes,
+            "status": self.status,
+            "error": self.error,
+            "pid": self.pid,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SpanRecord":
+        return cls(**{k: data.get(k) for k in (
+            "trace_id", "span_id", "parent_id", "name", "start_time",
+            "duration", "attributes", "status", "error", "pid")})
+
+
+class TraceCollector:
+    """Bounded, thread-safe ring of finished spans with JSONL export."""
+
+    def __init__(self, maxlen: int = 4096) -> None:
+        self._lock = threading.Lock()
+        self._records: "deque[SpanRecord]" = deque(maxlen=maxlen)
+
+    def add(self, record: SpanRecord) -> None:
+        with self._lock:
+            self._records.append(record)
+
+    def ingest(self, records: Iterable[SpanRecord]) -> None:
+        """Merge foreign spans (e.g. shipped back from a worker process)."""
+        with self._lock:
+            self._records.extend(records)
+
+    def spans(self, trace_id: Optional[str] = None) -> List[SpanRecord]:
+        with self._lock:
+            records = list(self._records)
+        if trace_id is not None:
+            records = [r for r in records if r.trace_id == trace_id]
+        return records
+
+    def trace_ids(self) -> List[str]:
+        seen: List[str] = []
+        for record in self.spans():
+            if record.trace_id not in seen:
+                seen.append(record.trace_id)
+        return seen
+
+    def drain(self) -> List[SpanRecord]:
+        with self._lock:
+            records = list(self._records)
+            self._records.clear()
+        return records
+
+    def clear(self) -> None:
+        with self._lock:
+            self._records.clear()
+
+    def export_jsonl(self, path) -> int:
+        return export_jsonl(self.spans(), path)
+
+
+class _TracerState:
+    def __init__(self) -> None:
+        self.enabled = False
+        self.collector = TraceCollector()
+        self.sink_lock = threading.Lock()
+        self.sinks: List[List[SpanRecord]] = []
+
+
+_STATE = _TracerState()
+_LOCAL = threading.local()
+
+# The pid is stamped on every record; cache it and refresh after fork
+# (spawned workers re-import and get their own value anyway).
+_PID = os.getpid()
+if hasattr(os, "register_at_fork"):  # pragma: no branch
+    os.register_at_fork(
+        after_in_child=lambda: globals().__setitem__("_PID", os.getpid()))
+
+
+def _stack() -> List["Span"]:
+    stack = getattr(_LOCAL, "stack", None)
+    if stack is None:
+        stack = []
+        _LOCAL.stack = stack
+    return stack
+
+
+def tracing_enabled() -> bool:
+    return _STATE.enabled
+
+
+def enable_tracing() -> None:
+    _STATE.enabled = True
+
+
+def disable_tracing() -> None:
+    _STATE.enabled = False
+
+
+class tracing:
+    """Context manager enabling tracing for a scope (tests, benchmarks)."""
+
+    def __enter__(self) -> TraceCollector:
+        self._prev = _STATE.enabled
+        _STATE.enabled = True
+        return _STATE.collector
+
+    def __exit__(self, *exc) -> bool:
+        _STATE.enabled = self._prev
+        return False
+
+
+def collector() -> TraceCollector:
+    """The process-wide trace collector."""
+    return _STATE.collector
+
+
+def current_context() -> Optional[TraceContext]:
+    """Context of the innermost open span on this thread, falling back
+    to an attached remote parent (see :func:`use_context`)."""
+    stack = getattr(_LOCAL, "stack", None)
+    if stack:
+        top = stack[-1]
+        return TraceContext(trace_id=top.trace_id, span_id=top.span_id)
+    return getattr(_LOCAL, "remote_parent", None)
+
+
+class use_context:
+    """Attach ``ctx`` as this thread's parent context for root spans.
+
+    Used by ``map_in_threads`` (so fan-out threads continue the caller's
+    trace) and by workers resuming a trace shipped over IPC.
+    """
+
+    def __init__(self, ctx: Optional[TraceContext]) -> None:
+        self._ctx = ctx
+
+    def __enter__(self) -> "use_context":
+        self._prev = getattr(_LOCAL, "remote_parent", None)
+        if self._ctx is not None:
+            _LOCAL.remote_parent = self._ctx
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        _LOCAL.remote_parent = self._prev
+        return False
+
+
+class Span:
+    """A recording span.  Use via :func:`span`::
+
+        with span("service.solve", key=key) as sp:
+            ...
+            sp.set_attribute("backend", result.backend)
+
+    The span times its body with ``perf_counter``, records the nesting
+    parent from the thread-local stack, and on exit publishes a
+    :class:`SpanRecord` to the process collector and any active capture
+    sinks.  An exception escaping the body marks ``status="error"`` and
+    does not swallow the exception.
+    """
+
+    __slots__ = ("name", "trace_id", "span_id", "parent_id", "attributes",
+                 "_start_wall", "_start_perf")
+
+    is_recording = True
+
+    def __init__(self, name: str, attributes: Dict[str, object]) -> None:
+        self.name = name
+        self.attributes = dict(attributes)
+        parent = current_context()
+        if parent is not None:
+            self.trace_id = parent.trace_id
+            self.parent_id = parent.span_id
+        else:
+            self.trace_id = _new_id()
+            self.parent_id = None
+        self.span_id = _new_id()
+
+    def set_attribute(self, key: str, value: object) -> None:
+        self.attributes[key] = value
+
+    def set_attributes(self, **attributes: object) -> None:
+        self.attributes.update(attributes)
+
+    @property
+    def context(self) -> TraceContext:
+        return TraceContext(trace_id=self.trace_id, span_id=self.span_id)
+
+    def __enter__(self) -> "Span":
+        self._start_wall = time.time()
+        self._start_perf = time.perf_counter()
+        _stack().append(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        duration = time.perf_counter() - self._start_perf
+        stack = _stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        record = SpanRecord(
+            trace_id=self.trace_id,
+            span_id=self.span_id,
+            parent_id=self.parent_id,
+            name=self.name,
+            start_time=self._start_wall,
+            duration=duration,
+            attributes=self.attributes,
+            status="error" if exc_type is not None else "ok",
+            error=repr(exc) if exc is not None else None,
+            pid=_PID,
+        )
+        _STATE.collector.add(record)
+        if _STATE.sinks:
+            with _STATE.sink_lock:
+                for sink in _STATE.sinks:
+                    sink.append(record)
+        return False
+
+
+class _NoopSpan:
+    """Shared do-nothing span returned when tracing is disabled."""
+
+    __slots__ = ()
+
+    is_recording = False
+
+    def set_attribute(self, key: str, value: object) -> None:
+        pass
+
+    def set_attributes(self, **attributes: object) -> None:
+        pass
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NOOP = _NoopSpan()
+
+
+def span(name: str, **attributes: object):
+    """Open a span named ``name`` with initial ``attributes``.
+
+    When tracing is disabled this is a no-op: one boolean check, then a
+    shared singleton whose enter/exit do nothing (see the module
+    docstring's overhead contract).
+    """
+    if not _STATE.enabled:
+        return _NOOP
+    return Span(name, attributes)
+
+
+class capture_spans:
+    """Capture every span finished process-wide while the scope is open.
+
+    ``with capture_spans() as records: ...`` — ``records`` is a plain
+    list that fills as spans close, including spans finished on other
+    threads (``map_in_threads`` fan-out).  Intended for single-request
+    scopes (worker processes handle one request at a time) and tests.
+    """
+
+    def __init__(self) -> None:
+        self.records: List[SpanRecord] = []
+
+    def __enter__(self) -> List[SpanRecord]:
+        with _STATE.sink_lock:
+            _STATE.sinks.append(self.records)
+        return self.records
+
+    def __exit__(self, *exc) -> bool:
+        with _STATE.sink_lock:
+            try:
+                _STATE.sinks.remove(self.records)
+            except ValueError:
+                pass
+        return False
+
+
+class remote_capture:
+    """Worker-side scope for one trace-carrying IPC request.
+
+    Temporarily enables tracing (regardless of the worker's own
+    setting), attaches the shipped :class:`TraceContext` as the parent
+    for root spans, and captures every span finished while handling the
+    request so the worker can ship them back in the response.
+    """
+
+    def __init__(self, wire_ctx: Optional[Tuple[str, str]]) -> None:
+        self._ctx = TraceContext.from_wire(wire_ctx)
+        self._capture = capture_spans()
+        self._use = use_context(self._ctx)
+
+    def __enter__(self) -> List[SpanRecord]:
+        self._prev_enabled = _STATE.enabled
+        _STATE.enabled = True
+        self._use.__enter__()
+        return self._capture.__enter__()
+
+    def __exit__(self, *exc) -> bool:
+        self._capture.__exit__(*exc)
+        self._use.__exit__(*exc)
+        _STATE.enabled = self._prev_enabled
+        return False
+
+
+# ---------------------------------------------------------------------------
+# Export / inspection helpers
+
+
+def export_jsonl(records: Iterable[SpanRecord], path) -> int:
+    """Write span records to ``path`` as JSON Lines.  Returns the count."""
+    n = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        for record in records:
+            fh.write(json.dumps(record.as_dict(), sort_keys=True))
+            fh.write("\n")
+            n += 1
+    return n
+
+
+def load_jsonl(path) -> List[SpanRecord]:
+    records = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(SpanRecord.from_dict(json.loads(line)))
+    return records
+
+
+def trace_tree(records: Iterable[SpanRecord]):
+    """Group records into ``(root, children)`` forests per trace.
+
+    Returns ``{trace_id: [(record, [child_nodes...]), ...]}`` where each
+    node is a ``(record, children)`` pair sorted by start time.  Spans
+    whose parent is missing from the record set are treated as roots.
+    """
+    records = sorted(records, key=lambda r: (r.start_time, r.span_id))
+    by_trace: Dict[str, List[SpanRecord]] = {}
+    for record in records:
+        by_trace.setdefault(record.trace_id, []).append(record)
+    forests = {}
+    for trace_id, group in by_trace.items():
+        nodes = {r.span_id: (r, []) for r in group}
+        roots = []
+        for r in group:
+            node = nodes[r.span_id]
+            parent = nodes.get(r.parent_id) if r.parent_id else None
+            if parent is not None:
+                parent[1].append(node)
+            else:
+                roots.append(node)
+        forests[trace_id] = roots
+    return forests
+
+
+def _format_node(node, depth: int, lines: List[str]) -> None:
+    record, children = node
+    attrs = ""
+    if record.attributes:
+        attrs = "  " + " ".join(
+            "%s=%s" % (k, v) for k, v in sorted(record.attributes.items()))
+    marker = "" if record.status == "ok" else "  [%s]" % record.status
+    lines.append("%s%-s  %.3fms  pid=%d%s%s" % (
+        "  " * depth, record.name, record.duration * 1e3, record.pid,
+        attrs, marker))
+    for child in children:
+        _format_node(child, depth + 1, lines)
+
+
+def format_trace(records: Iterable[SpanRecord]) -> str:
+    """Render records as indented per-trace trees (``repro-stats trace``)."""
+    lines: List[str] = []
+    for trace_id, roots in trace_tree(records).items():
+        lines.append("trace %s" % trace_id)
+        for root in roots:
+            _format_node(root, 1, lines)
+    return "\n".join(lines)
+
+
+def phase_totals(records: Iterable[SpanRecord],
+                 prefix: str = "") -> Dict[str, float]:
+    """Total seconds per span name (optionally filtered by prefix).
+
+    The per-phase breakdown recorded into ``BENCH_spectral.json`` by
+    ``benchmarks/conftest.py``.
+    """
+    totals: Dict[str, float] = {}
+    for record in records:
+        if prefix and not record.name.startswith(prefix):
+            continue
+        totals[record.name] = totals.get(record.name, 0.0) + record.duration
+    return totals

@@ -14,6 +14,7 @@ from concurrent.futures import FIRST_EXCEPTION, ThreadPoolExecutor, wait
 from typing import Callable, List, Optional, Sequence, TypeVar
 
 from repro.errors import InvalidParameterError
+from repro.obs.tracing import current_context, tracing_enabled, use_context
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -61,6 +62,18 @@ def map_in_threads(fn: Callable[[T], R], items: Sequence[T],
     items = list(items)
     if workers <= 1 or len(items) <= 1:
         return [fn(item) for item in items]
+    # Trace propagation: capture the caller's span context once at
+    # submission and re-attach it in each pool thread, so spans opened
+    # inside ``fn`` stitch into the caller's trace instead of starting
+    # orphan traces.  Free when tracing is off (one boolean check).
+    if tracing_enabled():
+        ctx = current_context()
+        if ctx is not None:
+            inner = fn
+
+            def fn(item, _inner=inner, _ctx=ctx):
+                with use_context(_ctx):
+                    return _inner(item)
     with ThreadPoolExecutor(
             max_workers=min(int(workers), len(items)),
             thread_name_prefix=thread_name_prefix) as pool:

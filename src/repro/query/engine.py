@@ -42,9 +42,16 @@ from repro.geometry.boxes import Box
 from repro.geometry.grid import Grid
 from repro.index.bplustree import BPlusTree
 from repro.mapping.interface import LocalityMapping
+from repro.obs import Timer, registry, span
 from repro.storage.buffer import BufferStats, LRUBufferPool
 from repro.storage.disk import DiskCostModel
 from repro.storage.pages import PageLayout
+
+# Engine-level latency, labelled by plan — separates storage-engine
+# time from the facade's per-op totals in ``repro_query_seconds``.
+_RANGE_SECONDS = registry().histogram(
+    "repro_engine_range_seconds",
+    "LinearStore.range_query latency by plan.")
 
 PLANS = ("span-scan", "page-fetch")
 
@@ -157,6 +164,14 @@ class LinearStore:
             raise InvalidParameterError(
                 f"unknown plan {plan!r}; expected one of {PLANS}"
             )
+        with span("engine.range_query", plan=plan) as sp, \
+                Timer() as timer:
+            execution = self._range_query_impl(box, plan)
+            sp.set_attribute("pages", execution.pages_fetched)
+        _RANGE_SECONDS.observe(timer.seconds, plan=plan)
+        return execution
+
+    def _range_query_impl(self, box: Box, plan: str) -> QueryExecution:
         wanted = box.cell_indices(self._grid)
         wanted_set = set(int(c) for c in wanted)
         ranks = self._ranks[wanted]
@@ -228,10 +243,12 @@ class LinearStore:
         exact: total buffer hits equal the pool's hit delta, and
         ``pages_fetched`` equals the pool's access delta.
         """
-        executions = map_in_threads(
-            lambda box: self.range_query(box, plan=plan), list(boxes),
-            ensure_workers(parallelism),
-            thread_name_prefix="repro-workload")
+        boxes = list(boxes)
+        with span("engine.workload", queries=len(boxes), plan=plan):
+            executions = map_in_threads(
+                lambda box: self.range_query(box, plan=plan), boxes,
+                ensure_workers(parallelism),
+                thread_name_prefix="repro-workload")
         return WorkloadReport(
             plan=plan,
             queries=len(executions),

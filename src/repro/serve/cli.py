@@ -26,6 +26,7 @@ from typing import List, Optional
 
 from repro.core.spectral import SpectralConfig
 from repro.geometry.grid import Grid
+from repro.obs import Timer
 from repro.serve.supervisor import ProcessFleet
 
 
@@ -60,6 +61,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="stay up after the warm-up, restarting dead workers, "
              "until interrupted",
     )
+    parser.add_argument(
+        "--health", action="store_true",
+        help="probe every worker (identity, uptime, per-shard store "
+             "status) over the real IPC path and print the results",
+    )
+    parser.add_argument(
+        "--metrics", action="store_true",
+        help="print each worker's metric registry (Prometheus text) "
+             "after the warm-up",
+    )
     return parser
 
 
@@ -91,13 +102,26 @@ def main(argv: Optional[List[str]] = None) -> int:
             front = ProcessPoolFrontend(fleet=fleet)
             requests = [(Grid((s, s)), SpectralConfig())
                         for s in range(4, args.demo_side + 1)]
-            started = time.perf_counter()
-            front.order_many(requests,
-                             parallelism=fleet.num_workers)
-            elapsed = time.perf_counter() - started
+            with Timer() as timer:
+                front.order_many(requests,
+                                 parallelism=fleet.num_workers)
             print(f"warm-up: ordered {len(requests)} grids "
-                  f"in {elapsed:.2f}s")
+                  f"in {timer.seconds:.2f}s")
             _print_stats(fleet)
+
+        if args.health:
+            for health in fleet.health():
+                print(f"  worker {health.worker_id} (pid {health.pid}) "
+                      f"status={health.status} "
+                      f"uptime={health.uptime_seconds:.1f}s "
+                      f"requests={health.requests_handled}")
+                for shard, verdict in sorted(health.stores.items()):
+                    print(f"    shard {shard}: {verdict}")
+
+        if args.metrics:
+            for worker_id, dump in enumerate(fleet.worker_metrics()):
+                print(f"--- worker {worker_id} metrics ---")
+                sys.stdout.write(dump)
 
         if args.keep_alive:
             print("serving; Ctrl-C to stop")

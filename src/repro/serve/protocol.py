@@ -29,7 +29,10 @@ from repro.errors import WorkerError
 #: Bumped on any incompatible protocol change; worker and dispatcher
 #: refuse to talk across versions (both sides are always deployed from
 #: one code base, so a mismatch means a stale worker binary).
-PROTOCOL_VERSION = 1
+#: v2: trace-context envelopes (:class:`TracedRequest` /
+#: :class:`TracedResponse`) and the :class:`HealthRequest` /
+#: :class:`MetricsRequest` introspection pair.
+PROTOCOL_VERSION = 2
 
 
 # ---------------------------------------------------------------------------
@@ -48,6 +51,20 @@ class ShutdownRequest:
 @dataclass(frozen=True)
 class StatsRequest:
     """Per-shard :class:`~repro.service.ServiceStats` snapshots."""
+
+
+@dataclass(frozen=True)
+class HealthRequest:
+    """Liveness-plus: answered with a :class:`WorkerHealth` payload
+    (identity, uptime, per-shard store reachability, request count) —
+    the health endpoint the ROADMAP's socket transport will serve."""
+
+
+@dataclass(frozen=True)
+class MetricsRequest:
+    """The worker's :func:`repro.obs.dump_metrics` output — Prometheus
+    text exposition format, rendered worker-side so the dispatcher can
+    concatenate per-process dumps without re-aggregation."""
 
 
 @dataclass(frozen=True)
@@ -95,6 +112,22 @@ class IndexQueryMessage:
 
 #: Operations :class:`IndexQueryMessage` accepts.
 INDEX_OPS = ("range", "nn", "join", "query_many", "workload")
+
+
+@dataclass(frozen=True)
+class TracedRequest:
+    """Envelope carrying a request plus the dispatcher's trace context.
+
+    ``trace_context`` is the ``(trace_id, span_id)`` wire tuple of
+    :class:`repro.obs.TraceContext`.  The dispatcher wraps outgoing
+    requests in this envelope **only when tracing is enabled**, so the
+    untraced wire format is byte-identical to the bare request; the
+    worker unwraps it, resumes the trace for the duration of the
+    request, and ships the spans back in a :class:`TracedResponse`.
+    """
+
+    request: object
+    trace_context: Tuple[str, str]
 
 
 # ---------------------------------------------------------------------------
@@ -162,6 +195,22 @@ def error_response(exc: BaseException) -> ErrorResponse:
 
 
 @dataclass(frozen=True)
+class TracedResponse:
+    """Envelope around a response carrying the worker-side spans.
+
+    ``spans`` is a tuple of finished :class:`repro.obs.SpanRecord`
+    values (plain picklable dataclasses) produced while handling the
+    traced request; the dispatcher ingests them into its local
+    collector, stitching one cross-process trace.  Error responses are
+    wrapped too — a failed request still ships the spans recorded up to
+    the failure.
+    """
+
+    response: object
+    spans: Tuple = ()
+
+
+@dataclass(frozen=True)
 class WorkerHello:
     """The ping payload: who the worker is and what it owns."""
 
@@ -170,3 +219,23 @@ class WorkerHello:
     num_shards: int
     protocol_version: int = PROTOCOL_VERSION
     pid: int = 0
+
+
+@dataclass(frozen=True)
+class WorkerHealth:
+    """The health payload: identity plus liveness detail.
+
+    ``stores`` maps shard id to ``"ok"`` or an error string from
+    probing that shard's artifact-store directory, so an unreachable
+    disk tier surfaces in ``health`` instead of as a latency cliff.
+    """
+
+    worker_id: int
+    pid: int
+    shard_ids: Tuple[int, ...]
+    num_shards: int
+    uptime_seconds: float
+    requests_handled: int
+    stores: Dict[int, str]
+    status: str = "ok"
+    protocol_version: int = PROTOCOL_VERSION

@@ -34,21 +34,40 @@ from repro.errors import (
     InvalidParameterError,
     WorkerError,
 )
+from repro.obs import Timer, collector, registry, span, tracing_enabled
 from repro.parallel import ensure_workers, map_in_threads
 from repro.service.ordering import ServiceStats
 from repro.serve.protocol import (
     PROTOCOL_VERSION,
     ErrorResponse,
+    HealthRequest,
+    MetricsRequest,
     OkResponse,
     PingRequest,
     ShutdownRequest,
     StatsRequest,
+    TracedRequest,
+    TracedResponse,
+    WorkerHealth,
     WorkerHello,
 )
 from repro.serve.worker import worker_main
 
 #: How long a graceful shutdown waits for a worker before killing it.
 SHUTDOWN_GRACE_SECONDS = 10.0
+
+_DISPATCH_SECONDS = registry().histogram(
+    "repro_fleet_dispatch_seconds",
+    "Round-trip latency of one dispatcher->worker request.")
+_DISPATCHED = registry().counter(
+    "repro_fleet_dispatched_total",
+    "Requests sent to fleet workers.")
+_RESTARTS = registry().counter(
+    "repro_fleet_worker_restarts_total",
+    "Worker processes respawned after a crash or explicit restart.")
+_RETRIES = registry().counter(
+    "repro_fleet_retried_requests_total",
+    "Requests replayed on a freshly restarted worker.")
 
 
 def shard_store_dirs(cache_dir, num_shards: int) -> Dict[int, str]:
@@ -213,6 +232,7 @@ class ProcessFleet:
             self._reap(handle)
             self._spawn(handle)
             self.stats.worker_restarts += 1
+            _RESTARTS.inc()
 
     @staticmethod
     def _reap(handle: _WorkerHandle) -> None:
@@ -324,22 +344,52 @@ class ProcessFleet:
         A dead worker (crashed pipe or dead process) is restarted and
         the request retried exactly once on the replacement — every
         protocol request is pure, so the retry cannot double-apply.
+
+        When tracing is enabled the message rides inside a
+        :class:`~repro.serve.protocol.TracedRequest` under a
+        ``serve.dispatch`` span, and the spans shipped back in the
+        worker's :class:`~repro.serve.protocol.TracedResponse` are
+        ingested into this process's collector — one stitched trace
+        across the pipe.  When tracing is off, the wire format is the
+        bare message, byte-identical to the untraced protocol.
         """
         self._require_open()
         handle = self._handles[self.worker_of_shard(shard)]
-        try:
-            response = self._roundtrip(handle, message)
-        except (OSError, EOFError, BrokenPipeError) as exc:
-            # seen_generation was stamped under handle.lock by the
-            # failing roundtrip, so the restart is a no-op exactly when
-            # another thread already replaced *that* worker — never
-            # when a newer generation died too.
-            self.restart_worker(
-                handle.worker_id,
-                seen_generation=getattr(exc, "seen_generation", None))
-            with self._stats_lock:
-                self.stats.retried_requests += 1
-            response = self._roundtrip(handle, message)
+        if tracing_enabled():
+            with span("serve.dispatch", shard=shard,
+                      worker=handle.worker_id,
+                      request=type(message).__name__) as sp:
+                wire = TracedRequest(
+                    request=message,
+                    trace_context=sp.context.as_wire())
+                return self._dispatch_message(handle, wire)
+        return self._dispatch_message(handle, message)
+
+    def _dispatch_message(self, handle: _WorkerHandle, wire):
+        with Timer() as timer:
+            try:
+                try:
+                    response = self._roundtrip(handle, wire)
+                except (OSError, EOFError, BrokenPipeError) as exc:
+                    # seen_generation was stamped under handle.lock by
+                    # the failing roundtrip, so the restart is a no-op
+                    # exactly when another thread already replaced
+                    # *that* worker — never when a newer generation
+                    # died too.
+                    self.restart_worker(
+                        handle.worker_id,
+                        seen_generation=getattr(exc, "seen_generation",
+                                                None))
+                    with self._stats_lock:
+                        self.stats.retried_requests += 1
+                    _RETRIES.inc()
+                    response = self._roundtrip(handle, wire)
+            finally:
+                _DISPATCH_SECONDS.observe(timer.seconds)
+        if isinstance(response, TracedResponse):
+            if response.spans:
+                collector().ingest(response.spans)
+            response = response.response
         if isinstance(response, ErrorResponse):
             response.raise_()
         if not isinstance(response, OkResponse):  # pragma: no cover
@@ -368,6 +418,7 @@ class ProcessFleet:
                 raise
         with self._stats_lock:
             self.stats.dispatched += 1
+        _DISPATCHED.inc()
         return response
 
     def request_worker(self, worker_id: int, message):
@@ -392,6 +443,24 @@ class ProcessFleet:
     def hellos(self) -> List[WorkerHello]:
         """Identity payloads of every (live) worker."""
         return self.broadcast(PingRequest())
+
+    def health(self) -> List[WorkerHealth]:
+        """Health payloads of every worker, in worker order.
+
+        Each entry reports identity, uptime, request count, and a
+        per-shard artifact-store probe — the payload the ROADMAP's
+        socket transport will expose as its health endpoint.
+        """
+        return self.broadcast(HealthRequest())
+
+    def worker_metrics(self) -> List[str]:
+        """Each worker's Prometheus-format metrics dump, worker order.
+
+        The dumps are per-process expositions; they are returned
+        separately (not concatenated) because merging samples across
+        processes is an aggregation decision the caller owns.
+        """
+        return self.broadcast(MetricsRequest())
 
     def shard_stats(self) -> List[ServiceStats]:
         """Per-shard service stats, in shard order, fleet-wide."""

@@ -24,10 +24,12 @@ and under pytest).
 from __future__ import annotations
 
 import os
+import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.caching import LRUCache
 from repro.errors import InvalidParameterError
+from repro.obs import dump_metrics, remote_capture, span
 from repro.service.ordering import OrderingService, normalize_requests
 from repro.service.routing import (
     coerce_domain,
@@ -37,13 +39,18 @@ from repro.service.routing import (
 from repro.serve.protocol import (
     INDEX_OPS,
     ErrorResponse,
+    HealthRequest,
     IndexQueryMessage,
+    MetricsRequest,
     OkResponse,
     OrderManyMessage,
     OrderRequestMessage,
     PingRequest,
     ShutdownRequest,
     StatsRequest,
+    TracedRequest,
+    TracedResponse,
+    WorkerHealth,
     WorkerHello,
     error_response,
 )
@@ -82,6 +89,8 @@ class ShardWorker:
         # Bounded, like the sharded frontend's table: a worker serving
         # a stream of distinct domains must not hoard views forever.
         self._indexes: LRUCache = LRUCache(max_indexes)
+        self._started = time.monotonic()
+        self.requests_handled = 0
 
     # ------------------------------------------------------------------
     @property
@@ -112,6 +121,43 @@ class ShardWorker:
     def stats(self) -> Dict[int, object]:
         return {shard: service.stats
                 for shard, service in self._services.items()}
+
+    def health(self) -> WorkerHealth:
+        """Liveness detail: identity, uptime, per-shard store probes.
+
+        Probing is read-only (a directory check), so ``health`` is safe
+        to poll at any frequency; a shard whose store directory vanished
+        reports the failure here instead of as a latency cliff on the
+        next disk miss.
+        """
+        stores: Dict[int, str] = {}
+        for shard, service in self._services.items():
+            store = service.store
+            if store is None:
+                stores[shard] = "ok (memory-only)"
+                continue
+            try:
+                root = str(store.root)
+                stores[shard] = ("ok" if os.path.isdir(root)
+                                 else f"missing store dir {root}")
+            except Exception as exc:  # pragma: no cover - defensive
+                stores[shard] = f"error: {exc!r}"
+        status = ("ok" if all(v.startswith("ok")
+                              for v in stores.values()) else "degraded")
+        return WorkerHealth(
+            worker_id=self.worker_id,
+            pid=os.getpid(),
+            shard_ids=self.shard_ids,
+            num_shards=self.num_shards,
+            uptime_seconds=time.monotonic() - self._started,
+            requests_handled=self.requests_handled,
+            stores=stores,
+            status=status,
+        )
+
+    def metrics(self) -> str:
+        """This process's metrics in Prometheus text format."""
+        return dump_metrics()
 
     def order_one(self, message: OrderRequestMessage):
         from repro.geometry.grid import Grid
@@ -172,7 +218,31 @@ class ShardWorker:
 
     # ------------------------------------------------------------------
     def handle(self, request) -> Tuple[object, bool]:
-        """Dispatch one request; returns ``(response, keep_running)``."""
+        """Dispatch one request; returns ``(response, keep_running)``.
+
+        A :class:`~repro.serve.protocol.TracedRequest` envelope resumes
+        the dispatcher's trace for the duration of the request (the
+        loop is single-threaded, so one capture scope per request is
+        exact) and ships every span recorded worker-side back inside a
+        :class:`~repro.serve.protocol.TracedResponse` — including on
+        error responses, which still carry the spans recorded up to the
+        failure.
+        """
+        if isinstance(request, TracedRequest):
+            inner = request.request
+            with remote_capture(request.trace_context) as captured:
+                with span("serve.worker",
+                          worker_id=self.worker_id,
+                          request=type(inner).__name__) as sp:
+                    response, keep_running = self._dispatch(inner)
+                    if isinstance(response, ErrorResponse):
+                        sp.set_attribute("error", response.kind)
+            return (TracedResponse(response=response,
+                                   spans=tuple(captured)), keep_running)
+        return self._dispatch(request)
+
+    def _dispatch(self, request) -> Tuple[object, bool]:
+        self.requests_handled += 1
         try:
             if isinstance(request, ShutdownRequest):
                 return OkResponse("bye"), False
@@ -180,6 +250,10 @@ class ShardWorker:
                 return OkResponse(self.hello()), True
             if isinstance(request, StatsRequest):
                 return OkResponse(self.stats()), True
+            if isinstance(request, HealthRequest):
+                return OkResponse(self.health()), True
+            if isinstance(request, MetricsRequest):
+                return OkResponse(self.metrics()), True
             if isinstance(request, OrderRequestMessage):
                 return OkResponse(self.order_one(request)), True
             if isinstance(request, OrderManyMessage):

@@ -62,6 +62,7 @@ from repro.graph.laplacian import laplacian
 from repro.graph.weights import weight_names
 from repro.linalg.backends import thread_solver_invocations
 from repro.caching import LRUCache
+from repro.obs import Timer, registry, span
 from repro.service.artifacts import OrderArtifact
 from repro.service.fingerprint import (
     domain_fingerprint,
@@ -73,6 +74,24 @@ from repro.service.store import ArtifactStore
 
 Domain = Union[Grid, Graph]
 ConfigLike = Union[SpectralConfig, SpectralLPM, None]
+
+# Registry mirrors of the per-service ServiceStats counters: the
+# process-wide rollup every service contributes to, labelled by cache
+# outcome, alongside the latency of the one expensive phase.  The
+# per-instance ServiceStats stays the per-shard view (and the API the
+# existing readers use); these are the fleet-wide aggregates
+# ``repro.obs.dump_metrics`` renders.
+_OUTCOMES = registry().counter(
+    "repro_service_requests_total",
+    "Ordering requests by cache outcome.")
+_TOPOLOGY_BUILDS = registry().counter(
+    "repro_service_topology_builds_total",
+    "Grid-graph topology constructions (the quantity order_many "
+    "amortizes).")
+_SOLVE_SECONDS = registry().histogram(
+    "repro_service_solve_seconds",
+    "Wall time of one cache-miss compute (graph build + eigensolve + "
+    "ordering).")
 
 
 @dataclass(frozen=True)
@@ -209,8 +228,24 @@ class OrderingService:
     # ------------------------------------------------------------------
     @property
     def stats(self) -> ServiceStats:
-        """Where this service's answers have come from so far."""
-        return self._stats
+        """Where this service's answers have come from so far.
+
+        Returns an atomic :meth:`snapshot`, not the live counters — the
+        migration shim for readers written against the pre-snapshot
+        API: attribute reads on the returned object can never tear
+        against a concurrent update.
+        """
+        return self.snapshot()
+
+    def snapshot(self) -> ServiceStats:
+        """An atomic copy of the counters, taken under the service lock.
+
+        Mutating the returned object does not affect the service; two
+        snapshots bracketing an operation give exact deltas even while
+        other threads keep serving.
+        """
+        with self._lock:
+            return dataclasses.replace(self._stats)
 
     @property
     def store(self) -> Optional[ArtifactStore]:
@@ -242,6 +277,7 @@ class OrderingService:
         if not resolved.cacheable:
             with self._lock:
                 self._stats.uncacheable += 1
+            _OUTCOMES.inc(outcome="uncacheable")
             order = resolved.algorithm.order_grid(grid)
             return OrderArtifact(key="", config=resolved.config,
                                  domain=_describe_grid(grid), order=order,
@@ -272,6 +308,7 @@ class OrderingService:
         if not resolved.cacheable:
             with self._lock:
                 self._stats.uncacheable += 1
+            _OUTCOMES.inc(outcome="uncacheable")
             order = resolved.algorithm.order_graph(graph)
             return OrderArtifact(key="", config=resolved.config,
                                  domain=_describe_graph(graph),
@@ -302,6 +339,7 @@ class OrderingService:
         if not resolved.cacheable:
             with self._lock:
                 self._stats.uncacheable += 1
+            _OUTCOMES.inc(outcome="uncacheable")
             return resolved.algorithm.order_points(grid, cells)
         key = order_key(resolved.config, points_fingerprint(grid, cells))
 
@@ -371,6 +409,7 @@ class OrderingService:
                 )
                 with self._lock:
                     self._stats.topology_builds += 1
+                _TOPOLOGY_BUILDS.inc()
             graph = grid_graph_from_topology(topology_box[0],
                                              request.config.weight)
             return self._compute_grid(key, request.domain, request.config,
@@ -420,11 +459,21 @@ class OrderingService:
         If the leader fails, waiters retry — one of them becomes the
         next leader — so a transient failure never wedges the key.
         """
+        sp = span("service.order", key=key[:12])
+        with sp:
+            artifact = self._serve_cached(key, compute)
+            sp.set_attribute("source", artifact.source)
+            return artifact
+
+    def _serve_cached(self, key: str,
+                      compute: Callable[[], OrderArtifact]
+                      ) -> OrderArtifact:
         while True:
             with self._lock:
                 artifact = self._memory.get(key)
                 if artifact is not None:
                     self._stats.memory_hits += 1
+                    _OUTCOMES.inc(outcome="memory")
                     return dataclasses.replace(artifact, solver_calls=0,
                                                source="memory")
                 flight = self._inflight.get(key)
@@ -446,6 +495,7 @@ class OrderingService:
             if flight.artifact is not None:
                 with self._lock:
                     self._stats.coalesced += 1
+                _OUTCOMES.inc(outcome="coalesced")
                 return dataclasses.replace(flight.artifact,
                                            solver_calls=0,
                                            source="coalesced")
@@ -455,12 +505,15 @@ class OrderingService:
         table already guarantees one load per key at a time)."""
         if self._store is None:
             return None
-        artifact = self._store.load(key)
+        with span("service.disk_load", key=key[:12]) as sp:
+            artifact = self._store.load(key)
+            sp.set_attribute("hit", artifact is not None)
         if artifact is None:
             return None
         with self._lock:
             self._stats.disk_hits += 1
             self._memory.put(key, artifact)
+        _OUTCOMES.inc(outcome="disk")
         return artifact
 
     def _algorithm(self, config: SpectralConfig) -> SpectralLPM:
@@ -488,10 +541,17 @@ class OrderingService:
                 probe: Optional[np.ndarray]) -> OrderArtifact:
         # Thread-local delta: concurrent solves on other keys must not
         # leak into this artifact's provenance (or double-count stats).
-        before = thread_solver_invocations()
-        order, fiedlers = algorithm.order_graph_with_fiedler(graph, probe)
-        solver_calls = thread_solver_invocations() - before
-        provenance = _provenance(graph, fiedlers)
+        with span("service.solve", key=key[:12], domain=domain) as sp:
+            before = thread_solver_invocations()
+            with Timer() as timer:
+                order, fiedlers = algorithm.order_graph_with_fiedler(
+                    graph, probe)
+            solver_calls = thread_solver_invocations() - before
+            provenance = _provenance(graph, fiedlers)
+            sp.set_attribute("solver_calls", solver_calls)
+            if "backend" in provenance:
+                sp.set_attribute("backend", provenance["backend"])
+        _SOLVE_SECONDS.observe(timer.seconds)
         artifact = OrderArtifact(
             key=key, config=config, domain=domain, order=order,
             solver_calls=solver_calls, source="computed", **provenance,
@@ -500,6 +560,7 @@ class OrderingService:
             self._stats.computed += 1
             self._stats.solver_calls += solver_calls
             self._memory.put(key, artifact)
+        _OUTCOMES.inc(outcome="computed")
         if self._store is not None:
             self._store.save(artifact)
         return artifact

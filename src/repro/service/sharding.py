@@ -35,6 +35,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.caching import LRUCache
 from repro.core.ordering import LinearOrder
 from repro.errors import InvalidParameterError
+from repro.obs import span
 from repro.parallel import ensure_workers, map_in_threads
 from repro.geometry.grid import Grid
 from repro.graph.adjacency import Graph
@@ -226,9 +227,11 @@ class ShardedIndexFrontend:
             for i, order in zip(indices, orders):
                 results[i] = order
 
-        map_in_threads(run_shard, list(groups.items()),
-                       ensure_workers(parallelism),
-                       thread_name_prefix="repro-shard")
+        with span("shard.order_many", batch=len(normalized),
+                  shards=len(groups)):
+            map_in_threads(run_shard, list(groups.items()),
+                           ensure_workers(parallelism),
+                           thread_name_prefix="repro-shard")
         return results
 
     # ------------------------------------------------------------------
@@ -294,14 +297,25 @@ class ShardedIndexFrontend:
     # Observability
     # ------------------------------------------------------------------
     def stats(self) -> List[ServiceStats]:
-        """Per-shard service stats, in shard order."""
-        return [service.stats for service in self._services]
+        """Per-shard service stats, in shard order.
+
+        Each entry is an atomic
+        :meth:`~repro.service.OrderingService.snapshot`, so the
+        returned counters never tear against in-flight requests.
+        """
+        return [service.snapshot() for service in self._services]
 
     def combined_stats(self) -> ServiceStats:
-        """All shards' counters summed into one snapshot."""
+        """All shards' counters summed into one snapshot.
+
+        Built from per-shard atomic snapshots — every summand is
+        internally consistent (no mid-update reads), though shards are
+        sampled sequentially, so the sum is a fuzzy barrier across
+        shards like any multi-source aggregate.
+        """
         combined = ServiceStats()
-        for service in self._services:
-            for name, value in service.stats.as_dict().items():
+        for stats in self.stats():
+            for name, value in stats.as_dict().items():
                 setattr(combined, name, getattr(combined, name) + value)
         return combined
 

@@ -45,6 +45,7 @@ import numpy as np
 from repro.core.ordering import LinearOrder
 from repro.core.spectral import SpectralConfig
 from repro.errors import InvalidParameterError
+from repro.obs import Timer, registry
 from repro.service.artifacts import OrderArtifact
 
 try:  # POSIX; Windows has no fcntl — cross-process locking degrades
@@ -67,6 +68,12 @@ LOCK_FILENAME = ".repro-store.lock"
 #: in-flight save holds its temp file for milliseconds (one JSON dump or
 #: one ``np.save``), so minutes of age-gating can never reap a live one.
 STALE_TEMP_SECONDS = 300.0
+
+#: Disk-tier latency, labelled ``op="save"`` / ``op="load"`` — the
+#: registry view that tells a slow store apart from a slow solver.
+_STORE_SECONDS = registry().histogram(
+    "repro_store_seconds",
+    "Artifact-store operation latency by op (save/load).")
 
 
 class _StoreLock:
@@ -212,9 +219,11 @@ class ArtifactStore:
         """Persist an artifact (atomic per file; last writer wins)."""
         # The directory must exist before the lock is taken: the
         # cross-process flock lives inside it.
-        self._root.mkdir(parents=True, exist_ok=True)
-        with self._write_lock:
-            self._save_locked(artifact)
+        with Timer() as timer:
+            self._root.mkdir(parents=True, exist_ok=True)
+            with self._write_lock:
+                self._save_locked(artifact)
+        _STORE_SECONDS.observe(timer.seconds, op="save")
 
     def _save_locked(self, artifact: OrderArtifact) -> None:
         meta = {
@@ -301,6 +310,12 @@ class ArtifactStore:
         so store corruption stays distinguishable from cold misses in
         monitoring; the caller recomputes either way.
         """
+        with Timer() as timer:
+            artifact = self._load_timed(key)
+        _STORE_SECONDS.observe(timer.seconds, op="load")
+        return artifact
+
+    def _load_timed(self, key: str) -> Optional[OrderArtifact]:
         self.loads += 1
         meta_path = self._meta_path(key)
         perm_path = self._perm_path(key)

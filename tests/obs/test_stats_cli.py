@@ -1,0 +1,96 @@
+"""``repro-stats`` CLI: every subcommand driven through ``main``."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import SpanRecord, export_jsonl
+from repro.obs.cli import main
+
+
+@pytest.fixture()
+def trace_file(tmp_path):
+    records = [
+        SpanRecord(trace_id="t1", span_id="a", parent_id=None,
+                   name="api.query_many", start_time=1.0, duration=0.02,
+                   attributes={"queries": 3}, pid=7),
+        SpanRecord(trace_id="t1", span_id="b", parent_id="a",
+                   name="service.solve", start_time=1.001,
+                   duration=0.015, pid=7),
+        SpanRecord(trace_id="t1", span_id="c", parent_id="a",
+                   name="service.solve", start_time=1.017,
+                   duration=0.001, pid=7),
+    ]
+    path = tmp_path / "spans.jsonl"
+    export_jsonl(records, path)
+    return path
+
+
+def test_trace_renders_tree(trace_file, capsys):
+    assert main(["trace", str(trace_file)]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("trace t1")
+    assert "api.query_many" in out
+    assert "queries=3" in out
+    # Children indent under the root.
+    child_lines = [l for l in out.splitlines() if "service.solve" in l]
+    assert len(child_lines) == 2
+    assert all(l.startswith("    ") for l in child_lines)
+
+
+def test_summary_aggregates_per_name(trace_file, capsys):
+    assert main(["summary", str(trace_file)]) == 0
+    out = capsys.readouterr().out
+    lines = out.splitlines()
+    assert "span" in lines[0] and "total_ms" in lines[0]
+    # api.query_many totals 20ms > service.solve's 16ms: sorted first.
+    assert lines[1].split()[0] == "api.query_many"
+    solve = next(l for l in lines if l.startswith("service.solve"))
+    count, total_ms, mean_ms, max_ms = solve.split()[1:]
+    assert int(count) == 2
+    assert float(total_ms) == pytest.approx(16.0)
+    assert float(mean_ms) == pytest.approx(8.0)
+    assert float(max_ms) == pytest.approx(15.0)
+
+
+def test_empty_trace_file_errors(tmp_path, capsys):
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text("")
+    assert main(["trace", str(empty)]) == 1
+    assert main(["summary", str(empty)]) == 1
+    assert "no spans" in capsys.readouterr().err
+
+
+def test_missing_file_is_an_error_not_a_traceback(tmp_path, capsys):
+    assert main(["trace", str(tmp_path / "nope.jsonl")]) == 1
+    assert "error:" in capsys.readouterr().err
+
+
+def test_metrics_dumps_prometheus_text(capsys):
+    assert main(["metrics"]) == 0
+    out = capsys.readouterr().out
+    assert "# TYPE" in out
+    for line in out.strip().splitlines():
+        if line.startswith("#"):
+            continue
+        name, value = line.rsplit(" ", 1)
+        float(value)
+
+
+def test_demo_end_to_end(tmp_path, capsys):
+    out_path = tmp_path / "demo.jsonl"
+    assert main(["demo", "--size", "8", "--out", str(out_path)]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("trace ")
+    assert "api.query_many" in out
+    assert "service.order" in out
+    assert "linalg.solve" in out
+    assert "# TYPE repro_linalg_solve_seconds histogram" in out
+    assert out_path.exists()
+    # The exported file round-trips through the trace subcommand.
+    assert main(["trace", str(out_path)]) == 0
+
+
+def test_demo_rejects_tiny_size(capsys):
+    assert main(["demo", "--size", "2"]) == 1
+    assert "--size" in capsys.readouterr().err

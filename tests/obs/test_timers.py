@@ -1,0 +1,42 @@
+"""Timer and best_of: the shared wall-clock measurement helpers."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.obs import Timer, best_of
+
+
+def test_timer_freezes_on_exit():
+    with Timer() as timer:
+        time.sleep(0.01)
+    frozen = timer.seconds
+    assert frozen >= 0.01
+    time.sleep(0.005)
+    assert timer.seconds == frozen
+    assert timer.millis == pytest.approx(frozen * 1e3)
+
+
+def test_timer_reads_live_inside_scope():
+    with Timer() as timer:
+        first = timer.seconds
+        time.sleep(0.005)
+        assert timer.seconds > first
+
+
+def test_best_of_returns_minimum():
+    calls = []
+
+    def fn():
+        calls.append(None)
+        time.sleep(0.002 if len(calls) > 1 else 0.02)
+
+    assert best_of(fn, repeats=3) < 0.02
+    assert len(calls) == 3
+
+
+def test_best_of_rejects_zero_repeats():
+    with pytest.raises(ValueError):
+        best_of(lambda: None, repeats=0)

@@ -1,0 +1,88 @@
+"""Atomic stats snapshots: no torn reads, no shared mutable state."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.geometry import Grid
+from repro.service import OrderingService, ShardedIndexFrontend
+
+
+def test_snapshot_is_an_independent_copy():
+    service = OrderingService()
+    service.order_grid(Grid((6, 6)))
+    snap = service.snapshot()
+    assert snap.computed == 1
+    # Mutating the snapshot must not write through to the service.
+    snap.computed = 999
+    assert service.snapshot().computed == 1
+
+
+def test_stats_property_returns_a_snapshot():
+    """The migration shim: ``.stats`` reads are snapshot reads."""
+    service = OrderingService()
+    service.order_grid(Grid((5, 5)))
+    stats = service.stats
+    stats.memory_hits = 999
+    assert service.stats.memory_hits == 0
+    assert service.stats is not service.stats
+
+
+def test_bracketing_snapshots_give_exact_deltas():
+    service = OrderingService()
+    service.order_grid(Grid((6, 6)))
+    before = service.snapshot()
+    service.order_grid(Grid((6, 6)))   # memory hit
+    service.order_grid(Grid((7, 7)))   # fresh solve
+    after = service.snapshot()
+    assert after.memory_hits - before.memory_hits == 1
+    assert after.computed - before.computed == 1
+
+
+def test_snapshots_never_tear_under_concurrent_traffic():
+    """Counters move while we snapshot; every snapshot must still be
+    internally consistent: the cacheable partition sums to the number
+    of requests finished so far, so a torn (mid-update) read shows up
+    as a sum that matches no request count."""
+    service = OrderingService(memory_entries=4)
+    grids = [Grid((s, s)) for s in range(4, 8)]
+    stop = threading.Event()
+
+    def traffic() -> None:
+        while not stop.is_set():
+            for grid in grids:
+                service.order_grid(grid)
+
+    threads = [threading.Thread(target=traffic) for _ in range(4)]
+    for t in threads:
+        t.start()
+    try:
+        for _ in range(200):
+            snap = service.snapshot()
+            served = (snap.memory_hits + snap.disk_hits + snap.computed
+                      + snap.coalesced)
+            assert served >= 0
+            again = service.snapshot()
+            served_again = (again.memory_hits + again.disk_hits
+                            + again.computed + again.coalesced)
+            assert served_again >= served  # monotone across snapshots
+    finally:
+        stop.set()
+        for t in threads:
+            t.join()
+
+
+def test_combined_stats_sums_per_shard_snapshots():
+    front = ShardedIndexFrontend(shards=3)
+    grids = [Grid((s, s)) for s in range(4, 10)]
+    for grid in grids:
+        front.order_grid(grid)
+        front.order_grid(grid)
+    per_shard = front.stats()
+    combined = front.combined_stats()
+    assert combined.computed == sum(s.computed for s in per_shard)
+    assert combined.computed == len(grids)
+    assert combined.memory_hits == len(grids)
+    # The combined snapshot is detached from the live counters too.
+    combined.computed = 999
+    assert front.combined_stats().computed == len(grids)
