@@ -1,0 +1,108 @@
+"""Network serving: socket round-trip overhead and coalescing economics.
+
+Two numbers characterize the socket tier against the process-pool
+frontend it wraps:
+
+* **round-trip overhead** — the extra cost of framing + TCP on a warm
+  ``query_many`` (the orders live in worker memory; the wire is all
+  that differs).  This is the price of crossing a machine boundary; it
+  bounds the workloads where remote serving makes sense.
+* **coalesced-solve count** — eigensolves paid when K concurrent
+  remote clients cold-miss the same fingerprint.  The serving tier's
+  core economic claim is that this is exactly one; the benchmark
+  records the observed count next to the timings so the trajectory
+  file documents the claim, not just the speed.
+
+Records append to ``BENCH_spectral.json`` via the shared ``save_json``
+fixture.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.api import ProcessPoolFrontend
+from repro.api.queries import NNQuery, RangeQuery
+from repro.geometry import Grid
+from repro.net import RemoteFrontend, SpectralServer
+
+pytestmark = pytest.mark.multiproc
+
+SHARDS = 2
+GRID = Grid((16, 16))
+QUERIES = [RangeQuery(box=((2, 2), (9, 9))), NNQuery(cell=(5, 5), k=8)]
+WARM_ROUNDS = 25
+K_CLIENTS = 4
+
+
+def _time_warm_queries(query_many) -> float:
+    query_many(GRID, QUERIES)  # untimed pass warms every tier
+    started = time.perf_counter()
+    for _ in range(WARM_ROUNDS):
+        query_many(GRID, QUERIES)
+    return (time.perf_counter() - started) / WARM_ROUNDS
+
+
+def test_bench_roundtrip_overhead(benchmark, save_json):
+    with ProcessPoolFrontend(shards=SHARDS) as front:
+        pool_hit = _time_warm_queries(front.query_many)
+        with SpectralServer(front, dispatchers=2) as server:
+            host, port = server.address
+            with RemoteFrontend(host, port, read_timeout=60) as remote:
+                remote_hit = benchmark.pedantic(
+                    lambda: _time_warm_queries(remote.query_many),
+                    iterations=1, rounds=1)
+    save_json({
+        "name": "network_roundtrip_overhead",
+        "shards": SHARDS,
+        "n": GRID.size,
+        "backend": "socket",
+        "seconds": remote_hit,
+        "process_pool_seconds": pool_hit,
+        "overhead_seconds": remote_hit - pool_hit,
+    })
+    # Sanity, not speed: one loopback round trip on a warm hit stays
+    # well under a quarter second even on a loaded CI box.
+    assert remote_hit < 0.25
+
+
+def test_bench_cross_client_coalescing(save_json):
+    grid = Grid((24, 24))  # cold in this pool: a real eigensolve
+    with ProcessPoolFrontend(shards=SHARDS) as front:
+        with SpectralServer(front, dispatchers=K_CLIENTS) as server:
+            host, port = server.address
+            started = time.perf_counter()
+            errors = []
+
+            def hit():
+                try:
+                    with RemoteFrontend(host, port,
+                                        read_timeout=120) as client:
+                        client.order_grid(grid)
+                except Exception as exc:  # pragma: no cover
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=hit)
+                       for _ in range(K_CLIENTS)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=300)
+            elapsed = time.perf_counter() - started
+            assert not errors, errors
+            stats = front.combined_stats()
+    save_json({
+        "name": "network_cross_client_coalescing",
+        "shards": SHARDS,
+        "n": grid.size,
+        "backend": "socket",
+        "seconds": elapsed,
+        "clients": K_CLIENTS,
+        "solver_calls": stats.solver_calls,
+        "computed": stats.computed,
+    })
+    # K concurrent cold clients, at most one solve behind the socket.
+    assert stats.computed <= 1

@@ -1,0 +1,103 @@
+"""Remote serving: the socket tier over a worker fleet.
+
+Run with::
+
+    python examples/remote_serving.py
+
+The process-pool frontend (see ``multiprocess_serving.py``) still
+lives inside one process tree; this example crosses the *machine*
+boundary shape.  A ``SpectralServer`` fronts the fleet on a loopback
+TCP socket; ``RemoteFrontend`` clients connect like any network
+client would.  The script demonstrates the three properties that
+matter in deployment:
+
+1. answers over the socket are bit-identical to the pool frontend;
+2. concurrent clients cold-missing one fingerprint pay one eigensolve
+   (cross-client coalescing), visible in the combined stats;
+3. traces stitch across client → server → dispatcher → worker, and
+   the server's ``repro_net_*`` metrics tell the connection story.
+"""
+
+import threading
+
+from repro.api import NNQuery, ProcessPoolFrontend, RangeQuery
+from repro.geometry import Grid
+from repro.net import RemoteFrontend, SpectralServer
+from repro.obs import (
+    collector,
+    format_trace,
+    phase_totals,
+    registry,
+    tracing,
+)
+
+COLD_GRID = Grid((20, 20))
+K_CLIENTS = 4
+
+
+def main() -> None:
+    with ProcessPoolFrontend(shards=2) as front:
+        with SpectralServer(front, dispatchers=K_CLIENTS) as server:
+            host, port = server.address
+            print(f"serving on {host}:{port} "
+                  f"({front.num_workers} workers behind the socket)")
+
+            # -- 1: bit-identity through the socket --------------------
+            warm = Grid((12, 12))
+            with RemoteFrontend(host, port, read_timeout=120) as remote:
+                assert remote.order_grid(warm) == front.order_grid(warm)
+                batch = [NNQuery(17, k=6), RangeQuery(((2, 2), (7, 7)))]
+                got = remote.query_many(warm, batch)
+                print(f"remote query_many: "
+                      f"nn={got[0].neighbors.tolist()[:3]}..., "
+                      f"range hits={len(got[1].results)} "
+                      f"— bit-identical to the pool frontend")
+
+            # -- 2: K cold clients, one eigensolve ---------------------
+            computed_before = front.combined_stats().computed
+
+            def hit():
+                with RemoteFrontend(host, port,
+                                    read_timeout=120) as client:
+                    client.order_grid(COLD_GRID)
+
+            threads = [threading.Thread(target=hit)
+                       for _ in range(K_CLIENTS)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            stats = front.combined_stats()
+            coalesced = registry().counter(
+                "repro_net_coalesced_total").value()
+            print(f"{K_CLIENTS} concurrent cold clients: "
+                  f"computed={stats.computed - computed_before} new "
+                  f"order(s) for their shared grid, "
+                  f"coalesced={coalesced:g} request(s) at the socket")
+
+            # -- 3: a stitched remote trace + the server's metrics -----
+            with tracing():
+                with RemoteFrontend(host, port,
+                                    read_timeout=120) as remote:
+                    remote.query_many(warm, [NNQuery(33, k=4)])
+                records = collector().drain()
+            print("\nstitched remote trace:")
+            print(format_trace(records))
+            totals = phase_totals(records)
+            for name in sorted(totals, key=lambda n: -totals[n])[:5]:
+                print("  %-24s %8.3f ms" % (name, totals[name] * 1e3))
+
+            with RemoteFrontend(host, port) as remote:
+                print("\nserver-side connection story:")
+                for line in remote.metrics().splitlines():
+                    if line.startswith("repro_net_") and " " in line:
+                        print(f"  {line}")
+                health = remote.health()
+                print(f"\nserver health: status={health.status} "
+                      f"handled={health.requests_handled} "
+                      f"rejections={health.rejections} "
+                      f"open={health.connections_open}")
+
+
+if __name__ == "__main__":
+    main()

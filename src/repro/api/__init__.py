@@ -27,10 +27,12 @@ The pieces, in dependency order:
   (:mod:`repro.api.aio`) runs the same surface as coroutines on an
   executor for event-loop services,
   :class:`~repro.service.ShardedIndexFrontend` partitions traffic over
-  the fingerprint keyspace to per-shard services in-process, and
+  the fingerprint keyspace to per-shard services in-process,
   :class:`ProcessPoolFrontend` serves the identical surface over a
   fleet of worker *processes* (:mod:`repro.serve`) with per-shard disk
-  stores that make fleet restarts eigensolve-free.
+  stores that make fleet restarts eigensolve-free, and
+  :class:`RemoteFrontend` (:mod:`repro.net`) speaks the same surface
+  to a ``repro-serve --listen`` server over TCP.
 
 The pre-facade entry points (``repro.mapping.mapping_by_name``, direct
 ``LinearStore`` construction) have completed their deprecation cycle
@@ -54,6 +56,7 @@ from repro.api.queries import (
 from repro.core.spectral import SpectralConfig
 from repro.geometry.pointset import PointSet
 from repro.mapping.interface import MappingCapabilities
+from repro.net.client import RemoteFrontend
 from repro.service.ordering import OrderingService
 
 __all__ = [
@@ -71,6 +74,7 @@ __all__ = [
     "ProcessPoolFrontend",
     "Query",
     "RangeQuery",
+    "RemoteFrontend",
     "SpectralConfig",
     "SpectralIndex",
     "WORKERS_ENV",

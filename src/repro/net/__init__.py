@@ -1,0 +1,64 @@
+"""``repro.net`` — the network serving tier, standard library only.
+
+Layers a TCP transport over the serving stack: a threaded
+:class:`SpectralServer` front (length-prefixed framed pickles reusing
+the :mod:`repro.serve.protocol` dataclasses, with admission control
+and cross-client request coalescing) and a :class:`RemoteFrontend`
+client exposing the exact :class:`~repro.api.ProcessPoolFrontend`
+surface over a persistent connection.
+
+Deployment shape::
+
+    repro-serve --listen 127.0.0.1:4730 --workers 4      # server
+
+    from repro.net import RemoteFrontend                  # clients
+    with RemoteFrontend("127.0.0.1", 4730) as remote:
+        orders = remote.order_grid(Grid(64, 64))
+
+**Security**: the wire format is pickle — arbitrary code execution for
+anyone who can write to the socket.  Only ever expose a server on
+trusted networks (see :mod:`repro.net.framing` and the README's
+remote-serving section).
+"""
+
+from repro.net.client import RemoteFrontend, scrape_metrics
+from repro.net.config import (
+    NET_QUEUE_DEPTH,
+    NET_TIMEOUT,
+    parse_address,
+    positive_float_from_env,
+    positive_int_from_env,
+)
+from repro.net.errors import (
+    ConnectionLostError,
+    FrameError,
+    HandshakeError,
+    NetError,
+    RequestTimeoutError,
+    ServerBusy,
+)
+from repro.net.framing import NET_MAGIC, NET_PROTOCOL_VERSION
+from repro.net.messages import ServerHealth, ServerHello, WorkerMetricsRequest
+from repro.net.server import SpectralServer
+
+__all__ = [
+    "RemoteFrontend",
+    "scrape_metrics",
+    "SpectralServer",
+    "NetError",
+    "HandshakeError",
+    "FrameError",
+    "ConnectionLostError",
+    "RequestTimeoutError",
+    "ServerBusy",
+    "NET_MAGIC",
+    "NET_PROTOCOL_VERSION",
+    "NET_TIMEOUT",
+    "NET_QUEUE_DEPTH",
+    "parse_address",
+    "positive_int_from_env",
+    "positive_float_from_env",
+    "ServerHello",
+    "ServerHealth",
+    "WorkerMetricsRequest",
+]

@@ -1,0 +1,406 @@
+"""``RemoteFrontend`` — the serving surface over a socket.
+
+Drop-in for :class:`~repro.api.ProcessPoolFrontend` /
+:class:`~repro.service.ShardedIndexFrontend`: the same methods, the
+same errors (server-side failures re-raise here as their original
+types), and bit-identical results — the server runs the same service
+code, so ``remote.query_many(...) == local.query_many(...)`` holds
+element for element.
+
+One persistent connection per frontend, created eagerly so
+misconfiguration fails at construction, not first use.  Transport
+failures (server restart, dropped connection) are retried through a
+bounded reconnect-with-backoff loop; a read timeout raises
+:class:`~repro.net.errors.RequestTimeoutError` *without* retrying,
+because the request may still be executing server-side and blind
+resends would double the work.  A protocol-version mismatch raises
+:class:`~repro.net.errors.HandshakeError` immediately — deterministic
+failures are not retried.
+
+Instances are not thread-safe per call — they serialize concurrent
+calls over the single connection with an internal lock, which is
+correct but unpipelined; concurrent *clients* (one ``RemoteFrontend``
+per thread) are how the tests drive cross-client coalescing.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import InvalidParameterError
+from repro.geometry.grid import Grid
+from repro.graph.adjacency import Graph
+from repro.net.errors import (
+    ConnectionLostError,
+    HandshakeError,
+    RequestTimeoutError,
+)
+from repro.net.framing import (
+    HANDSHAKE_BYTES,
+    NET_PROTOCOL_VERSION,
+    handshake_bytes,
+    parse_handshake,
+    recv_exact,
+    recv_frame,
+    send_frame,
+)
+from repro.net.messages import ServerHealth, ServerHello, WorkerMetricsRequest
+from repro.obs import collector, registry, span, tracing_enabled
+from repro.obs.tracing import current_context
+from repro.parallel import ensure_workers
+from repro.serve.protocol import (
+    ErrorResponse,
+    HealthRequest,
+    IndexQueryMessage,
+    MetricsRequest,
+    OrderManyMessage,
+    OrderRequestMessage,
+    PingRequest,
+    StatsRequest,
+    TracedRequest,
+    TracedResponse,
+)
+from repro.service.routing import routing_fingerprint, shard_of_domain
+
+_ROUNDTRIP_SECONDS = registry().histogram(
+    "repro_net_client_roundtrip_seconds",
+    "Client-observed latency of one remote request, send to reply.")
+_RECONNECTS = registry().counter(
+    "repro_net_client_reconnects_total",
+    "Times the client rebuilt its connection after a transport failure.")
+
+
+def _connect(host: str, port: int, connect_timeout: float,
+             read_timeout: Optional[float]) -> Tuple[socket.socket,
+                                                     Optional[int]]:
+    """Dial, handshake, and return ``(socket, server_version)``.
+
+    The returned version is what the server claimed; the caller decides
+    whether a mismatch is fatal (it is).
+    """
+    sock = socket.create_connection((host, port), timeout=connect_timeout)
+    try:
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    except OSError:  # pragma: no cover - best effort
+        pass
+    try:
+        sock.sendall(handshake_bytes())
+        server_version = parse_handshake(
+            recv_exact(sock, HANDSHAKE_BYTES))
+        sock.settimeout(read_timeout)
+        return sock, server_version
+    except BaseException:
+        sock.close()
+        raise
+
+
+class RemoteFrontend:
+    """Client to a :class:`~repro.net.server.SpectralServer`.
+
+    Parameters
+    ----------
+    host, port:
+        Where the server listens (``SpectralServer.address``, or the
+        ``listening on HOST:PORT`` line ``repro-serve --listen``
+        prints).
+    connect_timeout:
+        Seconds allowed for each TCP connect + handshake.
+    read_timeout:
+        Seconds to wait for any single response before raising
+        :class:`RequestTimeoutError`.  Must comfortably exceed the
+        slowest expected cold solve.
+    reconnect_attempts:
+        Transport-failure retries per request (connect and send/recv
+        combined) before the failure propagates.
+    backoff_base, backoff_max:
+        Exponential backoff between reconnect attempts:
+        ``min(backoff_max, backoff_base * 2**attempt)`` seconds.
+
+    Examples
+    --------
+    >>> with RemoteFrontend("127.0.0.1", 45301) as remote:  # doctest: +SKIP
+    ...     order = remote.order_grid(Grid(16, 16))
+    """
+
+    def __init__(self, host: str, port: int, *,
+                 connect_timeout: float = 5.0,
+                 read_timeout: float = 60.0,
+                 reconnect_attempts: int = 3,
+                 backoff_base: float = 0.05,
+                 backoff_max: float = 2.0):
+        if connect_timeout <= 0:
+            raise InvalidParameterError(
+                f"connect_timeout must be > 0, got {connect_timeout}")
+        if read_timeout <= 0:
+            raise InvalidParameterError(
+                f"read_timeout must be > 0, got {read_timeout}")
+        if reconnect_attempts < 0:
+            raise InvalidParameterError(
+                f"reconnect_attempts must be >= 0, "
+                f"got {reconnect_attempts}")
+        self._host = host
+        self._port = int(port)
+        self._connect_timeout = float(connect_timeout)
+        self._read_timeout = float(read_timeout)
+        self._reconnect_attempts = int(reconnect_attempts)
+        self._backoff_base = float(backoff_base)
+        self._backoff_max = float(backoff_max)
+        self._lock = threading.Lock()
+        self._sock: Optional[socket.socket] = None
+        self._seq = 0
+        self._closed = False
+        self._hello: Optional[ServerHello] = None
+        with self._lock:
+            self._ensure_connected()
+        self._hello = self._call(PingRequest())
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _ensure_connected(self) -> None:
+        """Dial + handshake under ``self._lock``; raises on mismatch."""
+        if self._sock is not None:
+            return
+        if self._closed:
+            raise ConnectionLostError("this RemoteFrontend is closed")
+        sock, server_version = _connect(
+            self._host, self._port, self._connect_timeout,
+            self._read_timeout)
+        if server_version != NET_PROTOCOL_VERSION:
+            sock.close()
+            raise HandshakeError(
+                f"server at {self._host}:{self._port} speaks protocol "
+                f"version {server_version}, this client speaks "
+                f"{NET_PROTOCOL_VERSION}")
+        self._sock = sock
+
+    def _drop_socket(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def _roundtrip(self, message):
+        """Send one request and read its response, reconnecting on
+        transport failure; returns the raw response payload."""
+        with self._lock:
+            attempt = 0
+            while True:
+                try:
+                    self._ensure_connected()
+                    self._seq += 1
+                    seq = self._seq
+                    send_frame(self._sock, seq, message)
+                    while True:
+                        got_seq, payload = recv_frame(self._sock)
+                        if got_seq == seq:
+                            return payload
+                        # A response to a request whose reply we gave
+                        # up on (never in the current strict
+                        # send-then-receive discipline, but harmless to
+                        # skip rather than corrupt the stream).
+                except socket.timeout:
+                    # The request may still be running server-side;
+                    # the stream is now desynchronized, so drop it —
+                    # but never blind-resend.
+                    self._drop_socket()
+                    raise RequestTimeoutError(
+                        f"no response from {self._host}:{self._port} "
+                        f"within {self._read_timeout}s") from None
+                except (ConnectionLostError, OSError):
+                    self._drop_socket()
+                    if attempt >= self._reconnect_attempts:
+                        raise
+                    _RECONNECTS.inc()
+                    time.sleep(min(self._backoff_max,
+                                   self._backoff_base * (2 ** attempt)))
+                    attempt += 1
+
+    def _call(self, message):
+        """One remote call: trace wrap, round trip, error unwrap."""
+        traced = tracing_enabled()
+        if traced:
+            with span("net.client",
+                      request=type(message).__name__,
+                      host=self._host, port=self._port):
+                ctx = current_context()
+                wire = TracedRequest(
+                    request=message,
+                    trace_context=ctx.as_wire() if ctx else None)
+                start = time.monotonic()
+                response = self._roundtrip(wire)
+                _ROUNDTRIP_SECONDS.observe(time.monotonic() - start)
+        else:
+            start = time.monotonic()
+            response = self._roundtrip(message)
+            _ROUNDTRIP_SECONDS.observe(time.monotonic() - start)
+        if isinstance(response, TracedResponse):
+            if response.spans:
+                collector().ingest(response.spans)
+            response = response.response
+        if isinstance(response, ErrorResponse):
+            response.raise_()
+        return response.payload
+
+    # ------------------------------------------------------------------
+    # Ordering surface
+    # ------------------------------------------------------------------
+    def order_grid(self, grid, config=None):
+        """Remote counterpart of ``ShardedIndexFrontend.order_grid``."""
+        self._expect(grid, Grid, "order_grid")
+        return self._call(OrderRequestMessage(domain=grid, config=config))
+
+    def grid_artifact(self, grid, config=None):
+        self._expect(grid, Grid, "grid_artifact")
+        return self._call(OrderRequestMessage(
+            domain=grid, config=config, want_artifact=True))
+
+    def order_graph(self, graph, config=None):
+        self._expect(graph, Graph, "order_graph")
+        return self._call(OrderRequestMessage(domain=graph, config=config))
+
+    def graph_artifact(self, graph, config=None):
+        self._expect(graph, Graph, "graph_artifact")
+        return self._call(OrderRequestMessage(
+            domain=graph, config=config, want_artifact=True))
+
+    def order_many(self, requests: Sequence, parallelism=None) -> List:
+        """Order a batch in one round trip.
+
+        ``parallelism`` is validated for surface compatibility but the
+        degree of concurrency is the server's decision.
+        """
+        ensure_workers(parallelism)
+        from repro.service.ordering import normalize_requests
+
+        normalized = tuple((r.domain, r.config)
+                           for r in normalize_requests(requests))
+        if not normalized:
+            return []
+        return self._call(OrderManyMessage(requests=normalized))
+
+    # ------------------------------------------------------------------
+    # Query surface
+    # ------------------------------------------------------------------
+    def range(self, domain, box, **kwargs):
+        return self._query(domain, "range", (box,), kwargs)
+
+    def nn(self, domain, cell, k, **kwargs):
+        return self._query(domain, "nn", (cell, k), kwargs)
+
+    def join(self, domain, a, b, *, epsilon, window, **kwargs):
+        kwargs = dict(kwargs, epsilon=epsilon, window=window)
+        return self._query(domain, "join", (a, b), kwargs)
+
+    def query_many(self, domain, queries, parallelism=None):
+        ensure_workers(parallelism)
+        return self._query(domain, "query_many", (list(queries),), {})
+
+    def _query(self, domain, op: str, args: tuple, kwargs: dict):
+        return self._call(IndexQueryMessage(
+            domain=domain, op=op, args=tuple(args), kwargs=dict(kwargs)))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def hello(self) -> ServerHello:
+        """Re-ping the server; also the cheapest liveness probe."""
+        self._hello = self._call(PingRequest())
+        return self._hello
+
+    def stats(self):
+        """Per-shard ``ServiceStats`` from the backing frontend."""
+        return self._call(StatsRequest())
+
+    def combined_stats(self):
+        """All shards' counters summed into one ``ServiceStats`` —
+        the exact ``ProcessPoolFrontend.combined_stats`` shape."""
+        from repro.service.ordering import ServiceStats
+
+        combined = ServiceStats()
+        for stats in self.stats():
+            for name, value in stats.as_dict().items():
+                setattr(combined, name, getattr(combined, name) + value)
+        return combined
+
+    def health(self) -> ServerHealth:
+        return self._call(HealthRequest())
+
+    def metrics(self) -> str:
+        """The server process's Prometheus dump (``repro_net_*`` and
+        everything else in its registry)."""
+        return self._call(MetricsRequest())
+
+    def worker_metrics(self) -> List[str]:
+        """Per-worker Prometheus dumps when the server fronts a fleet."""
+        return self._call(WorkerMetricsRequest())
+
+    # ------------------------------------------------------------------
+    # Topology helpers (computed locally — same functions both sides)
+    # ------------------------------------------------------------------
+    def shard_of(self, domain) -> int:
+        return shard_of_domain(domain, self.num_shards)
+
+    def fingerprint_of(self, domain) -> str:
+        return routing_fingerprint(domain)
+
+    @property
+    def num_shards(self) -> int:
+        return self._hello.num_shards
+
+    @property
+    def num_workers(self) -> int:
+        return self._hello.num_workers
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return (self._host, self._port)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            self._drop_socket()
+
+    def __enter__(self) -> "RemoteFrontend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "connected"
+        return f"RemoteFrontend({self._host}:{self._port}, {state})"
+
+    @staticmethod
+    def _expect(domain, kind, method: str) -> None:
+        if not isinstance(domain, kind):
+            raise InvalidParameterError(
+                f"{method} expects a {kind.__name__}, "
+                f"got {type(domain).__name__}")
+
+
+def scrape_metrics(host: str, port: int, *, workers: bool = False,
+                   connect_timeout: float = 5.0,
+                   read_timeout: float = 30.0) -> str:
+    """One-shot metrics scrape of a live server (``repro-stats metrics
+    --connect``).  Returns the Prometheus text dump — the server's own
+    registry, plus each worker's dump when ``workers`` is true."""
+    client = RemoteFrontend(
+        host, port, connect_timeout=connect_timeout,
+        read_timeout=read_timeout, reconnect_attempts=0)
+    try:
+        parts = [client.metrics()]
+        if workers:
+            for i, dump in enumerate(client.worker_metrics()):
+                parts.append(f"# ---- worker {i} ----\n{dump}")
+        return "\n".join(parts)
+    finally:
+        client.close()

@@ -1,0 +1,57 @@
+"""Server-level wire values layered over :mod:`repro.serve.protocol`.
+
+The socket tier reuses the fleet protocol's request dataclasses
+(``OrderRequestMessage``, ``IndexQueryMessage``, ``StatsRequest``, ...)
+verbatim — these few additions cover what only exists once a *server*
+(not a worker) answers: its own identity, aggregate health, and the
+per-worker metric fan-out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class ServerHello:
+    """The ping payload: who the server is and what it fronts."""
+
+    net_protocol_version: int
+    serve_protocol_version: int
+    num_shards: int
+    num_workers: int
+    pid: int
+
+
+@dataclass(frozen=True)
+class WorkerMetricsRequest:
+    """Ask for the per-worker Prometheus dumps behind the server.
+
+    Distinct from the fleet protocol's ``MetricsRequest``, which the
+    server answers with *its own* process registry — the one holding
+    the ``repro_net_*`` families a scraper actually wants.
+    """
+
+
+@dataclass(frozen=True)
+class ServerHealth:
+    """Aggregate liveness: the server process plus every worker.
+
+    ``workers`` carries the fleet's per-worker
+    :class:`~repro.serve.protocol.WorkerHealth` payloads when the
+    backing frontend exposes them (the process pool does; an in-process
+    frontend reports an empty tuple).
+    """
+
+    status: str
+    pid: int
+    host: str
+    port: int
+    uptime_seconds: float
+    connections_open: int
+    requests_handled: int
+    rejections: int
+    queue_capacity: int
+    queue_size: int
+    workers: Tuple = ()

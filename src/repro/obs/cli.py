@@ -8,11 +8,13 @@ Subcommands
 ``summary FILE.jsonl``
     Aggregate the same file per span name: count, total, mean and max
     duration — the quick "where did the time go" view.
-``metrics``
-    Print this process's metric registry in Prometheus text format.
-    Mostly useful as a format smoke check from a fresh process; live
-    serving metrics come from the ``repro-serve`` dispatcher's
-    ``stats`` request or ``ProcessPoolFrontend.worker_metrics()``.
+``metrics [--connect HOST:PORT [--workers]]``
+    Print a metric registry in Prometheus text format.  Without
+    ``--connect``, this process's own registry (mostly a format smoke
+    check).  With ``--connect``, scrape a live ``repro-serve --listen``
+    server over its socket — the server's registry including the
+    ``repro_net_*`` families, plus each worker's dump with
+    ``--workers``.
 ``demo [--size N] [--out FILE.jsonl]``
     Build a small spectral index, run a traced query batch, and print
     the resulting trace tree plus the metric dump — an end-to-end
@@ -67,7 +69,27 @@ def _cmd_summary(args: argparse.Namespace) -> int:
 
 
 def _cmd_metrics(args: argparse.Namespace) -> int:
-    sys.stdout.write(dump_metrics())
+    if args.connect is None:
+        sys.stdout.write(dump_metrics())
+        return 0
+    # Imported here: the local path must stay importable without the
+    # serving stack (and numpy with it).
+    from repro.errors import InvalidParameterError
+    from repro.net import scrape_metrics
+    from repro.net.config import parse_address
+
+    try:
+        host, port = parse_address(args.connect)
+    except InvalidParameterError as exc:
+        print(f"repro-stats: {exc}", file=sys.stderr)
+        return 2
+    try:
+        text = scrape_metrics(host, port, workers=args.workers)
+    except Exception as exc:
+        print(f"repro-stats: failed to scrape {host}:{port}: {exc}",
+              file=sys.stderr)
+        return 1
+    sys.stdout.write(text)
     return 0
 
 
@@ -122,7 +144,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_summary.set_defaults(func=_cmd_summary)
 
     p_metrics = sub.add_parser(
-        "metrics", help="dump this process's metrics (Prometheus text)")
+        "metrics", help="dump metrics (Prometheus text), local or from "
+                        "a live server")
+    p_metrics.add_argument(
+        "--connect", default=None, metavar="HOST:PORT",
+        help="scrape a running 'repro-serve --listen' server instead "
+             "of this process")
+    p_metrics.add_argument(
+        "--workers", action="store_true",
+        help="with --connect, also print each worker's metric dump")
     p_metrics.set_defaults(func=_cmd_metrics)
 
     p_demo = sub.add_parser(

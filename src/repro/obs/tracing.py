@@ -143,9 +143,20 @@ class TraceCollector:
             self._records.append(record)
 
     def ingest(self, records: Iterable[SpanRecord]) -> None:
-        """Merge foreign spans (e.g. shipped back from a worker process)."""
+        """Merge foreign spans (e.g. shipped back from a worker process).
+
+        Ingested spans also feed any active :func:`capture_spans`
+        sinks: a capture scope that dispatches into the process fleet
+        sees the workers' spans exactly as it sees local ones, so a
+        socket server can forward a complete stitched trace.
+        """
+        records = list(records)
         with self._lock:
             self._records.extend(records)
+        if _STATE.sinks:
+            with _STATE.sink_lock:
+                for sink in _STATE.sinks:
+                    sink.extend(records)
 
     def spans(self, trace_id: Optional[str] = None) -> List[SpanRecord]:
         with self._lock:

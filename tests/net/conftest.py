@@ -1,0 +1,30 @@
+"""Shared fixtures for the network-tier tests.
+
+Everything binds port 0 (ephemeral) so parallel CI runs never collide,
+and fronts an in-process :class:`ShardedIndexFrontend` — the socket
+tier is what's under test; the fleet-backed path has its own
+``multiproc``-marked module.
+"""
+
+import pytest
+
+from repro.net import RemoteFrontend, SpectralServer
+from repro.service import ShardedIndexFrontend
+
+
+@pytest.fixture()
+def frontend():
+    return ShardedIndexFrontend(shards=2)
+
+
+@pytest.fixture()
+def server(frontend):
+    with SpectralServer(frontend, dispatchers=2) as srv:
+        yield srv
+
+
+@pytest.fixture()
+def remote(server):
+    host, port = server.address
+    with RemoteFrontend(host, port, read_timeout=30) as client:
+        yield client

@@ -1,0 +1,26 @@
+"""Test helper: a frontend whose solves block on an event.
+
+Lets a test hold the one in-flight solve open while it piles more
+requests behind it (coalescing, queue saturation, disconnects), and
+counts how many times the backend was actually asked.
+"""
+
+import threading
+
+
+class GatedFrontend:
+    def __init__(self, inner, gate=None):
+        self.inner = inner
+        self.gate = gate if gate is not None else threading.Event()
+        self.calls = 0
+        self._lock = threading.Lock()
+
+    def grid_artifact(self, grid, config=None):
+        with self._lock:
+            self.calls += 1
+        if not self.gate.wait(timeout=30):  # pragma: no cover - hang guard
+            raise RuntimeError("test gate never opened")
+        return self.inner.grid_artifact(grid, config)
+
+    def __getattr__(self, name):
+        return getattr(self.inner, name)

@@ -1,0 +1,101 @@
+"""Tests for the REPRO_NET_* environment knobs and address parsing."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.errors import ConfigurationError, InvalidParameterError
+from repro.net.config import (
+    parse_address,
+    positive_float_from_env,
+    positive_int_from_env,
+)
+
+
+class TestPositiveIntFromEnv:
+    def test_default_when_absent(self, monkeypatch):
+        monkeypatch.delenv("REPRO_NET_QUEUE_DEPTH", raising=False)
+        assert positive_int_from_env("REPRO_NET_QUEUE_DEPTH", 64) == 64
+
+    def test_blank_means_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NET_QUEUE_DEPTH", "   ")
+        assert positive_int_from_env("REPRO_NET_QUEUE_DEPTH", 64) == 64
+
+    def test_valid_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NET_QUEUE_DEPTH", " 128 ")
+        assert positive_int_from_env("REPRO_NET_QUEUE_DEPTH", 64) == 128
+
+    @pytest.mark.parametrize("bad", ["abc", "1.5", "-3", "0", "1e6"])
+    def test_invalid_values_rejected(self, monkeypatch, bad):
+        monkeypatch.setenv("REPRO_NET_QUEUE_DEPTH", bad)
+        with pytest.raises(ConfigurationError) as excinfo:
+            positive_int_from_env("REPRO_NET_QUEUE_DEPTH", 64)
+        assert "REPRO_NET_QUEUE_DEPTH" in str(excinfo.value)
+
+    def test_is_an_invalid_parameter_error(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NET_QUEUE_DEPTH", "-1")
+        with pytest.raises(InvalidParameterError):
+            positive_int_from_env("REPRO_NET_QUEUE_DEPTH", 64)
+
+
+class TestPositiveFloatFromEnv:
+    def test_default_when_absent(self, monkeypatch):
+        monkeypatch.delenv("REPRO_NET_TIMEOUT", raising=False)
+        assert positive_float_from_env("REPRO_NET_TIMEOUT", 30.0) == 30.0
+
+    def test_valid_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NET_TIMEOUT", "2.5")
+        assert positive_float_from_env("REPRO_NET_TIMEOUT", 30.0) == 2.5
+
+    @pytest.mark.parametrize("bad", ["abc", "-3", "0", "0.0", "inf", "nan"])
+    def test_invalid_values_rejected(self, monkeypatch, bad):
+        monkeypatch.setenv("REPRO_NET_TIMEOUT", bad)
+        with pytest.raises(ConfigurationError) as excinfo:
+            positive_float_from_env("REPRO_NET_TIMEOUT", 30.0)
+        assert "REPRO_NET_TIMEOUT" in str(excinfo.value)
+
+
+def _resolved_knobs(env_extra):
+    env = dict(os.environ)
+    env.update(env_extra)
+    src_dir = os.path.abspath(
+        os.path.join(os.path.dirname(__file__), "..", "..", "src"))
+    env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+    snippet = ("from repro.net import config as c; "
+               "print(c.NET_TIMEOUT); print(c.NET_QUEUE_DEPTH)")
+    return subprocess.run([sys.executable, "-c", snippet],
+                          capture_output=True, text=True, env=env)
+
+
+def test_overrides_take_effect_at_import():
+    out = _resolved_knobs({"REPRO_NET_TIMEOUT": "7.5",
+                           "REPRO_NET_QUEUE_DEPTH": "9"})
+    assert out.returncode == 0, out.stderr
+    assert out.stdout.split() == ["7.5", "9"]
+
+
+def test_invalid_override_fails_loudly_at_import():
+    out = _resolved_knobs({"REPRO_NET_QUEUE_DEPTH": "soon"})
+    assert out.returncode != 0
+    assert "REPRO_NET_QUEUE_DEPTH" in out.stderr
+
+
+class TestParseAddress:
+    @pytest.mark.parametrize("spec,expected", [
+        ("127.0.0.1:4730", ("127.0.0.1", 4730)),
+        ("localhost:0", ("localhost", 0)),
+        ("example.com:65535", ("example.com", 65535)),
+        ("::1:8080", ("::1", 8080)),
+    ])
+    def test_well_formed(self, spec, expected):
+        assert parse_address(spec) == expected
+
+    @pytest.mark.parametrize("spec", [
+        "nonsense", "host:", "host:abc", ":1234",
+        "host:-1", "host:65536", "", "host:12.5",
+    ])
+    def test_malformed_rejected(self, spec):
+        with pytest.raises(InvalidParameterError):
+            parse_address(spec)

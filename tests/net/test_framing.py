@@ -1,0 +1,135 @@
+"""Tests for the wire format: handshake bytes and framed pickles."""
+
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.net.errors import ConnectionLostError, FrameError, HandshakeError
+from repro.net.framing import (
+    HANDSHAKE_BYTES,
+    MAX_FRAME_BYTES,
+    NET_MAGIC,
+    NET_PROTOCOL_VERSION,
+    handshake_bytes,
+    parse_handshake,
+    recv_exact,
+    recv_frame,
+    send_frame,
+)
+
+
+@pytest.fixture()
+def pair():
+    a, b = socket.socketpair()
+    yield a, b
+    a.close()
+    b.close()
+
+
+class TestHandshake:
+    def test_round_trip(self):
+        assert parse_handshake(handshake_bytes()) == NET_PROTOCOL_VERSION
+
+    def test_spoofed_version_round_trips(self):
+        assert parse_handshake(handshake_bytes(version=42)) == 42
+
+    def test_length(self):
+        assert len(handshake_bytes()) == HANDSHAKE_BYTES == 8
+
+    def test_bad_magic_rejected(self):
+        bogus = b"HTTP" + struct.pack(">I", NET_PROTOCOL_VERSION)
+        with pytest.raises(HandshakeError) as excinfo:
+            parse_handshake(bogus)
+        assert repr(NET_MAGIC) in str(excinfo.value)
+
+    def test_short_handshake_rejected(self):
+        with pytest.raises(HandshakeError):
+            parse_handshake(b"SLP")
+
+
+class TestFrames:
+    def test_round_trip(self, pair):
+        a, b = pair
+        payload = {"orders": [1, 2, 3], "nested": ("x", 4.5)}
+        send_frame(a, 7, payload)
+        seq, got = recv_frame(b)
+        assert seq == 7
+        assert got == payload
+
+    def test_multiple_frames_in_order(self, pair):
+        a, b = pair
+        for seq in range(5):
+            send_frame(a, seq, f"payload-{seq}")
+        for seq in range(5):
+            got_seq, got = recv_frame(b)
+            assert (got_seq, got) == (seq, f"payload-{seq}")
+
+    def test_eof_raises_connection_lost(self, pair):
+        a, b = pair
+        a.close()
+        with pytest.raises(ConnectionLostError):
+            recv_frame(b)
+
+    def test_truncated_frame_raises_connection_lost(self, pair):
+        a, b = pair
+        a.sendall(struct.pack(">I", 100) + b"short")
+        a.close()
+        with pytest.raises(ConnectionLostError):
+            recv_frame(b)
+
+    def test_oversized_length_prefix_rejected_before_allocation(self, pair):
+        a, b = pair
+        a.sendall(struct.pack(">I", MAX_FRAME_BYTES + 1))
+        with pytest.raises(FrameError) as excinfo:
+            recv_frame(b)
+        assert str(MAX_FRAME_BYTES) in str(excinfo.value)
+
+    def test_garbage_body_rejected(self, pair):
+        a, b = pair
+        body = b"\x00not a pickle at all"
+        a.sendall(struct.pack(">I", len(body)) + body)
+        with pytest.raises(FrameError):
+            recv_frame(b)
+
+    def test_non_envelope_pickle_rejected(self, pair):
+        import pickle
+
+        a, b = pair
+        body = pickle.dumps(["no", "seq", "here"])
+        a.sendall(struct.pack(">I", len(body)) + body)
+        with pytest.raises(FrameError) as excinfo:
+            recv_frame(b)
+        assert "envelope" in str(excinfo.value)
+
+    def test_large_payload_chunked_reads(self, pair):
+        a, b = pair
+        blob = b"x" * (1 << 20)
+        done = threading.Event()
+
+        def sender():
+            send_frame(a, 1, blob)
+            done.set()
+
+        thread = threading.Thread(target=sender, daemon=True)
+        thread.start()
+        seq, got = recv_frame(b)
+        assert done.wait(5)
+        assert seq == 1
+        assert got == blob
+
+
+class TestRecvExact:
+    def test_collects_partial_reads(self, pair):
+        a, b = pair
+        a.sendall(b"hello world")
+        assert recv_exact(b, 11) == b"hello world"
+
+    def test_eof_mid_read(self, pair):
+        a, b = pair
+        a.sendall(b"hel")
+        a.close()
+        with pytest.raises(ConnectionLostError) as excinfo:
+            recv_exact(b, 10)
+        assert "3 of 10" in str(excinfo.value)

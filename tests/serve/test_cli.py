@@ -39,9 +39,46 @@ def test_parser_defaults_and_validation(capsys):
     parser = build_parser()
     args = parser.parse_args([])
     assert args.shards == 4 and args.workers is None
-    assert args.demo_side == 16 and not args.keep_alive
+    # --demo-side defaults open (None) so main() can tell "omitted"
+    # from "explicit" when --listen is present; without --listen the
+    # warm-up still defaults to a side of 16.
+    assert args.demo_side is None and args.listen is None
+    assert not args.keep_alive
     assert main(["--demo-side", "-3"]) == 2
     assert "demo-side" in capsys.readouterr().err
+
+
+@pytest.mark.parametrize("spec, complaint", [
+    ("127.0.0.1", "HOST:PORT"),         # no port at all
+    ("127.0.0.1:http", "port"),         # non-numeric port
+    ("127.0.0.1:70000", "port"),        # port out of range
+    ("127.0.0.1:80", "privileged"),     # binding would need root
+])
+def test_listen_flag_rejects_bad_addresses(capsys, spec, complaint):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--listen", spec])
+    assert excinfo.value.code == 2
+    assert complaint in capsys.readouterr().err
+
+
+def test_listen_conflicts_with_demo_side(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--listen", "127.0.0.1:0", "--demo-side", "8"])
+    assert excinfo.value.code == 2
+    assert "--demo-side" in capsys.readouterr().err
+
+
+@pytest.mark.parametrize("argv, complaint", [
+    (["--listen", "127.0.0.1:0", "--queue-depth", "0"], "--queue-depth"),
+    (["--listen", "127.0.0.1:0", "--dispatchers", "0"], "--dispatchers"),
+    (["--listen", "127.0.0.1:0", "--request-timeout", "0"],
+     "--request-timeout"),
+])
+def test_listen_tuning_flags_are_validated(capsys, argv, complaint):
+    with pytest.raises(SystemExit) as excinfo:
+        main(argv)
+    assert excinfo.value.code == 2
+    assert complaint in capsys.readouterr().err
 
 
 def test_bad_fleet_configuration_is_a_clean_failure(capsys):
