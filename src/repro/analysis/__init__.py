@@ -1,0 +1,25 @@
+"""Static invariant analysis for the repro serving stack.
+
+A standard-library-only linter (console script: ``repro-lint``) that
+machine-checks the contracts the previous PRs established by
+convention: lock-guarded state (RPR001), lock-acquisition ordering
+(RPR002), pickle-safe wire dataclasses (RPR003), registry-routed
+``REPRO_*`` knobs (RPR004), allocation-free disabled span sites
+(RPR005), and wall-clock/randomness-free deterministic modules
+(RPR006).  See the README's "Static analysis" section for the
+conventions (``# guarded-by:``, ``# repro-lint: disable=``) and each
+rule's rationale.
+"""
+
+from repro.analysis.engine import LintRun, run_lint
+from repro.analysis.findings import Finding, RuleInfo
+from repro.analysis.rules import ALL_RULE_IDS, REGISTRY
+
+__all__ = [
+    "ALL_RULE_IDS",
+    "Finding",
+    "LintRun",
+    "REGISTRY",
+    "RuleInfo",
+    "run_lint",
+]

@@ -1,0 +1,70 @@
+"""The checked-in baseline: pre-existing debt pinned, not silenced.
+
+A baseline maps finding fingerprints (rule + path + message — no line
+numbers, see :meth:`repro.analysis.findings.Finding.fingerprint`) to
+*counts*.  The gate then fails only on findings beyond the pinned
+count: fixing debt shrinks the baseline, new violations fail CI, and
+shifting unrelated lines changes nothing.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple
+
+from repro.analysis.findings import Finding
+
+#: Where the repo-root baseline lives by default.
+DEFAULT_BASELINE_NAME = ".repro-lint-baseline.json"
+
+_FORMAT_VERSION = 1
+
+
+def load_baseline(path: Path) -> Dict[str, int]:
+    """Fingerprint counts from ``path``; ``{}`` when the file is absent."""
+    if not Path(path).is_file():
+        return {}
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(data, dict) or "entries" not in data:
+        raise ValueError(f"{path}: not a repro-lint baseline file")
+    entries = data["entries"]
+    return {str(key): int(value) for key, value in entries.items()}
+
+
+def write_baseline(path: Path, findings: Iterable[Finding]) -> int:
+    """Pin every finding in ``findings``; returns the entry count."""
+    counts: Dict[str, int] = {}
+    for finding in findings:
+        key = finding.fingerprint()
+        counts[key] = counts.get(key, 0) + 1
+    payload = {
+        "version": _FORMAT_VERSION,
+        "entries": dict(sorted(counts.items())),
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n",
+                          encoding="utf-8")
+    return len(counts)
+
+
+def partition(findings: Iterable[Finding],
+              baseline: Dict[str, int]
+              ) -> Tuple[List[Finding], List[Finding]]:
+    """Split findings into (new, pinned) against a baseline.
+
+    For a fingerprint pinned ``n`` times, the first ``n`` occurrences
+    (in the engine's stable path/line order) are pinned and the rest
+    are new — an extra copy of an already-baselined violation still
+    fails the gate.
+    """
+    budget = dict(baseline)
+    new: List[Finding] = []
+    pinned: List[Finding] = []
+    for finding in findings:
+        key = finding.fingerprint()
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            pinned.append(finding)
+        else:
+            new.append(finding)
+    return new, pinned

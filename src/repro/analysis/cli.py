@@ -1,0 +1,153 @@
+"""``repro-lint``: the console entry point of :mod:`repro.analysis`.
+
+Exit codes are CI-shaped: 0 when the tree is clean (or every finding
+is pinned by the baseline), 1 when new findings exist, 2 on usage
+errors.  ``--format json`` emits one machine-readable document on
+stdout; text mode prints one ``path:line:col: RULE [severity]
+message`` line per finding.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.analysis.baseline import (
+    DEFAULT_BASELINE_NAME,
+    load_baseline,
+    partition,
+    write_baseline,
+)
+from repro.analysis.engine import SelectionError, run_lint
+from repro.analysis.rules import REGISTRY
+from repro.knobs import render_knob_table
+
+USAGE_EXIT = 2
+FINDINGS_EXIT = 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Static invariant checks for the repro serving "
+                    "stack (lock discipline, lock order, wire "
+                    "contract, env knobs, span hygiene, determinism).",
+    )
+    parser.add_argument(
+        "paths", nargs="*",
+        help="files or directories to lint (default: src/ if present, "
+             "else the current directory)")
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)")
+    parser.add_argument(
+        "--baseline", metavar="PATH", default=None,
+        help=f"baseline file pinning known findings (default: "
+             f"{DEFAULT_BASELINE_NAME} when it exists)")
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline file; report every finding as new")
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="pin the current findings into the baseline file and "
+             "exit 0")
+    parser.add_argument(
+        "--select", metavar="IDS", default=None,
+        help="comma-separated rule ids to run (e.g. RPR001,RPR002)")
+    parser.add_argument(
+        "--ignore", metavar="IDS", default=None,
+        help="comma-separated rule ids to skip")
+    parser.add_argument(
+        "--root", metavar="PATH", default=None,
+        help="directory report paths are made relative to "
+             "(default: the current directory)")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule registry and exit")
+    parser.add_argument(
+        "--print-knob-table", action="store_true",
+        help="print the generated REPRO_* knob table (markdown) and "
+             "exit")
+    return parser
+
+
+def _split_ids(raw: Optional[str]) -> Optional[List[str]]:
+    if raw is None:
+        return None
+    return [part.strip() for part in raw.split(",") if part.strip()]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    options = parser.parse_args(argv)
+
+    if options.print_knob_table:
+        sys.stdout.write(render_knob_table())
+        return 0
+    if options.list_rules:
+        for rule_id, (info, _checker) in REGISTRY.items():
+            print(f"{rule_id}  {info.name:<16} [{info.severity}]  "
+                  f"{info.rationale}")
+        return 0
+
+    paths = options.paths or (
+        ["src"] if Path("src").is_dir() else ["."])
+    root = Path(options.root) if options.root else None
+    try:
+        run = run_lint(paths, root=root,
+                       select=_split_ids(options.select),
+                       ignore=_split_ids(options.ignore))
+    except SelectionError as exc:
+        print(f"repro-lint: {exc}", file=sys.stderr)
+        return USAGE_EXIT
+
+    baseline_path = Path(options.baseline) if options.baseline \
+        else Path(DEFAULT_BASELINE_NAME)
+    if options.write_baseline:
+        count = write_baseline(baseline_path, run.findings)
+        print(f"repro-lint: pinned {len(run.findings)} finding(s) "
+              f"({count} fingerprint(s)) in {baseline_path}")
+        return 0
+
+    baseline = {}
+    if not options.no_baseline and (options.baseline
+                                    or baseline_path.is_file()):
+        try:
+            baseline = load_baseline(baseline_path)
+        except (ValueError, json.JSONDecodeError) as exc:
+            print(f"repro-lint: {exc}", file=sys.stderr)
+            return USAGE_EXIT
+    new, pinned = partition(run.findings, baseline)
+
+    if options.format == "json":
+        document = {
+            "version": 1,
+            "counts": {
+                "files": len(run.sources),
+                "findings": len(run.findings),
+                "new": len(new),
+                "baselined": len(pinned),
+            },
+            "findings": [
+                dict(finding.as_dict(), new=finding in new)
+                for finding in run.findings
+            ],
+        }
+        json.dump(document, sys.stdout, indent=2)
+        sys.stdout.write("\n")
+    else:
+        for finding in new:
+            print(finding.render())
+        summary = (f"repro-lint: {len(run.sources)} file(s), "
+                   f"{len(new)} new finding(s)")
+        if pinned:
+            summary += f", {len(pinned)} pinned by baseline"
+        print(summary)
+    return FINDINGS_EXIT if new else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

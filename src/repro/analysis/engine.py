@@ -1,0 +1,95 @@
+"""The lint engine: discover, parse, index once, run every rule.
+
+All selected rules share one :class:`~repro.analysis.resolve.
+ProjectIndex` built from a single parse of every file — the cross-file
+rules (lock order, wire reachability) need the whole project anyway,
+and the per-file rules ride along for free.  The engine also owns the
+two filters that apply to *every* rule: ``--select`` / ``--ignore``
+and the inline ``# repro-lint: disable=RPRxxx`` trailing comment on
+the flagged line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.findings import Finding
+from repro.analysis.resolve import ProjectIndex, suppressed_rules
+from repro.analysis.rules import ALL_RULE_IDS, PARSE_RULE_ID, REGISTRY
+from repro.analysis.source import ParseFailure, SourceFile, load_sources
+
+
+class SelectionError(ValueError):
+    """An unknown rule id in ``--select`` / ``--ignore``."""
+
+
+@dataclass
+class LintRun:
+    """Everything one engine pass produced."""
+
+    findings: List[Finding]
+    sources: List[SourceFile] = field(default_factory=list)
+    failures: List[ParseFailure] = field(default_factory=list)
+    project: Optional[ProjectIndex] = None
+
+
+def resolve_selection(select: Optional[Sequence[str]] = None,
+                      ignore: Optional[Sequence[str]] = None
+                      ) -> List[str]:
+    """The rule ids to run, in registry order; raises on unknown ids."""
+    known = set(ALL_RULE_IDS) | {PARSE_RULE_ID}
+    for name, values in (("--select", select), ("--ignore", ignore)):
+        for rule_id in values or ():
+            if rule_id not in known:
+                raise SelectionError(
+                    f"{name}: unknown rule id '{rule_id}' "
+                    f"(known: {', '.join(sorted(known))})")
+    ids = [rid for rid in ALL_RULE_IDS
+           if (not select or rid in set(select))
+           and rid not in set(ignore or ())]
+    return ids
+
+
+def run_lint(paths: Sequence, root: Optional[Path] = None,
+             select: Optional[Sequence[str]] = None,
+             ignore: Optional[Sequence[str]] = None) -> LintRun:
+    """Lint ``paths`` and return the filtered, sorted findings."""
+    rule_ids = resolve_selection(select, ignore)
+    sources, failures = load_sources(paths, root=root)
+    project = ProjectIndex(sources)
+
+    findings: List[Finding] = []
+    for rule_id in rule_ids:
+        _info, checker = REGISTRY[rule_id]
+        findings.extend(checker(project))
+    # Parse failures are reported regardless of --select (a file the
+    # linter cannot read is a gap in every rule), but can be ignored
+    # explicitly.
+    if PARSE_RULE_ID not in set(ignore or ()):
+        for failure in failures:
+            findings.append(Finding(
+                rule=PARSE_RULE_ID, severity="error",
+                path=failure.display_path, line=failure.line, column=0,
+                message=failure.error,
+            ))
+
+    by_path: Dict[str, SourceFile] = {
+        source.display_path: source for source in sources
+    }
+    kept = [finding for finding in findings
+            if not _suppressed(finding, by_path)]
+    kept.sort(key=lambda f: (f.path, f.line, f.column, f.rule,
+                             f.message))
+    return LintRun(findings=kept, sources=sources, failures=failures,
+                   project=project)
+
+
+def _suppressed(finding: Finding,
+                by_path: Dict[str, SourceFile]) -> bool:
+    source = by_path.get(finding.path)
+    if source is None:
+        return False
+    rules = suppressed_rules(source.line_text(finding.line))
+    return "all" in rules or finding.rule in rules

@@ -1,0 +1,80 @@
+"""Finding values of the static-analysis rules.
+
+A :class:`Finding` is the one currency of :mod:`repro.analysis`: rules
+emit them, the engine filters them (``--select`` / ``--ignore``, inline
+suppressions, baseline), and the CLI renders them as text or JSON.
+Findings carry a *stable fingerprint* — rule + path + message, hashed —
+so the checked-in baseline pins pre-existing debt without rotting the
+moment an unrelated edit shifts line numbers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict
+
+#: Severities, in increasing order of concern.  Both fail the lint gate
+#: (a warning is a contract violation too); the split exists so reports
+#: rank hard invariants above hygiene.
+SEVERITIES = ("warning", "error")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    ``line`` / ``column`` are 1-based / 0-based (the :mod:`ast`
+    convention).  ``path`` is stored as given by the engine — relative
+    to the lint root — so fingerprints agree between developer checkouts
+    and CI.
+    """
+
+    rule: str
+    severity: str
+    path: str
+    line: int
+    column: int
+    message: str
+
+    def location(self) -> str:
+        """``path:line`` — the clickable anchor of every report line."""
+        return f"{self.path}:{self.line}"
+
+    def fingerprint(self) -> str:
+        """Stable identity for baseline matching.
+
+        Deliberately excludes the line number: moving unrelated code
+        above a pinned finding must not make it "new".  Two identical
+        violations in one file share a fingerprint; the baseline
+        stores *counts* per fingerprint to keep them distinguishable
+        from a genuinely new duplicate.
+        """
+        payload = f"{self.rule}|{self.path}|{self.message}"
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "message": self.message,
+            "fingerprint": self.fingerprint(),
+        }
+
+    def render(self) -> str:
+        return (f"{self.path}:{self.line}:{self.column}: "
+                f"{self.rule} [{self.severity}] {self.message}")
+
+
+@dataclass
+class RuleInfo:
+    """Identity card of one rule, used by ``--list-rules`` and tests."""
+
+    rule_id: str
+    name: str
+    severity: str
+    rationale: str
+    extra: Dict[str, object] = field(default_factory=dict)

@@ -1,0 +1,44 @@
+"""The rule registry: stable rule IDs mapped to their checkers.
+
+Each rule module exposes ``RULE`` (a :class:`repro.analysis.findings.
+RuleInfo`) and ``check(project) -> List[Finding]``.  The engine runs
+them in registry order; ``--select`` / ``--ignore`` filter by the IDs
+listed here.  ``RPR000`` is reserved for parse failures and emitted by
+the engine itself, not a rule module.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from repro.analysis.findings import Finding, RuleInfo
+from repro.analysis.resolve import ProjectIndex
+from repro.analysis.rules import (
+    determinism,
+    env_knobs,
+    lock_discipline,
+    lock_order,
+    span_hygiene,
+    wire_contract,
+)
+
+#: Rule id of engine-level parse failures (not selectable off).
+PARSE_RULE_ID = "RPR000"
+
+_MODULES = (
+    lock_discipline,
+    lock_order,
+    wire_contract,
+    env_knobs,
+    span_hygiene,
+    determinism,
+)
+
+#: rule id -> (info, checker), in registry order.
+REGISTRY: Dict[str, Tuple[RuleInfo, Callable[[ProjectIndex],
+                                             List[Finding]]]] = {
+    module.RULE.rule_id: (module.RULE, module.check)
+    for module in _MODULES
+}
+
+ALL_RULE_IDS: Tuple[str, ...] = tuple(REGISTRY)

@@ -1,0 +1,157 @@
+"""RPR006: no wall-clock or randomness in determinism-critical modules.
+
+The v1 artifact fingerprint (PR-6) promises: same geometry + same
+config = same digest, across processes, machines, and releases.  That
+promise extends backwards through everything the fingerprint hashes and
+everything the ordering pipeline computes — one ``time.time()`` or
+``random.shuffle`` in ``repro.core`` and cached artifacts silently stop
+matching fresh computations.
+
+This rule bans wall-clock reads, ``random`` / ``np.random`` / ``uuid``
+use, and ``os.urandom`` inside the deterministic closure (``core``,
+``curves``, ``graph``, ``geometry``, ``linalg``, and the fingerprint /
+routing modules).  ``time.perf_counter`` / ``time.monotonic`` stay
+legal — durations are observability, not outputs.  The builtin
+``hash()`` is additionally banned in the fingerprint and routing
+modules (outside ``__hash__`` itself): it is salted per process
+(``PYTHONHASHSEED``) and must never leak into a digest or a shard
+route.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional
+
+from repro.analysis.findings import Finding, RuleInfo
+from repro.analysis.resolve import ProjectIndex, dotted
+from repro.analysis.source import SourceFile
+
+RULE = RuleInfo(
+    rule_id="RPR006",
+    name="determinism",
+    severity="error",
+    rationale="Fingerprint- and order-producing modules must be free "
+              "of wall-clock and randomness (the PR-6 byte-stable "
+              "v1 fingerprint contract).",
+)
+
+#: Module prefixes forming the deterministic closure.
+DETERMINISTIC_PREFIXES = (
+    "repro.core", "repro.curves", "repro.graph", "repro.geometry",
+    "repro.linalg",
+)
+
+#: Exact modules added to the closure.
+DETERMINISTIC_MODULES = (
+    "repro.service.fingerprint", "repro.service.routing",
+)
+
+#: Modules where the process-salted builtin ``hash()`` is also banned.
+HASH_BANNED_MODULES = frozenset(DETERMINISTIC_MODULES)
+
+_BANNED_EXACT = frozenset({
+    "time.time", "time.time_ns", "os.urandom",
+    "datetime.now", "datetime.utcnow", "datetime.today",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today", "date.today",
+})
+
+_BANNED_PREFIXES = ("random.", "np.random.", "numpy.random.", "uuid.")
+
+_BANNED_IMPORTS = frozenset({"random", "uuid"})
+
+
+def is_deterministic_module(module: str) -> bool:
+    if module in DETERMINISTIC_MODULES:
+        return True
+    return any(module == prefix or module.startswith(prefix + ".")
+               for prefix in DETERMINISTIC_PREFIXES)
+
+
+def check(project: ProjectIndex) -> List[Finding]:
+    findings: List[Finding] = []
+    for source in project.sources:
+        if not is_deterministic_module(source.module):
+            continue
+        imports = project.modules[source.module].imports
+        for node in ast.walk(source.tree):
+            _check_node(source, node, imports, findings)
+    return findings
+
+
+def _expanded(name: str, imports: dict) -> str:
+    """The import-resolved spelling of a dotted call target."""
+    head, _, rest = name.partition(".")
+    target = imports.get(head)
+    if target is None:
+        return name
+    return target + ("." + rest if rest else "")
+
+
+def _check_node(source: SourceFile, node: ast.AST, imports: dict,
+                findings: List[Finding]) -> None:
+    if isinstance(node, ast.Import):
+        for alias in node.names:
+            root = alias.name.split(".")[0]
+            if root in _BANNED_IMPORTS:
+                findings.append(_finding(
+                    source, node,
+                    f"deterministic module imports '{alias.name}'"))
+        return
+    if isinstance(node, ast.ImportFrom):
+        if node.module and node.module.split(".")[0] in _BANNED_IMPORTS:
+            findings.append(_finding(
+                source, node,
+                f"deterministic module imports from '{node.module}'"))
+        return
+    if not isinstance(node, ast.Call):
+        return
+    name = dotted(node.func)
+    if not name:
+        return
+    resolved = _expanded(name, imports)
+    reason = _banned_reason(name) or _banned_reason(resolved)
+    if reason is not None:
+        findings.append(_finding(
+            source, node,
+            f"deterministic module calls '{name}' ({reason})"))
+        return
+    if name == "hash" and source.module in HASH_BANNED_MODULES \
+            and not _inside_dunder_hash(source, node):
+        findings.append(_finding(
+            source, node,
+            "builtin hash() is salted per process "
+            "(PYTHONHASHSEED) and must not feed a fingerprint or "
+            "shard route; use hashlib"))
+
+
+def _banned_reason(name: str) -> Optional[str]:
+    if name in _BANNED_EXACT:
+        return "wall-clock/entropy source"
+    for prefix in _BANNED_PREFIXES:
+        if name.startswith(prefix):
+            return "nondeterministic source"
+    return None
+
+
+def _inside_dunder_hash(source: SourceFile, node: ast.AST) -> bool:
+    target_line = getattr(node, "lineno", 0)
+    for func in ast.walk(source.tree):
+        if isinstance(func, ast.FunctionDef) \
+                and func.name == "__hash__":
+            end = getattr(func, "end_lineno", func.lineno)
+            if func.lineno <= target_line <= end:
+                return True
+    return False
+
+
+def _finding(source: SourceFile, node: ast.AST,
+             message: str) -> Finding:
+    return Finding(
+        rule=RULE.rule_id, severity=RULE.severity,
+        path=source.display_path,
+        line=getattr(node, "lineno", 0),
+        column=getattr(node, "col_offset", 0),
+        message=message,
+    )

@@ -1,0 +1,108 @@
+"""RPR001: declared lock-guarded attributes are only touched under the lock.
+
+The convention is a trailing comment on the attribute's ``__init__``
+assignment::
+
+    self._stats = ServiceStats()          # guarded-by: _lock
+    self._lock = threading.RLock()
+
+From then on, every read or write of ``self._stats`` anywhere in the
+class must sit inside ``with self._lock:``.  ``__init__`` itself is
+exempt — object construction is single-threaded by definition — as are
+methods whose name ends in ``_locked``, the codebase's convention for
+helpers whose contract is "caller holds the lock" (``_save_locked``,
+``_close_locked``).  A nested function body starts with an *empty*
+held set, because a closure created under the lock may run long after
+it was released.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import FrozenSet, List
+
+from repro.analysis.findings import Finding, RuleInfo
+from repro.analysis.resolve import ClassInfo, ProjectIndex, self_attr
+
+RULE = RuleInfo(
+    rule_id="RPR001",
+    name="lock-discipline",
+    severity="error",
+    rationale="Attributes annotated '# guarded-by: <lock>' may only be "
+              "accessed inside 'with self.<lock>' in their class "
+              "(the PR-4 race class).",
+)
+
+
+def check(project: ProjectIndex) -> List[Finding]:
+    findings: List[Finding] = []
+    for module in project.modules.values():
+        for cls in module.classes.values():
+            if cls.guarded:
+                _check_class(project, cls, findings)
+    return findings
+
+
+def _check_class(project: ProjectIndex, cls: ClassInfo,
+                 findings: List[Finding]) -> None:
+    for attr, (lock, lineno) in sorted(cls.guarded.items()):
+        if not project.attr_is_lock(cls, lock):
+            findings.append(Finding(
+                rule=RULE.rule_id, severity=RULE.severity,
+                path=cls.source.display_path, line=lineno, column=0,
+                message=f"'{attr}' is declared guarded-by '{lock}' but "
+                        f"'{cls.name}' has no lock attribute of that "
+                        f"name",
+            ))
+    for name, method in cls.methods.items():
+        if name == "__init__" or name.endswith("_locked"):
+            continue
+        checker = _MethodChecker(project, cls, findings)
+        for stmt in method.body:
+            checker.visit(stmt, frozenset())
+
+
+class _MethodChecker:
+    """Walks one method body tracking which locks are currently held."""
+
+    def __init__(self, project: ProjectIndex, cls: ClassInfo,
+                 findings: List[Finding]):
+        self.project = project
+        self.cls = cls
+        self.findings = findings
+
+    def visit(self, node: ast.AST, held: FrozenSet[str]) -> None:
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            acquired = set(held)
+            for item in node.items:
+                self.visit(item.context_expr, held)
+                if item.optional_vars is not None:
+                    self.visit(item.optional_vars, held)
+                attr = self_attr(item.context_expr)
+                if attr is not None and \
+                        self.project.attr_is_lock(self.cls, attr):
+                    acquired.add(attr)
+            inner = frozenset(acquired)
+            for stmt in node.body:
+                self.visit(stmt, inner)
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            # The closure runs later; whatever is held now is gone then.
+            for child in ast.iter_child_nodes(node):
+                self.visit(child, frozenset())
+            return
+        attr = self_attr(node)
+        if attr is not None and attr in self.cls.guarded:
+            lock = self.cls.guarded[attr][0]
+            if lock not in held:
+                self.findings.append(Finding(
+                    rule=RULE.rule_id, severity=RULE.severity,
+                    path=self.cls.source.display_path,
+                    line=node.lineno, column=node.col_offset,
+                    message=f"'{self.cls.name}.{attr}' is guarded by "
+                            f"'{lock}' but accessed outside "
+                            f"'with self.{lock}'",
+                ))
+        for child in ast.iter_child_nodes(node):
+            self.visit(child, held)

@@ -1,0 +1,378 @@
+"""RPR002: the cross-class lock-acquisition graph must be acyclic.
+
+Builds a static may-acquire graph over every project lock: nodes are
+``ClassName.lock_attr``, and an edge ``A -> B`` means some code path
+acquires ``B`` while holding ``A`` — either directly (``with self._b``
+nested inside ``with self._a``) or through a method call whose callee
+(transitively) acquires ``B``.  Call targets are resolved through the
+shallow type inference in :mod:`repro.analysis.resolve`: ``self.attr``
+bindings, parameter annotations, container element types, and simple
+local variables.  Unresolvable calls contribute nothing — for deadlock
+detection a missed edge is a missed check, an invented edge is a false
+alarm.
+
+Self-edges are deliberately ignored: re-acquiring the *same* lock is
+what ``RLock`` exists for (and how recursive helpers under one lock
+look to a static pass), not an inversion.
+
+The graph itself (:func:`build_lock_graph`) is exported for tests,
+which assert it reconstructs the real hierarchy of
+``ShardedIndexFrontend`` / ``OrderingService`` / ``ArtifactStore``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.analysis.findings import Finding, RuleInfo
+from repro.analysis.resolve import (
+    ClassInfo,
+    ProjectIndex,
+    dotted,
+    self_attr,
+)
+
+RULE = RuleInfo(
+    rule_id="RPR002",
+    name="lock-order",
+    severity="error",
+    rationale="The static lock-acquisition graph across classes must "
+              "be acyclic (the PR-4/PR-5 inversion class).",
+)
+
+
+@dataclass(frozen=True)
+class EdgeSite:
+    """Where one held->acquired pair was observed."""
+
+    path: str
+    line: int
+    via: str  # "direct" or the resolved call, e.g. "LRUCache.get"
+
+
+@dataclass
+class LockGraph:
+    """The may-acquire graph plus every witness site per edge."""
+
+    nodes: Set[str] = field(default_factory=set)
+    edges: Dict[Tuple[str, str], List[EdgeSite]] = \
+        field(default_factory=dict)
+
+    def add_edge(self, src: str, dst: str, site: EdgeSite) -> None:
+        if src == dst:
+            return
+        self.edges.setdefault((src, dst), []).append(site)
+
+    def successors(self, node: str) -> List[str]:
+        return sorted(dst for (src, dst) in self.edges if src == node)
+
+    def cycles(self) -> List[List[str]]:
+        """Strongly connected components with more than one node."""
+        index: Dict[str, int] = {}
+        low: Dict[str, int] = {}
+        on_stack: Set[str] = set()
+        stack: List[str] = []
+        sccs: List[List[str]] = []
+        counter = [0]
+
+        def strongconnect(node: str) -> None:
+            index[node] = low[node] = counter[0]
+            counter[0] += 1
+            stack.append(node)
+            on_stack.add(node)
+            for succ in self.successors(node):
+                if succ not in index:
+                    strongconnect(succ)
+                    low[node] = min(low[node], low[succ])
+                elif succ in on_stack:
+                    low[node] = min(low[node], index[succ])
+            if low[node] == index[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                if len(component) > 1:
+                    sccs.append(sorted(component))
+
+        for node in sorted(self.nodes):
+            if node not in index:
+                strongconnect(node)
+        return sccs
+
+
+def check(project: ProjectIndex) -> List[Finding]:
+    graph = build_lock_graph(project)
+    findings: List[Finding] = []
+    for cycle in graph.cycles():
+        member_set = set(cycle)
+        site = _witness_site(graph, member_set)
+        findings.append(Finding(
+            rule=RULE.rule_id, severity=RULE.severity,
+            path=site.path if site else "<project>",
+            line=site.line if site else 0, column=0,
+            message="lock-order cycle: "
+                    + " -> ".join(cycle + [cycle[0]]),
+        ))
+    return findings
+
+
+def _witness_site(graph: LockGraph,
+                  members: Set[str]) -> Optional[EdgeSite]:
+    for (src, dst), sites in sorted(graph.edges.items()):
+        if src in members and dst in members and sites:
+            return sites[0]
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Graph construction
+# ---------------------------------------------------------------------------
+def build_lock_graph(project: ProjectIndex) -> LockGraph:
+    graph = LockGraph()
+    methods: Dict[Tuple[str, str, str], "_MethodFacts"] = {}
+    for module in project.modules.values():
+        for cls in module.classes.values():
+            for attr in cls.lock_attrs:
+                graph.nodes.add(cls.lock_node_name(attr))
+            for attr, type_name in cls.attr_types.items():
+                target = project.resolve_class(cls.module, type_name)
+                if target is not None and \
+                        project.is_lock_like_class(target):
+                    graph.nodes.add(cls.lock_node_name(attr))
+            for name, node in cls.methods.items():
+                key = (cls.module, cls.name, name)
+                methods[key] = _collect_facts(project, cls, node)
+
+    summaries = _fixpoint_summaries(methods)
+
+    for (module, cls_name, _name), facts in sorted(methods.items()):
+        _emit_edges(graph, facts, summaries)
+    return graph
+
+
+@dataclass
+class _MethodFacts:
+    """One method's acquisition and call events, in held context."""
+
+    path: str
+    #: (node acquired, held-at-that-point, line)
+    acquisitions: List[Tuple[str, FrozenSet[str], int]] = \
+        field(default_factory=list)
+    #: (callee key, held-at-that-point, line, display name)
+    calls: List[Tuple[Tuple[str, str, str], FrozenSet[str], int, str]] = \
+        field(default_factory=list)
+
+
+def _fixpoint_summaries(
+        methods: Dict[Tuple[str, str, str], _MethodFacts]
+) -> Dict[Tuple[str, str, str], Set[str]]:
+    """May-acquire set per method, closed over the call graph."""
+    summaries = {
+        key: {node for node, _held, _line in facts.acquisitions}
+        for key, facts in methods.items()
+    }
+    changed = True
+    while changed:
+        changed = False
+        for key, facts in methods.items():
+            summary = summaries[key]
+            before = len(summary)
+            for callee, _held, _line, _via in facts.calls:
+                summary |= summaries.get(callee, set())
+            if len(summary) != before:
+                changed = True
+    return summaries
+
+
+def _emit_edges(graph: LockGraph, facts: _MethodFacts,
+                summaries: Dict[Tuple[str, str, str], Set[str]]) -> None:
+    for node, held, line in facts.acquisitions:
+        for holder in held:
+            graph.add_edge(holder, node,
+                           EdgeSite(facts.path, line, "direct"))
+    for callee, held, line, via in facts.calls:
+        if not held:
+            continue
+        for node in summaries.get(callee, ()):
+            for holder in held:
+                graph.add_edge(holder, node,
+                               EdgeSite(facts.path, line, via))
+
+
+# ---------------------------------------------------------------------------
+# Per-method fact collection
+# ---------------------------------------------------------------------------
+def _collect_facts(project: ProjectIndex, cls: ClassInfo,
+                   method: ast.FunctionDef) -> _MethodFacts:
+    facts = _MethodFacts(path=cls.source.display_path)
+    walker = _FactWalker(project, cls, method, facts)
+    for stmt in method.body:
+        walker.visit(stmt, frozenset())
+    return facts
+
+
+class _FactWalker:
+    def __init__(self, project: ProjectIndex, cls: ClassInfo,
+                 method: ast.FunctionDef, facts: _MethodFacts):
+        self.project = project
+        self.cls = cls
+        self.facts = facts
+        self.locals = _local_types(project, cls, method)
+
+    # -- type plumbing ---------------------------------------------------
+    def _class_of(self, expr: ast.AST) -> Optional[ClassInfo]:
+        """The project class an expression evaluates to, if inferable."""
+        if isinstance(expr, ast.Name):
+            if expr.id == "self":
+                return self.cls
+            name = self.locals.get(expr.id)
+            return self._resolve(name)
+        if isinstance(expr, ast.Attribute):
+            attr = self_attr(expr)
+            if attr is not None:
+                return self._resolve(self.cls.attr_types.get(attr))
+            base = self._class_of(expr.value)
+            if base is not None:
+                return self._resolve(base.attr_types.get(expr.attr))
+            return None
+        if isinstance(expr, ast.Subscript):
+            return self._elem_class_of(expr.value)
+        if isinstance(expr, ast.Call):
+            name = dotted(expr.func)
+            return self._resolve(name) if name else None
+        return None
+
+    def _elem_class_of(self, expr: ast.AST) -> Optional[ClassInfo]:
+        if isinstance(expr, ast.Attribute):
+            attr = self_attr(expr)
+            if attr is not None:
+                return self._resolve(self.cls.attr_elem_types.get(attr))
+        if isinstance(expr, ast.Name):
+            name = self.locals.get("[]" + expr.id)
+            return self._resolve(name)
+        return None
+
+    def _resolve(self, name: Optional[str]) -> Optional[ClassInfo]:
+        if not name:
+            return None
+        return self.project.resolve_class(self.cls.module, name)
+
+    # -- event extraction ------------------------------------------------
+    def _acquired_node(self, expr: ast.AST) -> Optional[str]:
+        """Graph node acquired by ``with <expr>``, if it is a lock."""
+        attr = self_attr(expr)
+        if attr is not None:
+            node = self.project.lock_node_for(self.cls, attr)
+            if node is not None:
+                return node
+        if isinstance(expr, ast.Attribute):
+            owner = self._class_of(expr.value)
+            if owner is not None:
+                return self.project.lock_node_for(owner, expr.attr)
+        return None
+
+    def _callee_key(self, call: ast.Call
+                    ) -> Optional[Tuple[Tuple[str, str, str], str]]:
+        func = call.func
+        if not isinstance(func, ast.Attribute):
+            return None
+        owner = self._class_of(func.value)
+        if owner is None or func.attr not in owner.methods:
+            return None
+        key = (owner.module, owner.name, func.attr)
+        return key, f"{owner.name}.{func.attr}"
+
+    # -- traversal -------------------------------------------------------
+    def visit(self, node: ast.AST, held: FrozenSet[str]) -> None:
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            acquired = set(held)
+            for item in node.items:
+                self.visit(item.context_expr, held)
+                lock_node = self._acquired_node(item.context_expr)
+                if lock_node is not None:
+                    self.facts.acquisitions.append(
+                        (lock_node, frozenset(held), item.context_expr
+                         .lineno))
+                    acquired.add(lock_node)
+            inner = frozenset(acquired)
+            for stmt in node.body:
+                self.visit(stmt, inner)
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            # A closure body may run with or without today's locks; a
+            # guess either way invents edges, so it contributes nothing
+            # to *this* method's held context but is still scanned with
+            # an empty one.
+            for child in ast.iter_child_nodes(node):
+                self.visit(child, frozenset())
+            return
+        if isinstance(node, ast.Call):
+            resolved = self._callee_key(node)
+            if resolved is not None:
+                key, via = resolved
+                self.facts.calls.append(
+                    (key, held, node.lineno, via))
+            elif isinstance(node.func, ast.Attribute) \
+                    and node.func.attr == "acquire":
+                lock_node = self._acquired_node(node.func.value)
+                if lock_node is not None:
+                    self.facts.acquisitions.append(
+                        (lock_node, held, node.lineno))
+        for child in ast.iter_child_nodes(node):
+            self.visit(child, held)
+
+
+def _local_types(project: ProjectIndex, cls: ClassInfo,
+                 method: ast.FunctionDef) -> Dict[str, str]:
+    """First-wins local-variable type bindings for one method.
+
+    Scalar bindings map ``name -> ClassName``; container bindings map
+    ``"[]" + name -> element ClassName`` (consumed by subscript
+    resolution).  Conflicting rebinds keep the first type seen — wrong
+    in pathological code, conservative in practice.
+    """
+    names: Dict[str, str] = {}
+
+    def put(key: str, value: Optional[str]) -> None:
+        if value and key not in names:
+            names[key] = value
+
+    args = method.args
+    for arg in (list(args.posonlyargs) + list(args.args)
+                + list(args.kwonlyargs)):
+        if arg.annotation is None or arg.arg == "self":
+            continue
+        from repro.analysis.resolve import _annotation_types  # noqa: PLC0415
+        scalar, elem = _annotation_types(arg.annotation)
+        put(arg.arg, scalar)
+        put("[]" + arg.arg, elem)
+
+    for node in ast.walk(method):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                and isinstance(node.targets[0], ast.Name):
+            name = node.targets[0].id
+            value = node.value
+            if isinstance(value, ast.Call):
+                put(name, dotted(value.func) or None)
+            elif isinstance(value, ast.Attribute):
+                attr = self_attr(value)
+                if attr is not None:
+                    put(name, cls.attr_types.get(attr))
+                    put("[]" + name, cls.attr_elem_types.get(attr))
+            elif isinstance(value, ast.Subscript):
+                target = value.value
+                attr = self_attr(target)
+                if attr is not None:
+                    put(name, cls.attr_elem_types.get(attr))
+        elif isinstance(node, ast.For) \
+                and isinstance(node.target, ast.Name):
+            attr = self_attr(node.iter)
+            if attr is not None:
+                put(node.target.id, cls.attr_elem_types.get(attr))
+    return names

@@ -1,0 +1,189 @@
+"""RPR003: dataclasses reachable from the wire must stay pickle-safe.
+
+The worker protocol (:mod:`repro.serve.protocol`) and the socket
+protocol (:mod:`repro.net.messages`) move dataclasses across process
+and network boundaries by pickling.  A field that smuggles a lambda, a
+lock, an open handle, or a queue into one of those payloads fails at
+``pickle.dumps`` time — in production, under load, on the far side of a
+socket.  This rule walks the static reachability closure from the wire
+modules (plus the known payload classes routed through ``object``-typed
+fields) and flags:
+
+* lambda defaults and ``field(default_factory=lambda ...)``;
+* fields annotated with unpicklable types (locks, sockets, IO handles,
+  queues, threads);
+* ``ndarray`` fields on classes that define no ``__reduce__`` /
+  ``__reduce_ex__`` / ``__getstate__`` — arrays crossing the wire must
+  opt into explicit revalidation (the PR-5 read-only reload contract)
+  rather than default pickling.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.findings import Finding, RuleInfo
+from repro.analysis.resolve import ClassInfo, ProjectIndex, dotted
+
+RULE = RuleInfo(
+    rule_id="RPR003",
+    name="wire-contract",
+    severity="error",
+    rationale="Dataclasses reachable from repro.serve.protocol / "
+              "repro.net.messages must be pickle-safe "
+              "(the PR-5/PR-8 wire contract).",
+)
+
+#: Modules whose every dataclass is a wire root.
+WIRE_MODULES = ("repro.serve.protocol", "repro.net.messages")
+
+#: Payload classes that travel inside ``object``-typed wire fields and
+#: are therefore invisible to annotation-based reachability.
+EXTRA_WIRE_CLASSES = (
+    "repro.service.artifacts.OrderArtifact",
+    "repro.core.ordering.LinearOrder",
+    "repro.geometry.pointset.PointSet",
+    "repro.core.spectral.SpectralConfig",
+    "repro.obs.tracing.SpanRecord",
+)
+
+#: Annotation type names (last dotted segment) that never pickle.
+FORBIDDEN_TYPES = frozenset({
+    "Lock", "RLock", "Event", "Condition", "Semaphore",
+    "BoundedSemaphore", "Barrier", "Thread", "socket", "Queue",
+    "SimpleQueue", "IO", "TextIO", "BinaryIO", "TextIOWrapper",
+    "BufferedReader", "BufferedWriter", "FileIO",
+})
+
+#: Annotation type names marking an array field that needs an explicit
+#: reduction hook on the class.
+ARRAY_TYPES = frozenset({"ndarray", "NDArray"})
+
+_REDUCTION_HOOKS = ("__reduce__", "__reduce_ex__", "__getstate__")
+
+
+def check(project: ProjectIndex) -> List[Finding]:
+    findings: List[Finding] = []
+    for cls in _reachable_wire_classes(project):
+        _check_class(project, cls, findings)
+    return findings
+
+
+def _reachable_wire_classes(project: ProjectIndex) -> List[ClassInfo]:
+    roots: List[ClassInfo] = []
+    for module_name in WIRE_MODULES:
+        info = project.modules.get(module_name)
+        if info is None:
+            continue
+        roots.extend(cls for cls in info.classes.values()
+                     if cls.is_dataclass)
+    for dotted_name in EXTRA_WIRE_CLASSES:
+        module_name, _, cls_name = dotted_name.rpartition(".")
+        info = project.modules.get(module_name)
+        if info is not None and cls_name in info.classes:
+            roots.append(info.classes[cls_name])
+
+    seen: Set[Tuple[str, str]] = set()
+    order: List[ClassInfo] = []
+    queue = list(roots)
+    while queue:
+        cls = queue.pop(0)
+        key = (cls.module, cls.name)
+        if key in seen:
+            continue
+        seen.add(key)
+        order.append(cls)
+        for name in _field_type_names(cls):
+            target = project.resolve_class(cls.module, name)
+            if target is not None and target.is_dataclass:
+                queue.append(target)
+    return order
+
+
+def _field_type_names(cls: ClassInfo) -> List[str]:
+    names: List[str] = []
+    for stmt, _field_name, annotation in _dataclass_fields(cls):
+        names.extend(_type_names(annotation))
+    return names
+
+
+def _dataclass_fields(cls: ClassInfo
+                      ) -> List[Tuple[ast.AnnAssign, str, ast.AST]]:
+    fields = []
+    for stmt in cls.node.body:
+        if isinstance(stmt, ast.AnnAssign) \
+                and isinstance(stmt.target, ast.Name):
+            fields.append((stmt, stmt.target.id, stmt.annotation))
+    return fields
+
+
+def _type_names(annotation: ast.AST) -> List[str]:
+    """Every dotted type name mentioned anywhere in an annotation."""
+    names: List[str] = []
+    stack = [annotation]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.Constant) \
+                and isinstance(node.value, str):
+            try:
+                stack.append(ast.parse(node.value, mode="eval").body)
+            except SyntaxError:
+                pass
+            continue
+        if isinstance(node, (ast.Name, ast.Attribute)):
+            name = dotted(node)
+            if name:
+                names.append(name)
+            if isinstance(node, ast.Attribute):
+                continue
+        stack.extend(ast.iter_child_nodes(node))
+    return names
+
+
+def _check_class(project: ProjectIndex, cls: ClassInfo,
+                 findings: List[Finding]) -> None:
+    has_hook = any(hook in cls.methods for hook in _REDUCTION_HOOKS)
+    for stmt, field_name, annotation in _dataclass_fields(cls):
+        label = f"{cls.name}.{field_name}"
+        for name in _type_names(annotation):
+            simple = name.rsplit(".", 1)[-1]
+            if simple in FORBIDDEN_TYPES:
+                findings.append(_finding(
+                    cls, stmt,
+                    f"wire field '{label}' is annotated with "
+                    f"unpicklable type '{name}'"))
+            elif simple in ARRAY_TYPES and not has_hook:
+                findings.append(_finding(
+                    cls, stmt,
+                    f"wire field '{label}' carries an array but "
+                    f"'{cls.name}' defines no __reduce__/"
+                    f"__getstate__ revalidation hook"))
+        if stmt.value is not None:
+            for bad in _unpicklable_defaults(stmt.value):
+                findings.append(_finding(
+                    cls, bad,
+                    f"wire field '{label}' default embeds a lambda "
+                    f"(unpicklable)"))
+
+
+def _unpicklable_defaults(value: ast.AST) -> List[ast.AST]:
+    bad: List[ast.AST] = []
+    if isinstance(value, ast.Lambda):
+        bad.append(value)
+    elif isinstance(value, ast.Call):
+        # field(default_factory=lambda: ...) and friends.
+        for node in ast.walk(value):
+            if isinstance(node, ast.Lambda):
+                bad.append(node)
+    return bad
+
+
+def _finding(cls: ClassInfo, node: ast.AST, message: str) -> Finding:
+    return Finding(
+        rule=RULE.rule_id, severity=RULE.severity,
+        path=cls.source.display_path,
+        line=getattr(node, "lineno", cls.node.lineno),
+        column=getattr(node, "col_offset", 0),
+        message=message,
+    )

@@ -1,0 +1,146 @@
+"""Source discovery and per-file parsing for the lint engine.
+
+One :class:`SourceFile` per ``.py`` file: the raw text, the split
+lines, the parsed AST, and the dotted module name derived from the
+path (the segment chain starting at the innermost ``repro`` directory,
+so a fixture tree ``tmp/repro/serve/protocol.py`` resolves to
+``repro.serve.protocol`` exactly like the real one).  Discovery skips
+non-source trees by default — ``__pycache__``, VCS and tool caches,
+build output — so ``repro-lint src/`` never chokes on compiled or
+generated artifacts.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+#: Directory basenames never descended into.
+SKIP_DIRS = frozenset({
+    "__pycache__", ".git", ".hg", ".svn", ".tox", ".nox", ".venv",
+    "venv", ".eggs", "build", "dist", ".mypy_cache", ".pytest_cache",
+    ".hypothesis", ".benchmarks", "node_modules",
+})
+
+
+def iter_source_files(paths: Sequence) -> Iterator[Path]:
+    """Yield every lintable ``.py`` file under ``paths``, sorted.
+
+    Files are yielded once even when the given paths overlap; suffixes
+    other than ``.py`` are ignored (a path given *explicitly* must
+    still be a Python file — the linter parses, it does not guess).
+    """
+    seen = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file():
+            if path.suffix == ".py" and path not in seen:
+                seen.add(path)
+                yield path
+            continue
+        for candidate in sorted(path.rglob("*.py")):
+            if any(part in SKIP_DIRS or part.endswith(".egg-info")
+                   for part in candidate.parts):
+                continue
+            if candidate not in seen:
+                seen.add(candidate)
+                yield candidate
+
+
+def module_name_for(path: Path) -> str:
+    """The dotted module name a file would import as.
+
+    Walks the path for the *last* ``repro`` package directory and joins
+    from there (``.../src/repro/net/config.py`` →
+    ``repro.net.config``); files outside any ``repro`` tree fall back
+    to their stem, which keeps fixture snippets linting cleanly.
+    """
+    parts = list(path.parts)
+    anchor = None
+    for i, part in enumerate(parts[:-1]):
+        if part == "repro":
+            anchor = i
+    if anchor is None:
+        return path.stem
+    dotted = list(parts[anchor:-1])
+    stem = path.stem
+    if stem != "__init__":
+        dotted.append(stem)
+    return ".".join(dotted)
+
+
+@dataclass
+class SourceFile:
+    """One parsed source file plus everything rules need to report on it."""
+
+    path: Path
+    display_path: str
+    module: str
+    text: str
+    lines: List[str]
+    tree: ast.Module
+
+    @classmethod
+    def parse(cls, path: Path, display_path: Optional[str] = None
+              ) -> "SourceFile":
+        """Parse ``path``; raises :class:`SyntaxError` on broken source."""
+        text = path.read_text(encoding="utf-8")
+        tree = ast.parse(text, filename=str(path))
+        return cls(
+            path=path,
+            display_path=display_path if display_path is not None
+            else str(path),
+            module=module_name_for(path),
+            text=text,
+            lines=text.splitlines(),
+            tree=tree,
+        )
+
+    def line_text(self, lineno: int) -> str:
+        """The 1-based source line, or ``""`` past the end."""
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+
+@dataclass
+class ParseFailure:
+    """A file the engine could not parse (reported as its own finding)."""
+
+    path: Path
+    display_path: str
+    error: str
+    line: int = 0
+
+
+def load_sources(paths: Sequence, root: Optional[Path] = None
+                 ) -> Tuple[List[SourceFile], List[ParseFailure]]:
+    """Discover and parse every source file under ``paths``.
+
+    ``root`` anchors display paths (defaults to the current directory);
+    files outside it keep their absolute path.  Broken files land in
+    the failure list instead of aborting the whole run — a linter that
+    dies on the first syntax error cannot report the other findings.
+    """
+    root = Path.cwd() if root is None else Path(root)
+    sources: List[SourceFile] = []
+    failures: List[ParseFailure] = []
+    for path in iter_source_files(paths):
+        try:
+            display = str(path.resolve().relative_to(root.resolve()))
+        except ValueError:
+            display = str(path)
+        try:
+            sources.append(SourceFile.parse(path, display_path=display))
+        except SyntaxError as exc:
+            failures.append(ParseFailure(
+                path=path, display_path=display,
+                error=f"syntax error: {exc.msg}", line=exc.lineno or 0,
+            ))
+        except (OSError, UnicodeDecodeError) as exc:
+            failures.append(ParseFailure(
+                path=path, display_path=display, error=str(exc),
+            ))
+    return sources, failures

@@ -136,12 +136,12 @@ class SpectralIndex:
         self._tree_order = int(tree_order)
         self._buffer_capacity = buffer_capacity
         self._cost_model = cost_model
-        self._views: Dict[Tuple, _MappingView] = {}
-        self._coords: Optional[np.ndarray] = None
+        self._views: Dict[Tuple, _MappingView] = {}  # guarded-by: _lock
+        self._coords: Optional[np.ndarray] = None  # guarded-by: _lock
         # Guards _views / _view_flights / _coords.  Materialization
         # itself (eigensolves, store builds) runs outside it.
         self._lock = threading.RLock()
-        self._view_flights: Dict[Tuple, _ViewFlight] = {}
+        self._view_flights: Dict[Tuple, _ViewFlight] = {}  # guarded-by: _lock
         # The default order is materialized on first access, not here:
         # an index used only to compare curve mappings must not pay a
         # spectral eigensolve at build time.
@@ -588,13 +588,10 @@ class SpectralIndex:
         not rebuild it per query.  Built under the index lock so
         concurrent first queries compute it once.
         """
-        coords = self._coords
-        if coords is None:
-            with self._lock:
-                if self._coords is None:
-                    self._coords = self._domain.coordinates()
-                coords = self._coords
-        return coords
+        with self._lock:
+            if self._coords is None:
+                self._coords = self._domain.coordinates()
+            return self._coords
 
     def _require_grid(self, operation: str) -> Grid:
         if not isinstance(self._domain, Grid):
@@ -751,6 +748,8 @@ class SpectralIndex:
         domain = (f"grid{self._domain.shape}"
                   if isinstance(self._domain, Grid)
                   else type(self._domain).__name__)
+        with self._lock:
+            views = len(self._views)
         return (f"SpectralIndex(domain={domain}, "
                 f"mapping={self._default.name!r}, "
-                f"views={len(self._views)})")
+                f"views={views})")

@@ -52,11 +52,11 @@ class LRUCache(Generic[K, V]):
                 f"capacity must be >= 1, got {capacity}"
             )
         self._capacity = int(capacity)
-        self._entries: "OrderedDict[K, V]" = OrderedDict()
+        self._entries: "OrderedDict[K, V]" = OrderedDict()  # guarded-by: _lock
         self._lock = threading.RLock() if lock else nullcontext()
         self._thread_safe = bool(lock)
-        self.hits = 0
-        self.misses = 0
+        self.hits = 0  # guarded-by: _lock
+        self.misses = 0  # guarded-by: _lock
 
     @property
     def capacity(self) -> int:

@@ -149,18 +149,18 @@ class RemoteFrontend:
         self._backoff_base = float(backoff_base)
         self._backoff_max = float(backoff_max)
         self._lock = threading.Lock()
-        self._sock: Optional[socket.socket] = None
-        self._seq = 0
-        self._closed = False
+        self._sock: Optional[socket.socket] = None  # guarded-by: _lock
+        self._seq = 0  # guarded-by: _lock
+        self._closed = False  # guarded-by: _lock
         self._hello: Optional[ServerHello] = None
         with self._lock:
-            self._ensure_connected()
+            self._ensure_connected_locked()
         self._hello = self._call(PingRequest())
 
     # ------------------------------------------------------------------
     # Transport
     # ------------------------------------------------------------------
-    def _ensure_connected(self) -> None:
+    def _ensure_connected_locked(self) -> None:
         """Dial + handshake under ``self._lock``; raises on mismatch."""
         if self._sock is not None:
             return
@@ -177,7 +177,7 @@ class RemoteFrontend:
                 f"{NET_PROTOCOL_VERSION}")
         self._sock = sock
 
-    def _drop_socket(self) -> None:
+    def _drop_socket_locked(self) -> None:
         if self._sock is not None:
             try:
                 self._sock.close()
@@ -192,7 +192,7 @@ class RemoteFrontend:
             attempt = 0
             while True:
                 try:
-                    self._ensure_connected()
+                    self._ensure_connected_locked()
                     self._seq += 1
                     seq = self._seq
                     send_frame(self._sock, seq, message)
@@ -208,12 +208,12 @@ class RemoteFrontend:
                     # The request may still be running server-side;
                     # the stream is now desynchronized, so drop it —
                     # but never blind-resend.
-                    self._drop_socket()
+                    self._drop_socket_locked()
                     raise RequestTimeoutError(
                         f"no response from {self._host}:{self._port} "
                         f"within {self._read_timeout}s") from None
                 except (ConnectionLostError, OSError):
-                    self._drop_socket()
+                    self._drop_socket_locked()
                     if attempt >= self._reconnect_attempts:
                         raise
                     _RECONNECTS.inc()
@@ -367,7 +367,7 @@ class RemoteFrontend:
     def close(self) -> None:
         with self._lock:
             self._closed = True
-            self._drop_socket()
+            self._drop_socket_locked()
 
     def __enter__(self) -> "RemoteFrontend":
         return self
@@ -376,7 +376,8 @@ class RemoteFrontend:
         self.close()
 
     def __repr__(self) -> str:
-        state = "closed" if self._closed else "connected"
+        with self._lock:
+            state = "closed" if self._closed else "connected"
         return f"RemoteFrontend({self._host}:{self._port}, {state})"
 
     @staticmethod

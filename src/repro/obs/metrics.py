@@ -98,7 +98,7 @@ class Counter(_Metric):
 
     def __init__(self, name: str, help: str = "") -> None:
         super().__init__(name, help)
-        self._values: Dict[Tuple[Tuple[str, str], ...], float] = {}
+        self._values: Dict[Tuple[Tuple[str, str], ...], float] = {}  # guarded-by: _lock
 
     def inc(self, amount: float = 1.0, **labels: object) -> None:
         if amount < 0:
@@ -133,7 +133,7 @@ class Gauge(_Metric):
 
     def __init__(self, name: str, help: str = "") -> None:
         super().__init__(name, help)
-        self._values: Dict[Tuple[Tuple[str, str], ...], float] = {}
+        self._values: Dict[Tuple[Tuple[str, str], ...], float] = {}  # guarded-by: _lock
 
     def set(self, value: float, **labels: object) -> None:
         key = _label_key(labels)
@@ -248,7 +248,7 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._metrics: "Dict[str, _Metric]" = {}
+        self._metrics: "Dict[str, _Metric]" = {}  # guarded-by: _lock
 
     def _get_or_create(self, cls, name: str, help: str, **kwargs) -> _Metric:
         with self._lock:

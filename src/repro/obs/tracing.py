@@ -136,7 +136,7 @@ class TraceCollector:
 
     def __init__(self, maxlen: int = 4096) -> None:
         self._lock = threading.Lock()
-        self._records: "deque[SpanRecord]" = deque(maxlen=maxlen)
+        self._records: "deque[SpanRecord]" = deque(maxlen=maxlen)  # guarded-by: _lock
 
     def add(self, record: SpanRecord) -> None:
         with self._lock:

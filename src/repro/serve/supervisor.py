@@ -167,7 +167,7 @@ class ProcessFleet:
         self._closed = False
         self._lock = threading.Lock()  # guards spawn/restart/close
         self._stats_lock = threading.Lock()
-        self.stats = FleetStats()
+        self.stats = FleetStats()  # guarded-by: _stats_lock
         self._handles: List[_WorkerHandle] = [
             _WorkerHandle(w, tuple(s for s in range(self._num_shards)
                                    if s % workers == w))
@@ -231,7 +231,8 @@ class ProcessFleet:
                 return
             self._reap(handle)
             self._spawn(handle)
-            self.stats.worker_restarts += 1
+            with self._stats_lock:
+                self.stats.worker_restarts += 1
             _RESTARTS.inc()
 
     @staticmethod

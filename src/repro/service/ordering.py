@@ -219,11 +219,11 @@ class OrderingService:
             store = ArtifactStore(store)
         self._store: Optional[ArtifactStore] = store
         self._hierarchy = HierarchyCache(hierarchy_entries)
-        self._stats = ServiceStats()
+        self._stats = ServiceStats()  # guarded-by: _lock
         # Guards the memory tier, the stats, and the in-flight table;
         # solves themselves run outside it (different keys in parallel).
         self._lock = threading.RLock()
-        self._inflight: Dict[str, _Flight] = {}
+        self._inflight: Dict[str, _Flight] = {}  # guarded-by: _lock
 
     # ------------------------------------------------------------------
     @property

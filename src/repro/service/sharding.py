@@ -139,8 +139,8 @@ class ShardedIndexFrontend:
         # domains must not accumulate views/stores forever.  The locked
         # LRU keeps the footprint at max_indexes; evicted domains
         # rebuild from the shard's (still warm) order caches.
-        self._indexes: "LRUCache[Tuple, object]" = \
-            LRUCache(max_indexes, lock=True)
+        self._indexes: "LRUCache[Tuple, object]" = LRUCache(  # guarded-by: _lock
+            max_indexes, lock=True)
         self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
@@ -320,5 +320,7 @@ class ShardedIndexFrontend:
         return combined
 
     def __repr__(self) -> str:
+        with self._lock:
+            indexes = len(self._indexes)
         return (f"ShardedIndexFrontend(shards={len(self._services)}, "
-                f"indexes={len(self._indexes)})")
+                f"indexes={indexes})")

@@ -51,15 +51,15 @@ class LRUBufferPool:
                 f"capacity must be >= 1, got {capacity}"
             )
         self._capacity = int(capacity)
-        self._pages: OrderedDict[int, None] = OrderedDict()
+        self._pages: OrderedDict[int, None] = OrderedDict()  # guarded-by: _lock
         # Each access mutates the recency dict and two counters as one
         # transaction; the lock makes that atomic so pools shared by
         # concurrent queries never corrupt the LRU order or the
         # accounting (hits + misses == accesses always).
         self._lock = threading.Lock()
-        self._hits = 0
-        self._misses = 0
-        self._evictions = 0
+        self._hits = 0  # guarded-by: _lock
+        self._misses = 0  # guarded-by: _lock
+        self._evictions = 0  # guarded-by: _lock
 
     @property
     def capacity(self) -> int:

@@ -1,0 +1,42 @@
+"""Fixture plumbing for the repro-lint test suite.
+
+Rule tests build throwaway ``repro/...`` trees under ``tmp_path`` —
+:func:`repro.analysis.source.module_name_for` anchors module names at
+the innermost ``repro`` directory, so a snippet written to
+``tmp/repro/core/thing.py`` is linted exactly as ``repro.core.thing``
+would be.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+from typing import Dict, List
+
+import pytest
+
+from repro.analysis import Finding, run_lint
+
+
+@pytest.fixture
+def lint_tree(tmp_path):
+    """Write a dict of ``relpath -> source`` and lint it.
+
+    Returns a callable: ``lint_tree({"repro/core/x.py": '...'},
+    select=["RPR006"])`` -> list of findings, with display paths
+    relative to ``tmp_path``.
+    """
+
+    def _lint(files: Dict[str, str], **kwargs) -> List[Finding]:
+        for rel, text in files.items():
+            path = tmp_path / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(text), encoding="utf-8")
+        run = run_lint([tmp_path], root=tmp_path, **kwargs)
+        return run.findings
+
+    return _lint
+
+
+def rules_of(findings) -> List[str]:
+    return [finding.rule for finding in findings]

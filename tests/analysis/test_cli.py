@@ -1,0 +1,131 @@
+"""repro-lint CLI behavior: exit codes, formats, baseline round-trip."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.cli import main
+
+CLEAN = '''
+    def add(a, b):
+        return a + b
+'''
+
+DIRTY = '''
+    import time
+
+    def order(cells):
+        return sorted(cells), time.time()
+'''
+
+
+def _write(root: Path, rel: str, text: str) -> Path:
+    path = root / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(text), encoding="utf-8")
+    return path
+
+
+@pytest.fixture
+def in_tmp(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    return tmp_path
+
+
+def test_exit_zero_on_clean_tree(in_tmp, capsys):
+    _write(in_tmp, "repro/util.py", CLEAN)
+    assert main([str(in_tmp), "--root", str(in_tmp)]) == 0
+    assert "0 new finding(s)" in capsys.readouterr().out
+
+
+def test_exit_one_on_findings(in_tmp, capsys):
+    _write(in_tmp, "repro/core/ordering.py", DIRTY)
+    assert main([str(in_tmp), "--root", str(in_tmp)]) == 1
+    out = capsys.readouterr().out
+    assert "RPR006" in out
+    assert "repro/core/ordering.py:5" in out
+
+
+def test_exit_two_on_unknown_rule(in_tmp, capsys):
+    _write(in_tmp, "repro/util.py", CLEAN)
+    assert main([str(in_tmp), "--select", "RPR999"]) == 2
+    assert "unknown rule id" in capsys.readouterr().err
+
+
+def test_json_format_is_valid(in_tmp, capsys):
+    _write(in_tmp, "repro/core/ordering.py", DIRTY)
+    code = main([str(in_tmp), "--root", str(in_tmp), "--format", "json"])
+    assert code == 1
+    document = json.loads(capsys.readouterr().out)
+    assert document["version"] == 1
+    assert document["counts"]["new"] == 1
+    (finding,) = document["findings"]
+    assert finding["rule"] == "RPR006"
+    assert finding["new"] is True
+    assert finding["path"] == "repro/core/ordering.py"
+    assert finding["fingerprint"]
+
+
+def test_baseline_round_trip(in_tmp, capsys):
+    """write-baseline -> rerun -> zero new findings -> exit 0."""
+    _write(in_tmp, "repro/core/ordering.py", DIRTY)
+    argv = [str(in_tmp), "--root", str(in_tmp)]
+    assert main(argv) == 1
+    assert main(argv + ["--write-baseline"]) == 0
+    assert Path(".repro-lint-baseline.json").is_file()
+    capsys.readouterr()
+    assert main(argv) == 0
+    assert "pinned by baseline" in capsys.readouterr().out
+    # A second violation on top of the pinned one is still new.
+    _write(in_tmp, "repro/core/extra.py", DIRTY)
+    assert main(argv) == 1
+
+
+def test_baseline_fingerprints_survive_line_shifts(in_tmp):
+    """Inserting unrelated lines above a pinned finding stays clean."""
+    path = _write(in_tmp, "repro/core/ordering.py", DIRTY)
+    argv = [str(in_tmp), "--root", str(in_tmp)]
+    assert main(argv + ["--write-baseline"]) == 0
+    shifted = "'''module docstring'''\nX = 1\n" + path.read_text()
+    path.write_text(shifted, encoding="utf-8")
+    assert main(argv) == 0
+
+
+def test_no_baseline_flag(in_tmp):
+    _write(in_tmp, "repro/core/ordering.py", DIRTY)
+    argv = [str(in_tmp), "--root", str(in_tmp)]
+    assert main(argv + ["--write-baseline"]) == 0
+    assert main(argv) == 0
+    assert main(argv + ["--no-baseline"]) == 1
+
+
+def test_select_and_ignore(in_tmp):
+    _write(in_tmp, "repro/core/ordering.py", DIRTY)
+    argv = [str(in_tmp), "--root", str(in_tmp)]
+    assert main(argv + ["--select", "RPR001"]) == 0
+    assert main(argv + ["--ignore", "RPR006"]) == 0
+    assert main(argv + ["--select", "RPR006"]) == 1
+
+
+def test_parse_failure_reported(in_tmp, capsys):
+    _write(in_tmp, "repro/broken.py", "def f(:\n")
+    assert main([str(in_tmp), "--root", str(in_tmp)]) == 1
+    assert "RPR000" in capsys.readouterr().out
+
+
+def test_list_rules(in_tmp, capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("RPR001", "RPR002", "RPR003", "RPR004", "RPR005",
+                    "RPR006"):
+        assert rule_id in out
+
+
+def test_print_knob_table(in_tmp, capsys):
+    from repro.knobs import render_knob_table
+    assert main(["--print-knob-table"]) == 0
+    assert capsys.readouterr().out == render_knob_table()

@@ -1,0 +1,129 @@
+"""Meta-checks: the linter handles the whole real tree, and every rule
+actually fires — one deliberate violation per rule id, each reported
+with the right rule and file:line."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.analysis import ALL_RULE_IDS, run_lint
+from repro.analysis.cli import main
+from repro.analysis.source import load_sources
+
+REPO = Path(__file__).resolve().parents[2]
+SRC = REPO / "src"
+
+#: One self-contained violation per rule, in its own scratch module.
+VIOLATIONS = {
+    "RPR001": ("repro/scratch/v1.py", '''
+        import threading
+
+        class Box:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._n = 0  # guarded-by: _lock
+
+            def peek(self):
+                return self._n
+    '''),
+    "RPR002": ("repro/scratch/v2.py", '''
+        import threading
+
+        class Left:
+            def __init__(self, other: "Right"):
+                self._lock = threading.Lock()
+                self._other = other
+
+            def go(self):
+                with self._lock:
+                    self._other.stop()
+
+            def stop(self):
+                with self._lock:
+                    pass
+
+        class Right:
+            def __init__(self, other: Left):
+                self._lock = threading.Lock()
+                self._other = other
+
+            def go(self):
+                with self._lock:
+                    self._other.stop()
+
+            def stop(self):
+                with self._lock:
+                    pass
+    '''),
+    "RPR003": ("repro/serve/protocol.py", '''
+        import threading
+        from dataclasses import dataclass
+
+        @dataclass
+        class BadRequest:
+            guard: threading.Lock = None
+    '''),
+    "RPR004": ("repro/scratch/v4.py", '''
+        import os
+        MYSTERY = os.environ.get("REPRO_MYSTERY_KNOB", "1")
+    '''),
+    "RPR005": ("repro/scratch/v5.py", '''
+        from repro.obs.tracing import span
+
+        def serve(key):
+            with span("scratch", extras={"key": key}):
+                pass
+    '''),
+    "RPR006": ("repro/core/scratch6.py", '''
+        import time
+
+        def order(cells):
+            return sorted(cells), time.time()
+    '''),
+}
+
+
+def test_linter_parses_entire_src_tree():
+    sources, failures = load_sources([SRC])
+    assert failures == []
+    assert len(sources) > 100  # the whole library, not a subset
+
+
+def test_src_tree_is_clean_against_checked_in_baseline(monkeypatch):
+    monkeypatch.chdir(REPO)
+    assert main(["src"]) == 0
+
+
+def test_every_rule_fires_with_location(tmp_path, monkeypatch, capsys):
+    """Acceptance: one deliberate violation of each rule in a scratch
+    file exits non-zero with the correct rule id and file:line."""
+    for rule_id, (rel, text) in VIOLATIONS.items():
+        root = tmp_path / rule_id
+        path = root / rel
+        path.parent.mkdir(parents=True)
+        path.write_text(textwrap.dedent(text), encoding="utf-8")
+        monkeypatch.chdir(root)
+        code = main([str(root), "--root", str(root)])
+        out = capsys.readouterr().out
+        assert code == 1, f"{rule_id} did not fail the gate"
+        assert rule_id in out, f"{rule_id} missing from output:\n{out}"
+        reported = [line for line in out.splitlines()
+                    if line.startswith(rel + ":")]
+        assert reported, f"{rule_id} lacks a {rel}:line anchor:\n{out}"
+        location = reported[0].split(" ")[0]
+        line_no = int(location.split(":")[1])
+        assert line_no > 0
+
+
+def test_all_rule_ids_are_stable():
+    assert ALL_RULE_IDS == ("RPR001", "RPR002", "RPR003", "RPR004",
+                            "RPR005", "RPR006")
+
+
+def test_full_run_finding_paths_are_relative():
+    run = run_lint([SRC], root=REPO)
+    # Clean tree: nothing to assert per finding, but the run must have
+    # loaded every module with repo-relative display paths.
+    assert run.findings == []
+    assert all(s.display_path.startswith("src/") for s in run.sources)

@@ -1,0 +1,85 @@
+"""RPR006: no wall-clock or randomness in deterministic modules."""
+
+from __future__ import annotations
+
+
+def test_wall_clock_flagged_in_core(lint_tree):
+    findings = lint_tree({"repro/core/ordering.py": '''
+        import time
+
+        def order(cells):
+            stamp = time.time()
+            return sorted(cells), stamp
+    '''}, select=["RPR006"])
+    assert [f.rule for f in findings] == ["RPR006"]
+    assert "time.time" in findings[0].message
+
+
+def test_perf_counter_allowed(lint_tree):
+    findings = lint_tree({"repro/core/ordering.py": '''
+        import time
+
+        def order(cells):
+            started = time.perf_counter()
+            result = sorted(cells)
+            return result, time.perf_counter() - started
+    '''}, select=["RPR006"])
+    assert findings == []
+
+
+def test_random_import_flagged(lint_tree):
+    findings = lint_tree({"repro/graph/laplacian.py": '''
+        import random
+    '''}, select=["RPR006"])
+    assert [f.rule for f in findings] == ["RPR006"]
+
+
+def test_np_random_flagged(lint_tree):
+    findings = lint_tree({"repro/linalg/solver.py": '''
+        import numpy as np
+
+        def start_vector(n):
+            return np.random.default_rng().normal(size=n)
+    '''}, select=["RPR006"])
+    assert [f.rule for f in findings] == ["RPR006"]
+
+
+def test_wall_clock_fine_outside_deterministic_closure(lint_tree):
+    findings = lint_tree({"repro/obs/metrics.py": '''
+        import time
+
+        def stamp():
+            return time.time()
+    '''}, select=["RPR006"])
+    assert findings == []
+
+
+def test_builtin_hash_flagged_in_fingerprint(lint_tree):
+    findings = lint_tree({"repro/service/fingerprint.py": '''
+        def digest(config):
+            return hash(config)
+    '''}, select=["RPR006"])
+    assert [f.rule for f in findings] == ["RPR006"]
+    assert "PYTHONHASHSEED" in findings[0].message
+
+
+def test_dunder_hash_exempt(lint_tree):
+    findings = lint_tree({"repro/service/routing.py": '''
+        class Key:
+            def __init__(self, parts):
+                self.parts = tuple(parts)
+
+            def __hash__(self):
+                return hash(self.parts)
+    '''}, select=["RPR006"])
+    assert findings == []
+
+
+def test_from_time_import_time_flagged(lint_tree):
+    findings = lint_tree({"repro/curves/hilbert.py": '''
+        from time import time
+
+        def order(cells):
+            return sorted(cells), time()
+    '''}, select=["RPR006"])
+    assert [f.rule for f in findings] == ["RPR006"]

@@ -1,0 +1,123 @@
+"""RPR001: guarded attributes only under their lock."""
+
+from __future__ import annotations
+
+GUARDED_CLASS = '''
+    import threading
+
+    class Service:
+        def __init__(self):
+            self._lock = threading.RLock()
+            self._stats = 0  # guarded-by: _lock
+
+        def good(self):
+            with self._lock:
+                self._stats += 1
+
+        def bad(self):
+            return self._stats
+'''
+
+
+def test_unguarded_access_flagged(lint_tree):
+    findings = lint_tree({"repro/service/thing.py": GUARDED_CLASS})
+    assert [f.rule for f in findings] == ["RPR001"]
+    finding = findings[0]
+    assert finding.path == "repro/service/thing.py"
+    assert "_stats" in finding.message and "_lock" in finding.message
+    # Points at the access in bad(), not the annotated declaration.
+    assert finding.line == GUARDED_CLASS.splitlines().index(
+        "            return self._stats") + 1
+
+
+def test_guarded_access_clean(lint_tree):
+    clean = GUARDED_CLASS.replace(
+        "        def bad(self):\n            return self._stats\n", "")
+    assert lint_tree({"repro/service/thing.py": clean}) == []
+
+
+def test_init_is_exempt(lint_tree):
+    findings = lint_tree({"repro/service/thing.py": '''
+        import threading
+
+        class Service:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._n = 0  # guarded-by: _lock
+                self._n += 1
+    '''})
+    assert findings == []
+
+
+def test_locked_suffix_methods_exempt(lint_tree):
+    findings = lint_tree({"repro/service/thing.py": '''
+        import threading
+
+        class Service:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._n = 0  # guarded-by: _lock
+
+            def bump(self):
+                with self._lock:
+                    self._bump_locked()
+
+            def _bump_locked(self):
+                self._n += 1
+    '''})
+    assert findings == []
+
+
+def test_closure_resets_held_set(lint_tree):
+    findings = lint_tree({"repro/service/thing.py": '''
+        import threading
+
+        class Service:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._n = 0  # guarded-by: _lock
+
+            def schedule(self):
+                with self._lock:
+                    def later():
+                        return self._n
+                    return later
+    '''})
+    assert [f.rule for f in findings] == ["RPR001"]
+
+
+def test_unknown_lock_name_flagged(lint_tree):
+    findings = lint_tree({"repro/service/thing.py": '''
+        class Service:
+            def __init__(self):
+                self._n = 0  # guarded-by: _missing
+    '''})
+    assert [f.rule for f in findings] == ["RPR001"]
+    assert "_missing" in findings[0].message
+
+
+def test_inline_suppression(lint_tree):
+    suppressed = GUARDED_CLASS.replace(
+        "            return self._stats",
+        "            return self._stats  # repro-lint: disable=RPR001")
+    assert lint_tree({"repro/service/thing.py": suppressed}) == []
+
+
+def test_inherited_lock_recognized(lint_tree):
+    findings = lint_tree({"repro/obs/thing.py": '''
+        import threading
+
+        class Base:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+        class Child(Base):
+            def __init__(self):
+                super().__init__()
+                self._n = 0  # guarded-by: _lock
+
+            def read(self):
+                with self._lock:
+                    return self._n
+    '''})
+    assert findings == []

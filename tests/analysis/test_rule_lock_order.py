@@ -1,0 +1,111 @@
+"""RPR002: the static lock-acquisition graph and its cycle check."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.resolve import ProjectIndex
+from repro.analysis.rules.lock_order import build_lock_graph
+from repro.analysis.source import load_sources
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+CYCLE_TREE = {
+    "repro/service/a.py": '''
+        import threading
+        from repro.service.b import B
+
+        class A:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._b = B(self)
+
+            def forward(self):
+                with self._lock:
+                    self._b.poke()
+
+            def poke(self):
+                with self._lock:
+                    pass
+    ''',
+    "repro/service/b.py": '''
+        import threading
+
+        class B:
+            def __init__(self, a: "A"):
+                self._lock = threading.Lock()
+                self._a = a
+
+            def backward(self):
+                with self._lock:
+                    self._a.poke()
+
+            def poke(self):
+                with self._lock:
+                    pass
+    ''',
+}
+
+
+def test_cycle_flagged(lint_tree):
+    findings = lint_tree(CYCLE_TREE, select=["RPR002"])
+    assert [f.rule for f in findings] == ["RPR002"]
+    message = findings[0].message
+    assert "A._lock" in message and "B._lock" in message
+    assert findings[0].path.startswith("repro/service/")
+    assert findings[0].line > 0
+
+
+def test_one_direction_clean(lint_tree):
+    acyclic = dict(CYCLE_TREE)
+    acyclic["repro/service/b.py"] = acyclic["repro/service/b.py"].replace(
+        "            def backward(self):\n"
+        "                with self._lock:\n"
+        "                    self._a.poke()\n", "")
+    assert lint_tree(acyclic, select=["RPR002"]) == []
+
+
+def _real_graph():
+    sources, failures = load_sources([SRC])
+    assert failures == []
+    return build_lock_graph(ProjectIndex(sources))
+
+
+def test_real_tree_reconstructs_known_hierarchy():
+    """The graph recovers the hierarchy the serving PRs built by hand:
+
+    the sharded frontend and the ordering service both take their own
+    lock first and the shared LRU cache's lock second, and the fleet
+    nests the per-worker handle lock and the stats lock under the
+    fleet lock.
+    """
+    graph = _real_graph()
+    edges = set(graph.edges)
+    assert ("ShardedIndexFrontend._lock", "LRUCache._lock") in edges
+    assert ("OrderingService._lock", "LRUCache._lock") in edges
+    assert ("ProcessFleet._lock", "_WorkerHandle.lock") in edges
+    # Every node the serving stack's known locks should produce.
+    for node in ("ArtifactStore._write_lock", "SpectralIndex._lock",
+                 "OrderingService._lock", "ShardedIndexFrontend._lock",
+                 "_StoreLock._thread_lock"):
+        assert node in graph.nodes, node
+
+
+def test_real_tree_store_io_outside_service_lock():
+    """Disk saves happen *outside* the ordering-service lock (the PR-4
+    contract: compute and I/O never run under the hot-path mutex), so
+    the graph must not contain a service-lock -> store-lock edge."""
+    graph = _real_graph()
+    assert ("OrderingService._lock", "ArtifactStore._write_lock") \
+        not in graph.edges
+
+
+def test_real_tree_acyclic():
+    assert _real_graph().cycles() == []
+
+
+def test_edge_sites_point_at_source():
+    graph = _real_graph()
+    sites = graph.edges[("ShardedIndexFrontend._lock", "LRUCache._lock")]
+    assert all(site.path.endswith("sharding.py") for site in sites)
+    assert all(site.line > 0 for site in sites)

@@ -1,0 +1,98 @@
+"""RPR003: pickle-safety of wire-reachable dataclasses."""
+
+from __future__ import annotations
+
+
+def test_lambda_default_flagged(lint_tree):
+    findings = lint_tree({"repro/net/messages.py": '''
+        from dataclasses import dataclass, field
+
+        @dataclass
+        class Request:
+            callback: object = field(default_factory=lambda: None)
+    '''}, select=["RPR003"])
+    assert [f.rule for f in findings] == ["RPR003"]
+    assert "lambda" in findings[0].message
+    assert findings[0].path == "repro/net/messages.py"
+
+
+def test_lock_field_flagged(lint_tree):
+    findings = lint_tree({"repro/serve/protocol.py": '''
+        import threading
+        from dataclasses import dataclass
+
+        @dataclass
+        class Request:
+            guard: threading.Lock = None
+    '''}, select=["RPR003"])
+    assert [f.rule for f in findings] == ["RPR003"]
+    assert "unpicklable" in findings[0].message
+
+
+def test_reachability_through_nested_dataclass(lint_tree):
+    findings = lint_tree({
+        "repro/net/messages.py": '''
+            from dataclasses import dataclass
+            from repro.net.payload import Payload
+
+            @dataclass
+            class Envelope:
+                payload: Payload = None
+        ''',
+        "repro/net/payload.py": '''
+            import socket
+            from dataclasses import dataclass
+
+            @dataclass
+            class Payload:
+                conn: socket.socket = None
+        ''',
+    }, select=["RPR003"])
+    assert [f.rule for f in findings] == ["RPR003"]
+    assert findings[0].path == "repro/net/payload.py"
+
+
+def test_array_field_requires_reduce_hook(lint_tree):
+    tree = {"repro/serve/protocol.py": '''
+        from dataclasses import dataclass
+        import numpy as np
+
+        @dataclass
+        class Result:
+            order: np.ndarray = None
+    '''}
+    findings = lint_tree(dict(tree), select=["RPR003"])
+    assert [f.rule for f in findings] == ["RPR003"]
+    assert "__reduce__" in findings[0].message
+
+    with_hook = {"repro/serve/protocol.py": tree[
+        "repro/serve/protocol.py"].replace(
+        "            order: np.ndarray = None",
+        "            order: np.ndarray = None\n"
+        "            def __reduce__(self):\n"
+        "                return (Result, (self.order,))")}
+    assert lint_tree(with_hook, select=["RPR003"]) == []
+
+
+def test_plain_fields_clean(lint_tree):
+    findings = lint_tree({"repro/net/messages.py": '''
+        from dataclasses import dataclass
+        from typing import Dict, Optional, Tuple
+
+        @dataclass
+        class Request:
+            key: str = ""
+            shard: int = 0
+            extras: Optional[Dict[str, float]] = None
+            path: Tuple[int, ...] = ()
+    '''}, select=["RPR003"])
+    assert findings == []
+
+
+def test_real_wire_modules_clean():
+    from pathlib import Path
+
+    from repro.analysis import run_lint
+    src = Path(__file__).resolve().parents[2] / "src"
+    run = run_lint([src], select=["RPR003"])
+    assert run.findings == []
