@@ -1,0 +1,324 @@
+"""``repro-typecheck``: the gradual-typing ratchet.
+
+The linter in this package checks invariants mypy cannot see (lock
+discipline, wire contracts); mypy checks the thousand small contracts
+no bespoke rule should.  The ratchet makes the second kind *stick*
+without demanding the whole tree go strict at once: a checked-in
+budget file (:data:`DEFAULT_BUDGET_NAME`) records the worst allowed
+mypy error count per package, CI fails on any regression, and when a
+package improves the budget is automatically shrunk so the gain can
+never be given back.  Packages at budget 0 are, operationally, strict
+— and every package listed here is at 0.
+
+Layout of ``.typing-ratchet.json``::
+
+    {
+      "version": 1,
+      "mypy": "mypy==1.14.1",          // the pin CI installs
+      "common_flags": ["--disallow-untyped-defs", ...],
+      "packages": {
+        "repro.net": {"budget": 0},    // + optional "flags": [...]
+        ...
+      }
+    }
+
+mypy is deliberately *not* a runtime dependency: when it is not
+installed the gate reports itself skipped and exits 0, so developer
+machines without the ``[dev]`` extra lose nothing.  CI passes
+``--require``, which turns a missing mypy into a hard failure — the
+gate cannot silently evaporate there.  Tests inject a fake runner, so
+the ratchet arithmetic (regression fails, improvement shrinks,
+``--write`` rewrites) is covered even where mypy is absent.
+
+Exit codes match ``repro-lint``: 0 clean, 1 regression, 2 usage or
+environment errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import json
+import os
+import re
+import subprocess
+import sys
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Callable, List, Optional, Sequence, Tuple
+
+DEFAULT_BUDGET_NAME = ".typing-ratchet.json"
+
+USAGE_EXIT = 2
+REGRESSION_EXIT = 1
+
+#: ``runner(package, flags, root) -> (error count, raw mypy output)``.
+Runner = Callable[[str, Sequence[str], Path], Tuple[int, str]]
+
+_SUMMARY_RE = re.compile(r"Found (\d+) errors?")
+
+
+class RatchetError(Exception):
+    """Configuration or environment problem (exit 2, not a regression)."""
+
+
+@dataclass(frozen=True)
+class PackageBudget:
+    """One package's allowance in the ratchet."""
+
+    package: str
+    budget: int
+    flags: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class RatchetConfig:
+    """The parsed budget file."""
+
+    mypy: str
+    common_flags: Tuple[str, ...]
+    packages: Tuple[PackageBudget, ...]
+    version: int = 1
+
+    def flags_for(self, entry: PackageBudget) -> Tuple[str, ...]:
+        return self.common_flags + entry.flags
+
+
+@dataclass(frozen=True)
+class PackageResult:
+    """One package's observed error count against its budget."""
+
+    package: str
+    errors: int
+    budget: int
+
+    @property
+    def status(self) -> str:
+        if self.errors > self.budget:
+            return "regressed"
+        if self.errors < self.budget:
+            return "improved"
+        return "ok"
+
+
+# ---------------------------------------------------------------------------
+# Budget file round-trip
+# ---------------------------------------------------------------------------
+def load_config(path: Path) -> RatchetConfig:
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        raise RatchetError(f"no budget file at {path}; create one or "
+                           f"pass --budget") from None
+    except json.JSONDecodeError as exc:
+        raise RatchetError(f"{path} is not valid JSON: {exc}") from exc
+    if not isinstance(data, dict) or data.get("version") != 1:
+        raise RatchetError(f"{path}: expected a version-1 ratchet "
+                           f"document")
+    packages = data.get("packages")
+    if not isinstance(packages, dict) or not packages:
+        raise RatchetError(f"{path}: 'packages' must be a non-empty "
+                           f"object")
+    entries = []
+    for name in sorted(packages):
+        spec = packages[name]
+        if not isinstance(spec, dict) \
+                or not isinstance(spec.get("budget"), int) \
+                or spec["budget"] < 0:
+            raise RatchetError(f"{path}: package {name!r} needs a "
+                               f"non-negative integer 'budget'")
+        entries.append(PackageBudget(
+            package=name, budget=spec["budget"],
+            flags=tuple(spec.get("flags", ()))))
+    return RatchetConfig(
+        mypy=str(data.get("mypy", "mypy")),
+        common_flags=tuple(data.get("common_flags", ())),
+        packages=tuple(entries),
+    )
+
+
+def write_config(path: Path, config: RatchetConfig) -> None:
+    document = {
+        "version": config.version,
+        "mypy": config.mypy,
+        "common_flags": list(config.common_flags),
+        "packages": {
+            entry.package: (
+                {"budget": entry.budget, "flags": list(entry.flags)}
+                if entry.flags else {"budget": entry.budget})
+            for entry in config.packages
+        },
+    }
+    path.write_text(json.dumps(document, indent=2) + "\n",
+                    encoding="utf-8")
+
+
+def apply_budgets(config: RatchetConfig,
+                  results: Sequence[PackageResult]) -> RatchetConfig:
+    """A copy of ``config`` with the observed counts as new budgets."""
+    observed = {result.package: result.errors for result in results}
+    return replace(config, packages=tuple(
+        replace(entry, budget=observed.get(entry.package, entry.budget))
+        for entry in config.packages))
+
+
+# ---------------------------------------------------------------------------
+# The mypy runner
+# ---------------------------------------------------------------------------
+def mypy_available() -> bool:
+    return importlib.util.find_spec("mypy") is not None
+
+
+def package_target(package: str, root: Path) -> Path:
+    """The source path ``python -m mypy`` is pointed at."""
+    base = root / "src" / Path(*package.split("."))
+    if base.is_dir():
+        return base
+    as_module = base.with_suffix(".py")
+    if as_module.is_file():
+        return as_module
+    raise RatchetError(f"package {package!r} resolves to neither "
+                       f"{base}/ nor {as_module}")
+
+
+def run_mypy(package: str, flags: Sequence[str],
+             root: Path) -> Tuple[int, str]:
+    """Invoke mypy on one package; ``(error count, combined output)``.
+
+    The count comes from mypy's own ``Found N errors`` summary line so
+    notes and warnings never inflate it; a run that produces neither a
+    summary nor a clean exit (mypy crashed, bad flag) raises.
+    """
+    target = package_target(package, root)
+    command = [sys.executable, "-m", "mypy", *flags, str(target)]
+    env = dict(os.environ)
+    env["MYPYPATH"] = str(root / "src")
+    proc = subprocess.run(command, capture_output=True, text=True,
+                          cwd=str(root), env=env, check=False)
+    output = proc.stdout + proc.stderr
+    match = _SUMMARY_RE.search(output)
+    if match is not None:
+        return int(match.group(1)), output
+    if proc.returncode == 0:
+        return 0, output
+    raise RatchetError(f"mypy failed on {package} (exit "
+                       f"{proc.returncode}):\n{output}")
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-typecheck",
+        description="Per-package mypy error budgets: fail on any "
+                    "regression, auto-shrink on improvement.",
+    )
+    parser.add_argument(
+        "packages", nargs="*",
+        help="subset of budgeted packages to check (default: all)")
+    parser.add_argument(
+        "--budget", metavar="PATH", default=None,
+        help=f"budget file (default: {DEFAULT_BUDGET_NAME})")
+    parser.add_argument(
+        "--root", metavar="PATH", default=None,
+        help="repository root containing src/ (default: cwd)")
+    parser.add_argument(
+        "--write", action="store_true",
+        help="record the observed error counts as the new budgets "
+             "(both directions) and exit 0")
+    parser.add_argument(
+        "--require", action="store_true",
+        help="fail (exit 2) when mypy is not installed instead of "
+             "skipping; CI sets this")
+    parser.add_argument(
+        "--list", action="store_true", dest="list_budgets",
+        help="print the budget table and exit")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None,
+         runner: Optional[Runner] = None) -> int:
+    options = build_parser().parse_args(argv)
+    root = Path(options.root) if options.root else Path.cwd()
+    budget_path = Path(options.budget) if options.budget \
+        else root / DEFAULT_BUDGET_NAME
+    try:
+        config = load_config(budget_path)
+    except RatchetError as exc:
+        print(f"repro-typecheck: {exc}", file=sys.stderr)
+        return USAGE_EXIT
+
+    if options.list_budgets:
+        print(f"# {config.mypy}; common flags: "
+              f"{' '.join(config.common_flags)}")
+        for entry in config.packages:
+            extra = f"  [{' '.join(entry.flags)}]" if entry.flags else ""
+            print(f"{entry.package:<24} budget {entry.budget}{extra}")
+        return 0
+
+    selected = list(config.packages)
+    if options.packages:
+        known = {entry.package: entry for entry in config.packages}
+        unknown = [name for name in options.packages
+                   if name not in known]
+        if unknown:
+            print(f"repro-typecheck: not in the budget file: "
+                  f"{', '.join(unknown)}", file=sys.stderr)
+            return USAGE_EXIT
+        selected = [known[name] for name in options.packages]
+
+    if runner is None:
+        if not mypy_available():
+            message = (f"repro-typecheck: mypy is not installed "
+                       f"(want {config.mypy})")
+            if options.require:
+                print(f"{message}; --require makes that fatal",
+                      file=sys.stderr)
+                return USAGE_EXIT
+            print(f"{message}; skipping the typecheck gate")
+            return 0
+        runner = run_mypy
+
+    results: List[PackageResult] = []
+    for entry in selected:
+        try:
+            errors, output = runner(entry.package,
+                                    config.flags_for(entry), root)
+        except RatchetError as exc:
+            print(f"repro-typecheck: {exc}", file=sys.stderr)
+            return USAGE_EXIT
+        result = PackageResult(entry.package, errors, entry.budget)
+        results.append(result)
+        print(f"repro-typecheck: {entry.package:<24} "
+              f"{errors:>3} error(s), budget {entry.budget} "
+              f"[{result.status}]")
+        if result.status == "regressed" and output.strip():
+            sys.stdout.write(output if output.endswith("\n")
+                             else output + "\n")
+
+    if options.write:
+        write_config(budget_path, apply_budgets(config, results))
+        print(f"repro-typecheck: wrote {len(results)} budget(s) to "
+              f"{budget_path}")
+        return 0
+
+    regressed = [r for r in results if r.status == "regressed"]
+    improved = [r for r in results if r.status == "improved"]
+    if regressed:
+        names = ", ".join(f"{r.package} ({r.errors} > {r.budget})"
+                          for r in regressed)
+        print(f"repro-typecheck: typing regressed in {names}",
+              file=sys.stderr)
+        return REGRESSION_EXIT
+    if improved:
+        write_config(budget_path, apply_budgets(config, results))
+        names = ", ".join(f"{r.package} ({r.budget} -> {r.errors})"
+                          for r in improved)
+        print(f"repro-typecheck: budgets ratcheted down for {names}; "
+              f"commit the updated {budget_path.name}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,10 +14,12 @@ from typing import Callable, Dict, List, Tuple
 from repro.analysis.findings import Finding, RuleInfo
 from repro.analysis.resolve import ProjectIndex
 from repro.analysis.rules import (
+    cross_class_guard,
     determinism,
     env_knobs,
     lock_discipline,
     lock_order,
+    release_order,
     span_hygiene,
     wire_contract,
 )
@@ -32,6 +34,8 @@ _MODULES = (
     env_knobs,
     span_hygiene,
     determinism,
+    cross_class_guard,
+    release_order,
 )
 
 #: rule id -> (info, checker), in registry order.

@@ -1,0 +1,140 @@
+"""RPR007: guarded attributes stay guarded across object boundaries.
+
+RPR001 enforces the ``# guarded-by: <lock>`` contract for ``self.``
+accesses only — the class's own methods.  But the serving stack passes
+lock-owning objects around freely (the dispatcher mutates per-connection
+counters, caches expose hit/miss tallies), and a touch of
+``conn.inflight`` from *another* class races exactly the same way a
+``self._stats`` touch does.  This rule closes that blind spot: any
+``other.attr`` access where ``other`` resolves (through the shallow
+type inference in :class:`repro.analysis.resolve.TypeEnv`) to a project
+class whose ``attr`` is declared guarded must sit inside
+``with other.<lock>:`` — the *same expression* naming the same object —
+or inside a method whose name ends in ``_locked`` (the "caller holds
+the lock" convention).
+
+Held locks are tracked as *(object expression, lock attribute)* pairs,
+so ``with item.conn.lock:`` guards ``item.conn.inflight`` but not
+``other_conn.inflight``.  Aliasing (``c = item.conn``) defeats the
+textual match and the access is then simply unresolvable — a missed
+check, never a false alarm, matching the rest of the engine's
+philosophy.  Nested function bodies start with an empty held set for
+the same reason RPR001's do: a closure created under the lock may run
+long after it was released.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import FrozenSet, List, Optional, Tuple
+
+from repro.analysis.findings import Finding, RuleInfo
+from repro.analysis.resolve import (
+    ClassInfo,
+    ProjectIndex,
+    TypeEnv,
+    dotted,
+    self_attr,
+)
+
+RULE = RuleInfo(
+    rule_id="RPR007",
+    name="cross-class-guard",
+    severity="error",
+    rationale="Another object's '# guarded-by' attribute may only be "
+              "touched inside 'with <object>.<lock>' or a '*_locked' "
+              "helper (the cross-object half of the PR-4 race class).",
+)
+
+
+def check(project: ProjectIndex) -> List[Finding]:
+    findings: List[Finding] = []
+    for module in project.modules.values():
+        for cls in module.classes.values():
+            for name, method in cls.methods.items():
+                if name.endswith("_locked"):
+                    continue
+                checker = _CrossChecker(project, cls, method, findings)
+                for stmt in method.body:
+                    checker.visit(stmt, frozenset())
+    return findings
+
+
+class _CrossChecker:
+    """Walks one method tracking (object expr, lock attr) pairs held."""
+
+    def __init__(self, project: ProjectIndex, cls: ClassInfo,
+                 method: ast.FunctionDef, findings: List[Finding]) -> None:
+        self.project = project
+        self.cls = cls
+        self.findings = findings
+        self.env = TypeEnv(project, cls, method)
+
+    # ------------------------------------------------------------------
+    def _held_pair(self, expr: ast.AST) -> Optional[Tuple[str, str]]:
+        """The (owner expr, lock attr) a with-item context acquires."""
+        if not isinstance(expr, ast.Attribute):
+            return None
+        owner_text = dotted(expr.value)
+        if not owner_text:
+            return None
+        owner = self.env.class_of(expr.value)
+        if owner is None:
+            return None
+        if self.project.lock_node_for(owner, expr.attr) is None:
+            return None
+        return owner_text, expr.attr
+
+    def _guard_for(self, owner: ClassInfo, attr: str) -> Optional[str]:
+        """The declared guard lock of ``attr`` on ``owner`` (MRO-wide)."""
+        for candidate in self.project.mro(owner):
+            if attr in candidate.guarded:
+                return candidate.guarded[attr][0]
+        return None
+
+    # ------------------------------------------------------------------
+    def visit(self, node: ast.AST,
+              held: FrozenSet[Tuple[str, str]]) -> None:
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            acquired = set(held)
+            for item in node.items:
+                self.visit(item.context_expr, held)
+                if item.optional_vars is not None:
+                    self.visit(item.optional_vars, held)
+                pair = self._held_pair(item.context_expr)
+                if pair is not None:
+                    acquired.add(pair)
+            inner = frozenset(acquired)
+            for stmt in node.body:
+                self.visit(stmt, inner)
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            # The closure runs later; whatever is held now is gone then.
+            for child in ast.iter_child_nodes(node):
+                self.visit(child, frozenset())
+            return
+        if isinstance(node, ast.Attribute) and self_attr(node) is None:
+            self._check_access(node, held)
+        for child in ast.iter_child_nodes(node):
+            self.visit(child, held)
+
+    def _check_access(self, node: ast.Attribute,
+                      held: FrozenSet[Tuple[str, str]]) -> None:
+        owner_text = dotted(node.value)
+        if not owner_text:
+            return
+        owner = self.env.class_of(node.value)
+        if owner is None:
+            return
+        lock = self._guard_for(owner, node.attr)
+        if lock is None or (owner_text, lock) in held:
+            return
+        self.findings.append(Finding(
+            rule=RULE.rule_id, severity=RULE.severity,
+            path=self.cls.source.display_path,
+            line=node.lineno, column=node.col_offset,
+            message=f"'{owner.name}.{node.attr}' is guarded by "
+                    f"'{lock}' but accessed via '{owner_text}."
+                    f"{node.attr}' outside 'with {owner_text}.{lock}'",
+        ))

@@ -66,7 +66,7 @@ class _MethodChecker:
     """Walks one method body tracking which locks are currently held."""
 
     def __init__(self, project: ProjectIndex, cls: ClassInfo,
-                 findings: List[Finding]):
+                 findings: List[Finding]) -> None:
         self.project = project
         self.cls = cls
         self.findings = findings

@@ -30,8 +30,7 @@ from repro.analysis.findings import Finding, RuleInfo
 from repro.analysis.resolve import (
     ClassInfo,
     ProjectIndex,
-    dotted,
-    self_attr,
+    TypeEnv,
 )
 
 RULE = RuleInfo(
@@ -218,70 +217,21 @@ def _collect_facts(project: ProjectIndex, cls: ClassInfo,
 
 class _FactWalker:
     def __init__(self, project: ProjectIndex, cls: ClassInfo,
-                 method: ast.FunctionDef, facts: _MethodFacts):
-        self.project = project
-        self.cls = cls
+                 method: ast.FunctionDef, facts: _MethodFacts) -> None:
         self.facts = facts
-        self.locals = _local_types(project, cls, method)
-
-    # -- type plumbing ---------------------------------------------------
-    def _class_of(self, expr: ast.AST) -> Optional[ClassInfo]:
-        """The project class an expression evaluates to, if inferable."""
-        if isinstance(expr, ast.Name):
-            if expr.id == "self":
-                return self.cls
-            name = self.locals.get(expr.id)
-            return self._resolve(name)
-        if isinstance(expr, ast.Attribute):
-            attr = self_attr(expr)
-            if attr is not None:
-                return self._resolve(self.cls.attr_types.get(attr))
-            base = self._class_of(expr.value)
-            if base is not None:
-                return self._resolve(base.attr_types.get(expr.attr))
-            return None
-        if isinstance(expr, ast.Subscript):
-            return self._elem_class_of(expr.value)
-        if isinstance(expr, ast.Call):
-            name = dotted(expr.func)
-            return self._resolve(name) if name else None
-        return None
-
-    def _elem_class_of(self, expr: ast.AST) -> Optional[ClassInfo]:
-        if isinstance(expr, ast.Attribute):
-            attr = self_attr(expr)
-            if attr is not None:
-                return self._resolve(self.cls.attr_elem_types.get(attr))
-        if isinstance(expr, ast.Name):
-            name = self.locals.get("[]" + expr.id)
-            return self._resolve(name)
-        return None
-
-    def _resolve(self, name: Optional[str]) -> Optional[ClassInfo]:
-        if not name:
-            return None
-        return self.project.resolve_class(self.cls.module, name)
+        self.env = TypeEnv(project, cls, method)
 
     # -- event extraction ------------------------------------------------
     def _acquired_node(self, expr: ast.AST) -> Optional[str]:
         """Graph node acquired by ``with <expr>``, if it is a lock."""
-        attr = self_attr(expr)
-        if attr is not None:
-            node = self.project.lock_node_for(self.cls, attr)
-            if node is not None:
-                return node
-        if isinstance(expr, ast.Attribute):
-            owner = self._class_of(expr.value)
-            if owner is not None:
-                return self.project.lock_node_for(owner, expr.attr)
-        return None
+        return self.env.lock_node_acquired(expr)
 
     def _callee_key(self, call: ast.Call
                     ) -> Optional[Tuple[Tuple[str, str, str], str]]:
         func = call.func
         if not isinstance(func, ast.Attribute):
             return None
-        owner = self._class_of(func.value)
+        owner = self.env.class_of(func.value)
         if owner is None or func.attr not in owner.methods:
             return None
         key = (owner.module, owner.name, func.attr)
@@ -328,51 +278,3 @@ class _FactWalker:
             self.visit(child, held)
 
 
-def _local_types(project: ProjectIndex, cls: ClassInfo,
-                 method: ast.FunctionDef) -> Dict[str, str]:
-    """First-wins local-variable type bindings for one method.
-
-    Scalar bindings map ``name -> ClassName``; container bindings map
-    ``"[]" + name -> element ClassName`` (consumed by subscript
-    resolution).  Conflicting rebinds keep the first type seen — wrong
-    in pathological code, conservative in practice.
-    """
-    names: Dict[str, str] = {}
-
-    def put(key: str, value: Optional[str]) -> None:
-        if value and key not in names:
-            names[key] = value
-
-    args = method.args
-    for arg in (list(args.posonlyargs) + list(args.args)
-                + list(args.kwonlyargs)):
-        if arg.annotation is None or arg.arg == "self":
-            continue
-        from repro.analysis.resolve import _annotation_types  # noqa: PLC0415
-        scalar, elem = _annotation_types(arg.annotation)
-        put(arg.arg, scalar)
-        put("[]" + arg.arg, elem)
-
-    for node in ast.walk(method):
-        if isinstance(node, ast.Assign) and len(node.targets) == 1 \
-                and isinstance(node.targets[0], ast.Name):
-            name = node.targets[0].id
-            value = node.value
-            if isinstance(value, ast.Call):
-                put(name, dotted(value.func) or None)
-            elif isinstance(value, ast.Attribute):
-                attr = self_attr(value)
-                if attr is not None:
-                    put(name, cls.attr_types.get(attr))
-                    put("[]" + name, cls.attr_elem_types.get(attr))
-            elif isinstance(value, ast.Subscript):
-                target = value.value
-                attr = self_attr(target)
-                if attr is not None:
-                    put(name, cls.attr_elem_types.get(attr))
-        elif isinstance(node, ast.For) \
-                and isinstance(node.target, ast.Name):
-            attr = self_attr(node.iter)
-            if attr is not None:
-                put(node.target.id, cls.attr_elem_types.get(attr))
-    return names

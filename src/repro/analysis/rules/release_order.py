@@ -1,0 +1,304 @@
+"""RPR008: manual ``acquire()`` needs a dominating ``try/finally``
+release, and releases must unwind in reverse acquisition order.
+
+``with`` blocks release on every path by construction — RPR001/RPR002
+lean on that.  Manual ``lock.acquire()`` calls have no such guarantee:
+an early ``return`` or an exception between the acquire and the
+release leaks the lock and wedges every future waiter.  This rule
+requires each manual acquire in a method to be *dominated* by a
+``try/finally`` that releases the same lock expression — either the
+acquire is the statement immediately before such a ``try``, or it sits
+directly inside one whose ``finally`` releases it.  Context-manager
+implementations are the sanctioned split: an acquire in ``__enter__``
+(or ``acquire``) is exempt when the class's ``__exit__`` (or
+``release``) releases the same expression — the artifact store's
+``_StoreLock`` pattern.
+
+Two ordering checks ride on the same walk, closing the blind spot
+RPR002 has for manual calls (its graph only extends held context
+through ``with`` nesting):
+
+* releasing a lock while a *later-acquired* lock is still held
+  (interleaved, non-LIFO release) is a finding — the survivor region
+  inverts the acquisition order this very method established;
+* acquiring a lock (manually or via ``with``) while manually holding
+  another is checked against :func:`build_lock_graph`'s edges — if the
+  established order runs the other way, the acquisition is a deadlock
+  half waiting for its partner.
+
+Lock expressions resolve through :class:`repro.analysis.resolve.
+TypeEnv` (``self._lock``, ``conn.send_lock``, …) plus local variables
+bound to a ``threading`` factory in the same method.  Unresolvable
+expressions contribute nothing — a missed check, never a false alarm.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.findings import Finding, RuleInfo
+from repro.analysis.resolve import (
+    THREADING_LOCK_FACTORIES,
+    ClassInfo,
+    ProjectIndex,
+    TypeEnv,
+    dotted,
+)
+from repro.analysis.rules.lock_order import LockGraph, build_lock_graph
+
+RULE = RuleInfo(
+    rule_id="RPR008",
+    name="release-ordering",
+    severity="error",
+    rationale="Manual lock.acquire() must be released by a dominating "
+              "try/finally on every path, in reverse acquisition "
+              "order, without inverting the project lock graph.",
+)
+
+#: (acquiring method, releasing counterpart) pairs that sanction an
+#: acquire/release split across two methods of one class.
+_PAIRED_METHODS = {"__enter__": "__exit__", "acquire": "release"}
+
+
+@dataclass
+class _Held:
+    """One lock currently held on the straight-line path."""
+
+    node: str   # graph-node spelling, e.g. "_StoreLock._thread_lock"
+    text: str   # source spelling, e.g. "self._thread_lock"
+    line: int
+    manual: bool  # False for enclosing ``with`` acquisitions
+
+
+def check(project: ProjectIndex) -> List[Finding]:
+    graph = build_lock_graph(project)
+    reach = _Reachability(graph)
+    findings: List[Finding] = []
+    for module in project.modules.values():
+        for cls in module.classes.values():
+            for method in cls.methods.values():
+                scanner = _MethodScanner(project, cls, method, reach,
+                                         findings)
+                scanner.scan_body(method.body, [])
+    return findings
+
+
+class _Reachability:
+    """Memoized path queries over the RPR002 may-acquire graph."""
+
+    def __init__(self, graph: LockGraph) -> None:
+        self.adj: Dict[str, Set[str]] = {}
+        for (src, dst) in graph.edges:
+            self.adj.setdefault(src, set()).add(dst)
+        self._memo: Dict[str, Set[str]] = {}
+
+    def reaches(self, src: str, dst: str) -> bool:
+        if src not in self._memo:
+            seen: Set[str] = set()
+            stack = [src]
+            while stack:
+                for succ in self.adj.get(stack.pop(), ()):
+                    if succ not in seen:
+                        seen.add(succ)
+                        stack.append(succ)
+            self._memo[src] = seen
+        return dst in self._memo[src]
+
+
+class _MethodScanner:
+    def __init__(self, project: ProjectIndex, cls: ClassInfo,
+                 method: ast.FunctionDef, reach: _Reachability,
+                 findings: List[Finding]) -> None:
+        self.project = project
+        self.cls = cls
+        self.method = method
+        self.reach = reach
+        self.findings = findings
+        self.env = TypeEnv(project, cls, method)
+
+    # -- lock resolution ----------------------------------------------
+    def _lock_ref(self, expr: ast.AST) -> Optional[Tuple[str, str]]:
+        """(graph node, source text) when ``expr`` denotes a lock."""
+        node = self.env.lock_node_acquired(expr)
+        if node is not None:
+            return node, dotted(expr)
+        if isinstance(expr, ast.Name):
+            bound = self.env.locals.get(expr.id)
+            if bound and bound.rsplit(".", 1)[-1] in \
+                    THREADING_LOCK_FACTORIES:
+                return f"<local {expr.id}>", expr.id
+        return None
+
+    def _call_event(self, stmt: ast.stmt
+                    ) -> Optional[Tuple[str, str, str, int]]:
+        """(kind, node, text, line) for a plain ``X.acquire()`` /
+        ``X.release()`` expression statement."""
+        if not (isinstance(stmt, ast.Expr)
+                and isinstance(stmt.value, ast.Call)
+                and isinstance(stmt.value.func, ast.Attribute)
+                and stmt.value.func.attr in ("acquire", "release")):
+            return None
+        ref = self._lock_ref(stmt.value.func.value)
+        if ref is None:
+            return None
+        node, text = ref
+        return stmt.value.func.attr, node, text, stmt.lineno
+
+    # -- structural checks --------------------------------------------
+    def _finally_release_texts(self, try_stmt: ast.Try) -> Set[str]:
+        texts: Set[str] = set()
+        for stmt in try_stmt.finalbody:
+            for call in ast.walk(stmt):
+                if isinstance(call, ast.Call) \
+                        and isinstance(call.func, ast.Attribute) \
+                        and call.func.attr == "release":
+                    spelled = dotted(call.func.value)
+                    if spelled:
+                        texts.add(spelled)
+        return texts
+
+    def _paired_release(self, text: str) -> bool:
+        partner = _PAIRED_METHODS.get(self.method.name)
+        if partner is None or partner not in self.cls.methods:
+            return False
+        for call in ast.walk(self.cls.methods[partner]):
+            if isinstance(call, ast.Call) \
+                    and isinstance(call.func, ast.Attribute) \
+                    and call.func.attr == "release" \
+                    and dotted(call.func.value) == text:
+                return True
+        return False
+
+    # -- findings ------------------------------------------------------
+    def _report(self, line: int, message: str) -> None:
+        self.findings.append(Finding(
+            rule=RULE.rule_id, severity=RULE.severity,
+            path=self.cls.source.display_path, line=line, column=0,
+            message=message,
+        ))
+
+    def _check_inversion(self, node: str, text: str, line: int,
+                         held: Sequence[_Held]) -> None:
+        for entry in held:
+            if entry.node != node \
+                    and self.reach.reaches(node, entry.node):
+                self._report(line, (
+                    f"acquiring '{node}' (as '{text}') while holding "
+                    f"'{entry.node}' inverts the established lock "
+                    f"order '{node} -> {entry.node}'"))
+
+    # -- traversal -----------------------------------------------------
+    def scan_body(self, body: Sequence[ast.stmt], held: List[_Held],
+                  finally_guard: Optional[Set[str]] = None) -> None:
+        guard = finally_guard or set()
+        i = 0
+        while i < len(body):
+            stmt = body[i]
+            event = self._call_event(stmt)
+            if event is not None:
+                kind, node, text, line = event
+                if kind == "acquire":
+                    self._check_inversion(node, text, line, held)
+                    nxt = body[i + 1] if i + 1 < len(body) else None
+                    if isinstance(nxt, ast.Try) and text in \
+                            self._finally_release_texts(nxt):
+                        held.append(_Held(node, text, line, True))
+                        self._scan_try(nxt, held)
+                        i += 2
+                        continue
+                    if text not in guard \
+                            and not self._paired_release(text):
+                        self._report(line, (
+                            f"'{text}.acquire()' has no dominating "
+                            f"try/finally release — an exception or "
+                            f"early return between acquire and "
+                            f"release leaks the lock"))
+                    held.append(_Held(node, text, line, True))
+                elif kind == "release":
+                    self._handle_release(node, text, line, held)
+                i += 1
+                continue
+            self._scan_other(stmt, held, guard)
+            i += 1
+
+    def _handle_release(self, node: str, text: str, line: int,
+                        held: List[_Held]) -> None:
+        if held and held[-1].text == text:
+            held.pop()
+            return
+        for idx in range(len(held) - 1, -1, -1):
+            if held[idx].text == text:
+                later = held[-1]
+                self._report(line, (
+                    f"'{text}' is released while '{later.text}' "
+                    f"(acquired later, line {later.line}) is still "
+                    f"held — releases must unwind in reverse "
+                    f"acquisition order"))
+                del held[idx]
+                return
+        # Release of a lock this path never acquired: a helper whose
+        # caller holds the lock.  Out of scope for a static pass.
+
+    def _scan_try(self, stmt: ast.Try, held: List[_Held]) -> None:
+        guard = self._finally_release_texts(stmt)
+        self.scan_body(stmt.body, held, finally_guard=guard)
+        for handler in stmt.handlers:
+            self.scan_body(handler.body, list(held),
+                           finally_guard=guard)
+        self.scan_body(stmt.orelse, list(held), finally_guard=guard)
+        self.scan_body(stmt.finalbody, held)
+
+    def _scan_other(self, stmt: ast.stmt, held: List[_Held],
+                    guard: Set[str]) -> None:
+        if isinstance(stmt, ast.Try):
+            self._scan_try(stmt, held)
+            return
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            inner = list(held)
+            for item in stmt.items:
+                ref = self._lock_ref(item.context_expr)
+                if ref is not None:
+                    node, text = ref
+                    line = item.context_expr.lineno
+                    self._check_inversion(node, text, line, held)
+                    inner.append(_Held(node, text, line, False))
+            self.scan_body(stmt.body, inner, finally_guard=guard)
+            return
+        if isinstance(stmt, (ast.If, ast.While)):
+            self._scan_embedded(stmt.test)
+            self.scan_body(stmt.body, list(held), finally_guard=guard)
+            self.scan_body(stmt.orelse, list(held),
+                           finally_guard=guard)
+            return
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._scan_embedded(stmt.iter)
+            self.scan_body(stmt.body, list(held), finally_guard=guard)
+            self.scan_body(stmt.orelse, list(held),
+                           finally_guard=guard)
+            return
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # A closure's acquires are its own straight-line problem;
+            # it inherits none of today's held context.
+            self.scan_body(stmt.body, [])
+            return
+        if isinstance(stmt, ast.ClassDef):
+            return
+        self._scan_embedded(stmt)
+
+    def _scan_embedded(self, node: ast.AST) -> None:
+        """Flag acquires buried in expression positions (``if
+        lock.acquire(False):``, ``x = lock.acquire()``) — no statement
+        boundary exists for a dominating try/finally to follow."""
+        for call in ast.walk(node):
+            if isinstance(call, ast.Call) \
+                    and isinstance(call.func, ast.Attribute) \
+                    and call.func.attr == "acquire" \
+                    and self._lock_ref(call.func.value) is not None:
+                text = dotted(call.func.value)
+                self._report(call.lineno, (
+                    f"'{text}.acquire()' in an expression position "
+                    f"cannot be paired with a try/finally release; "
+                    f"restructure as a plain acquire() followed by "
+                    f"try/finally"))

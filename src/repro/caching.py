@@ -23,7 +23,7 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from contextlib import nullcontext
-from typing import Generic, Hashable, Iterator, Optional, TypeVar
+from typing import Generic, Hashable, Iterator, Optional, Tuple, TypeVar
 
 from repro.errors import InvalidParameterError
 
@@ -100,6 +100,15 @@ class LRUCache(Generic[K, V]):
         # OrderedDict iterator that a concurrent put() would invalidate.
         with self._lock:
             return iter(list(self._entries))
+
+    def counters(self) -> Tuple[int, int]:
+        """A ``(hits, misses)`` snapshot taken under the lock.
+
+        External readers must come through here: the raw counters are
+        guarded, and RPR007 flags any cross-class touch of them.
+        """
+        with self._lock:
+            return self.hits, self.misses
 
     def clear(self) -> None:
         """Drop every entry (counters are kept)."""

@@ -292,12 +292,12 @@ class HierarchyCache:
     @property
     def hits(self) -> int:
         """Structure-fingerprint hits (matchings reused)."""
-        return self._projections.hits
+        return self._projections.counters()[0]
 
     @property
     def misses(self) -> int:
         """Structure-fingerprint misses (matchings computed)."""
-        return self._projections.misses
+        return self._projections.counters()[1]
 
     def __len__(self) -> int:
         return len(self._projections)

@@ -28,13 +28,14 @@ from __future__ import annotations
 import socket
 import threading
 import time
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.errors import InvalidParameterError
 from repro.geometry.grid import Grid
 from repro.graph.adjacency import Graph
 from repro.net.errors import (
     ConnectionLostError,
+    FrameError,
     HandshakeError,
     RequestTimeoutError,
 )
@@ -130,7 +131,7 @@ class RemoteFrontend:
                  read_timeout: float = 60.0,
                  reconnect_attempts: int = 3,
                  backoff_base: float = 0.05,
-                 backoff_max: float = 2.0):
+                 backoff_max: float = 2.0) -> None:
         if connect_timeout <= 0:
             raise InvalidParameterError(
                 f"connect_timeout must be > 0, got {connect_timeout}")
@@ -152,18 +153,18 @@ class RemoteFrontend:
         self._sock: Optional[socket.socket] = None  # guarded-by: _lock
         self._seq = 0  # guarded-by: _lock
         self._closed = False  # guarded-by: _lock
-        self._hello: Optional[ServerHello] = None
         with self._lock:
             self._ensure_connected_locked()
-        self._hello = self._call(PingRequest())
+        self._hello: ServerHello = self._call(PingRequest())
 
     # ------------------------------------------------------------------
     # Transport
     # ------------------------------------------------------------------
-    def _ensure_connected_locked(self) -> None:
-        """Dial + handshake under ``self._lock``; raises on mismatch."""
+    def _ensure_connected_locked(self) -> socket.socket:
+        """Dial + handshake under ``self._lock``; returns the live
+        socket so callers never touch the ``Optional`` field."""
         if self._sock is not None:
-            return
+            return self._sock
         if self._closed:
             raise ConnectionLostError("this RemoteFrontend is closed")
         sock, server_version = _connect(
@@ -176,6 +177,7 @@ class RemoteFrontend:
                 f"version {server_version}, this client speaks "
                 f"{NET_PROTOCOL_VERSION}")
         self._sock = sock
+        return sock
 
     def _drop_socket_locked(self) -> None:
         if self._sock is not None:
@@ -185,19 +187,24 @@ class RemoteFrontend:
                 pass
             self._sock = None
 
-    def _roundtrip(self, message):
+    def _roundtrip(self, message: Any) -> Any:
         """Send one request and read its response, reconnecting on
         transport failure; returns the raw response payload."""
         with self._lock:
             attempt = 0
             while True:
+                if self._closed:
+                    # Deterministic failure: retrying a closed client
+                    # would just burn the full backoff schedule.
+                    raise ConnectionLostError(
+                        "this RemoteFrontend is closed")
                 try:
-                    self._ensure_connected_locked()
+                    sock = self._ensure_connected_locked()
                     self._seq += 1
                     seq = self._seq
-                    send_frame(self._sock, seq, message)
+                    send_frame(sock, seq, message)
                     while True:
-                        got_seq, payload = recv_frame(self._sock)
+                        got_seq, payload = recv_frame(sock)
                         if got_seq == seq:
                             return payload
                         # A response to a request whose reply we gave
@@ -212,6 +219,12 @@ class RemoteFrontend:
                     raise RequestTimeoutError(
                         f"no response from {self._host}:{self._port} "
                         f"within {self._read_timeout}s") from None
+                except FrameError:
+                    # A malformed frame leaves unread bytes on the
+                    # stream; keeping the socket would hand the *next*
+                    # request this response's leftovers.
+                    self._drop_socket_locked()
+                    raise
                 except (ConnectionLostError, OSError):
                     self._drop_socket_locked()
                     if attempt >= self._reconnect_attempts:
@@ -221,7 +234,7 @@ class RemoteFrontend:
                                    self._backoff_base * (2 ** attempt)))
                     attempt += 1
 
-    def _call(self, message):
+    def _call(self, message: Any) -> Any:
         """One remote call: trace wrap, round trip, error unwrap."""
         traced = tracing_enabled()
         if traced:
@@ -229,9 +242,12 @@ class RemoteFrontend:
                       request=type(message).__name__,
                       host=self._host, port=self._port):
                 ctx = current_context()
-                wire = TracedRequest(
-                    request=message,
-                    trace_context=ctx.as_wire() if ctx else None)
+                # No context means nothing to resume server-side; the
+                # bare message keeps the untraced wire format (and the
+                # server indexes trace_context, so never ship None).
+                wire = (TracedRequest(request=message,
+                                      trace_context=ctx.as_wire())
+                        if ctx is not None else message)
                 start = time.monotonic()
                 response = self._roundtrip(wire)
                 _ROUNDTRIP_SECONDS.observe(time.monotonic() - start)
@@ -250,26 +266,27 @@ class RemoteFrontend:
     # ------------------------------------------------------------------
     # Ordering surface
     # ------------------------------------------------------------------
-    def order_grid(self, grid, config=None):
+    def order_grid(self, grid: Grid, config: Any = None) -> Any:
         """Remote counterpart of ``ShardedIndexFrontend.order_grid``."""
         self._expect(grid, Grid, "order_grid")
         return self._call(OrderRequestMessage(domain=grid, config=config))
 
-    def grid_artifact(self, grid, config=None):
+    def grid_artifact(self, grid: Grid, config: Any = None) -> Any:
         self._expect(grid, Grid, "grid_artifact")
         return self._call(OrderRequestMessage(
             domain=grid, config=config, want_artifact=True))
 
-    def order_graph(self, graph, config=None):
+    def order_graph(self, graph: Graph, config: Any = None) -> Any:
         self._expect(graph, Graph, "order_graph")
         return self._call(OrderRequestMessage(domain=graph, config=config))
 
-    def graph_artifact(self, graph, config=None):
+    def graph_artifact(self, graph: Graph, config: Any = None) -> Any:
         self._expect(graph, Graph, "graph_artifact")
         return self._call(OrderRequestMessage(
             domain=graph, config=config, want_artifact=True))
 
-    def order_many(self, requests: Sequence, parallelism=None) -> List:
+    def order_many(self, requests: Sequence,
+                   parallelism: Optional[int] = None) -> List:
         """Order a batch in one round trip.
 
         ``parallelism`` is validated for surface compatibility but the
@@ -287,21 +304,24 @@ class RemoteFrontend:
     # ------------------------------------------------------------------
     # Query surface
     # ------------------------------------------------------------------
-    def range(self, domain, box, **kwargs):
+    def range(self, domain: Any, box: Any, **kwargs: Any) -> Any:
         return self._query(domain, "range", (box,), kwargs)
 
-    def nn(self, domain, cell, k, **kwargs):
+    def nn(self, domain: Any, cell: Any, k: int, **kwargs: Any) -> Any:
         return self._query(domain, "nn", (cell, k), kwargs)
 
-    def join(self, domain, a, b, *, epsilon, window, **kwargs):
+    def join(self, domain: Any, a: Any, b: Any, *, epsilon: float,
+             window: Any, **kwargs: Any) -> Any:
         kwargs = dict(kwargs, epsilon=epsilon, window=window)
         return self._query(domain, "join", (a, b), kwargs)
 
-    def query_many(self, domain, queries, parallelism=None):
+    def query_many(self, domain: Any, queries: Any,
+                   parallelism: Optional[int] = None) -> Any:
         ensure_workers(parallelism)
         return self._query(domain, "query_many", (list(queries),), {})
 
-    def _query(self, domain, op: str, args: tuple, kwargs: dict):
+    def _query(self, domain: Any, op: str, args: tuple,
+               kwargs: dict) -> Any:
         return self._call(IndexQueryMessage(
             domain=domain, op=op, args=tuple(args), kwargs=dict(kwargs)))
 
@@ -313,11 +333,11 @@ class RemoteFrontend:
         self._hello = self._call(PingRequest())
         return self._hello
 
-    def stats(self):
+    def stats(self) -> Any:
         """Per-shard ``ServiceStats`` from the backing frontend."""
         return self._call(StatsRequest())
 
-    def combined_stats(self):
+    def combined_stats(self) -> Any:
         """All shards' counters summed into one ``ServiceStats`` —
         the exact ``ProcessPoolFrontend.combined_stats`` shape."""
         from repro.service.ordering import ServiceStats
@@ -343,10 +363,10 @@ class RemoteFrontend:
     # ------------------------------------------------------------------
     # Topology helpers (computed locally — same functions both sides)
     # ------------------------------------------------------------------
-    def shard_of(self, domain) -> int:
+    def shard_of(self, domain: Any) -> int:
         return shard_of_domain(domain, self.num_shards)
 
-    def fingerprint_of(self, domain) -> str:
+    def fingerprint_of(self, domain: Any) -> str:
         return routing_fingerprint(domain)
 
     @property
@@ -372,7 +392,7 @@ class RemoteFrontend:
     def __enter__(self) -> "RemoteFrontend":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
     def __repr__(self) -> str:
@@ -381,7 +401,7 @@ class RemoteFrontend:
         return f"RemoteFrontend({self._host}:{self._port}, {state})"
 
     @staticmethod
-    def _expect(domain, kind, method: str) -> None:
+    def _expect(domain: Any, kind: type, method: str) -> None:
         if not isinstance(domain, kind):
             raise InvalidParameterError(
                 f"{method} expects a {kind.__name__}, "

@@ -9,6 +9,8 @@ worker-side failures on the process fleet.
 
 from __future__ import annotations
 
+from typing import Tuple
+
 from repro.errors import ReproError
 
 
@@ -62,11 +64,11 @@ class ServerBusy(NetError):
     exception, never like a hang or a dead socket.
     """
 
-    def __init__(self, message: str, reason: str = "queue_full"):
+    def __init__(self, message: str, reason: str = "queue_full") -> None:
         super().__init__(message)
         self.reason = reason
 
-    def __reduce__(self):
+    def __reduce__(self) -> "Tuple[type, Tuple[str, str]]":
         # Exception.__reduce__ would replay only args[0] and lose the
         # reason across the pickle boundary.
         return (ServerBusy, (self.args[0], self.reason))

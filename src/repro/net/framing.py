@@ -26,7 +26,7 @@ from __future__ import annotations
 import pickle
 import socket
 import struct
-from typing import Tuple
+from typing import Optional, Tuple
 
 from repro.net.errors import ConnectionLostError, FrameError, HandshakeError
 
@@ -49,7 +49,7 @@ _HANDSHAKE = struct.Struct(">4sI")
 HANDSHAKE_BYTES = _HANDSHAKE.size
 
 
-def handshake_bytes(version: int = None) -> bytes:
+def handshake_bytes(version: Optional[int] = None) -> bytes:
     """The 8-byte hello this side sends (tests may spoof ``version``)."""
     if version is None:
         version = NET_PROTOCOL_VERSION

@@ -46,7 +46,7 @@ import queue
 import socket
 import threading
 import time
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.spectral import SpectralConfig
 from repro.errors import InvalidParameterError
@@ -141,15 +141,16 @@ class _Connection:
     __slots__ = ("sock", "addr", "conn_id", "send_lock", "lock",
                  "inflight", "dropped", "closed")
 
-    def __init__(self, sock: socket.socket, addr, conn_id: int):
+    def __init__(self, sock: socket.socket, addr: Any,
+                 conn_id: int) -> None:
         self.sock = sock
         self.addr = addr
         self.conn_id = conn_id
         self.send_lock = threading.Lock()
         self.lock = threading.Lock()
-        self.inflight = 0
-        self.dropped = False
-        self.closed = False
+        self.inflight = 0  # guarded-by: lock
+        self.dropped = False  # guarded-by: lock
+        self.closed = False  # guarded-by: lock
 
 
 class _WorkItem:
@@ -157,8 +158,8 @@ class _WorkItem:
 
     __slots__ = ("conn", "seq", "message", "deadline")
 
-    def __init__(self, conn: _Connection, seq: int, message,
-                 deadline: float):
+    def __init__(self, conn: _Connection, seq: int, message: Any,
+                 deadline: float) -> None:
         self.conn = conn
         self.seq = seq
         self.message = message
@@ -172,7 +173,7 @@ class _NetFlight:
 
     def __init__(self) -> None:
         self.event = threading.Event()
-        self.artifact = None
+        self.artifact: Any = None
 
 
 class SpectralServer:
@@ -209,11 +210,11 @@ class SpectralServer:
     ...     host, port = server.address        # doctest: +SKIP
     """
 
-    def __init__(self, frontend, host: str = "127.0.0.1", port: int = 0,
-                 *, queue_depth: Optional[int] = None,
+    def __init__(self, frontend: Any, host: str = "127.0.0.1",
+                 port: int = 0, *, queue_depth: Optional[int] = None,
                  request_timeout: Optional[float] = None,
                  dispatchers: int = 4, backlog: int = 128,
-                 own_frontend: bool = False):
+                 own_frontend: bool = False) -> None:
         if queue_depth is None:
             queue_depth = NET_QUEUE_DEPTH
         if request_timeout is None:
@@ -273,8 +274,8 @@ class SpectralServer:
         self._address = listener.getsockname()[:2]
         self._started_at = time.monotonic()
         self._accept_thread = threading.Thread(
-            target=self._accept_loop, name="repro-net-accept",
-            daemon=True)
+            target=self._accept_loop, args=(listener,),
+            name="repro-net-accept", daemon=True)
         self._accept_thread.start()
         for i in range(self._dispatcher_count):
             thread = threading.Thread(
@@ -347,16 +348,19 @@ class SpectralServer:
     def __enter__(self) -> "SpectralServer":
         return self.start()
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
     # ------------------------------------------------------------------
     # Accept / read
     # ------------------------------------------------------------------
-    def _accept_loop(self) -> None:
+    def _accept_loop(self, listener: socket.socket) -> None:
+        # The listener arrives as an argument: ``self._listener`` is
+        # Optional (None again after close) and this thread outlives
+        # that transition.
         while True:
             try:
-                sock, addr = self._listener.accept()
+                sock, addr = listener.accept()
             except OSError:  # listener closed: shutdown
                 return
             if self._draining:  # repro-lint: disable=RPR001
@@ -423,7 +427,8 @@ class SpectralServer:
     # ------------------------------------------------------------------
     # Routing / admission
     # ------------------------------------------------------------------
-    def _route(self, conn: _Connection, seq: int, message) -> None:
+    def _route(self, conn: _Connection, seq: int,
+               message: Any) -> None:
         inner = (message.request if isinstance(message, TracedRequest)
                  else message)
         _REQUESTS.inc(request=type(inner).__name__)
@@ -510,7 +515,7 @@ class SpectralServer:
                 with self._state_lock:
                     self._requests_handled += 1
 
-    def _execute(self, message, deadline: float):
+    def _execute(self, message: Any, deadline: float) -> Any:
         if isinstance(message, TracedRequest):
             inner = message.request
             trace_id = message.trace_context[0]
@@ -526,7 +531,7 @@ class SpectralServer:
             return TracedResponse(response=response, spans=spans)
         return self._execute_bare(message, deadline)
 
-    def _execute_bare(self, message, deadline: float):
+    def _execute_bare(self, message: Any, deadline: float) -> Any:
         try:
             if isinstance(message, OrderRequestMessage):
                 payload = self._order(message, deadline)
@@ -544,7 +549,7 @@ class SpectralServer:
                 raise
             return error_response(exc)
 
-    def _index_op(self, message: IndexQueryMessage):
+    def _index_op(self, message: IndexQueryMessage) -> Any:
         if message.op not in SERVED_INDEX_OPS:
             raise InvalidParameterError(
                 f"op must be one of {SERVED_INDEX_OPS}, "
@@ -555,7 +560,8 @@ class SpectralServer:
     # ------------------------------------------------------------------
     # Cross-client coalescing
     # ------------------------------------------------------------------
-    def _order(self, message: OrderRequestMessage, deadline: float):
+    def _order(self, message: OrderRequestMessage,
+               deadline: float) -> Any:
         domain = coerce_domain(message.domain)
         want_artifact = message.want_artifact
         config = message.config
@@ -597,7 +603,7 @@ class SpectralServer:
             # The leader failed; loop — one waiter becomes the next
             # leader, so a transient failure never wedges the key.
 
-    def _artifact(self, domain, config):
+    def _artifact(self, domain: Any, config: Any) -> Any:
         # Always the full artifact, even for order-only callers: the
         # flight's waiters may want either shape, and the order *is*
         # artifact.order (the same derivation the fleet worker uses),
@@ -609,7 +615,7 @@ class SpectralServer:
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
-    def _introspect(self, message):
+    def _introspect(self, message: Any) -> Any:
         try:
             if isinstance(message, PingRequest):
                 payload = self._hello()
@@ -666,10 +672,14 @@ class SpectralServer:
     # ------------------------------------------------------------------
     # Replies / teardown
     # ------------------------------------------------------------------
-    def _reply(self, conn: _Connection, seq: int, response) -> None:
+    def _reply(self, conn: _Connection, seq: int,
+               response: Any) -> None:
         try:
             with conn.send_lock:
-                if conn.closed:
+                # Advisory read under send_lock, not conn.lock: a reply
+                # racing the reaper at worst sends on a closing socket,
+                # which the except below already absorbs.
+                if conn.closed:  # repro-lint: disable=RPR007
                     raise ConnectionLostError("connection already reaped")
                 send_frame(conn.sock, seq, response)
         except Exception:

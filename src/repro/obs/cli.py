@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.obs.metrics import dump_metrics
 from repro.obs.tracing import (
@@ -51,7 +51,8 @@ def _cmd_summary(args: argparse.Namespace) -> int:
     if not records:
         print("no spans in %s" % args.file, file=sys.stderr)
         return 1
-    by_name: dict = {}
+    # name -> [count, total seconds, worst seconds]
+    by_name: Dict[str, List[float]] = {}
     for record in records:
         entry = by_name.setdefault(record.name, [0, 0.0, 0.0])
         entry[0] += 1

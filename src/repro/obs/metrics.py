@@ -20,7 +20,17 @@ from __future__ import annotations
 import json
 import threading
 from bisect import bisect_right
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+    Type,
+    TypeVar,
+)
 
 __all__ = [
     "Counter",
@@ -41,7 +51,7 @@ DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
 )
 
 
-def _label_key(labels: Dict[str, object]) -> Tuple[Tuple[str, str], ...]:
+def _label_key(labels: Mapping[str, object]) -> Tuple[Tuple[str, str], ...]:
     return tuple(sorted((k, str(v)) for k, v in labels.items()))
 
 
@@ -71,8 +81,8 @@ class _Metric:
         self.help = help
         self._lock = threading.Lock()
 
-    # Subclasses implement ``_series()`` returning
-    # ``[(label_key, rendered lines)]`` under ``self._lock``.
+    # Subclasses implement ``_snapshot_locked()`` / ``_render_locked()``
+    # under ``self._lock``.
 
     def render(self) -> List[str]:
         lines = []
@@ -83,29 +93,24 @@ class _Metric:
             lines.extend(self._render_locked())
         return lines
 
+    def _snapshot_locked(self) -> Dict[str, object]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
     def _render_locked(self) -> List[str]:  # pragma: no cover - abstract
         raise NotImplementedError
 
 
-class Counter(_Metric):
-    """Monotonically increasing counter, optionally labelled.
+_M = TypeVar("_M", bound=_Metric)
 
-    ``inc()`` is thread-safe; concurrent increments never lose counts
-    (verified by the 8-thread hammer in ``tests/obs/test_metrics.py``).
-    """
 
-    kind = "counter"
+class _ValueMetric(_Metric):
+    """Shared storage + rendering for one-number-per-series families
+    (the former ``Gauge._render_locked = Counter._render_locked``
+    cross-class method grafts, made an honest base class)."""
 
     def __init__(self, name: str, help: str = "") -> None:
         super().__init__(name, help)
         self._values: Dict[Tuple[Tuple[str, str], ...], float] = {}  # guarded-by: _lock
-
-    def inc(self, amount: float = 1.0, **labels: object) -> None:
-        if amount < 0:
-            raise ValueError("counters only go up; use a Gauge")
-        key = _label_key(labels)
-        with self._lock:
-            self._values[key] = self._values.get(key, 0.0) + amount
 
     def value(self, **labels: object) -> float:
         key = _label_key(labels)
@@ -126,14 +131,27 @@ class Counter(_Metric):
         ]
 
 
-class Gauge(_Metric):
+class Counter(_ValueMetric):
+    """Monotonically increasing counter, optionally labelled.
+
+    ``inc()`` is thread-safe; concurrent increments never lose counts
+    (verified by the 8-thread hammer in ``tests/obs/test_metrics.py``).
+    """
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+
+class Gauge(_ValueMetric):
     """A value that can go up and down (pool sizes, inflight counts)."""
 
     kind = "gauge"
-
-    def __init__(self, name: str, help: str = "") -> None:
-        super().__init__(name, help)
-        self._values: Dict[Tuple[Tuple[str, str], ...], float] = {}  # guarded-by: _lock
 
     def set(self, value: float, **labels: object) -> None:
         key = _label_key(labels)
@@ -148,13 +166,17 @@ class Gauge(_Metric):
     def dec(self, amount: float = 1.0, **labels: object) -> None:
         self.inc(-amount, **labels)
 
-    def value(self, **labels: object) -> float:
-        key = _label_key(labels)
-        with self._lock:
-            return self._values.get(key, 0.0)
 
-    _snapshot_locked = Counter._snapshot_locked
-    _render_locked = Counter._render_locked
+class _HistogramEntry:
+    """One label-keyed series: per-bucket counts (plus ``+Inf``), the
+    running sum, and the observation count."""
+
+    __slots__ = ("counts", "total", "count")
+
+    def __init__(self, bucket_count: int) -> None:
+        self.counts = [0] * (bucket_count + 1)
+        self.total = 0.0
+        self.count = 0
 
 
 class Histogram(_Metric):
@@ -174,8 +196,7 @@ class Histogram(_Metric):
         if not bounds:
             raise ValueError("histogram needs at least one bucket bound")
         self.buckets = bounds
-        # label key -> [per-bucket counts..., +Inf count], sum, count
-        self._series: Dict[Tuple[Tuple[str, str], ...], List[object]] = {}
+        self._series: Dict[Tuple[Tuple[str, str], ...], _HistogramEntry] = {}  # guarded-by: _lock
 
     def observe(self, value: float, **labels: object) -> None:
         key = _label_key(labels)
@@ -183,58 +204,59 @@ class Histogram(_Metric):
         with self._lock:
             entry = self._series.get(key)
             if entry is None:
-                entry = [[0] * (len(self.buckets) + 1), 0.0, 0]
+                entry = _HistogramEntry(len(self.buckets))
                 self._series[key] = entry
-            entry[0][idx] += 1
-            entry[1] += value
-            entry[2] += 1
+            entry.counts[idx] += 1
+            entry.total += value
+            entry.count += 1
 
     def count(self, **labels: object) -> int:
         key = _label_key(labels)
         with self._lock:
             entry = self._series.get(key)
-            return int(entry[2]) if entry else 0
+            return entry.count if entry else 0
 
     def sum(self, **labels: object) -> float:
         key = _label_key(labels)
         with self._lock:
             entry = self._series.get(key)
-            return float(entry[1]) if entry else 0.0
+            return entry.total if entry else 0.0
 
     def _snapshot_locked(self) -> Dict[str, object]:
         series = {}
-        for key, (counts, total, n) in self._series.items():
+        for key, entry in self._series.items():
             cumulative = []
             running = 0
-            for c in counts:
+            for c in entry.counts:
                 running += c
                 cumulative.append(running)
             series[_format_labels(key) or ""] = {
                 "buckets": list(self.buckets),
                 "cumulative": cumulative,
-                "sum": total,
-                "count": n,
+                "sum": entry.total,
+                "count": entry.count,
             }
         return {"type": self.kind, "help": self.help, "series": series}
 
     def _render_locked(self) -> List[str]:
         lines = []
-        for key, (counts, total, n) in sorted(self._series.items()):
+        for key, entry in sorted(self._series.items()):
             running = 0
-            for bound, c in zip(self.buckets, counts):
+            for bound, c in zip(self.buckets, entry.counts):
                 running += c
-                labels = dict(key)
+                labels: Dict[str, object] = dict(key)
                 labels["le"] = _format_value(bound)
                 lines.append("%s_bucket%s %d" % (
                     self.name, _format_labels(_label_key(labels)), running))
             labels = dict(key)
             labels["le"] = "+Inf"
-            running += counts[-1]
+            running += entry.counts[-1]
             lines.append("%s_bucket%s %d" % (
                 self.name, _format_labels(_label_key(labels)), running))
             lines.append("%s_sum%s %s" % (
-                self.name, _format_labels(key), _format_value(total)))
-            lines.append("%s_count%s %d" % (self.name, _format_labels(key), n))
+                self.name, _format_labels(key), _format_value(entry.total)))
+            lines.append("%s_count%s %d" % (
+                self.name, _format_labels(key), entry.count))
         return lines
 
 
@@ -250,7 +272,8 @@ class MetricsRegistry:
         self._lock = threading.Lock()
         self._metrics: "Dict[str, _Metric]" = {}  # guarded-by: _lock
 
-    def _get_or_create(self, cls, name: str, help: str, **kwargs) -> _Metric:
+    def _get_or_create(self, cls: Type[_M], name: str, help: str,
+                       **kwargs: Any) -> _M:
         with self._lock:
             existing = self._metrics.get(name)
             if existing is not None:

@@ -8,7 +8,7 @@ monotonic-clock code path (``time.perf_counter``).
 from __future__ import annotations
 
 import time
-from typing import Callable
+from typing import Callable, Optional
 
 __all__ = ["Timer", "best_of"]
 
@@ -27,16 +27,19 @@ class Timer:
     __slots__ = ("_start", "_elapsed")
 
     def __init__(self) -> None:
-        self._start = None
+        self._start: Optional[float] = None
         self._elapsed = 0.0
 
     def __enter__(self) -> "Timer":
         self._start = time.perf_counter()
         return self
 
-    def __exit__(self, *exc) -> bool:
-        self._elapsed = time.perf_counter() - self._start
-        self._start = None
+    def __exit__(self, *exc: object) -> bool:
+        # Exiting a timer that was never entered is a no-op, not a
+        # TypeError on ``None`` arithmetic.
+        if self._start is not None:
+            self._elapsed = time.perf_counter() - self._start
+            self._start = None
         return False
 
     @property

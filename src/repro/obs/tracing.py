@@ -34,7 +34,11 @@ import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from types import TracebackType
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union, cast
+
+#: Anything ``open()`` accepts for the JSONL import/export helpers.
+_PathLike = Union[str, "os.PathLike[str]"]
 
 __all__ = [
     "Span",
@@ -126,9 +130,30 @@ class SpanRecord:
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "SpanRecord":
-        return cls(**{k: data.get(k) for k in (
-            "trace_id", "span_id", "parent_id", "name", "start_time",
-            "duration", "attributes", "status", "error", "pid")})
+        """Build a record from a possibly sparse dict.
+
+        Optional fields absent from the input (hand-written JSONL,
+        exports from an older schema) fall back to their dataclass
+        defaults instead of landing as ``None`` — a record with
+        ``attributes=None`` or ``status=None`` breaks every consumer
+        that iterates or compares them.
+        """
+        def pick(key: str, default: Any) -> Any:
+            value = data.get(key)
+            return default if value is None else value
+
+        return cls(
+            trace_id=pick("trace_id", ""),
+            span_id=pick("span_id", ""),
+            parent_id=cast(Optional[str], data.get("parent_id")),
+            name=pick("name", ""),
+            start_time=pick("start_time", 0.0),
+            duration=pick("duration", 0.0),
+            attributes=pick("attributes", {}),
+            status=pick("status", "ok"),
+            error=cast(Optional[str], data.get("error")),
+            pid=pick("pid", 0),
+        )
 
 
 class TraceCollector:
@@ -182,7 +207,7 @@ class TraceCollector:
         with self._lock:
             self._records.clear()
 
-    def export_jsonl(self, path) -> int:
+    def export_jsonl(self, path: _PathLike) -> int:
         return export_jsonl(self.spans(), path)
 
 
@@ -233,7 +258,7 @@ class tracing:
         _STATE.enabled = True
         return _STATE.collector
 
-    def __exit__(self, *exc) -> bool:
+    def __exit__(self, *exc: object) -> bool:
         _STATE.enabled = self._prev
         return False
 
@@ -269,7 +294,7 @@ class use_context:
             _LOCAL.remote_parent = self._ctx
         return self
 
-    def __exit__(self, *exc) -> bool:
+    def __exit__(self, *exc: object) -> bool:
         _LOCAL.remote_parent = self._prev
         return False
 
@@ -321,7 +346,9 @@ class Span:
         _stack().append(self)
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(self, exc_type: Optional[type],
+                 exc: Optional[BaseException],
+                 tb: Optional[TracebackType]) -> bool:
         duration = time.perf_counter() - self._start_perf
         stack = _stack()
         if stack and stack[-1] is self:
@@ -362,14 +389,14 @@ class _NoopSpan:
     def __enter__(self) -> "_NoopSpan":
         return self
 
-    def __exit__(self, *exc) -> bool:
+    def __exit__(self, *exc: object) -> bool:
         return False
 
 
 _NOOP = _NoopSpan()
 
 
-def span(name: str, **attributes: object):
+def span(name: str, **attributes: object) -> Union[Span, _NoopSpan]:
     """Open a span named ``name`` with initial ``attributes``.
 
     When tracing is disabled this is a no-op: one boolean check, then a
@@ -398,7 +425,7 @@ class capture_spans:
             _STATE.sinks.append(self.records)
         return self.records
 
-    def __exit__(self, *exc) -> bool:
+    def __exit__(self, *exc: object) -> bool:
         with _STATE.sink_lock:
             try:
                 _STATE.sinks.remove(self.records)
@@ -427,7 +454,7 @@ class remote_capture:
         self._use.__enter__()
         return self._capture.__enter__()
 
-    def __exit__(self, *exc) -> bool:
+    def __exit__(self, *exc: object) -> bool:
         self._capture.__exit__(*exc)
         self._use.__exit__(*exc)
         _STATE.enabled = self._prev_enabled
@@ -438,7 +465,11 @@ class remote_capture:
 # Export / inspection helpers
 
 
-def export_jsonl(records: Iterable[SpanRecord], path) -> int:
+#: One node of a rendered trace forest: a record and its children.
+TraceNode = Tuple[SpanRecord, List["TraceNode"]]
+
+
+def export_jsonl(records: Iterable[SpanRecord], path: _PathLike) -> int:
     """Write span records to ``path`` as JSON Lines.  Returns the count."""
     n = 0
     with open(path, "w", encoding="utf-8") as fh:
@@ -449,8 +480,8 @@ def export_jsonl(records: Iterable[SpanRecord], path) -> int:
     return n
 
 
-def load_jsonl(path) -> List[SpanRecord]:
-    records = []
+def load_jsonl(path: _PathLike) -> List[SpanRecord]:
+    records: List[SpanRecord] = []
     with open(path, "r", encoding="utf-8") as fh:
         for line in fh:
             line = line.strip()
@@ -459,21 +490,23 @@ def load_jsonl(path) -> List[SpanRecord]:
     return records
 
 
-def trace_tree(records: Iterable[SpanRecord]):
+def trace_tree(records: Iterable[SpanRecord]
+               ) -> Dict[str, List[TraceNode]]:
     """Group records into ``(root, children)`` forests per trace.
 
     Returns ``{trace_id: [(record, [child_nodes...]), ...]}`` where each
     node is a ``(record, children)`` pair sorted by start time.  Spans
     whose parent is missing from the record set are treated as roots.
     """
-    records = sorted(records, key=lambda r: (r.start_time, r.span_id))
+    ordered = sorted(records, key=lambda r: (r.start_time, r.span_id))
     by_trace: Dict[str, List[SpanRecord]] = {}
-    for record in records:
+    for record in ordered:
         by_trace.setdefault(record.trace_id, []).append(record)
-    forests = {}
+    forests: Dict[str, List[TraceNode]] = {}
     for trace_id, group in by_trace.items():
-        nodes = {r.span_id: (r, []) for r in group}
-        roots = []
+        nodes: Dict[str, TraceNode] = {r.span_id: (r, [])
+                                       for r in group}
+        roots: List[TraceNode] = []
         for r in group:
             node = nodes[r.span_id]
             parent = nodes.get(r.parent_id) if r.parent_id else None
@@ -485,7 +518,8 @@ def trace_tree(records: Iterable[SpanRecord]):
     return forests
 
 
-def _format_node(node, depth: int, lines: List[str]) -> None:
+def _format_node(node: TraceNode, depth: int,
+                 lines: List[str]) -> None:
     record, children = node
     attrs = ""
     if record.attributes:

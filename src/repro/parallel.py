@@ -14,10 +14,24 @@ from concurrent.futures import FIRST_EXCEPTION, ThreadPoolExecutor, wait
 from typing import Callable, List, Optional, Sequence, TypeVar
 
 from repro.errors import InvalidParameterError
-from repro.obs.tracing import current_context, tracing_enabled, use_context
+from repro.obs.tracing import (
+    TraceContext,
+    current_context,
+    tracing_enabled,
+    use_context,
+)
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+
+def _with_context(fn: Callable[[T], R],
+                  ctx: TraceContext) -> Callable[[T], R]:
+    """``fn`` with ``ctx`` attached for the duration of each call."""
+    def wrapper(item: T) -> R:
+        with use_context(ctx):
+            return fn(item)
+    return wrapper
 
 
 def ensure_workers(parallelism: Optional[int], *,
@@ -66,18 +80,15 @@ def map_in_threads(fn: Callable[[T], R], items: Sequence[T],
     # submission and re-attach it in each pool thread, so spans opened
     # inside ``fn`` stitch into the caller's trace instead of starting
     # orphan traces.  Free when tracing is off (one boolean check).
+    call = fn
     if tracing_enabled():
         ctx = current_context()
         if ctx is not None:
-            inner = fn
-
-            def fn(item, _inner=inner, _ctx=ctx):
-                with use_context(_ctx):
-                    return _inner(item)
+            call = _with_context(fn, ctx)
     with ThreadPoolExecutor(
             max_workers=min(int(workers), len(items)),
             thread_name_prefix=thread_name_prefix) as pool:
-        futures = [pool.submit(fn, item) for item in items]
+        futures = [pool.submit(call, item) for item in items]
         done, not_done = wait(futures, return_when=FIRST_EXCEPTION)
         if any(not f.cancelled() and f.exception() is not None
                for f in done):
@@ -88,7 +99,9 @@ def map_in_threads(fn: Callable[[T], R], items: Sequence[T],
             for future in not_done:
                 future.cancel()
             wait(futures)
-            raise next(f.exception() for f in futures
-                       if not f.cancelled()
-                       and f.exception() is not None)
+            for future in futures:
+                if not future.cancelled():
+                    exc = future.exception()
+                    if exc is not None:
+                        raise exc
         return [future.result() for future in futures]

@@ -81,6 +81,35 @@ VIOLATIONS = {
         def order(cells):
             return sorted(cells), time.time()
     '''),
+    "RPR007": ("repro/scratch/v7.py", '''
+        import threading
+
+        class Conn:
+            def __init__(self):
+                self.lock = threading.Lock()
+                self.inflight = 0  # guarded-by: lock
+
+        class Server:
+            def route(self, conn: Conn):
+                conn.inflight += 1
+    '''),
+    "RPR008": ("repro/scratch/v8.py", '''
+        import threading
+
+        class Pool:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self.free = []
+
+            def take(self):
+                self._lock.acquire()
+                if not self.free:
+                    self._lock.release()
+                    return None
+                item = self.free.pop()
+                self._lock.release()
+                return item
+    '''),
 }
 
 
@@ -118,7 +147,7 @@ def test_every_rule_fires_with_location(tmp_path, monkeypatch, capsys):
 
 def test_all_rule_ids_are_stable():
     assert ALL_RULE_IDS == ("RPR001", "RPR002", "RPR003", "RPR004",
-                            "RPR005", "RPR006")
+                            "RPR005", "RPR006", "RPR007", "RPR008")
 
 
 def test_full_run_finding_paths_are_relative():

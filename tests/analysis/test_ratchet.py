@@ -1,0 +1,188 @@
+"""The typing ratchet: regression fails, improvement shrinks, --write
+rewrites.  A fake runner stands in for mypy so the arithmetic is
+covered on machines without the [dev] extra."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import ratchet
+from repro.analysis.ratchet import (
+    DEFAULT_BUDGET_NAME,
+    PackageBudget,
+    RatchetConfig,
+    RatchetError,
+    load_config,
+    main,
+    mypy_available,
+    package_target,
+    write_config,
+)
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def make_repo(tmp_path, budgets, flags=("--strict-ish",)):
+    """A scratch repo root with src/ packages and a budget file."""
+    config = RatchetConfig(
+        mypy="mypy==1.14.1", common_flags=tuple(flags),
+        packages=tuple(PackageBudget(name, budget)
+                       for name, budget in sorted(budgets.items())))
+    write_config(tmp_path / DEFAULT_BUDGET_NAME, config)
+    for name in budgets:
+        pkg = tmp_path / "src" / Path(*name.split("."))
+        pkg.mkdir(parents=True, exist_ok=True)
+        (pkg / "__init__.py").write_text("", encoding="utf-8")
+    return tmp_path
+
+
+def fake_runner(counts):
+    """A runner returning canned per-package error counts."""
+    calls = []
+
+    def run(package, flags, root):
+        calls.append((package, tuple(flags), root))
+        return counts[package], f"{package}: {counts[package]} error(s)"
+
+    run.calls = calls
+    return run
+
+
+def test_at_budget_exits_zero(tmp_path, capsys):
+    root = make_repo(tmp_path, {"repro.net": 2, "repro.obs": 0})
+    runner = fake_runner({"repro.net": 2, "repro.obs": 0})
+    assert main(["--root", str(root)], runner=runner) == 0
+    out = capsys.readouterr().out
+    assert "[ok]" in out and "regressed" not in out
+    # Budgets untouched on an at-budget run.
+    config = load_config(root / DEFAULT_BUDGET_NAME)
+    assert {e.package: e.budget for e in config.packages} == \
+        {"repro.net": 2, "repro.obs": 0}
+
+
+def test_regression_fails_and_keeps_budget(tmp_path, capsys):
+    root = make_repo(tmp_path, {"repro.net": 0})
+    runner = fake_runner({"repro.net": 3})
+    assert main(["--root", str(root)], runner=runner) == 1
+    captured = capsys.readouterr()
+    assert "typing regressed in repro.net (3 > 0)" in captured.err
+    # The raw mypy output for the regressed package is surfaced.
+    assert "repro.net: 3 error(s)" in captured.out
+    config = load_config(root / DEFAULT_BUDGET_NAME)
+    assert config.packages[0].budget == 0
+
+
+def test_improvement_auto_shrinks_budget(tmp_path, capsys):
+    root = make_repo(tmp_path, {"repro.net": 5, "repro.obs": 1})
+    runner = fake_runner({"repro.net": 2, "repro.obs": 1})
+    assert main(["--root", str(root)], runner=runner) == 0
+    assert "ratcheted down for repro.net (5 -> 2)" in \
+        capsys.readouterr().out
+    config = load_config(root / DEFAULT_BUDGET_NAME)
+    assert {e.package: e.budget for e in config.packages} == \
+        {"repro.net": 2, "repro.obs": 1}
+    # The shrunk budget now binds: the old count is a regression.
+    assert main(["--root", str(root)],
+                runner=fake_runner({"repro.net": 5, "repro.obs": 1})) == 1
+
+
+def test_write_records_both_directions(tmp_path):
+    root = make_repo(tmp_path, {"repro.net": 1, "repro.obs": 1})
+    runner = fake_runner({"repro.net": 4, "repro.obs": 0})
+    assert main(["--root", str(root), "--write"], runner=runner) == 0
+    config = load_config(root / DEFAULT_BUDGET_NAME)
+    assert {e.package: e.budget for e in config.packages} == \
+        {"repro.net": 4, "repro.obs": 0}
+
+
+def test_subset_run_checks_only_named_packages(tmp_path):
+    root = make_repo(tmp_path, {"repro.net": 0, "repro.obs": 0})
+    runner = fake_runner({"repro.net": 0})
+    assert main(["--root", str(root), "repro.net"], runner=runner) == 0
+    assert [call[0] for call in runner.calls] == ["repro.net"]
+
+
+def test_unknown_package_is_a_usage_error(tmp_path, capsys):
+    root = make_repo(tmp_path, {"repro.net": 0})
+    assert main(["--root", str(root), "repro.nope"],
+                runner=fake_runner({})) == 2
+    assert "not in the budget file" in capsys.readouterr().err
+
+
+def test_per_package_flags_extend_common_flags(tmp_path):
+    root = make_repo(tmp_path, {"repro.net": 0})
+    config = load_config(root / DEFAULT_BUDGET_NAME)
+    entry = config.packages[0]
+    entry = PackageBudget(entry.package, entry.budget,
+                          flags=("--extra",))
+    write_config(root / DEFAULT_BUDGET_NAME,
+                 RatchetConfig(config.mypy, config.common_flags,
+                               (entry,)))
+    runner = fake_runner({"repro.net": 0})
+    assert main(["--root", str(root)], runner=runner) == 0
+    assert runner.calls[0][1] == ("--strict-ish", "--extra")
+
+
+def test_missing_budget_file_is_a_usage_error(tmp_path, capsys):
+    assert main(["--root", str(tmp_path)], runner=fake_runner({})) == 2
+    assert "no budget file" in capsys.readouterr().err
+
+
+def test_corrupt_budget_file_is_a_usage_error(tmp_path, capsys):
+    (tmp_path / DEFAULT_BUDGET_NAME).write_text("{", encoding="utf-8")
+    assert main(["--root", str(tmp_path)], runner=fake_runner({})) == 2
+    assert "not valid JSON" in capsys.readouterr().err
+
+
+def test_missing_mypy_skips_unless_required(tmp_path, monkeypatch,
+                                            capsys):
+    root = make_repo(tmp_path, {"repro.net": 0})
+    monkeypatch.setattr(ratchet, "mypy_available", lambda: False)
+    assert main(["--root", str(root)]) == 0
+    assert "skipping the typecheck gate" in capsys.readouterr().out
+    assert main(["--root", str(root), "--require"]) == 2
+    assert "--require makes that fatal" in capsys.readouterr().err
+
+
+def test_package_target_resolves_dirs_and_modules(tmp_path):
+    root = make_repo(tmp_path, {"repro.net": 0})
+    (root / "src" / "repro" / "parallel.py").write_text(
+        "", encoding="utf-8")
+    assert package_target("repro.net", root).name == "net"
+    assert package_target("repro.parallel", root).name == "parallel.py"
+    with pytest.raises(RatchetError):
+        package_target("repro.absent", root)
+
+
+def test_checked_in_budgets_are_zero_for_the_strict_packages():
+    config = load_config(REPO / DEFAULT_BUDGET_NAME)
+    budgets = {e.package: e.budget for e in config.packages}
+    assert budgets == {
+        "repro.analysis": 0,
+        "repro.knobs": 0,
+        "repro.net": 0,
+        "repro.obs": 0,
+        "repro.parallel": 0,
+    }
+    for entry in config.packages:
+        package_target(entry.package, REPO)  # all targets exist
+
+
+def test_budget_file_round_trips_verbatim(tmp_path):
+    source = REPO / DEFAULT_BUDGET_NAME
+    config = load_config(source)
+    out = tmp_path / DEFAULT_BUDGET_NAME
+    write_config(out, config)
+    assert json.loads(out.read_text(encoding="utf-8")) == \
+        json.loads(source.read_text(encoding="utf-8"))
+
+
+@pytest.mark.skipif(not mypy_available(),
+                    reason="mypy not installed (dev extra)")
+def test_real_mypy_meets_the_checked_in_budget():
+    """With the [dev] extra present, the smallest package must really
+    hold its zero-error budget under the checked-in flags."""
+    assert main(["--root", str(REPO), "repro.knobs"]) == 0

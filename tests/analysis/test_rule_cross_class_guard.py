@@ -1,0 +1,156 @@
+"""RPR007: another object's guarded attributes only under *its* lock."""
+
+from __future__ import annotations
+
+#: A lock-owning class plus a peer that touches it both ways.
+CONN_PAIR = '''
+    import threading
+
+    class Conn:
+        def __init__(self):
+            self.lock = threading.Lock()
+            self.inflight = 0  # guarded-by: lock
+
+    class Server:
+        def route(self, conn: Conn):
+            with conn.lock:
+                conn.inflight += 1
+
+        def leak(self, conn: Conn):
+            return conn.inflight
+'''
+
+
+def _select(findings, rule="RPR007"):
+    return [f for f in findings if f.rule == rule]
+
+
+def test_unlocked_cross_class_access_flagged(lint_tree):
+    findings = _select(lint_tree({"repro/net/pair.py": CONN_PAIR}))
+    assert len(findings) == 1
+    finding = findings[0]
+    assert finding.path == "repro/net/pair.py"
+    assert "Conn.inflight" in finding.message
+    assert "with conn.lock" in finding.message
+    assert finding.line == CONN_PAIR.splitlines().index(
+        "            return conn.inflight") + 1
+
+
+def test_access_under_owners_lock_is_clean(lint_tree):
+    clean = CONN_PAIR.replace(
+        "        def leak(self, conn: Conn):\n"
+        "            return conn.inflight\n", "")
+    assert _select(lint_tree({"repro/net/pair.py": clean})) == []
+
+
+def test_wrong_objects_lock_does_not_guard(lint_tree):
+    findings = _select(lint_tree({"repro/net/two.py": '''
+        import threading
+
+        class Conn:
+            def __init__(self):
+                self.lock = threading.Lock()
+                self.inflight = 0  # guarded-by: lock
+
+        class Server:
+            def shuffle(self, a: Conn, b: Conn):
+                with a.lock:
+                    b.inflight += 1
+    '''}))
+    assert len(findings) == 1
+    assert "'b.inflight'" in findings[0].message
+
+
+def test_locked_suffix_helper_is_exempt(lint_tree):
+    findings = _select(lint_tree({"repro/net/helper.py": '''
+        import threading
+
+        class Conn:
+            def __init__(self):
+                self.lock = threading.Lock()
+                self.inflight = 0  # guarded-by: lock
+
+        class Server:
+            def _bump_locked(self, conn: Conn):
+                conn.inflight += 1
+    '''}))
+    assert findings == []
+
+
+def test_attribute_typed_owner_resolves(lint_tree):
+    """``self._cache`` typed by annotation resolves to the owner class."""
+    findings = _select(lint_tree({"repro/service/cachey.py": '''
+        import threading
+
+        class Cache:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self.hits = 0  # guarded-by: _lock
+
+        class Reporter:
+            def __init__(self, cache: Cache):
+                self._cache = cache
+
+            def report(self):
+                return self._cache.hits
+
+            def report_safely(self):
+                with self._cache._lock:
+                    return self._cache.hits
+    '''}))
+    assert len(findings) == 1
+    assert "self._cache.hits" in findings[0].message
+
+
+def test_closure_resets_held_locks(lint_tree):
+    """A closure built under the lock may run after it is released."""
+    findings = _select(lint_tree({"repro/net/closure.py": '''
+        import threading
+
+        class Conn:
+            def __init__(self):
+                self.lock = threading.Lock()
+                self.inflight = 0  # guarded-by: lock
+
+        class Server:
+            def defer(self, conn: Conn):
+                with conn.lock:
+                    def later():
+                        return conn.inflight
+                    return later
+    '''}))
+    assert len(findings) == 1
+
+
+def test_unresolvable_owner_is_skipped(lint_tree):
+    """No annotation, no inference — no finding (never a false alarm)."""
+    findings = _select(lint_tree({"repro/net/opaque.py": '''
+        import threading
+
+        class Conn:
+            def __init__(self):
+                self.lock = threading.Lock()
+                self.inflight = 0  # guarded-by: lock
+
+        class Server:
+            def route(self, conn):
+                conn.inflight += 1
+    '''}))
+    assert findings == []
+
+
+def test_inline_suppression_with_reason(lint_tree):
+    findings = _select(lint_tree({"repro/net/sup.py": '''
+        import threading
+
+        class Conn:
+            def __init__(self):
+                self.lock = threading.Lock()
+                self.inflight = 0  # guarded-by: lock
+
+        class Server:
+            def peek(self, conn: Conn):
+                # Advisory read; torn values acceptable for reporting.
+                return conn.inflight  # repro-lint: disable=RPR007
+    '''}))
+    assert findings == []

@@ -1,0 +1,271 @@
+"""RPR008: manual acquire/release discipline and unwind order."""
+
+from __future__ import annotations
+
+
+def _select(findings, rule="RPR008"):
+    return [f for f in findings if f.rule == rule]
+
+
+def test_acquire_with_early_return_flagged(lint_tree):
+    source = '''
+        import threading
+
+        class Pool:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self.free = []
+
+            def take(self):
+                self._lock.acquire()
+                if not self.free:
+                    self._lock.release()
+                    return None
+                item = self.free.pop()
+                self._lock.release()
+                return item
+    '''
+    findings = _select(lint_tree({"repro/service/pool.py": source}))
+    assert len(findings) == 1
+    finding = findings[0]
+    assert "try/finally" in finding.message
+    assert finding.line == source.splitlines().index(
+        "                self._lock.acquire()") + 1
+
+
+def test_acquire_then_try_finally_is_clean(lint_tree):
+    findings = _select(lint_tree({"repro/service/pool.py": '''
+        import threading
+
+        class Pool:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self.free = []
+
+            def take(self):
+                self._lock.acquire()
+                try:
+                    if not self.free:
+                        return None
+                    return self.free.pop()
+                finally:
+                    self._lock.release()
+    '''}))
+    assert findings == []
+
+
+def test_acquire_inside_guarding_try_is_clean(lint_tree):
+    findings = _select(lint_tree({"repro/service/pool.py": '''
+        import threading
+
+        class Pool:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            def hold(self):
+                try:
+                    self._lock.acquire()
+                    return self.work()
+                finally:
+                    self._lock.release()
+
+            def work(self):
+                return 1
+    '''}))
+    assert findings == []
+
+
+def test_exception_path_without_finally_flagged(lint_tree):
+    """A bare try/except releases on neither the raise nor the return."""
+    findings = _select(lint_tree({"repro/service/pool.py": '''
+        import threading
+
+        class Pool:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            def hold(self):
+                self._lock.acquire()
+                try:
+                    value = self.work()
+                except ValueError:
+                    value = None
+                self._lock.release()
+                return value
+
+            def work(self):
+                return 1
+    '''}))
+    assert len(findings) == 1
+    assert "try/finally" in findings[0].message
+
+
+def test_enter_exit_split_is_exempt(lint_tree):
+    """The _StoreLock pattern: acquire in __enter__, release in __exit__."""
+    findings = _select(lint_tree({"repro/service/storelock.py": '''
+        import threading
+
+        class _StoreLock:
+            def __init__(self):
+                self._thread_lock = threading.RLock()
+
+            def __enter__(self):
+                self._thread_lock.acquire()
+                return self
+
+            def __exit__(self, exc_type, exc, tb):
+                self._thread_lock.release()
+    '''}))
+    assert findings == []
+
+
+def test_enter_without_exit_release_flagged(lint_tree):
+    findings = _select(lint_tree({"repro/service/badlock.py": '''
+        import threading
+
+        class _BadLock:
+            def __init__(self):
+                self._thread_lock = threading.RLock()
+
+            def __enter__(self):
+                self._thread_lock.acquire()
+                return self
+
+            def __exit__(self, exc_type, exc, tb):
+                pass
+    '''}))
+    assert len(findings) == 1
+
+
+def test_out_of_order_release_flagged(lint_tree):
+    source = '''
+        import threading
+
+        class Pair:
+            def __init__(self):
+                self._a = threading.Lock()
+                self._b = threading.Lock()
+
+            def shuffle(self):
+                self._a.acquire()
+                try:
+                    self._b.acquire()
+                    try:
+                        pass
+                    finally:
+                        self._a.release()
+                        self._b.release()
+                finally:
+                    self._a.release()
+    '''
+    findings = _select(lint_tree({"repro/service/pair.py": source}))
+    assert len(findings) == 1
+    finding = findings[0]
+    assert "reverse acquisition order" in finding.message
+    assert "'self._a'" in finding.message and \
+        "'self._b'" in finding.message
+
+
+def test_lifo_release_is_clean(lint_tree):
+    findings = _select(lint_tree({"repro/service/pair.py": '''
+        import threading
+
+        class Pair:
+            def __init__(self):
+                self._a = threading.Lock()
+                self._b = threading.Lock()
+
+            def nest(self):
+                self._a.acquire()
+                try:
+                    self._b.acquire()
+                    try:
+                        pass
+                    finally:
+                        self._b.release()
+                finally:
+                    self._a.release()
+    '''}))
+    assert findings == []
+
+
+def test_manual_hold_then_with_inversion_flagged(lint_tree):
+    """RPR002's blind spot: it never extends held context through a
+    manual acquire, so this inversion is RPR008's to catch."""
+    source = '''
+        import threading
+
+        class Pair:
+            def __init__(self):
+                self._a = threading.Lock()
+                self._b = threading.Lock()
+
+            def establishes_order(self):
+                with self._a:
+                    with self._b:
+                        pass
+
+            def inverts(self):
+                self._b.acquire()
+                try:
+                    with self._a:
+                        pass
+                finally:
+                    self._b.release()
+    '''
+    findings = _select(lint_tree({"repro/service/pair.py": source}))
+    assert len(findings) == 1
+    finding = findings[0]
+    assert "inverts the established lock order" in finding.message
+    assert "Pair._a" in finding.message and "Pair._b" in finding.message
+    # RPR002 alone does not see it: the graph has a->b only, no cycle.
+    assert _select(lint_tree({"repro/service/pair.py": source}),
+                   rule="RPR002") == []
+
+
+def test_expression_position_acquire_flagged(lint_tree):
+    findings = _select(lint_tree({"repro/service/cond.py": '''
+        import threading
+
+        class Pool:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            def poll(self):
+                if self._lock.acquire(False):
+                    self._lock.release()
+                    return True
+                return False
+    '''}))
+    assert len(findings) == 1
+    assert "expression position" in findings[0].message
+
+
+def test_local_lock_variables_are_checked(lint_tree):
+    findings = _select(lint_tree({"repro/service/local.py": '''
+        import threading
+
+        class Job:
+            def run(self):
+                gate = threading.Lock()
+                gate.acquire()
+                return gate
+    '''}))
+    assert len(findings) == 1
+    assert "'gate.acquire()'" in findings[0].message
+
+
+def test_with_statements_alone_are_exempt(lint_tree):
+    findings = _select(lint_tree({"repro/service/withs.py": '''
+        import threading
+
+        class Plain:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self.n = 0
+
+            def bump(self):
+                with self._lock:
+                    self.n += 1
+    '''}))
+    assert findings == []

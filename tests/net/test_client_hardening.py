@@ -1,0 +1,96 @@
+"""Client failure-path hardening: regression tests for two latent
+bugs the strict-typing pass surfaced.
+
+* A ``FrameError`` mid-response used to leave the (desynchronized)
+  socket installed, so the *next* request would read this response's
+  leftover bytes as its own reply.
+* Calling a closed client used to spin through the full
+  reconnect-backoff schedule against a deterministic failure before
+  surfacing ``ConnectionLostError``.
+"""
+
+import socket
+import struct
+import threading
+import time
+
+import pytest
+
+from repro.geometry.grid import Grid
+from repro.net import ConnectionLostError, FrameError, RemoteFrontend
+from repro.net.framing import (
+    HANDSHAKE_BYTES,
+    NET_PROTOCOL_VERSION,
+    handshake_bytes,
+    recv_exact,
+    recv_frame,
+    send_frame,
+)
+from repro.net.messages import ServerHello
+from repro.serve.protocol import OkResponse
+
+pytestmark = pytest.mark.net
+
+
+class _RogueServer:
+    """Answers the construction ping correctly, then replies to the
+    next request with a frame whose body does not unpickle."""
+
+    def __init__(self):
+        self._listener = socket.socket()
+        self._listener.bind(("127.0.0.1", 0))
+        self._listener.listen(1)
+        self.address = self._listener.getsockname()
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self):
+        conn, _ = self._listener.accept()
+        try:
+            recv_exact(conn, HANDSHAKE_BYTES)
+            conn.sendall(handshake_bytes())
+            seq, _ = recv_frame(conn)  # the construction ping
+            hello = ServerHello(
+                net_protocol_version=NET_PROTOCOL_VERSION,
+                serve_protocol_version=0, num_shards=1, num_workers=1,
+                pid=0)
+            send_frame(conn, seq, OkResponse(payload=hello))
+            recv_frame(conn)  # the request under test
+            body = b"\x00this is not a pickle"
+            conn.sendall(struct.pack(">I", len(body)) + body)
+            conn.recv(1)  # hold the connection until the client reacts
+        except OSError:
+            pass
+        finally:
+            conn.close()
+
+    def close(self):
+        self._listener.close()
+
+
+def test_malformed_frame_drops_the_desynchronized_socket():
+    rogue = _RogueServer()
+    host, port = rogue.address
+    client = RemoteFrontend(host, port, read_timeout=10,
+                            reconnect_attempts=0)
+    try:
+        with pytest.raises(FrameError):
+            client.order_grid(Grid((24, 3)))
+        # The stream is desynchronized past the bad frame; keeping the
+        # socket would feed its leftovers to the next request.
+        assert client._sock is None
+    finally:
+        client.close()
+        rogue.close()
+
+
+def test_closed_client_fails_fast_not_through_backoff(server):
+    host, port = server.address
+    client = RemoteFrontend(host, port, read_timeout=30,
+                            reconnect_attempts=50, backoff_base=0.5)
+    client.close()
+    started = time.monotonic()
+    with pytest.raises(ConnectionLostError, match="closed"):
+        client.order_grid(Grid((24, 4)))
+    # Deterministic failure: no walk through 50 backoff sleeps.
+    assert time.monotonic() - started < 5

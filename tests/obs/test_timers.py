@@ -40,3 +40,10 @@ def test_best_of_returns_minimum():
 def test_best_of_rejects_zero_repeats():
     with pytest.raises(ValueError):
         best_of(lambda: None, repeats=0)
+
+
+def test_exit_without_enter_is_a_noop():
+    # Regression: __exit__ used to do arithmetic on the None _start.
+    timer = Timer()
+    assert timer.__exit__(None, None, None) is False
+    assert timer.seconds == 0.0

@@ -269,3 +269,21 @@ def test_phase_totals_sums_and_filters():
                       "api.range": pytest.approx(0.1)}
     assert phase_totals(records, prefix="service.") == {
         "service.solve": pytest.approx(0.5)}
+
+
+def test_from_dict_defaults_missing_optional_fields():
+    """Regression: sparse dicts (older JSONL schemas) used to land as
+    ``None`` attributes/status, breaking every consumer that iterates
+    or compares them."""
+    record = SpanRecord.from_dict({
+        "trace_id": "t1", "span_id": "s1", "name": "solve",
+    })
+    assert record.attributes == {}
+    assert record.status == "ok"
+    assert record.parent_id is None
+    assert record.error is None
+    assert record.start_time == 0.0
+    assert record.duration == 0.0
+    assert record.pid == 0
+    # Still renders and groups like a fully populated record.
+    assert "solve" in format_trace([record])
